@@ -1,0 +1,95 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public operation in the workspace returns
+//! [`Result<T>`](Result). The variants are deliberately coarse: each one
+//! identifies the *layer* that failed and carries a human-readable message
+//! with position information where available.
+
+use std::fmt;
+
+/// Errors produced anywhere in the tree-pattern-query workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The pattern DSL could not be parsed.
+    PatternParse {
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The XML-subset document text could not be parsed.
+    XmlParse {
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The constraint DSL could not be parsed.
+    ConstraintParse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The schema DSL could not be parsed.
+    SchemaParse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structurally invalid pattern (e.g. no output node, a cycle, a
+    /// dangling node id) was handed to an algorithm.
+    InvalidPattern(String),
+    /// A structurally invalid document was handed to an algorithm.
+    InvalidDocument(String),
+    /// A constraint set violated an internal invariant (e.g. closure of an
+    /// inconsistent repository).
+    InvalidConstraints(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PatternParse { offset, message } => {
+                write!(f, "pattern parse error at byte {offset}: {message}")
+            }
+            Error::XmlParse { offset, message } => {
+                write!(f, "xml parse error at byte {offset}: {message}")
+            }
+            Error::ConstraintParse { line, message } => {
+                write!(f, "constraint parse error at line {line}: {message}")
+            }
+            Error::SchemaParse { line, message } => {
+                write!(f, "schema parse error at line {line}: {message}")
+            }
+            Error::InvalidPattern(m) => write!(f, "invalid pattern: {m}"),
+            Error::InvalidDocument(m) => write!(f, "invalid document: {m}"),
+            Error::InvalidConstraints(m) => write!(f, "invalid constraints: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::PatternParse { offset: 7, message: "unexpected ')'".into() };
+        assert_eq!(e.to_string(), "pattern parse error at byte 7: unexpected ')'");
+        let e = Error::ConstraintParse { line: 3, message: "missing '->'".into() };
+        assert_eq!(e.to_string(), "constraint parse error at line 3: missing '->'");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::InvalidPattern("x".into()));
+    }
+}

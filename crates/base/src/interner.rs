@@ -1,0 +1,169 @@
+//! Interning of node type names.
+//!
+//! Types (XML element names, LDAP object classes) appear everywhere in
+//! patterns, documents and constraints. Interning them once into dense
+//! [`TypeId`]s lets every hot path — containment-mapping candidate
+//! initialization, constraint lookups keyed by `(TypeId, TypeId)`,
+//! information-content propagation — hash and compare plain `u32`s.
+
+use crate::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense identifier for an interned type name.
+///
+/// Ids are allocated consecutively from 0 by a [`TypeInterner`], so they can
+/// double as indexes into `Vec`-backed per-type tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The id as a usize, for indexing per-type tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bidirectional map between type names and [`TypeId`]s.
+///
+/// A single interner is shared by the patterns, documents and constraints
+/// that participate in one minimization problem, so that equal names mean
+/// equal ids across all of them.
+///
+/// ```
+/// use tpq_base::TypeInterner;
+/// let mut tys = TypeInterner::new();
+/// let book = tys.intern("Book");
+/// assert_eq!(tys.intern("Book"), book);      // idempotent
+/// assert_eq!(tys.name(book), "Book");
+/// assert_eq!(tys.lookup("Title"), None);      // not interned yet
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TypeInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, TypeId>,
+}
+
+impl TypeInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (allocating a fresh one if needed).
+    pub fn intern(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TypeId(u32::try_from(self.names.len()).expect("more than u32::MAX types"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated by this interner.
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no types have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all `(id, name)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId(i as u32), n.as_str()))
+    }
+
+    /// Rebuild the name → id index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TypeId(i as u32)))
+            .collect();
+    }
+
+    /// Intern a batch of names, returning their ids in order. Convenient for
+    /// tests and generators.
+    pub fn intern_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) -> Vec<TypeId> {
+        names.into_iter().map(|n| self.intern(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = TypeInterner::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(a, TypeId(0));
+        assert_eq!(b, TypeId(1));
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        let mut t = TypeInterner::new();
+        let id = t.intern("Organization");
+        assert_eq!(t.lookup("Organization"), Some(id));
+        assert_eq!(t.name(id), "Organization");
+        assert_eq!(t.lookup("Missing"), None);
+    }
+
+    #[test]
+    fn iter_yields_allocation_order() {
+        let mut t = TypeInterner::new();
+        t.intern_all(["x", "y", "z"]);
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
+        );
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = TypeInterner::new();
+        t.intern("alpha");
+        let mut clone = TypeInterner { names: t.names.clone(), by_name: Default::default() };
+        assert_eq!(clone.lookup("alpha"), None);
+        clone.rebuild_index();
+        assert_eq!(clone.lookup("alpha"), Some(TypeId(0)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TypeId(42).to_string(), "t42");
+    }
+}

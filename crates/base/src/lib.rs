@@ -1,0 +1,28 @@
+//! Foundations shared by every crate in the tree-pattern-query workspace.
+//!
+//! This crate deliberately has no knowledge of patterns, documents or
+//! constraints. It provides:
+//!
+//! * [`TypeId`] / [`TypeInterner`] — node *types* (element names, LDAP object
+//!   classes) interned to dense `u32` ids so that all hot algorithms compare
+//!   and hash plain integers;
+//! * [`TypeSet`] — the small sorted set of types carried by a data node
+//!   (LDAP entries are multi-typed; the chase of co-occurrence constraints
+//!   adds types to pattern nodes);
+//! * [`Error`] / [`Result`] — the workspace-wide error type.
+
+pub mod error;
+pub mod interner;
+pub mod typeset;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use interner::{TypeId, TypeInterner};
+pub use typeset::TypeSet;
+pub use value::{Cmp, Value};
+
+/// Fast hash map keyed by small integer ids (see DESIGN.md §5 for the
+/// justification of `rustc-hash`).
+pub type FxHashMap<K, V> = rustc_hash::FxHashMap<K, V>;
+/// Fast hash set, companion to [`FxHashMap`].
+pub type FxHashSet<K> = rustc_hash::FxHashSet<K>;

@@ -1,0 +1,164 @@
+//! Small sorted sets of [`TypeId`]s.
+//!
+//! Data nodes carry a *set* of types (Section 2.2 of the paper: "every
+//! employee entry must also belong to the type person"), and the chase of
+//! co-occurrence constraints adds types to pattern nodes. These sets are
+//! almost always tiny (1–4 elements), so a sorted `Vec` beats a hash set in
+//! both space and time.
+
+use crate::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// A sorted, duplicate-free set of [`TypeId`]s.
+///
+/// ```
+/// use tpq_base::{TypeId, TypeSet};
+/// let mut s = TypeSet::singleton(TypeId(3));
+/// s.insert(TypeId(1));
+/// s.insert(TypeId(3)); // duplicate ignored
+/// assert!(s.contains(TypeId(1)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![TypeId(1), TypeId(3)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TypeSet {
+    sorted: Vec<TypeId>,
+}
+
+impl TypeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A one-element set.
+    pub fn singleton(ty: TypeId) -> Self {
+        Self { sorted: vec![ty] }
+    }
+
+    /// Insert `ty`; returns `true` if it was not already present.
+    pub fn insert(&mut self, ty: TypeId) -> bool {
+        match self.sorted.binary_search(&ty) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.sorted.insert(pos, ty);
+                true
+            }
+        }
+    }
+
+    /// Remove `ty`; returns `true` if it was present.
+    pub fn remove(&mut self, ty: TypeId) -> bool {
+        match self.sorted.binary_search(&ty) {
+            Ok(pos) => {
+                self.sorted.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, ty: TypeId) -> bool {
+        self.sorted.binary_search(&ty).is_ok()
+    }
+
+    /// Whether every element of `other` is in `self`.
+    pub fn is_superset(&self, other: &TypeSet) -> bool {
+        other.iter().all(|t| self.contains(t))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Iterate in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// Union `other` into `self`.
+    pub fn union_with(&mut self, other: &TypeSet) {
+        for t in other.iter() {
+            self.insert(t);
+        }
+    }
+
+    /// Borrow the underlying sorted slice.
+    pub fn as_slice(&self) -> &[TypeId] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<TypeId> for TypeSet {
+    fn from_iter<I: IntoIterator<Item = TypeId>>(iter: I) -> Self {
+        let mut s = TypeSet::new();
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl From<TypeId> for TypeSet {
+    fn from(ty: TypeId) -> Self {
+        TypeSet::singleton(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> TypeSet {
+        ids.iter().map(|&i| TypeId(i)).collect()
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_dedups() {
+        let mut s = TypeSet::new();
+        assert!(s.insert(TypeId(5)));
+        assert!(s.insert(TypeId(2)));
+        assert!(!s.insert(TypeId(5)));
+        assert_eq!(s.as_slice(), &[TypeId(2), TypeId(5)]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = set(&[1, 2, 3]);
+        assert!(s.remove(TypeId(2)));
+        assert!(!s.remove(TypeId(2)));
+        assert_eq!(s.as_slice(), &[TypeId(1), TypeId(3)]);
+    }
+
+    #[test]
+    fn superset_and_union() {
+        let mut a = set(&[1, 2]);
+        let b = set(&[2, 3]);
+        assert!(!a.is_superset(&b));
+        a.union_with(&b);
+        assert!(a.is_superset(&b));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn from_iter_dedups_out_of_order_input() {
+        let s: TypeSet = [TypeId(9), TypeId(0), TypeId(9)].into_iter().collect();
+        assert_eq!(s.as_slice(), &[TypeId(0), TypeId(9)]);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let s = TypeSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(TypeId(0)));
+        assert!(s.is_superset(&TypeSet::new()));
+    }
+}

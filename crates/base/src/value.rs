@@ -1,0 +1,127 @@
+//! Typed attribute values and comparison operators.
+//!
+//! Section 7 of the paper proposes *value-based conditions* ("the price of
+//! a book always be less than $100") as the first extension of tree
+//! pattern minimization: a node `u` can be mapped to a node `w` only if
+//! the conditions at `w` logically entail those at `u`. These are the
+//! value primitives; the condition language and entailment live in
+//! `tpq-pattern`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute value carried by a data node or compared by a condition.
+///
+/// Integers compare numerically; strings only support equality and
+/// disequality (the condition parser enforces this).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (integers only)
+    Lt,
+    /// `<=` (integers only)
+    Le,
+    /// `>` (integers only)
+    Gt,
+    /// `>=` (integers only)
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluate `left ∘ right`. Ordering comparisons on strings return
+    /// `false` (they are rejected at parse time; this is the safe
+    /// fallback).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match (self, left, right) {
+            (Cmp::Eq, a, b) => a == b,
+            (Cmp::Ne, a, b) => a != b,
+            (Cmp::Lt, Value::Int(a), Value::Int(b)) => a < b,
+            (Cmp::Le, Value::Int(a), Value::Int(b)) => a <= b,
+            (Cmp::Gt, Value::Int(a), Value::Int(b)) => a > b,
+            (Cmp::Ge, Value::Int(a), Value::Int(b)) => a >= b,
+            _ => false,
+        }
+    }
+
+    /// The source-text token for this operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            Cmp::Eq => "=",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_comparisons() {
+        let (a, b) = (Value::Int(3), Value::Int(5));
+        assert!(Cmp::Lt.eval(&a, &b));
+        assert!(Cmp::Le.eval(&a, &b));
+        assert!(!Cmp::Gt.eval(&a, &b));
+        assert!(!Cmp::Ge.eval(&a, &b));
+        assert!(Cmp::Ne.eval(&a, &b));
+        assert!(Cmp::Eq.eval(&a, &a.clone()));
+        assert!(Cmp::Le.eval(&a, &a.clone()));
+    }
+
+    #[test]
+    fn string_equality_only() {
+        let (a, b) = (Value::Str("en".into()), Value::Str("fr".into()));
+        assert!(Cmp::Ne.eval(&a, &b));
+        assert!(Cmp::Eq.eval(&a, &a.clone()));
+        // Ordering on strings is rejected (false), not panicking.
+        assert!(!Cmp::Lt.eval(&a, &b));
+        assert!(!Cmp::Ge.eval(&a, &b));
+    }
+
+    #[test]
+    fn mixed_types_never_equal() {
+        let (a, b) = (Value::Int(1), Value::Str("1".into()));
+        assert!(!Cmp::Eq.eval(&a, &b));
+        assert!(Cmp::Ne.eval(&a, &b));
+        assert!(!Cmp::Lt.eval(&a, &b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Cmp::Le.to_string(), "<=");
+        assert_eq!(Cmp::Ne.to_string(), "!=");
+    }
+}

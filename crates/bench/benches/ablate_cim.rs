@@ -1,0 +1,70 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * images-pruning containment vs exponential backtracking;
+//! * CIM's "never retest non-redundant leaves" enhancement;
+//! * pattern matching cost before vs after minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_base::TypeInterner;
+use tpq_core::cim;
+use tpq_match::answer_set;
+use tpq_pattern::{EdgeKind, TreePattern};
+
+fn chain(ty: tpq_base::TypeId, tail: Option<tpq_base::TypeId>, len: usize) -> TreePattern {
+    let mut p = TreePattern::new(ty);
+    let mut cur = p.root();
+    for _ in 1..len {
+        cur = p.add_child(cur, EdgeKind::Descendant, ty);
+    }
+    if let Some(t) = tail {
+        p.add_child(cur, EdgeKind::Descendant, t);
+    }
+    p
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut tys = TypeInterner::new();
+    let a = tys.intern("a");
+    let t_c = tys.intern("c");
+    let mut group = c.benchmark_group("ablate_containment");
+    group.sample_size(10);
+    for k in [5usize, 7, 9] {
+        let from = chain(a, Some(t_c), k);
+        let to = chain(a, None, 2 * k);
+        group.bench_with_input(BenchmarkId::new("pruning", k), &k, |b, _| {
+            b.iter(|| tpq_core::has_homomorphism(&from, &to))
+        });
+        group.bench_with_input(BenchmarkId::new("backtracking", k), &k, |b, _| {
+            b.iter(|| tpq_core::has_homomorphism_naive(&from, &to))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut tys = TypeInterner::new();
+    let full = tpq_pattern::parse_pattern(
+        "Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]",
+        &mut tys,
+    )
+    .unwrap();
+    let minimal = cim(&full);
+    let dept = tys.lookup("Dept").unwrap();
+    let mgr = tys.lookup("Mgr").unwrap();
+    let proj = tys.lookup("Proj").unwrap();
+    let mut doc = tpq_data::Document::new(dept);
+    for _ in 0..40 {
+        let m = doc.add_child(doc.root(), mgr);
+        for _ in 0..4 {
+            doc.add_child(m, proj);
+        }
+    }
+    let mut group = c.benchmark_group("ablate_matching");
+    group.sample_size(20);
+    group.bench_function("original_pattern", |b| b.iter(|| answer_set(&full, &doc)));
+    group.bench_function("minimized_pattern", |b| b.iter(|| answer_set(&minimal, &doc)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment, bench_matching);
+criterion_main!(benches);

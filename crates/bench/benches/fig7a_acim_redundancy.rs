@@ -1,0 +1,40 @@
+//! Figure 7(a): ACIM time on a 101-node query, varying the total
+//! redundancy (`degree × redundant_nodes`) and the number of relevant
+//! constraints (0 / 50 / 100 / 150).
+//!
+//! Paper shape: roughly flat in the redundancy product at fixed size;
+//! grows linearly with the number of constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_core::{acim_closed, MinimizeStats};
+use tpq_workload::{redundancy_query, relevant_constraints, RedundancySpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_acim_redundancy");
+    group.sample_size(10);
+    for k in [0usize, 50, 100, 150] {
+        for product in [20u64, 50, 90] {
+            let degree = 2;
+            let q = redundancy_query(&RedundancySpec {
+                total_nodes: 101,
+                redundant_nodes: product as usize / degree,
+                degree,
+            });
+            let ics = relevant_constraints(&q, k).closure();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{k}constraints"), product),
+                &product,
+                |b, _| {
+                    b.iter(|| {
+                        let mut stats = MinimizeStats::default();
+                        acim_closed(&q.pattern, &ics, &mut stats)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

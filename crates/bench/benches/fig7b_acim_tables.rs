@@ -1,0 +1,40 @@
+//! Figure 7(b): how much of ACIM's time goes into building the images and
+//! ancestor/descendant tables (the paper reports ≈ 60 %).
+//!
+//! Criterion measures the end-to-end time; the table fraction itself is
+//! asserted from the instrumented stats and printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_core::{acim_closed, MinimizeStats};
+use tpq_workload::ic_chain_query;
+
+fn bench(c: &mut Criterion) {
+    let chain = ic_chain_query(101);
+    let closed = chain.constraints.closure();
+
+    // Print the measured tables fraction once, for the record.
+    let mut stats = MinimizeStats::default();
+    let out = acim_closed(&chain.pattern, &closed, &mut stats);
+    assert_eq!(out.size(), 1);
+    eprintln!(
+        "fig7b: tables time fraction = {:.1}% of total",
+        stats.tables_fraction() * 100.0
+    );
+
+    let mut group = c.benchmark_group("fig7b_acim_tables");
+    group.sample_size(10);
+    for nodes in [41usize, 71, 101] {
+        let chain = ic_chain_query(nodes);
+        let closed = chain.constraints.closure();
+        group.bench_with_input(BenchmarkId::new("acim_total", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut stats = MinimizeStats::default();
+                acim_closed(&chain.pattern, &closed, &mut stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

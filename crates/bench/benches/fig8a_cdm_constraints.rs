@@ -1,0 +1,48 @@
+//! Figure 8(a): CDM time is independent of the size of the constraint
+//! repository (127-node query; constraints mention query types but every
+//! rule check is a hash probe keyed by a type pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_constraints::{Constraint, ConstraintSet};
+use tpq_core::{cdm_closed, MinimizeStats};
+use tpq_pattern::NodeId;
+use tpq_workload::ic_chain_query;
+
+fn relevant_noop_constraints(chain: &tpq_workload::ShapedQuery, k: usize) -> ConstraintSet {
+    // `->>` constraints over non-adjacent chain types: relevant (the types
+    // occur in the query) but no local rule fires on a c-edge chain.
+    let mut ics = ConstraintSet::new();
+    let mut produced = 0;
+    'outer: for gap in 2u32..127 {
+        for i in 0..(127 - gap) {
+            if produced == k {
+                break 'outer;
+            }
+            let a = chain.pattern.node(NodeId(i)).primary;
+            let b = chain.pattern.node(NodeId(i + gap)).primary;
+            if ics.insert(Constraint::RequiredDescendant(a, b)) {
+                produced += 1;
+            }
+        }
+    }
+    ics
+}
+
+fn bench(c: &mut Criterion) {
+    let chain = ic_chain_query(127);
+    let mut group = c.benchmark_group("fig8a_cdm_constraints");
+    group.sample_size(20);
+    for k in [0usize, 50, 100, 150] {
+        let closed = relevant_noop_constraints(&chain, k).closure();
+        group.bench_with_input(BenchmarkId::new("cdm", k), &k, |b, _| {
+            b.iter(|| {
+                let mut stats = MinimizeStats::default();
+                cdm_closed(&chain.pattern, &closed, &mut stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

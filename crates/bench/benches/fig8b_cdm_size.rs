@@ -1,0 +1,43 @@
+//! Figure 8(b): CDM time vs query size for right-deep, bushy and wider
+//! fanout shapes (every edge IC-redundant; only the root survives), plus
+//! the fanout sweep the paper discusses alongside it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_core::{cdm_closed, MinimizeStats};
+use tpq_workload::shaped_ic_query;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_cdm_size");
+    group.sample_size(20);
+    for (label, fanout) in [("right_deep", 1usize), ("bushy", 2), ("fanout4", 4)] {
+        for nodes in [40usize, 90, 140] {
+            let q = shaped_ic_query(nodes, fanout);
+            let closed = q.constraints.closure();
+            group.bench_with_input(BenchmarkId::new(label, nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    let mut stats = MinimizeStats::default();
+                    cdm_closed(&q.pattern, &closed, &mut stats)
+                })
+            });
+        }
+    }
+    // Fanout sweep at fixed size.
+    for fanout in [2usize, 6, 12] {
+        let q = shaped_ic_query(121, fanout);
+        let closed = q.constraints.closure();
+        group.bench_with_input(
+            BenchmarkId::new("fanout_sweep_n121", fanout),
+            &fanout,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = MinimizeStats::default();
+                    cdm_closed(&q.pattern, &closed, &mut stats)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

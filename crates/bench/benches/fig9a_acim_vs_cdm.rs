@@ -1,0 +1,32 @@
+//! Figure 9(a): ACIM vs CDM on queries where both remove the same set of
+//! nodes (an IC chain — everything but the root). Paper shape: CDM is
+//! substantially faster and the gap widens with query size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_core::{acim_closed, cdm_closed, MinimizeStats};
+use tpq_workload::ic_chain_query;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_acim_vs_cdm");
+    group.sample_size(10);
+    for nodes in [20usize, 60, 100] {
+        let q = ic_chain_query(nodes);
+        let closed = q.constraints.closure();
+        group.bench_with_input(BenchmarkId::new("acim", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut stats = MinimizeStats::default();
+                acim_closed(&q.pattern, &closed, &mut stats)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cdm", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut stats = MinimizeStats::default();
+                cdm_closed(&q.pattern, &closed, &mut stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9(b): direct ACIM vs CDM-prefilter-then-ACIM on queries where
+//! CDM removes half of what ACIM can. Paper shape: the combined strategy
+//! always wins and the advantage grows with query size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_core::{minimize_with, Strategy};
+use tpq_workload::prefilter_query;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_prefilter");
+    group.sample_size(10);
+    for nodes in [22usize, 61, 100] {
+        let k = (nodes - 1) / 3;
+        let q = prefilter_query(k);
+        group.bench_with_input(BenchmarkId::new("acim_direct", nodes), &nodes, |b, _| {
+            b.iter(|| minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly))
+        });
+        group.bench_with_input(BenchmarkId::new("cdm_then_acim", nodes), &nodes, |b, _| {
+            b.iter(|| minimize_with(&q.pattern, &q.constraints, Strategy::CdmThenAcim))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

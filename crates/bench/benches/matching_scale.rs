@@ -1,0 +1,60 @@
+//! Substrate bench: pattern evaluation cost vs document size.
+//!
+//! Minimization exists because matching cost scales with pattern size ×
+//! document size; this bench pins the document-side scaling of the
+//! indexed evaluator (build DocIndex + candidate pruning + feasibility)
+//! and the payoff of running the minimized pattern instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpq_base::TypeInterner;
+use tpq_core::cim;
+use tpq_data::{generate_document, Document, DocumentSpec};
+use tpq_match::{answer_set, Matcher};
+use tpq_pattern::parse_pattern;
+
+fn docs() -> Vec<(usize, Document)> {
+    [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                generate_document(&DocumentSpec {
+                    nodes: n,
+                    num_types: 6,
+                    max_fanout: 5,
+                    extra_type_prob: 0.05,
+                    seed: 42,
+                }),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut tys = TypeInterner::new();
+    for i in 0..6 {
+        tys.intern(&format!("t{i}"));
+    }
+    let full = parse_pattern("t0*[//t1][//t1][//t2//t1][//t2//t1]//t3", &mut tys).unwrap();
+    let minimal = cim(&full);
+    assert!(minimal.size() < full.size());
+
+    let mut group = c.benchmark_group("matching_scale");
+    group.sample_size(10);
+    for (n, doc) in docs() {
+        group.bench_with_input(BenchmarkId::new("original", n), &n, |b, _| {
+            b.iter(|| answer_set(&full, &doc))
+        });
+        group.bench_with_input(BenchmarkId::new("minimized", n), &n, |b, _| {
+            b.iter(|| answer_set(&minimal, &doc))
+        });
+        // Index construction alone, for the record.
+        group.bench_with_input(BenchmarkId::new("matcher_build", n), &n, |b, _| {
+            b.iter(|| Matcher::new(&minimal, &doc).matches())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerate the paper's evaluation figures as text tables / JSON.
+//!
+//! ```text
+//! cargo run --release -p tpq-bench --bin experiments            # all panels
+//! cargo run --release -p tpq-bench --bin experiments -- fig8a   # one panel
+//! cargo run --release -p tpq-bench --bin experiments -- --json all > series.json
+//! ```
+
+use std::process::ExitCode;
+use tpq_bench::experiments;
+use tpq_bench::Panel;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut wanted: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--json] [fig7a fig7b fig8a fig8b fig8b-fanout \
+                     fig9a fig9b ablate | all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        return emit(experiments::all_panels(), json);
+    }
+    let mut panels: Vec<Panel> = Vec::new();
+    for w in &wanted {
+        match w.as_str() {
+            "fig7a" => panels.push(experiments::fig7a()),
+            "fig7b" => panels.push(experiments::fig7b()),
+            "fig8a" => panels.push(experiments::fig8a()),
+            "fig8b" => panels.push(experiments::fig8b()),
+            "fig8b-fanout" => panels.push(experiments::fig8b_fanout()),
+            "fig9a" => panels.push(experiments::fig9a()),
+            "fig9b" => panels.push(experiments::fig9b()),
+            "ablate" => panels.extend(experiments::ablations()),
+            other => {
+                eprintln!("unknown panel '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    emit(panels, json)
+}
+
+fn emit(panels: Vec<Panel>, json: bool) -> ExitCode {
+    if json {
+        match serde_json::to_string_pretty(&panels) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for p in &panels {
+            println!("{}", p.to_table());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,523 @@
+//! One function per figure panel of the paper's Section 6, returning
+//! measured [`Panel`]s. The `experiments` binary prints them; the
+//! Criterion benches measure the same workloads.
+//!
+//! Absolute numbers differ from the paper's 2001 hardware; the
+//! reproduction target is the *shape* of each curve (see EXPERIMENTS.md).
+
+use crate::{median_micros, Panel, Point, Series};
+use tpq_base::FxHashSet;
+use tpq_core::{
+    acim_closed, acim_incremental_closed, cdm_closed, cim, minimize_with, MinimizeStats,
+    Strategy,
+};
+use tpq_pattern::TreePattern;
+use tpq_workload::{
+    ic_chain_query, prefilter_query, redundancy_query, relevant_constraints,
+    shaped_ic_query, RedundancySpec,
+};
+
+/// Iterations per measured point (median is reported).
+const ITERS: usize = 7;
+
+/// Figure 7(a): ACIM time as a function of `RedDegree × RedNodes` for a
+/// 101-node query, at 0 / 50 / 100 / 150 relevant constraints.
+pub fn fig7a() -> Panel {
+    let degree = 2;
+    let xs: Vec<u64> = (1..=9).map(|i| i * 10).collect();
+    let mut series = Vec::new();
+    for k in [0usize, 50, 100, 150] {
+        let mut points = Vec::new();
+        for &x in &xs {
+            let red = (x as usize) / degree;
+            let q = redundancy_query(&RedundancySpec {
+                total_nodes: 101,
+                redundant_nodes: red,
+                degree,
+            });
+            let ics = relevant_constraints(&q, k).closure();
+            let (micros, out) = median_micros(ITERS, || {
+                let mut stats = MinimizeStats::default();
+                acim_incremental_closed(&q.pattern, &ics, &mut stats)
+            });
+            assert_eq!(out.size(), q.expected_minimal_size);
+            points.push(Point { x, micros, aux_micros: None });
+        }
+        series.push(Series { label: format!("{k}Constraints"), points });
+    }
+    Panel {
+        id: "fig7a".into(),
+        title: "ACIM: varying redundancy and constraints (101-node query)".into(),
+        x_label: "RedDeg*RedN".into(),
+        series,
+    }
+}
+
+/// Figure 7(b): total ACIM time vs time spent building the images and
+/// ancestor/descendant tables, on a 101-node chain where the bottom `r`
+/// nodes are IC-redundant.
+pub fn fig7b() -> Panel {
+    let chain = ic_chain_query(101);
+    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let mut total = Vec::new();
+    let mut tables = Vec::new();
+    for &x in &xs {
+        // Keep only the constraints for the deepest x edges so exactly x
+        // nodes are redundant.
+        let keep: Vec<_> = {
+            let all: Vec<_> = chain.constraints.iter().collect();
+            // Constraints were inserted per edge from the top; retain the
+            // ones whose lhs is deepest. Sort by type index (= depth).
+            let mut v = all;
+            v.sort_by_key(|c| std::cmp::Reverse(c.lhs().0));
+            v.into_iter().take(x as usize).collect()
+        };
+        let ics: tpq_constraints::ConstraintSet =
+            keep.into_iter().collect::<tpq_constraints::ConstraintSet>().closure();
+        // Sample total and tables time from the SAME runs so the ratio is
+        // meaningful, then take per-metric medians.
+        let mut totals = Vec::with_capacity(ITERS);
+        let mut tabs = Vec::with_capacity(ITERS);
+        for i in 0..=ITERS {
+            let mut stats = MinimizeStats::default();
+            let out = acim_incremental_closed(&chain.pattern, &ics, &mut stats);
+            assert_eq!(out.size(), 101 - x as usize);
+            if i > 0 {
+                // first run is warmup
+                totals.push(stats.total_time.as_secs_f64() * 1e6);
+                tabs.push(stats.tables_time.as_secs_f64() * 1e6);
+            }
+        }
+        totals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        tabs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let micros = totals[totals.len() / 2];
+        let tables_us = tabs[tabs.len() / 2];
+        total.push(Point { x, micros, aux_micros: Some(tables_us) });
+        tables.push(Point { x, micros: tables_us, aux_micros: None });
+    }
+    Panel {
+        id: "fig7b".into(),
+        title: "ACIM: total time vs images/ancestor table time (101-node chain)".into(),
+        x_label: "RedNodes".into(),
+        series: vec![
+            Series { label: "TotalTime".into(), points: total },
+            Series { label: "TablesTime".into(), points: tables },
+        ],
+    }
+}
+
+/// Figure 8(a): CDM time is flat in the number of constraints in the
+/// repository (127-node c-edge chain; `->>` constraints are relevant —
+/// they mention query types — but trigger no local rule on c-edges, as in
+/// the paper every check is a hash probe).
+pub fn fig8a() -> Panel {
+    let chain = ic_chain_query(127);
+    let mut points = Vec::new();
+    for k in (0..=150).step_by(10) {
+        // Relevant `->>` constraints over non-adjacent chain types.
+        let mut ics = tpq_constraints::ConstraintSet::new();
+        let mut produced = 0;
+        'outer: for gap in 2u32..127 {
+            for i in 0..(127 - gap) {
+                if produced == k {
+                    break 'outer;
+                }
+                let a = chain.pattern.node(tpq_pattern::NodeId(i)).primary;
+                let b = chain.pattern.node(tpq_pattern::NodeId(i + gap)).primary;
+                if ics.insert(tpq_constraints::Constraint::RequiredDescendant(a, b)) {
+                    produced += 1;
+                }
+            }
+        }
+        let closed = ics.closure();
+        let (micros, out) = median_micros(ITERS, || {
+            let mut stats = MinimizeStats::default();
+            cdm_closed(&chain.pattern, &closed, &mut stats)
+        });
+        assert_eq!(out.size(), 127, "no local redundancy on a c-edge chain");
+        points.push(Point { x: k as u64, micros, aux_micros: None });
+    }
+    Panel {
+        id: "fig8a".into(),
+        title: "CDM: time vs number of constraints (127-node query)".into(),
+        x_label: "Constraints".into(),
+        series: vec![Series { label: "CDMconstant".into(), points }],
+    }
+}
+
+/// Figure 8(b): CDM time vs query size for right-deep, bushy and wider
+/// fanout shapes (all edges IC-redundant; only the root survives).
+pub fn fig8b() -> Panel {
+    let xs: Vec<u64> = (1..=14).map(|i| i * 10).collect();
+    let shapes = [("RightDeep", 1usize), ("Bushy", 2), ("VaryingFanout", 4)];
+    let mut series = Vec::new();
+    for (label, fanout) in shapes {
+        let mut points = Vec::new();
+        for &x in &xs {
+            let q = shaped_ic_query(x as usize, fanout);
+            let closed = q.constraints.closure();
+            let (micros, out) = median_micros(ITERS, || {
+                let mut stats = MinimizeStats::default();
+                cdm_closed(&q.pattern, &closed, &mut stats)
+            });
+            assert_eq!(out.size(), 1);
+            points.push(Point { x, micros, aux_micros: None });
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    Panel {
+        id: "fig8b".into(),
+        title: "CDM: time vs query size and shape (all edges redundant)".into(),
+        x_label: "QuerySize".into(),
+        series,
+    }
+}
+
+/// Companion to Figure 8(b)'s discussion: CDM time vs node fanout at a
+/// fixed query size (the paper: "CDM behaves in a quadratic fashion with
+/// respect to the node fanout").
+pub fn fig8b_fanout() -> Panel {
+    let n = 121;
+    let mut points = Vec::new();
+    for fanout in 1..=12u64 {
+        let q = shaped_ic_query(n, fanout as usize);
+        let closed = q.constraints.closure();
+        let (micros, out) = median_micros(ITERS, || {
+            let mut stats = MinimizeStats::default();
+            cdm_closed(&q.pattern, &closed, &mut stats)
+        });
+        assert_eq!(out.size(), 1);
+        points.push(Point { x: fanout, micros, aux_micros: None });
+    }
+    Panel {
+        id: "fig8b-fanout".into(),
+        title: format!("CDM: time vs fanout ({n}-node query)"),
+        x_label: "Fanout".into(),
+        series: vec![Series { label: "VaryingFanout".into(), points }],
+    }
+}
+
+/// Figure 9(a): ACIM vs CDM on queries where both remove the same nodes.
+pub fn fig9a() -> Panel {
+    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let mut acim_pts = Vec::new();
+    let mut cdm_pts = Vec::new();
+    for &x in &xs {
+        let q = ic_chain_query(x as usize);
+        let closed = q.constraints.closure();
+        let (a_us, a_out) = median_micros(ITERS, || {
+            let mut stats = MinimizeStats::default();
+            acim_incremental_closed(&q.pattern, &closed, &mut stats)
+        });
+        let (c_us, c_out) = median_micros(ITERS, || {
+            let mut stats = MinimizeStats::default();
+            cdm_closed(&q.pattern, &closed, &mut stats)
+        });
+        assert_eq!(a_out.size(), 1);
+        assert_eq!(c_out.size(), 1, "CDM removes the same set here");
+        acim_pts.push(Point { x, micros: a_us, aux_micros: None });
+        cdm_pts.push(Point { x, micros: c_us, aux_micros: None });
+    }
+    Panel {
+        id: "fig9a".into(),
+        title: "ACIM vs CDM removing the same nodes, varying query size".into(),
+        x_label: "QuerySize".into(),
+        series: vec![
+            Series { label: "ACIM".into(), points: acim_pts },
+            Series { label: "CDM".into(), points: cdm_pts },
+        ],
+    }
+}
+
+/// Figure 9(b): direct ACIM vs CDM-prefilter-then-ACIM on queries where
+/// CDM removes half of what ACIM can.
+pub fn fig9b() -> Panel {
+    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let mut direct_pts = Vec::new();
+    let mut combined_pts = Vec::new();
+    for &x in &xs {
+        let k = ((x as usize).saturating_sub(1) / 3).max(1);
+        let q = prefilter_query(k);
+        let (d_us, d_out) = median_micros(ITERS, || {
+            minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly)
+        });
+        let (c_us, c_out) = median_micros(ITERS, || {
+            minimize_with(&q.pattern, &q.constraints, Strategy::CdmThenAcim)
+        });
+        assert_eq!(d_out.pattern.size(), q.pattern.size() - q.acim_removable);
+        assert_eq!(c_out.pattern.size(), d_out.pattern.size());
+        direct_pts.push(Point { x, micros: d_us, aux_micros: None });
+        combined_pts.push(Point { x, micros: c_us, aux_micros: None });
+    }
+    Panel {
+        id: "fig9b".into(),
+        title: "ACIM alone vs CDM as a pre-filter (CDM removes half)".into(),
+        x_label: "QuerySize".into(),
+        series: vec![
+            Series { label: "ACIM".into(), points: direct_pts },
+            Series { label: "CDMACIM".into(), points: combined_pts },
+        ],
+    }
+}
+
+/// Ablations of the design choices called out in DESIGN.md §3.
+pub fn ablations() -> Vec<Panel> {
+    vec![
+        ablate_containment(),
+        ablate_cim_cache(),
+        ablate_incremental(),
+        ablate_matching(),
+    ]
+}
+
+/// Rebuild-per-test ACIM (the literal Figure 3 loop) vs the incremental
+/// engine (Section 6.1: persistent hash-table images, rebuilt only on
+/// removal).
+fn ablate_incremental() -> Panel {
+    let mut rebuilding = Vec::new();
+    let mut incremental = Vec::new();
+    for x in [10u64, 30, 50, 70, 90] {
+        let q = redundancy_query(&RedundancySpec {
+            total_nodes: 101,
+            redundant_nodes: x as usize / 2,
+            degree: 2,
+        });
+        let closed = relevant_constraints(&q, 50).closure();
+        let (r_us, r_out) = median_micros(3, || {
+            let mut stats = MinimizeStats::default();
+            acim_closed(&q.pattern, &closed, &mut stats)
+        });
+        let (i_us, i_out) = median_micros(ITERS, || {
+            let mut stats = MinimizeStats::default();
+            acim_incremental_closed(&q.pattern, &closed, &mut stats)
+        });
+        assert_eq!(r_out.size(), q.expected_minimal_size);
+        assert_eq!(i_out.size(), q.expected_minimal_size);
+        rebuilding.push(Point { x, micros: r_us, aux_micros: None });
+        incremental.push(Point { x, micros: i_us, aux_micros: None });
+    }
+    Panel {
+        id: "ablate-incremental".into(),
+        title: "ACIM: rebuild-per-test vs maintained images tables (101-node query)".into(),
+        x_label: "RedDeg*RedN".into(),
+        series: vec![
+            Series { label: "RebuildPerTest".into(), points: rebuilding },
+            Series { label: "Incremental".into(), points: incremental },
+        ],
+    }
+}
+
+/// Images-pruning containment vs brute-force backtracking, on the
+/// backtracker's worst case: a d-edge chain of one repeated type mapping
+/// into a longer chain whose required tail type is missing — the naive
+/// search enumerates every descending assignment before failing, while
+/// pruning rejects in polynomial time.
+fn ablate_containment() -> Panel {
+    let mut tys = tpq_base::TypeInterner::new();
+    let a = tys.intern("a");
+    let c = tys.intern("c");
+    let mut pruned = Vec::new();
+    let mut naive = Vec::new();
+    for k in [4u64, 5, 6, 7, 8] {
+        // from: a //a //… //a //c   (k a-nodes then a c)
+        let mut from = TreePattern::new(a);
+        let mut cur = from.root();
+        for _ in 1..k {
+            cur = from.add_child(cur, tpq_pattern::EdgeKind::Descendant, a);
+        }
+        from.add_child(cur, tpq_pattern::EdgeKind::Descendant, c);
+        // to: a //a //… //a  (2k a-nodes, no c anywhere)
+        let mut to = TreePattern::new(a);
+        let mut cur = to.root();
+        for _ in 1..2 * k {
+            cur = to.add_child(cur, tpq_pattern::EdgeKind::Descendant, a);
+        }
+        let (p_us, r1) = median_micros(ITERS, || tpq_core::has_homomorphism(&from, &to));
+        let (n_us, r2) = median_micros(3, || tpq_core::has_homomorphism_naive(&from, &to));
+        assert!(!r1 && !r2);
+        pruned.push(Point { x: k, micros: p_us, aux_micros: None });
+        naive.push(Point { x: k, micros: n_us, aux_micros: None });
+    }
+    Panel {
+        id: "ablate-containment".into(),
+        title: "containment: images pruning vs backtracking (no-match chains)".into(),
+        x_label: "ChainLen".into(),
+        series: vec![
+            Series { label: "Pruning".into(), points: pruned },
+            Series { label: "Backtracking".into(), points: naive },
+        ],
+    }
+}
+
+/// CIM with the "never retest non-redundant leaves" enhancement
+/// (Figure 3 enhancement (1)) vs a naive loop that retests every leaf in
+/// every round. The workload maximizes rounds: a duplicated deep chain
+/// (one leaf removable per round → `depth` rounds) plus many
+/// non-redundant leaves that the naive loop re-tests each round.
+fn ablate_cim_cache() -> Panel {
+    let mut tys = tpq_base::TypeInterner::new();
+    let mut cached = Vec::new();
+    let mut uncached = Vec::new();
+    for depth in [5u64, 10, 15, 20] {
+        let root_ty = tys.intern("root");
+        let chain_ty = tys.intern("link");
+        let mut q = TreePattern::new(root_ty);
+        let root = q.root();
+        // 30 distinct-type, non-redundant leaves.
+        for i in 0..30 {
+            let t = tys.intern(&format!("leaf{i}"));
+            q.add_child(root, tpq_pattern::EdgeKind::Child, t);
+        }
+        // Original chain + duplicate (folds one leaf per round).
+        for _ in 0..2 {
+            let mut cur = root;
+            for _ in 0..depth {
+                cur = q.add_child(cur, tpq_pattern::EdgeKind::Descendant, chain_ty);
+            }
+        }
+        let (c_us, c_out) = median_micros(ITERS, || cim(&q));
+        let (u_us, u_out) = median_micros(3, || cim_no_cache(&q));
+        assert_eq!(c_out.size(), u_out.size());
+        assert_eq!(c_out.size(), 31 + depth as usize);
+        cached.push(Point { x: depth, micros: c_us, aux_micros: None });
+        uncached.push(Point { x: depth, micros: u_us, aux_micros: None });
+    }
+    Panel {
+        id: "ablate-cim-cache".into(),
+        title: "CIM: non-redundant caching (enhancement 1) on vs off".into(),
+        x_label: "ChainDepth".into(),
+        series: vec![
+            Series { label: "Cached".into(), points: cached },
+            Series { label: "RetestAll".into(), points: uncached },
+        ],
+    }
+}
+
+/// The paper's enhancement (1) disabled: retest every leaf each round.
+fn cim_no_cache(q: &TreePattern) -> TreePattern {
+    let mut work = q.clone();
+    loop {
+        let mut progress = false;
+        let leaves: Vec<_> = work
+            .leaves()
+            .into_iter()
+            .filter(|&l| l != work.root() && l != work.output())
+            .collect();
+        for l in leaves {
+            if work.is_alive(l) && tpq_core::redundant_leaf(&work, l) {
+                work.remove_leaf(l).expect("leaf");
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    work.compact().0
+}
+
+/// Why minimize at all: embedding-set evaluation cost before vs after
+/// minimization on a synthetic department database.
+fn ablate_matching() -> Panel {
+    let mut tys = tpq_base::TypeInterner::new();
+    let full = tpq_pattern::parse_pattern(
+        "Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]",
+        &mut tys,
+    )
+    .unwrap();
+    let minimal = cim(&full);
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for x in [50u64, 100, 200, 400] {
+        let doc = department_doc(x as usize, &mut tys);
+        let (f_us, fa) = median_micros(ITERS, || tpq_match::answer_set(&full, &doc));
+        let (m_us, ma) = median_micros(ITERS, || tpq_match::answer_set(&minimal, &doc));
+        assert_eq!(fa.len(), ma.len());
+        before.push(Point { x, micros: f_us, aux_micros: None });
+        after.push(Point { x, micros: m_us, aux_micros: None });
+    }
+    Panel {
+        id: "ablate-matching".into(),
+        title: "matching cost: original vs minimized pattern".into(),
+        x_label: "DocNodes".into(),
+        series: vec![
+            Series { label: "Original".into(), points: before },
+            Series { label: "Minimized".into(), points: after },
+        ],
+    }
+}
+
+fn department_doc(n: usize, tys: &mut tpq_base::TypeInterner) -> tpq_data::Document {
+    let dept = tys.intern("Dept");
+    let mgr = tys.intern("Mgr");
+    let proj = tys.intern("Proj");
+    let mut doc = tpq_data::Document::new(dept);
+    let mut mgr_node = doc.add_child(doc.root(), mgr);
+    let mut i = 2;
+    while i < n {
+        let m = doc.add_child(mgr_node, proj);
+        let _ = m;
+        i += 1;
+        if i % 5 == 0 && i < n {
+            mgr_node = doc.add_child(doc.root(), mgr);
+            i += 1;
+        }
+    }
+    doc
+}
+
+/// All standard panels, in figure order.
+pub fn all_panels() -> Vec<Panel> {
+    let mut v = vec![
+        fig7a(),
+        fig7b(),
+        fig8a(),
+        fig8b(),
+        fig8b_fanout(),
+        fig9a(),
+        fig9b(),
+    ];
+    v.extend(ablations());
+    v
+}
+
+/// Panels needed to validate correctness quickly (reduced grids) — used
+/// by the harness self-test.
+pub fn smoke() -> Vec<Panel> {
+    vec![fig9a(), fig8a()]
+}
+
+/// Keep a type-level guarantee that the panel ids are unique.
+pub fn check_unique_ids(panels: &[Panel]) -> bool {
+    let mut seen = FxHashSet::default();
+    panels.iter().all(|p| seen.insert(p.id.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_ids_unique_and_series_non_empty() {
+        // Use the cheap panels to keep test time low.
+        let panels = vec![fig9a(), fig9b()];
+        assert!(check_unique_ids(&panels));
+        for p in &panels {
+            assert!(!p.series.is_empty());
+            for s in &p.series {
+                assert!(!s.points.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fig9a_cdm_is_faster_than_acim_at_scale() {
+        let p = fig9a();
+        let acim_last = p.series[0].points.last().unwrap().micros;
+        let cdm_last = p.series[1].points.last().unwrap().micros;
+        assert!(
+            cdm_last < acim_last,
+            "CDM ({cdm_last}us) should beat ACIM ({acim_last}us) at size 100"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared harness for regenerating the paper's evaluation (Section 6).
+//!
+//! Each figure panel has an [`experiments`] module
+//! function returning a set of [`Series`]; the `experiments` binary prints
+//! them in the paper's row format and (optionally) as JSON, and the
+//! Criterion benches under `benches/` measure the same workloads with
+//! statistical rigor.
+
+pub mod experiments;
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured point of a series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// The x-axis value (query size, redundancy, constraint count, …).
+    pub x: u64,
+    /// Measured median wall time in microseconds.
+    pub micros: f64,
+    /// Optional secondary measurement (e.g. tables time for Figure 7(b)).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub aux_micros: Option<f64>,
+}
+
+/// A named curve, mirroring one gnuplot series of the paper's figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Label as it appears in the paper (e.g. `"100Constraints"`).
+    pub label: String,
+    /// Measured points in x order.
+    pub points: Vec<Point>,
+}
+
+/// A whole figure panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Identifier, e.g. `"fig7a"`.
+    pub id: String,
+    /// Human title quoting the paper.
+    pub title: String,
+    /// Axis label for x.
+    pub x_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Render the panel as an aligned text table (x column + one column
+    /// per series, times in microseconds).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>16}", s.label);
+        }
+        let _ = writeln!(out);
+        let xs: Vec<u64> = self.series.first().map_or(Vec::new(), |s| {
+            s.points.iter().map(|p| p.x).collect()
+        });
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>12}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, " {:>14.1}us", p.micros);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Measure the median wall time of `f` over `iters` runs (after one
+/// warmup), in microseconds. The closure's result is returned from the
+/// last run so the compiler cannot elide the work.
+pub fn median_micros<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(iters >= 1);
+    let mut last = f(); // warmup
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        last = f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (samples[samples.len() / 2], last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_micros_returns_positive_time() {
+        let (us, v) = median_micros(3, || (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn panel_table_renders_all_series() {
+        let panel = Panel {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "Size".into(),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![Point { x: 1, micros: 2.0, aux_micros: None }],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![Point { x: 1, micros: 3.0, aux_micros: None }],
+                },
+            ],
+        };
+        let t = panel.to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains('A') && t.contains('B'));
+        assert!(t.contains("2.0us"));
+    }
+}

@@ -1,0 +1,81 @@
+//! The constraint datatype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpq_base::TypeId;
+
+/// One integrity constraint (Figure 1(b) of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `t1 -> t2`: every `t1` node has a *child* of type `t2`.
+    RequiredChild(TypeId, TypeId),
+    /// `t1 ->> t2`: every `t1` node has a *descendant* of type `t2`.
+    RequiredDescendant(TypeId, TypeId),
+    /// `t1 ~ t2`: every node of type `t1` is *also* of type `t2`.
+    CoOccurrence(TypeId, TypeId),
+}
+
+impl Constraint {
+    /// The left-hand (constrained) type.
+    pub fn lhs(self) -> TypeId {
+        match self {
+            Constraint::RequiredChild(a, _)
+            | Constraint::RequiredDescendant(a, _)
+            | Constraint::CoOccurrence(a, _) => a,
+        }
+    }
+
+    /// The right-hand (required) type.
+    pub fn rhs(self) -> TypeId {
+        match self {
+            Constraint::RequiredChild(_, b)
+            | Constraint::RequiredDescendant(_, b)
+            | Constraint::CoOccurrence(_, b) => b,
+        }
+    }
+
+    /// Whether this constraint is trivial (implied by every database), i.e.
+    /// a reflexive co-occurrence `t ~ t`.
+    pub fn is_trivial(self) -> bool {
+        matches!(self, Constraint::CoOccurrence(a, b) if a == b)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::RequiredChild(a, b) => write!(f, "{a} -> {b}"),
+            Constraint::RequiredDescendant(a, b) => write!(f, "{a} ->> {b}"),
+            Constraint::CoOccurrence(a, b) => write!(f, "{a} ~ {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Constraint::RequiredChild(TypeId(1), TypeId(2));
+        assert_eq!(c.lhs(), TypeId(1));
+        assert_eq!(c.rhs(), TypeId(2));
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert!(Constraint::CoOccurrence(TypeId(1), TypeId(1)).is_trivial());
+        assert!(!Constraint::CoOccurrence(TypeId(1), TypeId(2)).is_trivial());
+        assert!(!Constraint::RequiredChild(TypeId(1), TypeId(1)).is_trivial());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constraint::RequiredChild(TypeId(0), TypeId(1)).to_string(), "t0 -> t1");
+        assert_eq!(
+            Constraint::RequiredDescendant(TypeId(0), TypeId(1)).to_string(),
+            "t0 ->> t1"
+        );
+        assert_eq!(Constraint::CoOccurrence(TypeId(0), TypeId(1)).to_string(), "t0 ~ t1");
+    }
+}

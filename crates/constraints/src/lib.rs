@@ -1,0 +1,38 @@
+//! Integrity constraints on tree-structured databases (Sections 2.2 and 5
+//! of the paper).
+//!
+//! Three constraint forms are supported, exactly the class for which the
+//! paper proves uniqueness of the minimal equivalent query:
+//!
+//! * `t1 -> t2` — **required child**: every `t1` node has a child of type
+//!   `t2` (paper notation `t1 → t2`);
+//! * `t1 ->> t2` — **required descendant**: every `t1` node has a
+//!   descendant of type `t2` (paper notation `t1 →→ t2`);
+//! * `t1 ~ t2` — **co-occurrence**: every node of type `t1` is also of type
+//!   `t2` (paper notation `t1 — t2`; directed).
+//!
+//! The crate provides:
+//!
+//! * [`Constraint`] and the hash-indexed repository [`ConstraintSet`]
+//!   (Section 6.1: "constraints are organized in a hash table for efficient
+//!   retrieval");
+//! * the **logical closure** required by augmentation and CDM
+//!   (Section 5.2: "we assume that Σ is a logically closed set of ICs");
+//! * a line-oriented constraint DSL ([`parse_constraints`]);
+//! * a DTD-flavoured [`Schema`] language from which constraints are
+//!   *inferred* as Section 2.2 describes;
+//! * [`repair()`](fn@repair) — extend a document so that it satisfies a constraint set
+//!   (used to build IC-satisfying databases for semantic equivalence
+//!   testing), and [`satisfies`] to check.
+
+pub mod constraint;
+pub mod parse;
+pub mod repair;
+pub mod schema;
+pub mod set;
+
+pub use constraint::Constraint;
+pub use parse::parse_constraints;
+pub use repair::{repair, satisfies};
+pub use schema::Schema;
+pub use set::ConstraintSet;

@@ -1,0 +1,120 @@
+//! A line-oriented DSL for constraint sets.
+//!
+//! One constraint per line; `#` starts a comment; blank lines are skipped.
+//!
+//! ```text
+//! # every book has a title child and a last name somewhere below
+//! Book -> Title
+//! Book ->> LastName
+//! Employee ~ Person
+//! ```
+
+use crate::constraint::Constraint;
+use crate::set::ConstraintSet;
+use tpq_base::{Error, Result, TypeInterner};
+
+/// Parse a constraint file, interning type names into `types`.
+pub fn parse_constraints(input: &str, types: &mut TypeInterner) -> Result<ConstraintSet> {
+    let mut set = ConstraintSet::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let c = parse_line(line, types).map_err(|message| Error::ConstraintParse {
+            line: lineno + 1,
+            message,
+        })?;
+        set.insert(c);
+    }
+    Ok(set)
+}
+
+fn parse_line(line: &str, types: &mut TypeInterner) -> std::result::Result<Constraint, String> {
+    // Longest operator first so `->>` is not read as `->` + `>`.
+    for (op, make) in [
+        ("->>", Constraint::RequiredDescendant as fn(_, _) -> _),
+        ("->", Constraint::RequiredChild as fn(_, _) -> _),
+        ("~", Constraint::CoOccurrence as fn(_, _) -> _),
+    ] {
+        if let Some(i) = line.find(op) {
+            let lhs = line[..i].trim();
+            let rhs = line[i + op.len()..].trim();
+            if lhs.is_empty() || rhs.is_empty() {
+                return Err(format!("missing operand around '{op}'"));
+            }
+            if !is_name(lhs) || !is_name(rhs) {
+                return Err(format!("invalid type name in '{line}'"));
+            }
+            return Ok(make(types.intern(lhs), types.intern(rhs)));
+        }
+    }
+    Err(format!("no constraint operator ('->', '->>', '~') in '{line}'"))
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let mut tys = TypeInterner::new();
+        let s = parse_constraints(
+            "Book -> Title\nBook ->> LastName\nEmployee ~ Person\n",
+            &mut tys,
+        )
+        .unwrap();
+        let (book, title) = (tys.lookup("Book").unwrap(), tys.lookup("Title").unwrap());
+        let last = tys.lookup("LastName").unwrap();
+        let (emp, person) = (tys.lookup("Employee").unwrap(), tys.lookup("Person").unwrap());
+        assert!(s.has_required_child(book, title));
+        assert!(s.has_required_descendant(book, last));
+        assert!(s.has_cooccurrence(emp, person));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let mut tys = TypeInterner::new();
+        let s = parse_constraints("# header\n\n  a -> b # trailing\n", &mut tys).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn descendant_not_misread_as_child() {
+        let mut tys = TypeInterner::new();
+        let s = parse_constraints("a ->> b", &mut tys).unwrap();
+        let (a, b) = (tys.lookup("a").unwrap(), tys.lookup("b").unwrap());
+        assert!(s.has_required_descendant(a, b));
+        assert!(!s.has_required_child(a, b));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut tys = TypeInterner::new();
+        let err = parse_constraints("a -> b\nbogus line\n", &mut tys).unwrap_err();
+        match err {
+            Error::ConstraintParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_operand_rejected() {
+        let mut tys = TypeInterner::new();
+        assert!(parse_constraints("-> b", &mut tys).is_err());
+        assert!(parse_constraints("a ->", &mut tys).is_err());
+        assert!(parse_constraints("a ~ ", &mut tys).is_err());
+        assert!(parse_constraints("3a ~ b", &mut tys).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Checking and establishing constraint satisfaction on documents.
+//!
+//! Constraint-dependent minimization is only sound on databases that
+//! satisfy the constraints, so the test suite needs a way to *build* such
+//! databases: [`repair`] extends an arbitrary document (adding nodes and
+//! types, never removing) until it satisfies a closed constraint set.
+//! [`satisfies`] is the corresponding checker.
+
+use crate::set::ConstraintSet;
+use tpq_base::{Error, Result, TypeSet};
+use tpq_data::{DataNodeId, Document};
+
+/// Whether `doc` satisfies every constraint in `set`.
+pub fn satisfies(doc: &Document, set: &ConstraintSet) -> bool {
+    // types_below[v] = union of type sets of proper descendants of v.
+    let mut types_below: Vec<TypeSet> = vec![TypeSet::new(); doc.len()];
+    let mut order = doc.pre_order();
+    order.reverse(); // children before parents
+    for &id in &order {
+        let mut below = TypeSet::new();
+        for &c in &doc.node(id).children {
+            below.union_with(&doc.node(c).types);
+            below.union_with(&types_below[c.index()]);
+        }
+        types_below[id.index()] = below;
+    }
+    for id in doc.ids() {
+        let node = doc.node(id);
+        for t in node.types.iter() {
+            for &u in set.cooccurrences_of(t) {
+                if !node.types.contains(u) {
+                    return false;
+                }
+            }
+            for &u in set.required_children_of(t) {
+                if !node.children.iter().any(|&c| doc.node(c).types.contains(u)) {
+                    return false;
+                }
+            }
+            for &u in set.required_descendants_of(t) {
+                if !types_below[id.index()].contains(u) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Extend `doc` (adding nodes and types only) so that it satisfies `set`.
+///
+/// `set` must be logically closed and finitely satisfiable; otherwise an
+/// [`Error::InvalidConstraints`] is returned. The repaired document is
+/// returned; the input is untouched.
+pub fn repair(doc: &Document, set: &ConstraintSet) -> Result<Document> {
+    if !set.is_closed() {
+        return Err(Error::InvalidConstraints(
+            "repair requires a logically closed constraint set".into(),
+        ));
+    }
+    if !set.is_finitely_satisfiable() {
+        return Err(Error::InvalidConstraints(
+            "constraint set has a required-descendant cycle; no finite tree satisfies it".into(),
+        ));
+    }
+    let mut doc = doc.clone();
+    // Phase 1: co-occurrence types, for every existing node. With a closed
+    // set one pass per node suffices (t ~ u, u ~ v implies t ~ v is already
+    // in the set).
+    for id in doc.ids().collect::<Vec<_>>() {
+        expand_cooccurrences(&mut doc, id, set);
+    }
+    // Phase 2: structural requirements, processing new nodes as they appear.
+    let mut queue: Vec<DataNodeId> = doc.ids().collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        let types: Vec<_> = doc.node(id).types.iter().collect();
+        for t in types {
+            for &u in set.required_children_of(t) {
+                let have = doc.node(id).children.iter().any(|&c| doc.node(c).types.contains(u));
+                if !have {
+                    let child = doc.add_child(id, u);
+                    expand_cooccurrences(&mut doc, child, set);
+                    queue.push(child);
+                }
+            }
+            for &u in set.required_descendants_of(t) {
+                if !subtree_has_type(&doc, id, u) {
+                    let child = doc.add_child(id, u);
+                    expand_cooccurrences(&mut doc, child, set);
+                    queue.push(child);
+                }
+            }
+        }
+    }
+    debug_assert!(satisfies(&doc, set));
+    Ok(doc)
+}
+
+fn expand_cooccurrences(doc: &mut Document, id: DataNodeId, set: &ConstraintSet) {
+    let mut add = Vec::new();
+    for t in doc.node(id).types.iter() {
+        for &u in set.cooccurrences_of(t) {
+            add.push(u);
+        }
+    }
+    for u in add {
+        doc.add_type(id, u);
+    }
+}
+
+fn subtree_has_type(doc: &Document, id: DataNodeId, ty: tpq_base::TypeId) -> bool {
+    let mut stack: Vec<DataNodeId> = doc.node(id).children.clone();
+    while let Some(n) = stack.pop() {
+        if doc.node(n).types.contains(ty) {
+            return true;
+        }
+        stack.extend_from_slice(&doc.node(n).children);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint::*;
+    use tpq_base::{TypeId, TypeInterner};
+    use tpq_data::parse_xml;
+
+    fn t(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    #[test]
+    fn satisfies_detects_missing_child() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml("<Book><Author/></Book>", &mut tys).unwrap();
+        let book = tys.lookup("Book").unwrap();
+        let title = tys.intern("Title");
+        let set = ConstraintSet::from_iter([RequiredChild(book, title)]);
+        assert!(!satisfies(&doc, &set));
+        let ok = parse_xml("<Book><Author/><Title/></Book>", &mut tys).unwrap();
+        assert!(satisfies(&ok, &set));
+    }
+
+    #[test]
+    fn satisfies_checks_descendants_not_just_children() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml("<Book><Author><LastName/></Author></Book>", &mut tys).unwrap();
+        let book = tys.lookup("Book").unwrap();
+        let last = tys.lookup("LastName").unwrap();
+        let desc = ConstraintSet::from_iter([RequiredDescendant(book, last)]);
+        assert!(satisfies(&doc, &desc));
+        let child = ConstraintSet::from_iter([RequiredChild(book, last)]);
+        assert!(!satisfies(&doc, &child), "grandchild does not satisfy a child IC");
+    }
+
+    #[test]
+    fn satisfies_checks_cooccurrence() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml("<Employee/>", &mut tys).unwrap();
+        let emp = tys.lookup("Employee").unwrap();
+        let person = tys.intern("Person");
+        let set = ConstraintSet::from_iter([CoOccurrence(emp, person)]);
+        assert!(!satisfies(&doc, &set));
+        let ok = parse_xml(r#"<Employee also="Person"/>"#, &mut tys).unwrap();
+        assert!(satisfies(&ok, &set));
+    }
+
+    #[test]
+    fn repair_adds_missing_structure() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml("<Book/>", &mut tys).unwrap();
+        let book = tys.lookup("Book").unwrap();
+        let (title, author, last) = (tys.intern("Title"), tys.intern("Author"), tys.intern("LastName"));
+        let set = ConstraintSet::from_iter([
+            RequiredChild(book, title),
+            RequiredChild(book, author),
+            RequiredChild(author, last),
+        ])
+        .closure();
+        let fixed = repair(&doc, &set).unwrap();
+        assert!(satisfies(&fixed, &set));
+        assert!(fixed.len() >= 4, "Book, Title, Author, LastName");
+        fixed.validate().unwrap();
+    }
+
+    #[test]
+    fn repair_adds_cooccurrence_types_everywhere() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml("<Org><Employee/><Employee/></Org>", &mut tys).unwrap();
+        let emp = tys.lookup("Employee").unwrap();
+        let person = tys.intern("Person");
+        let set = ConstraintSet::from_iter([CoOccurrence(emp, person)]).closure();
+        let fixed = repair(&doc, &set).unwrap();
+        assert!(satisfies(&fixed, &set));
+        assert_eq!(fixed.len(), doc.len(), "no nodes needed, only types");
+    }
+
+    #[test]
+    fn repair_satisfies_constraints_on_nodes_it_adds() {
+        // a ->> b, b -> c: repairing an <a/> must produce the whole chain.
+        let set = ConstraintSet::from_iter([
+            RequiredDescendant(t(0), t(1)),
+            RequiredChild(t(1), t(2)),
+        ])
+        .closure();
+        let doc = Document::new(t(0));
+        let fixed = repair(&doc, &set).unwrap();
+        assert!(satisfies(&fixed, &set));
+        assert!(fixed.len() >= 3);
+    }
+
+    #[test]
+    fn repair_rejects_unclosed_sets() {
+        let set = ConstraintSet::from_iter([RequiredChild(t(0), t(1))]); // not closed
+        let doc = Document::new(t(0));
+        assert!(repair(&doc, &set).is_err());
+    }
+
+    #[test]
+    fn repair_rejects_descendant_cycles() {
+        let set = ConstraintSet::from_iter([
+            RequiredDescendant(t(0), t(1)),
+            RequiredDescendant(t(1), t(0)),
+        ])
+        .closure();
+        let doc = Document::new(t(0));
+        assert!(repair(&doc, &set).is_err());
+    }
+
+    #[test]
+    fn repair_is_idempotent_on_satisfying_documents() {
+        let set = ConstraintSet::from_iter([RequiredChild(t(0), t(1))]).closure();
+        let doc = repair(&Document::new(t(0)), &set).unwrap();
+        let again = repair(&doc, &set).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn empty_set_is_always_satisfied() {
+        let doc = Document::new(t(0));
+        let set = ConstraintSet::new();
+        assert!(satisfies(&doc, &set));
+        assert_eq!(repair(&doc, &set).unwrap(), doc);
+    }
+}

@@ -1,0 +1,237 @@
+//! A DTD-flavoured schema language and constraint inference.
+//!
+//! Section 2.2 of the paper derives integrity constraints from XML Schema
+//! specifications: "whenever type B appears (as a subelement) in every XML
+//! Schema specification for type A, we can conclude every element of type A
+//! must have a child of type B". We model the minimum needed for that
+//! inference: per-element content lists with multiplicities, plus
+//! `class A : B` declarations for co-occurrence (the LDAP "every employee
+//! is also a person").
+//!
+//! ```text
+//! element Book = Title, Author+, Chapter*, Publisher?
+//! element Author = LastName, FirstName?
+//! class Employee : Person
+//! ```
+//!
+//! `Title` and `Author+` are *required* (min-occurs ≥ 1) and yield
+//! `Book -> Title`, `Book -> Author`; `Chapter*` and `Publisher?` are
+//! optional and yield nothing. Transitive required descendants
+//! (`Book ->> LastName`) come out of the closure of the inferred set.
+
+use crate::constraint::Constraint;
+use crate::set::ConstraintSet;
+use serde::{Deserialize, Serialize};
+use tpq_base::{Error, Result, TypeId, TypeInterner};
+
+/// Occurrence bounds of a content item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Multiplicity {
+    /// Exactly one (no suffix).
+    One,
+    /// One or more (`+`).
+    OneOrMore,
+    /// Zero or more (`*`).
+    ZeroOrMore,
+    /// Zero or one (`?`).
+    ZeroOrOne,
+}
+
+impl Multiplicity {
+    /// Whether at least one occurrence is required.
+    pub fn required(self) -> bool {
+        matches!(self, Multiplicity::One | Multiplicity::OneOrMore)
+    }
+}
+
+/// One `element` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementDecl {
+    /// The declared element type.
+    pub name: TypeId,
+    /// Content items in declaration order.
+    pub content: Vec<(TypeId, Multiplicity)>,
+}
+
+/// A parsed schema: element declarations plus class (co-occurrence)
+/// declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// `element` declarations.
+    pub elements: Vec<ElementDecl>,
+    /// `class A : B` declarations (`A` is also a `B`).
+    pub classes: Vec<(TypeId, TypeId)>,
+}
+
+impl Schema {
+    /// Parse the schema DSL, interning names into `types`.
+    pub fn parse(input: &str, types: &mut TypeInterner) -> Result<Schema> {
+        let mut schema = Schema::default();
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| Error::SchemaParse { line: lineno + 1, message };
+            if let Some(rest) = line.strip_prefix("element ") {
+                let (name, content) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("missing '=' in element declaration".into()))?;
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(err("empty element name".into()));
+                }
+                let name_id = types.intern(name);
+                let mut items = Vec::new();
+                let content = content.trim();
+                if !content.is_empty() {
+                    for item in content.split(',') {
+                        let item = item.trim();
+                        if item.is_empty() {
+                            return Err(err("empty content item".into()));
+                        }
+                        let (base, mult) = match item.as_bytes()[item.len() - 1] {
+                            b'+' => (&item[..item.len() - 1], Multiplicity::OneOrMore),
+                            b'*' => (&item[..item.len() - 1], Multiplicity::ZeroOrMore),
+                            b'?' => (&item[..item.len() - 1], Multiplicity::ZeroOrOne),
+                            _ => (item, Multiplicity::One),
+                        };
+                        let base = base.trim();
+                        if base.is_empty() {
+                            return Err(err(format!("bare multiplicity in '{item}'")));
+                        }
+                        items.push((types.intern(base), mult));
+                    }
+                }
+                schema.elements.push(ElementDecl { name: name_id, content: items });
+            } else if let Some(rest) = line.strip_prefix("class ") {
+                let (a, b) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("missing ':' in class declaration".into()))?;
+                let (a, b) = (a.trim(), b.trim());
+                if a.is_empty() || b.is_empty() {
+                    return Err(err("empty class name".into()));
+                }
+                schema.classes.push((types.intern(a), types.intern(b)));
+            } else {
+                return Err(err(format!(
+                    "expected 'element' or 'class' declaration, got '{line}'"
+                )));
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Infer the *direct* integrity constraints of Section 2.2:
+    ///
+    /// * `A -> B` for every required content item `B` of element `A`;
+    /// * `A ~ B` for every `class A : B`.
+    ///
+    /// Derived constraints (`A ->> B`, transitive descendants, constraint
+    /// transfer across classes) are produced by
+    /// [`ConstraintSet::closure`]; call [`Schema::infer_closed`] to get them
+    /// in one step.
+    pub fn infer_constraints(&self) -> ConstraintSet {
+        let mut set = ConstraintSet::new();
+        for decl in &self.elements {
+            for &(ty, mult) in &decl.content {
+                if mult.required() {
+                    set.insert(Constraint::RequiredChild(decl.name, ty));
+                }
+            }
+        }
+        for &(a, b) in &self.classes {
+            set.insert(Constraint::CoOccurrence(a, b));
+        }
+        set
+    }
+
+    /// [`Schema::infer_constraints`] followed by logical closure.
+    pub fn infer_closed(&self) -> ConstraintSet {
+        self.infer_constraints().closure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Schema, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let schema = Schema::parse(s, &mut tys).expect("parse");
+        (schema, tys)
+    }
+
+    #[test]
+    fn figure_1a_book_schema() {
+        // The paper's Figure 1(a): Title required, Author minOccurs=1,
+        // Chapter is a complex child (required here).
+        let (schema, tys) = parse(
+            "element Book = Title, Author+, Chapter\nelement Author = LastName, FirstName?",
+        );
+        let set = schema.infer_closed();
+        let t = |n: &str| tys.lookup(n).unwrap();
+        assert!(set.has_required_child(t("Book"), t("Title")));
+        assert!(set.has_required_child(t("Book"), t("Author")));
+        // Inferred transitively: every Book has a LastName descendant.
+        assert!(set.has_required_descendant(t("Book"), t("LastName")));
+        assert!(!set.has_required_child(t("Book"), t("LastName")));
+        // Optional content yields nothing.
+        assert!(!set.has_required_child(t("Author"), t("FirstName")));
+    }
+
+    #[test]
+    fn optional_multiplicities_do_not_infer() {
+        let (schema, tys) = parse("element A = B?, C*, D+");
+        let set = schema.infer_constraints();
+        let t = |n: &str| tys.lookup(n).unwrap();
+        assert!(!set.has_required_child(t("A"), t("B")));
+        assert!(!set.has_required_child(t("A"), t("C")));
+        assert!(set.has_required_child(t("A"), t("D")));
+    }
+
+    #[test]
+    fn classes_become_cooccurrences() {
+        let (schema, tys) = parse("class Employee : Person\nelement Person = Name");
+        let set = schema.infer_closed();
+        let t = |n: &str| tys.lookup(n).unwrap();
+        assert!(set.has_cooccurrence(t("Employee"), t("Person")));
+        // Constraint transfer through the class.
+        assert!(set.has_required_child(t("Employee"), t("Name")));
+    }
+
+    #[test]
+    fn empty_content_allowed() {
+        let (schema, _) = parse("element Leaf =");
+        assert_eq!(schema.elements.len(), 1);
+        assert!(schema.elements[0].content.is_empty());
+        assert!(schema.infer_constraints().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_with_line_numbers() {
+        let mut tys = TypeInterner::new();
+        for (input, bad_line) in [
+            ("element A", 1),
+            ("element A = B\nclass X Y", 2),
+            ("whatever", 1),
+            ("element A = B,,C", 1),
+            ("element A = +", 1),
+        ] {
+            match Schema::parse(input, &mut tys) {
+                Err(Error::SchemaParse { line, .. }) => assert_eq!(line, bad_line, "{input}"),
+                other => panic!("expected SchemaParse error for {input:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let (schema, _) = parse("# a comment\nelement A = B # trailing\n\n");
+        assert_eq!(schema.elements.len(), 1);
+    }
+}

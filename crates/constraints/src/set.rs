@@ -1,0 +1,390 @@
+//! The hash-indexed constraint repository and its logical closure.
+//!
+//! Section 6.1 of the paper: "Constraints are organized in a hash table for
+//! efficient retrieval during the minimization process. Given an
+//! information content at a node, CDM considers each pair of arguments ...
+//! and uses them as a key to access the hash table". Membership queries
+//! ([`ConstraintSet::has_required_child`] etc.) are O(1) hash probes — this
+//! is what makes CDM independent of the repository size (Figure 8(a)).
+
+use crate::constraint::Constraint;
+use serde::{Deserialize, Serialize};
+use tpq_base::{FxHashMap, FxHashSet, TypeId};
+
+/// Which of the three constraint kinds a pair belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Child,
+    Desc,
+    Cooc,
+}
+
+/// A set of integrity constraints with O(1) pair lookups and per-type
+/// adjacency lists in both directions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    child: FxHashSet<(TypeId, TypeId)>,
+    desc: FxHashSet<(TypeId, TypeId)>,
+    cooc: FxHashSet<(TypeId, TypeId)>,
+    child_by_lhs: FxHashMap<TypeId, Vec<TypeId>>,
+    child_by_rhs: FxHashMap<TypeId, Vec<TypeId>>,
+    desc_by_lhs: FxHashMap<TypeId, Vec<TypeId>>,
+    desc_by_rhs: FxHashMap<TypeId, Vec<TypeId>>,
+    cooc_by_lhs: FxHashMap<TypeId, Vec<TypeId>>,
+    cooc_by_rhs: FxHashMap<TypeId, Vec<TypeId>>,
+}
+
+impl ConstraintSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+
+    /// Insert a constraint; returns `true` if it was new. Trivial
+    /// constraints (`t ~ t`) are ignored.
+    pub fn insert(&mut self, c: Constraint) -> bool {
+        if c.is_trivial() {
+            return false;
+        }
+        let (kind, a, b) = match c {
+            Constraint::RequiredChild(a, b) => (Kind::Child, a, b),
+            Constraint::RequiredDescendant(a, b) => (Kind::Desc, a, b),
+            Constraint::CoOccurrence(a, b) => (Kind::Cooc, a, b),
+        };
+        let (set, by_lhs, by_rhs) = match kind {
+            Kind::Child => (&mut self.child, &mut self.child_by_lhs, &mut self.child_by_rhs),
+            Kind::Desc => (&mut self.desc, &mut self.desc_by_lhs, &mut self.desc_by_rhs),
+            Kind::Cooc => (&mut self.cooc, &mut self.cooc_by_lhs, &mut self.cooc_by_rhs),
+        };
+        if !set.insert((a, b)) {
+            return false;
+        }
+        by_lhs.entry(a).or_default().push(b);
+        by_rhs.entry(b).or_default().push(a);
+        true
+    }
+
+    /// O(1): is `t1 -> t2` in the set?
+    #[inline]
+    pub fn has_required_child(&self, t1: TypeId, t2: TypeId) -> bool {
+        self.child.contains(&(t1, t2))
+    }
+
+    /// O(1): is `t1 ->> t2` in the set?
+    #[inline]
+    pub fn has_required_descendant(&self, t1: TypeId, t2: TypeId) -> bool {
+        self.desc.contains(&(t1, t2))
+    }
+
+    /// O(1): is `t1 ~ t2` in the set?
+    #[inline]
+    pub fn has_cooccurrence(&self, t1: TypeId, t2: TypeId) -> bool {
+        self.cooc.contains(&(t1, t2))
+    }
+
+    /// Types `t2` with `t1 -> t2`.
+    pub fn required_children_of(&self, t1: TypeId) -> &[TypeId] {
+        self.child_by_lhs.get(&t1).map_or(&[], Vec::as_slice)
+    }
+
+    /// Types `t2` with `t1 ->> t2`.
+    pub fn required_descendants_of(&self, t1: TypeId) -> &[TypeId] {
+        self.desc_by_lhs.get(&t1).map_or(&[], Vec::as_slice)
+    }
+
+    /// Types `t2` with `t1 ~ t2`.
+    pub fn cooccurrences_of(&self, t1: TypeId) -> &[TypeId] {
+        self.cooc_by_lhs.get(&t1).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of (non-trivial) constraints.
+    pub fn len(&self) -> usize {
+        self.child.len() + self.desc.len() + self.cooc.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over every constraint (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.child
+            .iter()
+            .map(|&(a, b)| Constraint::RequiredChild(a, b))
+            .chain(self.desc.iter().map(|&(a, b)| Constraint::RequiredDescendant(a, b)))
+            .chain(self.cooc.iter().map(|&(a, b)| Constraint::CoOccurrence(a, b)))
+    }
+
+    /// The logical closure of this set (Section 5.2).
+    ///
+    /// Inference rules (fixpoint over a worklist):
+    ///
+    /// 1. `a -> b   ⟹ a ->> b`
+    /// 2. `a ->> b, b ->> c ⟹ a ->> c`
+    /// 3. `a ~ b, b ~ c ⟹ a ~ c`
+    /// 4. `a ~ b, b -> c ⟹ a -> c` (likewise `->>`)
+    /// 5. `a -> b, b ~ c ⟹ a -> c` (likewise `->>`)
+    ///
+    /// The closure has at most `O(T²)` constraints over `T` participating
+    /// types (three pair-sets), matching the paper's quadratic size bound.
+    pub fn closure(&self) -> ConstraintSet {
+        let mut out = self.clone();
+        let mut work: Vec<Constraint> = out.iter().collect();
+        while let Some(c) = work.pop() {
+            let mut derived: Vec<Constraint> = Vec::new();
+            match c {
+                Constraint::RequiredChild(a, b) => {
+                    // Rule 1.
+                    derived.push(Constraint::RequiredDescendant(a, b));
+                    // Rule 4 (join on the left): x ~ a, a -> b ⟹ x -> b.
+                    for &x in out.cooc_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredChild(x, b));
+                    }
+                    // Rule 5 (join on the right): a -> b, b ~ c ⟹ a -> c.
+                    for &c2 in out.cooc_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredChild(a, c2));
+                    }
+                }
+                Constraint::RequiredDescendant(a, b) => {
+                    // Rule 2, both join directions.
+                    for &c2 in out.desc_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(a, c2));
+                    }
+                    for &x in out.desc_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(x, b));
+                    }
+                    // Rule 4 for ->>.
+                    for &x in out.cooc_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(x, b));
+                    }
+                    // Rule 5 for ->>.
+                    for &c2 in out.cooc_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(a, c2));
+                    }
+                }
+                Constraint::CoOccurrence(a, b) => {
+                    // Rule 3, both directions.
+                    for &c2 in out.cooc_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::CoOccurrence(a, c2));
+                    }
+                    for &x in out.cooc_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::CoOccurrence(x, b));
+                    }
+                    // Rule 4: a ~ b with b -> c / b ->> c.
+                    for &c2 in out.child_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredChild(a, c2));
+                    }
+                    for &c2 in out.desc_by_lhs.get(&b).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(a, c2));
+                    }
+                    // Rule 5: x -> a / x ->> a with a ~ b.
+                    for &x in out.child_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredChild(x, b));
+                    }
+                    for &x in out.desc_by_rhs.get(&a).map_or(&[][..], Vec::as_slice) {
+                        derived.push(Constraint::RequiredDescendant(x, b));
+                    }
+                }
+            }
+            for d in derived {
+                if out.insert(d) {
+                    work.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the set equals its own closure.
+    pub fn is_closed(&self) -> bool {
+        self.closure().len() == self.len()
+    }
+
+    /// Whether a finite tree can satisfy the set for nodes of the types it
+    /// mentions: a cycle in the closed required-descendant relation (in
+    /// particular `t ->> t`) forces an infinite tree.
+    ///
+    /// Call on the closure; on a non-closed set this may miss cycles.
+    pub fn is_finitely_satisfiable(&self) -> bool {
+        !self
+            .desc
+            .iter()
+            .any(|&(a, b)| a == b || self.desc.contains(&(b, a)))
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    /// Build from an iterator of constraints (trivial ones are dropped).
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
+        let mut s = ConstraintSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Constraint::*;
+
+    fn t(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = ConstraintSet::new();
+        assert!(s.insert(RequiredChild(t(0), t(1))));
+        assert!(!s.insert(RequiredChild(t(0), t(1))), "duplicate");
+        assert!(s.has_required_child(t(0), t(1)));
+        assert!(!s.has_required_child(t(1), t(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn trivial_cooccurrence_rejected() {
+        let mut s = ConstraintSet::new();
+        assert!(!s.insert(CoOccurrence(t(3), t(3))));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn adjacency_lists() {
+        let s = ConstraintSet::from_iter([
+            RequiredChild(t(0), t(1)),
+            RequiredChild(t(0), t(2)),
+            RequiredDescendant(t(0), t(3)),
+            CoOccurrence(t(1), t(4)),
+        ]);
+        let mut kids = s.required_children_of(t(0)).to_vec();
+        kids.sort();
+        assert_eq!(kids, vec![t(1), t(2)]);
+        assert_eq!(s.required_descendants_of(t(0)), &[t(3)]);
+        assert_eq!(s.cooccurrences_of(t(1)), &[t(4)]);
+        assert!(s.required_children_of(t(9)).is_empty());
+    }
+
+    #[test]
+    fn closure_child_implies_descendant() {
+        let s = ConstraintSet::from_iter([RequiredChild(t(0), t(1))]).closure();
+        assert!(s.has_required_descendant(t(0), t(1)));
+    }
+
+    #[test]
+    fn closure_descendant_transitivity() {
+        let s = ConstraintSet::from_iter([
+            RequiredDescendant(t(0), t(1)),
+            RequiredDescendant(t(1), t(2)),
+            RequiredDescendant(t(2), t(3)),
+        ])
+        .closure();
+        assert!(s.has_required_descendant(t(0), t(3)));
+        assert!(s.has_required_descendant(t(1), t(3)));
+        assert!(!s.has_required_descendant(t(3), t(0)));
+    }
+
+    #[test]
+    fn closure_child_then_descendant_chains() {
+        let s = ConstraintSet::from_iter([
+            RequiredChild(t(0), t(1)),
+            RequiredChild(t(1), t(2)),
+        ])
+        .closure();
+        // Children do not compose into children...
+        assert!(!s.has_required_child(t(0), t(2)));
+        // ...but do compose into descendants.
+        assert!(s.has_required_descendant(t(0), t(2)));
+    }
+
+    #[test]
+    fn closure_cooccurrence_transfers_constraints() {
+        // Employee ~ Person, Person -> Name  ⟹  Employee -> Name.
+        let s = ConstraintSet::from_iter([
+            CoOccurrence(t(0), t(1)),
+            RequiredChild(t(1), t(2)),
+        ])
+        .closure();
+        assert!(s.has_required_child(t(0), t(2)));
+        assert!(s.has_required_descendant(t(0), t(2)));
+    }
+
+    #[test]
+    fn closure_rhs_cooccurrence_widens_targets() {
+        // a -> b, b ~ c  ⟹  a -> c (the required child is also a c).
+        let s = ConstraintSet::from_iter([
+            RequiredChild(t(0), t(1)),
+            CoOccurrence(t(1), t(2)),
+        ])
+        .closure();
+        assert!(s.has_required_child(t(0), t(2)));
+    }
+
+    #[test]
+    fn closure_cooccurrence_transitive() {
+        let s = ConstraintSet::from_iter([
+            CoOccurrence(t(0), t(1)),
+            CoOccurrence(t(1), t(2)),
+        ])
+        .closure();
+        assert!(s.has_cooccurrence(t(0), t(2)));
+        assert!(!s.has_cooccurrence(t(2), t(0)), "co-occurrence is directed");
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let s = ConstraintSet::from_iter([
+            RequiredChild(t(0), t(1)),
+            RequiredDescendant(t(1), t(2)),
+            CoOccurrence(t(2), t(3)),
+            CoOccurrence(t(3), t(4)),
+            RequiredChild(t(4), t(5)),
+        ])
+        .closure();
+        assert!(s.is_closed());
+        assert_eq!(s.closure().len(), s.len());
+    }
+
+    #[test]
+    fn closure_size_is_quadratic_bounded() {
+        // A chain of n descendant constraints closes to n(n+1)/2 pairs.
+        let n = 20u32;
+        let s = ConstraintSet::from_iter(
+            (0..n).map(|i| RequiredDescendant(t(i), t(i + 1))),
+        )
+        .closure();
+        assert_eq!(s.len(), (n * (n + 1) / 2) as usize);
+    }
+
+    #[test]
+    fn finite_satisfiability_detects_cycles() {
+        let ok = ConstraintSet::from_iter([RequiredDescendant(t(0), t(1))]).closure();
+        assert!(ok.is_finitely_satisfiable());
+        let cyc = ConstraintSet::from_iter([
+            RequiredDescendant(t(0), t(1)),
+            RequiredDescendant(t(1), t(0)),
+        ])
+        .closure();
+        assert!(!cyc.is_finitely_satisfiable());
+        let selfloop = ConstraintSet::from_iter([RequiredChild(t(0), t(0))]).closure();
+        assert!(!selfloop.is_finitely_satisfiable());
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let cs = [
+            RequiredChild(t(0), t(1)),
+            RequiredDescendant(t(2), t(3)),
+            CoOccurrence(t(4), t(5)),
+        ];
+        let s = ConstraintSet::from_iter(cs);
+        let mut back: Vec<_> = s.iter().collect();
+        back.sort();
+        let mut want = cs.to_vec();
+        want.sort();
+        assert_eq!(back, want);
+    }
+}

@@ -1,0 +1,219 @@
+//! ACIM — Augment, then CIM (Section 5.2–5.3).
+//!
+//! Algorithm ACIM minimizes a query under a set of required-child,
+//! required-descendant and co-occurrence constraints:
+//!
+//! 1. close the constraint set logically;
+//! 2. **augment** the query: merge co-occurrence types into original
+//!    nodes and add temporary children for required child/descendant
+//!    constraints whose target type occurs in the query ([`mod@crate::chase`]);
+//! 3. run **CIM** on the augmented query — temporary nodes are never
+//!    candidates for removal but do serve as mapping targets;
+//! 4. strip all temporary nodes and chase-added types.
+//!
+//! Theorem 5.1: the result is the unique minimal query equivalent to the
+//! input under the constraints. ACIM is a "clever implementation" of the
+//! optimal strategy `A·M·R` of Lemma 5.4.
+
+use crate::chase::{augment, present_types};
+use crate::cim::cim_in_place;
+use crate::stats::MinimizeStats;
+use std::time::Instant;
+use tpq_constraints::ConstraintSet;
+use tpq_pattern::TreePattern;
+
+/// Minimize `q` under `ics` (closure is computed internally). Returns the
+/// compacted minimal equivalent query.
+pub fn acim(q: &TreePattern, ics: &ConstraintSet) -> TreePattern {
+    acim_with_stats(q, ics, &mut MinimizeStats::default())
+}
+
+/// [`acim`] with statistics collection. `stats.tables_time` accounts the
+/// images/ancestor-table construction inside the CIM phase — the quantity
+/// Figure 7(b) compares against total time.
+pub fn acim_with_stats(
+    q: &TreePattern,
+    ics: &ConstraintSet,
+    stats: &mut MinimizeStats,
+) -> TreePattern {
+    let closed = ics.closure();
+    acim_closed(q, &closed, stats)
+}
+
+/// ACIM given an **already logically closed** constraint set — the form
+/// the paper's Section 5.2 assumes ("we assume that Σ is a logically
+/// closed set of ICs"). Use this to exclude closure computation from
+/// benchmarks; an unclosed set silently yields a non-minimal (but still
+/// equivalent) result.
+pub fn acim_closed(
+    q: &TreePattern,
+    closed: &ConstraintSet,
+    stats: &mut MinimizeStats,
+) -> TreePattern {
+    let t0 = Instant::now();
+    let mut work = q.clone();
+    let allowed = present_types(&work);
+    augment(&mut work, closed, &allowed, stats);
+    cim_in_place(&mut work, stats);
+    work.strip_temporaries();
+    let (compacted, _) = work.compact();
+    stats.total_time += t0.elapsed();
+    compacted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{equivalent_under, equivalent};
+    use tpq_base::TypeInterner;
+    use tpq_constraints::parse_constraints;
+    use tpq_pattern::{isomorphic, parse_pattern};
+
+    fn setup(q: &str, ics: &str) -> (TreePattern, ConstraintSet, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let pat = parse_pattern(q, &mut tys).unwrap();
+        let set = parse_constraints(ics, &mut tys).unwrap();
+        (pat, set, tys)
+    }
+
+    #[test]
+    fn no_constraints_reduces_to_cim() {
+        let (q, ics, _) = setup("Dept*[//DBProject]//Manager//DBProject", "");
+        let a = acim(&q, &ics);
+        let c = crate::cim::cim(&q);
+        assert!(isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn required_child_removes_leaf() {
+        // "find the title and author of books that have a publisher" with
+        // "every book has a publisher" (Section 1).
+        let (q, ics, mut tys) = setup(
+            "Book*[/Title][/Author][/Publisher]",
+            "Book -> Publisher",
+        );
+        let m = acim(&q, &ics);
+        let expected = parse_pattern("Book*[/Title][/Author]", &mut tys).unwrap();
+        assert!(isomorphic(&m, &expected));
+        assert!(equivalent_under(&q, &m, &ics));
+        assert!(!equivalent(&q, &m), "not equivalent without the IC");
+    }
+
+    #[test]
+    fn required_child_does_not_remove_constrained_subtree() {
+        // Publisher has a Name child in the query: the IC only guarantees a
+        // bare Publisher, so the subtree must survive.
+        let (q, ics, _) = setup("Book*[/Title][/Publisher/Name]", "Book -> Publisher");
+        let m = acim(&q, &ics);
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn figure_2a_to_2e_full_pipeline() {
+        // Section 3.3 / 5.2: 2(a) with Article -> Title and
+        // Section ->> Paragraph minimizes to 2(e) = Articles/Article*//Section.
+        let (q, ics, mut tys) = setup(
+            "Articles[/Article//Paragraph]/Article*[/Title]//Section//Paragraph",
+            "Article -> Title\nSection ->> Paragraph",
+        );
+        let m = acim(&q, &ics);
+        let e = parse_pattern("Articles/Article*//Section", &mut tys).unwrap();
+        assert!(isomorphic(&m, &e), "got {} nodes", m.size());
+        assert!(equivalent_under(&q, &m, &ics));
+    }
+
+    #[test]
+    fn figure_2b_with_section_ic_needs_augmentation() {
+        // Section 5.1's pitfall: chase+CIM naively gives 2(c), not minimal.
+        // ACIM must reach 2(e) in one application.
+        let (q, ics, mut tys) = setup(
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            "Section ->> Paragraph",
+        );
+        let m = acim(&q, &ics);
+        let e = parse_pattern("Articles/Article*//Section", &mut tys).unwrap();
+        assert!(isomorphic(&m, &e));
+    }
+
+    #[test]
+    fn figure_2d_augmentation_example() {
+        // Section 3.3 last example: 2(d) = Articles[/Article//Paragraph]
+        // /Article*//Section. With Section ->> Paragraph, augmentation
+        // temporarily re-adds a Paragraph below Section, the left branch
+        // folds, and the result is 2(e).
+        let (q, ics, mut tys) = setup(
+            "Articles[/Article//Paragraph]/Article*//Section",
+            "Section ->> Paragraph",
+        );
+        let m = acim(&q, &ics);
+        let e = parse_pattern("Articles/Article*//Section", &mut tys).unwrap();
+        assert!(isomorphic(&m, &e));
+        assert!(equivalent_under(&q, &m, &ics));
+    }
+
+    #[test]
+    fn figure_2f_to_2g_cooccurrence() {
+        let (q, ics, mut tys) = setup(
+            "Organization*[/Employee//Project][/PermEmp//DBproject]",
+            "PermEmp ~ Employee\nDBproject ~ Project",
+        );
+        let m = acim(&q, &ics);
+        let g = parse_pattern("Organization*/PermEmp//DBproject", &mut tys).unwrap();
+        assert!(isomorphic(&m, &g), "Figure 2(f) minimizes to 2(g), got {} nodes", m.size());
+        assert!(equivalent_under(&q, &m, &ics));
+    }
+
+    #[test]
+    fn result_carries_no_temporaries_or_extra_types() {
+        let (q, ics, _) = setup("Book*[/Title][/Publisher]", "Book -> Publisher\nBook ~ Item");
+        let m = acim(&q, &ics);
+        for v in m.alive_ids() {
+            assert!(!m.node(v).temporary);
+            assert_eq!(m.node(v).types.len(), 1);
+        }
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn acim_is_idempotent() {
+        let (q, ics, _) = setup(
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            "Section ->> Paragraph",
+        );
+        let once = acim(&q, &ics);
+        let twice = acim(&once, &ics);
+        assert!(isomorphic(&once, &twice));
+    }
+
+    #[test]
+    fn descendant_ic_removes_d_leaf_only() {
+        let (q, ics, _) = setup("a*[//b][/b]", "a ->> b");
+        let m = acim(&q, &ics);
+        // The d-child b is implied by the IC; the c-child b is NOT (the IC
+        // only guarantees a descendant) — but the d-child is also subsumed
+        // by the c-child even without ICs. Result: a*[/b].
+        assert_eq!(m.size(), 2);
+        let child = m.node(m.root()).children[0];
+        assert_eq!(m.node(child).edge, tpq_pattern::EdgeKind::Child);
+        assert!(equivalent_under(&q, &m, &ics));
+    }
+
+    #[test]
+    fn chain_of_ics_removes_deep_structure() {
+        // a -> u, u -> w: the whole /u/w spine is implied.
+        let (q, ics, _) = setup("a*[/b]/u/w", "a -> u\nu -> w");
+        let m = acim(&q, &ics);
+        assert_eq!(m.size(), 2, "only a*[/b] remains, got {}", m.size());
+        assert!(equivalent_under(&q, &m, &ics));
+    }
+
+    #[test]
+    fn stats_record_augmentation_and_removals() {
+        let (q, ics, _) = setup("Book*[/Title][/Publisher]", "Book -> Publisher");
+        let mut stats = MinimizeStats::default();
+        let _ = acim_with_stats(&q, &ics, &mut stats);
+        assert!(stats.augment_nodes_added >= 1);
+        assert_eq!(stats.cim_removed, 1);
+        assert!(stats.total_time >= stats.tables_time);
+    }
+}

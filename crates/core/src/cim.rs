@@ -1,0 +1,296 @@
+//! Constraint-Independent Minimization (Section 4).
+//!
+//! CIM computes a maximal elimination ordering (MEO): repeatedly find a
+//! redundant leaf and delete it, until no leaf is redundant. By
+//! Lemmas 4.1–4.3 the result is the unique (up to isomorphism) minimal
+//! query equivalent to the input, regardless of the order in which
+//! redundant leaves are chosen.
+//!
+//! Implementation notes (the Figure 3 enhancements):
+//!
+//! * a leaf once found non-redundant is never re-tested — deleting other
+//!   redundant leaves cannot make it redundant (enhancement (1));
+//! * removing a leaf may turn its parent into a leaf, which then becomes a
+//!   removal candidate;
+//! * the output (`*`) node, the root, and temporary (augmentation-added)
+//!   nodes are never candidates. Temporary nodes still *participate* as
+//!   mapping targets, which is exactly how ACIM exploits them.
+
+use crate::mapping::original_children;
+use crate::redundant::redundant_leaf_with_stats;
+use crate::stats::MinimizeStats;
+use std::time::Instant;
+use tpq_base::FxHashSet;
+use tpq_pattern::{NodeId, TreePattern};
+
+/// Minimize `q` without constraints; returns the compacted minimal query.
+pub fn cim(q: &TreePattern) -> TreePattern {
+    cim_with_stats(q, &mut MinimizeStats::default())
+}
+
+/// [`cim`] with statistics collection.
+pub fn cim_with_stats(q: &TreePattern, stats: &mut MinimizeStats) -> TreePattern {
+    let t0 = Instant::now();
+    let mut work = q.clone();
+    cim_in_place(&mut work, stats);
+    let (compacted, _) = work.compact();
+    stats.total_time += t0.elapsed();
+    compacted
+}
+
+/// Run the MEO loop on `q` in place (no compaction). Returns the removed
+/// node ids, in removal order — an elimination ordering witnessing the
+/// minimization.
+pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeId> {
+    let mut removed = Vec::new();
+    let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
+    loop {
+        let candidates: Vec<NodeId> = q_leaves(q)
+            .into_iter()
+            .filter(|&l| is_candidate(q, l) && !non_redundant.contains(&l))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let mut progress = false;
+        for l in candidates {
+            if !q.is_alive(l) {
+                continue;
+            }
+            stats.redundancy_tests += 1;
+            if redundant_leaf_with_stats(q, l, stats) {
+                remove_q_leaf(q, l);
+                removed.push(l);
+                stats.cim_removed += 1;
+                progress = true;
+            } else {
+                non_redundant.insert(l);
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    removed
+}
+
+/// Original nodes with no alive original children — the elimination
+/// candidates. Temporary children are virtual and do not keep a node
+/// internal.
+fn q_leaves(q: &TreePattern) -> Vec<NodeId> {
+    q.alive_ids()
+        .filter(|&v| !q.node(v).temporary && original_children(q, v).is_empty())
+        .collect()
+}
+
+/// Remove an original leaf, detaching any temporary children it carries
+/// first (they were hung under it by augmentation and die with it).
+fn remove_q_leaf(q: &mut TreePattern, l: NodeId) {
+    let temps: Vec<NodeId> = q
+        .node(l)
+        .children
+        .iter()
+        .copied()
+        .filter(|&c| q.is_alive(c))
+        .collect();
+    for t in temps {
+        debug_assert!(q.node(t).temporary);
+        q.remove_subtree(t).expect("temp subtree is removable");
+    }
+    q.remove_leaf(l).expect("candidate is a removable leaf");
+}
+
+/// Run the MEO loop testing leaves in the order given by `priority`
+/// (used by tests of Theorem 4.1: different orders, isomorphic results).
+pub fn cim_with_order<F>(q: &TreePattern, mut priority: F) -> TreePattern
+where
+    F: FnMut(&TreePattern, &[NodeId]) -> Vec<NodeId>,
+{
+    let mut work = q.clone();
+    let mut stats = MinimizeStats::default();
+    let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
+    loop {
+        let candidates: Vec<NodeId> = q_leaves(&work)
+            .into_iter()
+            .filter(|&l| is_candidate(&work, l) && !non_redundant.contains(&l))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let ordered = priority(&work, &candidates);
+        let mut progress = false;
+        for l in ordered {
+            if !work.is_alive(l) || !original_children(&work, l).is_empty() {
+                continue;
+            }
+            if redundant_leaf_with_stats(&work, l, &mut stats) {
+                remove_q_leaf(&mut work, l);
+                progress = true;
+                // Re-collect candidates after each removal so the caller's
+                // priority sees fresh state.
+                break;
+            } else {
+                non_redundant.insert(l);
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    let (compacted, _) = work.compact();
+    compacted
+}
+
+fn is_candidate(q: &TreePattern, l: NodeId) -> bool {
+    l != q.root() && l != q.output() && !q.node(l).temporary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use tpq_base::TypeInterner;
+    use tpq_pattern::{isomorphic, parse_pattern};
+
+    fn p(s: &str, tys: &mut TypeInterner) -> TreePattern {
+        parse_pattern(s, tys).unwrap()
+    }
+
+    #[test]
+    fn already_minimal_queries_untouched() {
+        let mut tys = TypeInterner::new();
+        for s in ["a", "a*/b//c", "a*[/b][/c]", "a*[/b/c][/b/d]"] {
+            let q = p(s, &mut tys);
+            let m = cim(&q);
+            assert!(isomorphic(&q, &m), "{s} should be untouched");
+        }
+    }
+
+    #[test]
+    fn intro_department_example() {
+        // "departments that contain a database project and that contain
+        // project managers managing a database project" — the first branch
+        // is subsumed (Section 1).
+        let mut tys = TypeInterner::new();
+        let q = p("Dept*[//DBProject]//Manager//DBProject", &mut tys);
+        let m = cim(&q);
+        assert_eq!(m.size(), 3);
+        assert!(equivalent(&q, &m));
+        let expected = p("Dept*//Manager//DBProject", &mut tys);
+        assert!(isomorphic(&m, &expected));
+    }
+
+    #[test]
+    fn figure_2h_to_2i() {
+        let mut tys = TypeInterner::new();
+        let q = p(
+            "OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject",
+            &mut tys,
+        );
+        let m = cim(&q);
+        let expected = p("OrgUnit*/Dept/Researcher//DBProject", &mut tys);
+        assert!(isomorphic(&m, &expected), "Figure 2(h) minimizes to 2(i)");
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn figure_2b_to_2c() {
+        let mut tys = TypeInterner::new();
+        let b = p(
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            &mut tys,
+        );
+        let m = cim(&b);
+        let c = p("Articles/Article*//Section//Paragraph", &mut tys);
+        assert!(isomorphic(&m, &c), "Figure 2(b) minimizes to 2(c)");
+        assert!(equivalent(&b, &m));
+    }
+
+    #[test]
+    fn cascading_removal_of_whole_branches() {
+        let mut tys = TypeInterner::new();
+        // The a/b/c branch folds onto the deeper a/b/c/d chain.
+        let q = p("r*[/a/b/c]/a/b/c/d", &mut tys);
+        let m = cim(&q);
+        let expected = p("r*/a/b/c/d", &mut tys);
+        assert!(isomorphic(&m, &expected));
+    }
+
+    #[test]
+    fn output_node_always_survives() {
+        let mut tys = TypeInterner::new();
+        let q = p("a[/b*]/b", &mut tys);
+        let m = cim(&q);
+        // The unmarked b folds onto b*; the marked one stays.
+        assert_eq!(m.size(), 2);
+        assert!(m.node(m.output()).output);
+        assert!(equivalent(&q, &m));
+    }
+
+    #[test]
+    fn result_has_no_redundant_leaves() {
+        let mut tys = TypeInterner::new();
+        let mut stats = MinimizeStats::default();
+        for s in [
+            "Dept*[//DBProject]//Manager//DBProject",
+            "r*[/a/b][/a][/a/b/c]",
+            "x*[//y][//y//z][//z]",
+            "a*[/a/a][//a]",
+        ] {
+            let q = p(s, &mut tys);
+            let m = cim(&q);
+            for l in m.leaves() {
+                if l == m.output() || l == m.root() {
+                    continue;
+                }
+                assert!(
+                    !crate::redundant::redundant_leaf_with_stats(&m, l, &mut stats),
+                    "{s}: leaf {l} still redundant in result"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_orders_give_isomorphic_results() {
+        let mut tys = TypeInterner::new();
+        let q = p("r*[/a/b][/a/b/c][//a][/a[/b][/b/c]]", &mut tys);
+        let forward = cim_with_order(&q, |_, c| c.to_vec());
+        let backward = cim_with_order(&q, |_, c| {
+            let mut v = c.to_vec();
+            v.reverse();
+            v
+        });
+        let default = cim(&q);
+        assert!(isomorphic(&forward, &backward), "Theorem 4.1 uniqueness");
+        assert!(isomorphic(&forward, &default));
+        assert!(equivalent(&q, &forward));
+    }
+
+    #[test]
+    fn cim_is_idempotent() {
+        let mut tys = TypeInterner::new();
+        let q = p("Dept*[//DBProject]//Manager//DBProject", &mut tys);
+        let once = cim(&q);
+        let twice = cim(&once);
+        assert!(isomorphic(&once, &twice));
+    }
+
+    #[test]
+    fn stats_count_removals_and_tests() {
+        let mut tys = TypeInterner::new();
+        let q = p("Dept*[//DBProject]//Manager//DBProject", &mut tys);
+        let mut stats = MinimizeStats::default();
+        let m = cim_with_stats(&q, &mut stats);
+        assert_eq!(stats.cim_removed, 1);
+        assert!(stats.redundancy_tests >= 1);
+        assert_eq!(m.size(), q.size() - stats.cim_removed);
+    }
+
+    #[test]
+    fn single_node_pattern_is_fixed_point() {
+        let mut tys = TypeInterner::new();
+        let q = p("a", &mut tys);
+        assert_eq!(cim(&q).size(), 1);
+    }
+}

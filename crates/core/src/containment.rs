@@ -1,0 +1,395 @@
+//! Containment and equivalence of tree pattern queries, with and without
+//! integrity constraints (Sections 3.1, 3.2).
+//!
+//! Without constraints, `Q1 ⊆ Q2` iff a containment mapping `Q2 → Q1`
+//! exists ([`crate::mapping`]).
+//!
+//! Under a constraint set `Σ`, `Q1 ⊆_Σ Q2` iff `Q2` maps into the
+//! (possibly infinite) chase of `Q1` by `Σ`. We decide that without
+//! materializing the chase: the candidate pruning is relaxed so that a
+//! pattern child `w` of `v` with no image candidate below `u` can be
+//! *discharged by a guarantee* — a derivation from the closed `Σ` showing
+//! that every `Σ`-database node matching `u` must have the whole subtree
+//! of `w` below it. Guarantee derivations descend strictly into the
+//! pattern, so the recursion terminates; memoization keeps the whole test
+//! polynomial.
+
+use crate::mapping::{has_homomorphism, PatIndex};
+use tpq_base::{FxHashMap, TypeId, TypeSet};
+use tpq_constraints::ConstraintSet;
+use tpq_pattern::{EdgeKind, NodeId, TreePattern};
+
+/// `q1 ⊆ q2`: every answer of `q1` on every database is an answer of `q2`.
+pub fn contains(q1: &TreePattern, q2: &TreePattern) -> bool {
+    has_homomorphism(q2, q1)
+}
+
+/// `q1 ≡ q2`: two-way containment.
+pub fn equivalent(q1: &TreePattern, q2: &TreePattern) -> bool {
+    contains(q1, q2) && contains(q2, q1)
+}
+
+/// `q1 ⊆_Σ q2`: containment over databases satisfying `ics`.
+///
+/// `ics` need not be closed; the closure is computed internally.
+pub fn contains_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -> bool {
+    let closed = ics.closure();
+    ContainmentUnder::new(q1, q2, &closed).check()
+}
+
+/// `q1 ≡_Σ q2`: two-way containment under `ics`.
+pub fn equivalent_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -> bool {
+    let closed = ics.closure();
+    ContainmentUnder::new(q1, q2, &closed).check()
+        && ContainmentUnder::new(q2, q1, &closed).check()
+}
+
+struct ContainmentUnder<'a> {
+    /// The containee — homomorphism *target* (side of the chase).
+    q1: &'a TreePattern,
+    /// The container — homomorphism *source*.
+    q2: &'a TreePattern,
+    closed: &'a ConstraintSet,
+    q1_index: PatIndex,
+    /// Memo for guarantee derivations: (basis type, q2 node, edge) → bool.
+    memo: FxHashMap<(TypeId, NodeId, EdgeKind), bool>,
+}
+
+impl<'a> ContainmentUnder<'a> {
+    fn new(q1: &'a TreePattern, q2: &'a TreePattern, closed: &'a ConstraintSet) -> Self {
+        ContainmentUnder {
+            q1,
+            q2,
+            closed,
+            q1_index: PatIndex::build(q1),
+            memo: FxHashMap::default(),
+        }
+    }
+
+    /// Does `Σ` give every node of type `s` all the types in `need`?
+    fn covers(&self, s: TypeId, need: &TypeSet) -> bool {
+        need.iter().all(|t| t == s || self.closed.has_cooccurrence(s, t))
+    }
+
+    /// Under `Σ`, does every database node matching `u` (types `u_types`)
+    /// also carry type `t`? Direct membership or via co-occurrence.
+    fn node_has_type(&self, u_types: &TypeSet, t: TypeId) -> bool {
+        u_types
+            .iter()
+            .any(|s| s == t || self.closed.has_cooccurrence(s, t))
+    }
+
+    /// Is the q2 subtree rooted at `w`, reached over an edge of kind
+    /// `edge`, guaranteed below every database node of type `basis`?
+    fn guaranteed(&mut self, basis: TypeId, w: NodeId, edge: EdgeKind) -> bool {
+        if self.q2.node(w).output {
+            // The output node must map to the image of q1's output node,
+            // never to IC-implied structure.
+            return false;
+        }
+        if !self.q2.node(w).conditions.is_empty() {
+            // ICs guarantee existence by type only; they say nothing about
+            // attribute values, so a conditioned node cannot be discharged.
+            return false;
+        }
+        if let Some(&hit) = self.memo.get(&(basis, w, edge)) {
+            return hit;
+        }
+        let need = self.q2.node(w).types.clone();
+        let witnesses: Vec<TypeId> = match edge {
+            EdgeKind::Child => self.closed.required_children_of(basis).to_vec(),
+            EdgeKind::Descendant => self.closed.required_descendants_of(basis).to_vec(),
+        };
+        let children: Vec<NodeId> = self
+            .q2
+            .node(w)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.q2.is_alive(c))
+            .collect();
+        let mut ok = false;
+        'witness: for s in witnesses {
+            if !self.covers(s, &need) {
+                continue;
+            }
+            for &x in &children {
+                let xe = self.q2.node(x).edge;
+                if !self.guaranteed(s, x, xe) {
+                    continue 'witness;
+                }
+            }
+            ok = true;
+            break;
+        }
+        self.memo.insert((basis, w, edge), ok);
+        ok
+    }
+
+    /// Can the q2 child `w` of a node mapped to `u` be discharged by a
+    /// guarantee?
+    ///
+    /// For a c-edge the guaranteed structure must hang directly under `u`,
+    /// so only `u`'s own types can anchor it. For a d-edge the chase may
+    /// attach the structure under *any* node of `q1` at or below `u`
+    /// (e.g. `Section ->> Paragraph` guarantees a `Paragraph` below
+    /// `Article*` through the `Section` descendant), so every such node's
+    /// types are tried as anchors.
+    fn discharged(&mut self, u: NodeId, w: NodeId) -> bool {
+        let edge = self.q2.node(w).edge;
+        match edge {
+            EdgeKind::Child => {
+                let basis: Vec<TypeId> = self.q1.node(u).types.iter().collect();
+                basis.into_iter().any(|t| self.guaranteed(t, w, EdgeKind::Child))
+            }
+            EdgeKind::Descendant => {
+                let anchors: Vec<TypeId> = self
+                    .q1
+                    .alive_ids()
+                    .filter(|&z| z == u || self.q1_index.is_proper_ancestor(u, z))
+                    .flat_map(|z| self.q1.node(z).types.iter().collect::<Vec<_>>())
+                    .collect();
+                anchors
+                    .into_iter()
+                    .any(|t| self.guaranteed(t, w, EdgeKind::Descendant))
+            }
+        }
+    }
+
+    fn check(&mut self) -> bool {
+        // Candidate sets for a homomorphism q2 → q1, with IC-aware node
+        // compatibility and guarantee discharge during pruning.
+        let q1_alive: Vec<NodeId> = self.q1.alive_ids().collect();
+        let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); self.q2.arena_len()];
+        for v in self.q2.alive_ids() {
+            cand[v.index()] = q1_alive
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    (!self.q2.node(v).output || self.q1.node(u).output)
+                        && self
+                            .q2
+                            .node(v)
+                            .types
+                            .iter()
+                            .all(|t| self.node_has_type(&self.q1.node(u).types, t))
+                        && tpq_pattern::condition::entails(
+                            &self.q1.node(u).conditions,
+                            &self.q2.node(v).conditions,
+                        )
+                })
+                .collect();
+        }
+        for v in self.q2.post_order() {
+            let children: Vec<NodeId> = self
+                .q2
+                .node(v)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| self.q2.is_alive(c))
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            let current = std::mem::take(&mut cand[v.index()]);
+            let mut kept = Vec::with_capacity(current.len());
+            'outer: for u in current {
+                for &w in &children {
+                    let has_image = match self.q2.node(w).edge {
+                        EdgeKind::Child => cand[w.index()].iter().any(|&u2| {
+                            self.q1.node(u2).edge == EdgeKind::Child
+                                && self.q1.node(u2).parent == Some(u)
+                        }),
+                        EdgeKind::Descendant => cand[w.index()]
+                            .iter()
+                            .any(|&u2| self.q1_index.is_proper_ancestor(u, u2)),
+                    };
+                    if !has_image && !self.discharged(u, w) {
+                        continue 'outer;
+                    }
+                }
+                kept.push(u);
+            }
+            cand[v.index()] = kept;
+        }
+        !cand[self.q2.root().index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_base::TypeInterner;
+    use tpq_constraints::parse_constraints;
+    use tpq_pattern::parse_pattern;
+
+    fn setup(
+        q1: &str,
+        q2: &str,
+        ics: &str,
+    ) -> (TreePattern, TreePattern, ConstraintSet, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let a = parse_pattern(q1, &mut tys).unwrap();
+        let b = parse_pattern(q2, &mut tys).unwrap();
+        let c = parse_constraints(ics, &mut tys).unwrap();
+        (a, b, c, tys)
+    }
+
+    #[test]
+    fn plain_containment_is_hom_in_reverse() {
+        let (a, b, _, _) = setup("a*/b/c", "a*/b", "");
+        // a/b/c is more restrictive: a/b/c ⊆ a/b.
+        assert!(contains(&a, &b));
+        assert!(!contains(&b, &a));
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn figure_2h_2i_equivalence() {
+        let (h, i, _, _) = setup(
+            "OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject",
+            "OrgUnit*/Dept/Researcher//DBProject",
+            "",
+        );
+        assert!(equivalent(&h, &i));
+    }
+
+    #[test]
+    fn star_position_breaks_figure_2h_equivalence() {
+        // Paper, Section 3.1: with the * moved to the right-branch Dept the
+        // two queries are no longer equivalent.
+        let (h, i, _, _) = setup(
+            "OrgUnit[/Dept/Researcher//DBProject]//Dept*//DBProject",
+            "OrgUnit/Dept*/Researcher//DBProject",
+            "",
+        );
+        assert!(!equivalent(&h, &i));
+    }
+
+    #[test]
+    fn containment_under_required_child() {
+        // Every Book has a Publisher: Book* ≡_Σ Book*[/Publisher].
+        let (plain, with_pub, ics, _) = setup("Book*", "Book*[/Publisher]", "Book -> Publisher");
+        assert!(contains_under(&plain, &with_pub, &ics));
+        assert!(contains_under(&with_pub, &plain, &ics));
+        assert!(equivalent_under(&plain, &with_pub, &ics));
+        // Without the IC they are not equivalent.
+        assert!(!equivalent(&plain, &with_pub));
+    }
+
+    #[test]
+    fn containment_under_needs_the_right_edge_kind() {
+        // Book ->> LastName does NOT imply a LastName *child*.
+        let (plain, with_child, ics, _) =
+            setup("Book*", "Book*/LastName", "Book ->> LastName");
+        assert!(!contains_under(&plain, &with_child, &ics));
+        let (plain2, with_desc, ics2, _) =
+            setup("Book*", "Book*//LastName", "Book ->> LastName");
+        assert!(contains_under(&plain2, &with_desc, &ics2));
+    }
+
+    #[test]
+    fn guarantee_chains_compose() {
+        // a -> u, u -> w: a* ≡_Σ a*/u/w even though the chain is two deep.
+        let (plain, chain, ics, _) = setup("a*", "a*/u/w", "a -> u\nu -> w");
+        assert!(contains_under(&plain, &chain, &ics));
+        assert!(equivalent_under(&plain, &chain, &ics));
+        // But a*/u/w/x is not guaranteed.
+        let (plain2, deeper, ics2, _) = setup("a*", "a*/u/w/x", "a -> u\nu -> w");
+        assert!(!contains_under(&plain2, &deeper, &ics2));
+    }
+
+    #[test]
+    fn cooccurrence_containment() {
+        // PermEmp ~ Employee: Org*/PermEmp ⊆_Σ Org*/Employee.
+        let (perm, emp, ics, _) =
+            setup("Org*/PermEmp", "Org*/Employee", "PermEmp ~ Employee");
+        assert!(contains_under(&perm, &emp, &ics));
+        assert!(!contains_under(&emp, &perm, &ics), "co-occurrence is directed");
+        assert!(!contains(&perm, &emp), "not contained without the IC");
+    }
+
+    #[test]
+    fn figure_2f_2g_equivalence_under_cooccurrence() {
+        // Section 3.3 first illustration.
+        let (f, g, ics, _) = setup(
+            "Organization*[/Employee//Project][/PermEmp//DBproject]",
+            "Organization*/PermEmp//DBproject",
+            "PermEmp ~ Employee\nDBproject ~ Project",
+        );
+        assert!(equivalent_under(&f, &g, &ics));
+        assert!(!equivalent(&f, &g));
+    }
+
+    #[test]
+    fn figure_2a_2b_equivalence_under_article_title() {
+        // Section 3.3: with Article -> Title, Figure 2(a) ≡ 2(b).
+        let (a, b, ics, _) = setup(
+            "Articles[/Article//Paragraph]/Article*[/Title]//Section//Paragraph",
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            "Article -> Title",
+        );
+        assert!(equivalent_under(&a, &b, &ics));
+    }
+
+    #[test]
+    fn figure_2b_2e_equivalence_under_section_paragraph() {
+        // Section 3.3: with Section ->> Paragraph, Figure 2(b) ≡ 2(e) =
+        // Articles/Article*//Section.
+        let (b, e, ics, _) = setup(
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            "Articles/Article*//Section",
+            "Section ->> Paragraph",
+        );
+        assert!(equivalent_under(&b, &e, &ics));
+        assert!(!equivalent(&b, &e));
+    }
+
+    #[test]
+    fn d_edge_guarantee_anchors_on_descendant_nodes() {
+        // The Paragraph below Article* is guaranteed through the Section
+        // descendant, not through Article*'s own type.
+        let (small, big, ics, _) = setup(
+            "Article*//Section",
+            "Article*[//Paragraph]//Section",
+            "Section ->> Paragraph",
+        );
+        assert!(contains_under(&small, &big, &ics));
+        assert!(!contains(&small, &big));
+        // A c-edge cannot be anchored on a descendant.
+        let (small2, big2, ics2, _) = setup(
+            "Article*//Section",
+            "Article*[/Paragraph]//Section",
+            "Section ->> Paragraph",
+        );
+        assert!(!contains_under(&small2, &big2, &ics2));
+    }
+
+    #[test]
+    fn output_node_cannot_be_discharged_by_guarantees() {
+        // Even though every a has a b child, the *marked* b must come from
+        // the query: a* ⊄_Σ a/b*.
+        let (plain, marked, ics, _) = setup("a*", "a/b*", "a -> b");
+        assert!(!contains_under(&plain, &marked, &ics));
+    }
+
+    #[test]
+    fn empty_constraint_set_reduces_to_plain_containment() {
+        let (a, b, none, _) = setup("x*[/y][/y/z]", "x*/y/z", "");
+        assert_eq!(contains_under(&a, &b, &none), contains(&a, &b));
+        assert_eq!(contains_under(&b, &a, &none), contains(&b, &a));
+    }
+
+    #[test]
+    fn guarantees_inside_branches() {
+        // d-edge guarantee with inner structure: every Dept has a Manager
+        // descendant who (by ~) is a Person. Org*//Dept ⊆ Org*//Dept[//Person].
+        let (lhs, rhs, ics, _) = setup(
+            "Org*//Dept",
+            "Org*//Dept//Person",
+            "Dept ->> Manager\nManager ~ Person",
+        );
+        assert!(contains_under(&lhs, &rhs, &ics));
+    }
+}

@@ -1,0 +1,130 @@
+//! The end-to-end minimization pipeline (Theorem 5.3): CDM as a fast
+//! pre-filter, then ACIM for global minimality.
+
+use crate::stats::MinimizeStats;
+use tpq_constraints::ConstraintSet;
+use tpq_pattern::TreePattern;
+
+/// Which algorithm(s) [`minimize_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Constraint-independent minimization only (ignores the constraints).
+    CimOnly,
+    /// ACIM alone (globally minimal, slower on large queries).
+    AcimOnly,
+    /// CDM alone (locally minimal, fastest; may not be globally minimal).
+    CdmOnly,
+    /// CDM pre-filter, then ACIM — globally minimal and the fastest way to
+    /// get there (Section 6.4, Figure 9(b)).
+    #[default]
+    CdmThenAcim,
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The minimized (compacted) query.
+    pub pattern: TreePattern,
+    /// Per-phase measurements.
+    pub stats: MinimizeStats,
+}
+
+/// Minimize `q` under `ics` with the default strategy
+/// ([`Strategy::CdmThenAcim`]). Pass an empty set for pure
+/// constraint-independent minimization.
+pub fn minimize(q: &TreePattern, ics: &ConstraintSet) -> MinimizeOutcome {
+    minimize_with(q, ics, Strategy::default())
+}
+
+/// Minimize `q` under `ics` with an explicit [`Strategy`].
+///
+/// One-shot convenience over [`crate::session::Minimizer`] — when
+/// minimizing many queries against one schema, build a `Minimizer` once
+/// instead (the constraint closure is then computed only once).
+pub fn minimize_with(q: &TreePattern, ics: &ConstraintSet, strategy: Strategy) -> MinimizeOutcome {
+    crate::session::Minimizer::with_strategy(ics, strategy).minimize(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent_under;
+    use tpq_base::TypeInterner;
+    use tpq_constraints::parse_constraints;
+    use tpq_pattern::{isomorphic, parse_pattern};
+
+    fn setup(q: &str, ics: &str) -> (TreePattern, ConstraintSet, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let pat = parse_pattern(q, &mut tys).unwrap();
+        let set = parse_constraints(ics, &mut tys).unwrap();
+        (pat, set, tys)
+    }
+
+    #[test]
+    fn cdm_then_acim_equals_acim_alone() {
+        // Theorem 5.3: the pre-filter does not change the outcome.
+        let cases = [
+            (
+                "Articles[/Article//Paragraph]/Article*[/Title]//Section//Paragraph",
+                "Article -> Title\nSection ->> Paragraph",
+            ),
+            (
+                "Organization*[/Employee//Project][/PermEmp//DBproject]",
+                "PermEmp ~ Employee\nDBproject ~ Project",
+            ),
+            ("Book*[/Title][/Publisher][//LastName]", "Book -> Publisher\nBook ->> LastName"),
+            ("Dept*[//DBProject]//Manager//DBProject", ""),
+        ];
+        for (qs, is) in cases {
+            let (q, ics, _) = setup(qs, is);
+            let combined = minimize_with(&q, &ics, Strategy::CdmThenAcim);
+            let direct = minimize_with(&q, &ics, Strategy::AcimOnly);
+            assert!(
+                isomorphic(&combined.pattern, &direct.pattern),
+                "{qs}: CDM+ACIM ({}) vs ACIM ({})",
+                combined.pattern.size(),
+                direct.pattern.size()
+            );
+            assert!(equivalent_under(&q, &combined.pattern, &ics));
+        }
+    }
+
+    #[test]
+    fn cdm_only_is_between_input_and_global_minimum() {
+        let (q, ics, _) = setup(
+            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+            "Section ->> Paragraph",
+        );
+        let local = minimize_with(&q, &ics, Strategy::CdmOnly).pattern;
+        let global = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
+        assert!(global.size() <= local.size());
+        assert!(local.size() <= q.size());
+        assert!(equivalent_under(&q, &local, &ics));
+    }
+
+    #[test]
+    fn empty_constraints_all_strategies_agree_with_cim() {
+        let (q, ics, _) = setup("Dept*[//DBProject]//Manager//DBProject", "");
+        let cim_r = minimize_with(&q, &ics, Strategy::CimOnly).pattern;
+        let acim_r = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
+        let both = minimize_with(&q, &ics, Strategy::CdmThenAcim).pattern;
+        assert!(isomorphic(&cim_r, &acim_r));
+        assert!(isomorphic(&cim_r, &both));
+    }
+
+    #[test]
+    fn stats_total_time_covers_phases() {
+        let (q, ics, _) = setup(
+            "Book*[/Title][/Publisher][//LastName]",
+            "Book -> Publisher\nBook ->> LastName",
+        );
+        let out = minimize(&q, &ics);
+        assert!(out.stats.total_time >= out.stats.tables_time);
+        assert!(out.stats.total_removed() >= 1);
+    }
+
+    #[test]
+    fn default_strategy_is_cdm_then_acim() {
+        assert_eq!(Strategy::default(), Strategy::CdmThenAcim);
+    }
+}

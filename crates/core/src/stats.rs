@@ -1,0 +1,90 @@
+//! Instrumentation counters for the minimization algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Measurements collected across a minimization run.
+///
+/// `tables_time` isolates the construction of the images and
+/// ancestor/descendant tables, which Figure 7(b) of the paper reports as
+/// ~60 % of total ACIM time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimizeStats {
+    /// Wall time spent building images + ancestor/descendant tables.
+    pub tables_time: Duration,
+    /// Total wall time of the phase the stats were collected for.
+    pub total_time: Duration,
+    /// Nodes removed by the CIM (MEO) phase.
+    pub cim_removed: usize,
+    /// Nodes removed by the CDM (local pruning) phase.
+    pub cdm_removed: usize,
+    /// Temporary nodes added by augmentation.
+    pub augment_nodes_added: usize,
+    /// Co-occurrence types merged into original nodes by augmentation.
+    pub augment_types_added: usize,
+    /// Number of redundant-leaf tests performed.
+    pub redundancy_tests: usize,
+}
+
+impl MinimizeStats {
+    /// Merge another stats record into this one (durations and counters
+    /// add).
+    pub fn absorb(&mut self, other: &MinimizeStats) {
+        self.tables_time += other.tables_time;
+        self.total_time += other.total_time;
+        self.cim_removed += other.cim_removed;
+        self.cdm_removed += other.cdm_removed;
+        self.augment_nodes_added += other.augment_nodes_added;
+        self.augment_types_added += other.augment_types_added;
+        self.redundancy_tests += other.redundancy_tests;
+    }
+
+    /// Fraction of total time spent building tables (0 when total is 0).
+    pub fn tables_fraction(&self) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.tables_time.as_secs_f64() / total
+        }
+    }
+
+    /// Total nodes removed across phases.
+    pub fn total_removed(&self) -> usize {
+        self.cim_removed + self.cdm_removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = MinimizeStats {
+            tables_time: Duration::from_millis(10),
+            total_time: Duration::from_millis(30),
+            cim_removed: 2,
+            cdm_removed: 1,
+            augment_nodes_added: 4,
+            augment_types_added: 5,
+            redundancy_tests: 6,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.tables_time, Duration::from_millis(20));
+        assert_eq!(a.cim_removed, 4);
+        assert_eq!(a.total_removed(), 6);
+        assert_eq!(a.redundancy_tests, 12);
+    }
+
+    #[test]
+    fn tables_fraction_handles_zero_total() {
+        assert_eq!(MinimizeStats::default().tables_fraction(), 0.0);
+        let s = MinimizeStats {
+            tables_time: Duration::from_millis(60),
+            total_time: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert!((s.tables_fraction() - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Random document generation.
+//!
+//! Used by the experiment harness (documents to evaluate minimized vs
+//! unminimized patterns against) and by the property tests (empirical
+//! equivalence checks need a population of databases).
+
+use crate::document::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpq_base::TypeId;
+
+/// Parameters for [`generate_document`].
+#[derive(Debug, Clone)]
+pub struct DocumentSpec {
+    /// Number of nodes to generate (≥ 1).
+    pub nodes: usize,
+    /// Number of distinct types `t0..t{num_types-1}` to draw from.
+    pub num_types: usize,
+    /// Maximum fanout per node (≥ 1). New nodes attach to a uniformly random
+    /// existing node that still has spare fanout.
+    pub max_fanout: usize,
+    /// Probability that a node gets one extra (co-occurring) type.
+    pub extra_type_prob: f64,
+    /// RNG seed — generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl Default for DocumentSpec {
+    fn default() -> Self {
+        DocumentSpec {
+            nodes: 100,
+            num_types: 8,
+            max_fanout: 4,
+            extra_type_prob: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a random document per `spec`. Types are `TypeId(0)` through
+/// `TypeId(spec.num_types - 1)`; callers that need names should intern that
+/// many names first so ids line up.
+pub fn generate_document(spec: &DocumentSpec) -> Document {
+    assert!(spec.nodes >= 1, "a document has at least one node");
+    assert!(spec.num_types >= 1, "need at least one type");
+    assert!(spec.max_fanout >= 1, "fanout must be at least 1");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let ty = |rng: &mut StdRng| TypeId(rng.gen_range(0..spec.num_types as u32));
+    let root_ty = ty(&mut rng);
+    let mut doc = Document::new(root_ty);
+    // Candidates that still have spare fanout (swap-remove keeps this O(1)).
+    let mut open = vec![doc.root()];
+    while doc.len() < spec.nodes {
+        let slot = rng.gen_range(0..open.len());
+        let parent = open[slot];
+        let child = doc.add_child(parent, ty(&mut rng));
+        if rng.gen_bool(spec.extra_type_prob) {
+            let extra = ty(&mut rng);
+            doc.add_type(child, extra);
+        }
+        open.push(child);
+        if doc.node(parent).children.len() >= spec.max_fanout {
+            open.swap_remove(slot);
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_and_validates() {
+        for nodes in [1, 2, 17, 200] {
+            let doc = generate_document(&DocumentSpec { nodes, ..Default::default() });
+            assert_eq!(doc.len(), nodes);
+            doc.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = DocumentSpec { nodes: 64, seed: 42, ..Default::default() };
+        assert_eq!(generate_document(&spec), generate_document(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_document(&DocumentSpec { nodes: 64, seed: 1, ..Default::default() });
+        let b = generate_document(&DocumentSpec { nodes: 64, seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fanout_bound_is_respected() {
+        let spec = DocumentSpec { nodes: 300, max_fanout: 2, ..Default::default() };
+        let doc = generate_document(&spec);
+        for id in doc.ids() {
+            assert!(doc.node(id).children.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn fanout_one_gives_a_chain() {
+        let spec = DocumentSpec { nodes: 20, max_fanout: 1, ..Default::default() };
+        let doc = generate_document(&spec);
+        assert_eq!(doc.depth(crate::DataNodeId(19)), 19);
+    }
+
+    #[test]
+    fn extra_types_appear_when_probability_is_one() {
+        let spec = DocumentSpec {
+            nodes: 50,
+            extra_type_prob: 1.0,
+            num_types: 2,
+            ..Default::default()
+        };
+        let doc = generate_document(&spec);
+        // Every non-root node got an extra-type draw; with 2 types roughly
+        // half of the draws differ from the primary, so at least one node
+        // must be multi-typed.
+        assert!(doc.ids().any(|id| doc.node(id).types.len() > 1));
+    }
+
+    #[test]
+    fn types_stay_in_range() {
+        let spec = DocumentSpec { nodes: 100, num_types: 3, ..Default::default() };
+        let doc = generate_document(&spec);
+        for id in doc.ids() {
+            for t in doc.node(id).types.iter() {
+                assert!(t.0 < 3);
+            }
+        }
+    }
+}

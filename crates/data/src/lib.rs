@@ -1,0 +1,24 @@
+//! Tree-structured data: the databases that tree pattern queries run
+//! against (Section 2.1 of the paper).
+//!
+//! A [`Document`] is a single rooted tree of multi-typed nodes (an XML
+//! document or an LDAP subtree); a [`Forest`] is the paper's "forest of
+//! trees" database. The crate also provides:
+//!
+//! * an XML-subset parser and writer ([`xml`]) so examples and tests can be
+//!   written as readable markup;
+//! * a pre/post/level node index ([`index`]) giving O(1) ancestorship tests
+//!   and per-type node lists — the data-side analogue of the paper's
+//!   hash-table ancestor/descendant and images tables;
+//! * a random document generator ([`generate`]) used by the experiment
+//!   harness and the property tests.
+
+pub mod document;
+pub mod generate;
+pub mod index;
+pub mod xml;
+
+pub use document::{DataNode, DataNodeId, Document, Forest};
+pub use generate::{generate_document, DocumentSpec};
+pub use index::DocIndex;
+pub use xml::{parse_xml, write_xml};

@@ -1,0 +1,424 @@
+//! A deliberately small XML subset, sufficient for writing documents in
+//! examples and tests as readable markup.
+//!
+//! Supported: start/end tags, self-closing tags, an optional `also`
+//! attribute listing extra node types (comma- or space-separated), comments
+//! (`<!-- ... -->`) and inter-element text (ignored — tree patterns are
+//! structure-only). Not supported: namespaces, entities, CDATA, processing
+//! instructions.
+//!
+//! ```
+//! use tpq_base::TypeInterner;
+//! let mut tys = TypeInterner::new();
+//! let doc = tpq_data::parse_xml(r#"
+//!   <Org>
+//!     <Employee also="Person"><Project/></Employee>
+//!   </Org>"#, &mut tys).unwrap();
+//! assert_eq!(doc.len(), 3);
+//! ```
+
+use crate::document::{DataNodeId, Document};
+use tpq_base::{Error, Result, TypeInterner};
+
+/// Parse a document from the XML subset, interning type names into `types`.
+///
+/// The parser is a flat loop over tags with an explicit open-element
+/// stack, so document depth is limited by memory, not the call stack.
+pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
+    let mut p = XmlParser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc();
+    // Root start tag.
+    let (root_name, root_extra, root_attrs, root_selfclosing) = p.parse_start_tag(types)?;
+    let mut doc = Document::new(types.intern(&root_name));
+    for t in root_extra {
+        doc.add_type(doc.root(), t);
+    }
+    for (a, v) in root_attrs {
+        doc.set_attr(doc.root(), a, v);
+    }
+    if !root_selfclosing {
+        // Stack of (open element name, node id).
+        let mut open: Vec<(String, DataNodeId)> = vec![(root_name, doc.root())];
+        while !open.is_empty() {
+            let parent = open.last().expect("non-empty").1;
+            p.skip_misc();
+            if p.starts_with("</") {
+                p.pos += 2;
+                let end_name = p.parse_name()?;
+                let (want, _) = open.pop().expect("stack non-empty");
+                if end_name != want {
+                    return Err(p.err(&format!(
+                        "mismatched end tag </{end_name}> (expected </{want}>)"
+                    )));
+                }
+                p.skip_ws();
+                if p.peek() != Some(b'>') {
+                    return Err(p.err("expected '>' closing end tag"));
+                }
+                p.pos += 1;
+                if open.is_empty() {
+                    break;
+                }
+            } else if p.peek() == Some(b'<') {
+                let (name, extra, attrs, selfclosing) = p.parse_start_tag(types)?;
+                let me = doc.add_child(parent, types.intern(&name));
+                for t in extra {
+                    doc.add_type(me, t);
+                }
+                for (a, v) in attrs {
+                    doc.set_attr(me, a, v);
+                }
+                if !selfclosing {
+                    open.push((name, me));
+                }
+            } else {
+                return Err(p.err("unexpected end of input inside element"));
+            }
+        }
+    }
+    p.skip_misc();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    doc.validate()?;
+    Ok(doc)
+}
+
+struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn err(&self, message: &str) -> Error {
+        Error::XmlParse { offset: self.pos, message: message.to_owned() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Skip whitespace, text content and comments.
+    fn skip_misc(&mut self) {
+        loop {
+            if self.starts_with("<!--") {
+                match find(self.input, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.peek().is_some() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.pos += 1,
+            _ => return Err(self.err("expected an element name")),
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parse `<name attr="v" ...>` or `<name .../>`. Returns
+    /// `(name, extra types, attributes, self_closing)`.
+    #[allow(clippy::type_complexity)]
+    fn parse_start_tag(
+        &mut self,
+        types: &mut TypeInterner,
+    ) -> Result<(String, Vec<tpq_base::TypeId>, Vec<(tpq_base::TypeId, tpq_base::Value)>, bool)>
+    {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        self.skip_ws();
+        // Attributes. The reserved name `also="T1,T2"` adds extra node
+        // types; every other attribute becomes a typed value
+        // (integer-looking text parses as an integer).
+        let mut extra = Vec::new();
+        let mut attrs: Vec<(tpq_base::TypeId, tpq_base::Value)> = Vec::new();
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+        {
+            let attr_name = self.parse_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return Err(self.err(&format!("expected '=' after attribute '{attr_name}'")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected '\"' opening attribute value"));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'"') {
+                self.pos += 1;
+            }
+            if self.peek() != Some(b'"') {
+                return Err(self.err("unterminated attribute value"));
+            }
+            let value = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            self.pos += 1;
+            if attr_name == "also" {
+                for part in value.split([',', ' ']).filter(|s| !s.is_empty()) {
+                    extra.push(types.intern(part));
+                }
+            } else {
+                let v = match value.parse::<i64>() {
+                    Ok(i) => tpq_base::Value::Int(i),
+                    Err(_) => tpq_base::Value::Str(value),
+                };
+                attrs.push((types.intern(&attr_name), v));
+            }
+            self.skip_ws();
+        }
+        // Self-closing?
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok((name, extra, attrs, true));
+        }
+        if self.peek() != Some(b'>') {
+            return Err(self.err("expected '>' or '/>'"));
+        }
+        self.pos += 1;
+        Ok((name, extra, attrs, false))
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Serialize a document back to the XML subset (indented, one element per
+/// line). Round-trips through [`parse_xml`]. Iterative: safe on deep
+/// documents.
+pub fn write_xml(doc: &Document, types: &TypeInterner) -> String {
+    let mut out = String::new();
+    enum Step {
+        Open(DataNodeId, usize),
+        Close(DataNodeId, usize),
+    }
+    let mut stack = vec![Step::Open(doc.root(), 0)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Open(id, indent) => {
+                write_open(doc, types, id, indent, &mut out);
+                if !doc.node(id).children.is_empty() {
+                    stack.push(Step::Close(id, indent));
+                    for &c in doc.node(id).children.iter().rev() {
+                        stack.push(Step::Open(c, indent + 1));
+                    }
+                }
+            }
+            Step::Close(id, indent) => {
+                let pad = "  ".repeat(indent);
+                out.push_str(&pad);
+                out.push_str("</");
+                out.push_str(types.name(doc.node(id).primary));
+                out.push_str(">\n");
+            }
+        }
+    }
+    out
+}
+
+fn write_open(
+    doc: &Document,
+    types: &TypeInterner,
+    id: DataNodeId,
+    indent: usize,
+    out: &mut String,
+) {
+    let node = doc.node(id);
+    let pad = "  ".repeat(indent);
+    let name = types.name(node.primary);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(name);
+    if node.types.len() > 1 {
+        let extras: Vec<&str> = node
+            .types
+            .iter()
+            .filter(|&t| t != node.primary)
+            .map(|t| types.name(t))
+            .collect();
+        out.push_str(" also=\"");
+        out.push_str(&extras.join(","));
+        out.push('"');
+    }
+    for (a, v) in &node.attrs {
+        out.push(' ');
+        out.push_str(types.name(*a));
+        out.push_str("=\"");
+        match v {
+            tpq_base::Value::Int(i) => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            tpq_base::Value::Str(s) => out.push_str(s),
+        }
+        out.push('"');
+    }
+    if node.children.is_empty() {
+        out.push_str("/>\n");
+    } else {
+        out.push_str(">\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Document, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let d = parse_xml(s, &mut tys).expect("parse");
+        (d, tys)
+    }
+
+    #[test]
+    fn single_self_closing_element() {
+        let (d, tys) = parse("<Book/>");
+        assert_eq!(d.len(), 1);
+        assert_eq!(tys.name(d.node(d.root()).primary), "Book");
+    }
+
+    #[test]
+    fn nested_elements_with_text_and_comments() {
+        let (d, _) = parse(
+            "<a> hello <!-- note --> <b><c/></b> tail <b/> </a>",
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.node(d.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn also_attribute_adds_types() {
+        let (d, tys) = parse(r#"<Employee also="Person,Manager"/>"#);
+        let person = tys.lookup("Person").unwrap();
+        let manager = tys.lookup("Manager").unwrap();
+        assert!(d.node(d.root()).types.contains(person));
+        assert!(d.node(d.root()).types.contains(manager));
+        assert_eq!(d.node(d.root()).types.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_an_error() {
+        let mut tys = TypeInterner::new();
+        assert!(parse_xml("<a><b></a></b>", &mut tys).is_err());
+    }
+
+    #[test]
+    fn trailing_content_is_an_error() {
+        let mut tys = TypeInterner::new();
+        assert!(parse_xml("<a/><b/>", &mut tys).is_err());
+    }
+
+    #[test]
+    fn unterminated_input_is_an_error() {
+        let mut tys = TypeInterner::new();
+        assert!(parse_xml("<a><b/>", &mut tys).is_err());
+        assert!(parse_xml("<a", &mut tys).is_err());
+        assert!(parse_xml("", &mut tys).is_err());
+    }
+
+    #[test]
+    fn attributes_parse_as_typed_values() {
+        use tpq_base::Value;
+        let (d, tys) = parse(r#"<Book price="95" lang="en" isbn="978-3"/>"#);
+        let n = d.node(d.root());
+        assert_eq!(n.attr(tys.lookup("price").unwrap()), Some(&Value::Int(95)));
+        assert_eq!(
+            n.attr(tys.lookup("lang").unwrap()),
+            Some(&Value::Str("en".into()))
+        );
+        // Not a pure integer -> string.
+        assert_eq!(
+            n.attr(tys.lookup("isbn").unwrap()),
+            Some(&Value::Str("978-3".into()))
+        );
+        assert_eq!(n.attr(tys.lookup("Book").unwrap()), None);
+    }
+
+    #[test]
+    fn also_combines_with_value_attributes() {
+        let (d, tys) = parse(r#"<Employee also="Person" age="41"><Badge/></Employee>"#);
+        let n = d.node(d.root());
+        assert!(n.types.contains(tys.lookup("Person").unwrap()));
+        assert_eq!(
+            n.attr(tys.lookup("age").unwrap()),
+            Some(&tpq_base::Value::Int(41))
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn attribute_round_trip() {
+        let (d, mut tys) = parse(r#"<Book price="95" lang="en"><Title n="-2"/></Book>"#);
+        let xml = write_xml(&d, &tys);
+        let d2 = parse_xml(&xml, &mut tys).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn malformed_attributes_rejected() {
+        let mut tys = TypeInterner::new();
+        assert!(parse_xml(r#"<a x=1/>"#, &mut tys).is_err(), "unquoted");
+        assert!(parse_xml(r#"<a x/>"#, &mut tys).is_err(), "missing =");
+        assert!(parse_xml(r#"<a x="y/>"#, &mut tys).is_err(), "unterminated");
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let (d, mut tys) = parse(
+            r#"<Org><Dept><Employee also="Person"><Project/></Employee></Dept><Dept/></Org>"#,
+        );
+        let xml = write_xml(&d, &tys);
+        let d2 = parse_xml(&xml, &mut tys).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let depth = 100_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<x>");
+        }
+        s.push_str("<y/>");
+        for _ in 0..depth {
+            s.push_str("</x>");
+        }
+        let (d, _) = parse(&s);
+        assert_eq!(d.len(), depth + 1);
+    }
+}

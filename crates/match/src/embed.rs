@@ -1,0 +1,535 @@
+//! The production evaluator: candidate pruning + feasibility.
+//!
+//! Phase 1 (bottom-up): for each pattern node `v`, compute `cand(v)` — the
+//! data nodes `u` such that the subtree of `v` embeds with `v ↦ u`. The
+//! computation mirrors the images pruning of the minimization algorithms:
+//! pattern subtrees are independent, so `u ∈ cand(v)` iff `u` carries
+//! `v`'s types and every pattern child has a structurally compatible
+//! candidate.
+//!
+//! Phase 2 (top-down): intersect with reachability from the root to get
+//! `feasible(v)` — the data nodes that participate in at least one *full*
+//! embedding. The answer set is `feasible(output)`.
+
+use tpq_base::FxHashSet;
+use tpq_data::{DataNodeId, DocIndex, Document};
+use tpq_pattern::{EdgeKind, NodeId, TreePattern};
+
+/// Per-pattern-child acceleration structure for the bottom-up pass: does
+/// a candidate of the child sit correctly below a given parent image?
+///
+/// * c-edge: the set of parents of the child's candidates (O(1) probe);
+/// * d-edge: the child's candidates are pre-order sorted, so "some
+///   candidate inside `u`'s subtree" ⟺ the minimum post rank among
+///   candidates with `pre > pre(u)` is `< post(u)` — a binary search plus
+///   a suffix-minimum lookup.
+enum ChildCheck {
+    /// Tiny candidate lists: a plain scan beats building any structure.
+    Linear { edge: EdgeKind, cand: Vec<DataNodeId> },
+    Child { parents: FxHashSet<DataNodeId> },
+    Descendant { pres: Vec<u32>, suffix_min_post: Vec<u32> },
+}
+
+/// Below this length, linear scans win over hash/binary-search setups.
+const SMALL_LIST: usize = 16;
+
+impl ChildCheck {
+    fn build(edge: EdgeKind, cand: &[DataNodeId], doc: &Document, index: &DocIndex) -> Self {
+        if cand.len() <= SMALL_LIST {
+            return ChildCheck::Linear { edge, cand: cand.to_vec() };
+        }
+        match edge {
+            EdgeKind::Child => ChildCheck::Child {
+                parents: cand.iter().filter_map(|&u2| doc.node(u2).parent).collect(),
+            },
+            EdgeKind::Descendant => {
+                debug_assert!(cand.windows(2).all(|w| index.pre(w[0]) < index.pre(w[1])));
+                let pres: Vec<u32> = cand.iter().map(|&u2| index.pre(u2)).collect();
+                let mut suffix_min_post = vec![u32::MAX; cand.len() + 1];
+                for i in (0..cand.len()).rev() {
+                    suffix_min_post[i] = suffix_min_post[i + 1].min(index.post(cand[i]));
+                }
+                ChildCheck::Descendant { pres, suffix_min_post }
+            }
+        }
+    }
+
+    fn has_image_below(&self, u: DataNodeId, index: &DocIndex) -> bool {
+        match self {
+            ChildCheck::Linear { edge, cand } => cand.iter().any(|&u2| match edge {
+                EdgeKind::Child => index.is_parent(u, u2),
+                EdgeKind::Descendant => index.is_proper_ancestor(u, u2),
+            }),
+            ChildCheck::Child { parents } => parents.contains(&u),
+            ChildCheck::Descendant { pres, suffix_min_post } => {
+                let from = pres.partition_point(|&p| p <= index.pre(u));
+                suffix_min_post[from] < index.post(u)
+            }
+        }
+    }
+}
+
+/// Acceleration structure for the top-down pass: does a feasible parent
+/// image sit correctly above a given child candidate?
+///
+/// * c-edge: probe the feasible set with the candidate's parent;
+/// * d-edge: among feasible images with `pre < pre(u2)` (a prefix of the
+///   pre-sorted list), an ancestor exists iff the maximum post rank in
+///   that prefix is `> post(u2)`.
+enum ParentCheck {
+    Linear {
+        feasible: Vec<DataNodeId>,
+    },
+    Indexed {
+        set: FxHashSet<DataNodeId>,
+        pres: Vec<u32>,
+        prefix_max_post: Vec<u32>,
+    },
+}
+
+impl ParentCheck {
+    fn build(feasible: &[DataNodeId], index: &DocIndex) -> Self {
+        if feasible.len() <= SMALL_LIST {
+            return ParentCheck::Linear { feasible: feasible.to_vec() };
+        }
+        debug_assert!(feasible.windows(2).all(|w| index.pre(w[0]) < index.pre(w[1])));
+        let pres: Vec<u32> = feasible.iter().map(|&u| index.pre(u)).collect();
+        let mut prefix_max_post = vec![0u32; feasible.len() + 1];
+        for (i, &u) in feasible.iter().enumerate() {
+            prefix_max_post[i + 1] = prefix_max_post[i].max(index.post(u).saturating_add(1));
+        }
+        ParentCheck::Indexed { set: feasible.iter().copied().collect(), pres, prefix_max_post }
+    }
+
+    fn has_image_above(
+        &self,
+        u2: DataNodeId,
+        edge: EdgeKind,
+        doc: &Document,
+        index: &DocIndex,
+    ) -> bool {
+        match self {
+            ParentCheck::Linear { feasible } => feasible.iter().any(|&u| match edge {
+                EdgeKind::Child => index.is_parent(u, u2),
+                EdgeKind::Descendant => index.is_proper_ancestor(u, u2),
+            }),
+            ParentCheck::Indexed { set, pres, prefix_max_post } => match edge {
+                EdgeKind::Child => doc
+                    .node(u2)
+                    .parent
+                    .is_some_and(|p| set.contains(&p)),
+                EdgeKind::Descendant => {
+                    let upto = pres.partition_point(|&p| p < index.pre(u2));
+                    // prefix_max_post stores max(post)+1 (0 = empty prefix):
+                    // an ancestor exists iff max(post) > post(u2).
+                    prefix_max_post[upto] > index.post(u2) + 1
+                }
+            },
+        }
+    }
+}
+
+/// A prepared matcher for one `(pattern, document)` pair. Build once with
+/// [`Matcher::new`], then query candidates, feasibility, answers and
+/// counts without recomputation.
+pub struct Matcher<'a> {
+    pattern: &'a TreePattern,
+    doc: &'a Document,
+    index: DocIndex,
+    /// `cand[v]`: subtree-embedding candidates, pre-order sorted.
+    cand: Vec<Vec<DataNodeId>>,
+    /// `feasible[v]`: candidates reachable in a full embedding.
+    feasible: Vec<Vec<DataNodeId>>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Build candidate and feasibility tables for `pattern` on `doc`.
+    pub fn new(pattern: &'a TreePattern, doc: &'a Document) -> Self {
+        let index = DocIndex::build(doc);
+        let mut cand: Vec<Vec<DataNodeId>> = vec![Vec::new(); pattern.arena_len()];
+        // Bottom-up candidates.
+        for v in pattern.post_order() {
+            let node = pattern.node(v);
+            let mut list: Vec<DataNodeId> = {
+                // Seed from the rarest type's list, then check the full
+                // type set and the value conditions.
+                let seed = node
+                    .types
+                    .iter()
+                    .min_by_key(|t| index.nodes_of_type(*t).len())
+                    .expect("non-empty type set");
+                index
+                    .nodes_of_type(seed)
+                    .iter()
+                    .copied()
+                    .filter(|&u| {
+                        doc.node(u).types.is_superset(&node.types)
+                            && tpq_pattern::condition::satisfied_by(
+                                &node.conditions,
+                                &doc.node(u).attrs,
+                            )
+                    })
+                    .collect()
+            };
+            let children: Vec<NodeId> = node
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| pattern.is_alive(c))
+                .collect();
+            if !children.is_empty() {
+                // Structural-join style checks: O(1)/O(log k) per
+                // candidate instead of scanning child candidate lists.
+                let checks: Vec<ChildCheck> = children
+                    .iter()
+                    .map(|&w| ChildCheck::build(pattern.node(w).edge, &cand[w.index()], doc, &index))
+                    .collect();
+                list.retain(|&u| checks.iter().all(|c| c.has_image_below(u, &index)));
+            }
+            cand[v.index()] = list;
+        }
+        // Top-down feasibility.
+        let mut feasible: Vec<Vec<DataNodeId>> = vec![Vec::new(); pattern.arena_len()];
+        feasible[pattern.root().index()] = cand[pattern.root().index()].clone();
+        for v in pattern.pre_order() {
+            let parents = &feasible[v.index()];
+            let parent_check = ParentCheck::build(parents, &index);
+            let mut results: Vec<(NodeId, Vec<DataNodeId>)> = Vec::new();
+            for &w in &pattern.node(v).children {
+                if !pattern.is_alive(w) {
+                    continue;
+                }
+                let edge = pattern.node(w).edge;
+                let filtered: Vec<DataNodeId> = cand[w.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&u2| parent_check.has_image_above(u2, edge, doc, &index))
+                    .collect();
+                results.push((w, filtered));
+            }
+            for (w, filtered) in results {
+                feasible[w.index()] = filtered;
+            }
+        }
+        Matcher { pattern, doc, index, cand, feasible }
+    }
+
+    /// Does at least one embedding exist?
+    pub fn matches(&self) -> bool {
+        !self.cand[self.pattern.root().index()].is_empty()
+    }
+
+    /// Data nodes the output node binds to across all embeddings.
+    pub fn answers(&self) -> Vec<DataNodeId> {
+        self.feasible[self.pattern.output().index()].clone()
+    }
+
+    /// Subtree-embedding candidates of a pattern node (phase 1 result).
+    pub fn candidates(&self, v: NodeId) -> &[DataNodeId] {
+        &self.cand[v.index()]
+    }
+
+    /// Total number of embeddings (may be exponential in value, computed in
+    /// polynomial time by dynamic programming; saturates at `u64::MAX`).
+    pub fn count_embeddings(&self) -> u64 {
+        let root = self.pattern.root();
+        self.cand[root.index()]
+            .iter()
+            .map(|&u| self.count_at(root, u))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    fn count_at(&self, v: NodeId, u: DataNodeId) -> u64 {
+        let mut total = 1u64;
+        for &w in &self.pattern.node(v).children {
+            if !self.pattern.is_alive(w) {
+                continue;
+            }
+            let edge = self.pattern.node(w).edge;
+            let sub: u64 = self.cand[w.index()]
+                .iter()
+                .filter(|&&u2| match edge {
+                    EdgeKind::Child => self.index.is_parent(u, u2),
+                    EdgeKind::Descendant => self.index.is_proper_ancestor(u, u2),
+                })
+                .map(|&u2| self.count_at(w, u2))
+                .fold(0u64, u64::saturating_add);
+            total = total.saturating_mul(sub);
+        }
+        total
+    }
+
+    /// The document this matcher was built for.
+    pub fn document(&self) -> &Document {
+        self.doc
+    }
+
+    /// Enumerate up to `limit` full embeddings as pattern-node →
+    /// data-node maps. Enumeration walks the (already pruned) candidate
+    /// sets top-down, so each partial assignment extends to at least one
+    /// embedding — no dead-end backtracking.
+    pub fn embeddings(&self, limit: usize) -> Vec<tpq_base::FxHashMap<NodeId, DataNodeId>> {
+        let mut out = Vec::new();
+        if limit == 0 || !self.matches() {
+            return out;
+        }
+        let order = self.pattern.pre_order();
+        let mut binding: tpq_base::FxHashMap<NodeId, DataNodeId> = tpq_base::FxHashMap::default();
+        self.enumerate(&order, 0, &mut binding, limit, &mut out);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        order: &[NodeId],
+        i: usize,
+        binding: &mut tpq_base::FxHashMap<NodeId, DataNodeId>,
+        limit: usize,
+        out: &mut Vec<tpq_base::FxHashMap<NodeId, DataNodeId>>,
+    ) {
+        if out.len() == limit {
+            return;
+        }
+        if i == order.len() {
+            out.push(binding.clone());
+            return;
+        }
+        let v = order[i];
+        let parent_img = self.pattern.node(v).parent.map(|p| binding[&p]);
+        let edge = self.pattern.node(v).edge;
+        for &u in &self.cand[v.index()] {
+            if let Some(pu) = parent_img {
+                let ok = match edge {
+                    EdgeKind::Child => self.index.is_parent(pu, u),
+                    EdgeKind::Descendant => self.index.is_proper_ancestor(pu, u),
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            binding.insert(v, u);
+            self.enumerate(order, i + 1, binding, limit, out);
+            binding.remove(&v);
+            if out.len() == limit {
+                return;
+            }
+        }
+    }
+}
+
+/// One-shot: does `pattern` match anywhere in `doc`?
+pub fn matches_anywhere(pattern: &TreePattern, doc: &Document) -> bool {
+    Matcher::new(pattern, doc).matches()
+}
+
+/// One-shot: the answer set of `pattern` on `doc` (unsorted, duplicate
+/// free).
+pub fn answer_set(pattern: &TreePattern, doc: &Document) -> Vec<DataNodeId> {
+    Matcher::new(pattern, doc).answers()
+}
+
+/// Answer sets per tree of a forest, as `(tree_index, node)` pairs.
+pub fn answer_set_forest(
+    pattern: &TreePattern,
+    forest: &tpq_data::Forest,
+) -> Vec<(usize, DataNodeId)> {
+    forest
+        .trees
+        .iter()
+        .enumerate()
+        .flat_map(|(i, doc)| answer_set(pattern, doc).into_iter().map(move |n| (i, n)))
+        .collect()
+}
+
+/// One-shot: number of embeddings of `pattern` into `doc`.
+pub fn count_embeddings(pattern: &TreePattern, doc: &Document) -> u64 {
+    Matcher::new(pattern, doc).count_embeddings()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_base::TypeInterner;
+    use tpq_data::parse_xml;
+    use tpq_pattern::parse_pattern;
+
+    fn setup(q: &str, xml: &str) -> (TreePattern, Document, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let p = parse_pattern(q, &mut tys).unwrap();
+        let d = parse_xml(xml, &mut tys).unwrap();
+        (p, d, tys)
+    }
+
+    #[test]
+    fn single_node_pattern_matches_every_node_of_type() {
+        let (p, d, _) = setup("b*", "<a><b/><c><b/></c></a>");
+        let mut answers = answer_set(&p, &d);
+        answers.sort_unstable();
+        assert_eq!(answers.len(), 2);
+        assert!(matches_anywhere(&p, &d));
+    }
+
+    #[test]
+    fn c_edge_requires_direct_child() {
+        let (p, d, _) = setup("a/b*", "<a><x><b/></x></a>");
+        assert!(!matches_anywhere(&p, &d));
+        let (p2, d2, _) = setup("a//b*", "<a><x><b/></x></a>");
+        assert_eq!(answer_set(&p2, &d2).len(), 1);
+    }
+
+    #[test]
+    fn answers_respect_ancestor_constraints() {
+        // Only b nodes under an a count, not the stray one.
+        let (p, d, _) = setup("a//b*", "<r><a><b/></a><b/></r>");
+        let answers = answer_set(&p, &d);
+        assert_eq!(answers.len(), 1);
+        // The answer is the b inside a (data node 2 in document order).
+        assert_eq!(d.node(answers[0]).parent.map(|p| p.index()), Some(1));
+    }
+
+    #[test]
+    fn multi_branch_pattern() {
+        let (p, d, _) = setup(
+            "Dept*[//Manager][//DBProject]",
+            "<Org>\
+               <Dept><Manager/><DBProject/></Dept>\
+               <Dept><Manager/></Dept>\
+               <Dept><DBProject/></Dept>\
+             </Org>",
+        );
+        assert_eq!(answer_set(&p, &d).len(), 1, "only the first Dept has both");
+    }
+
+    #[test]
+    fn multi_typed_pattern_node_needs_all_types() {
+        let mut tys = TypeInterner::new();
+        let mut p = parse_pattern("Org*/Employee", &mut tys).unwrap();
+        let person = tys.intern("Person");
+        let emp_node = p.node(p.root()).children[0];
+        p.node_mut(emp_node).types.insert(person);
+        let d = parse_xml(
+            r#"<Org><Employee/><Employee also="Person"/></Org>"#,
+            &mut tys,
+        )
+        .unwrap();
+        let m = Matcher::new(&p, &d);
+        assert_eq!(m.candidates(emp_node).len(), 1, "only the multi-typed node");
+        assert!(m.matches());
+    }
+
+    #[test]
+    fn count_embeddings_product_shape() {
+        // a with two b-children: pattern a*[//b][//b] has 2×2 embeddings
+        // per a... both b branches range independently.
+        let (p, d, _) = setup("a*[//b][//b]", "<a><b/><b/></a>");
+        assert_eq!(count_embeddings(&p, &d), 4);
+        let (p2, d2, _) = setup("a*//b", "<a><b/><b/></a>");
+        assert_eq!(count_embeddings(&p2, &d2), 2);
+    }
+
+    #[test]
+    fn descendant_is_proper_on_data_too() {
+        let (p, d, _) = setup("a//a*", "<a/>");
+        assert!(!matches_anywhere(&p, &d));
+        let (p2, d2, _) = setup("a//a*", "<a><a/></a>");
+        assert_eq!(answer_set(&p2, &d2).len(), 1);
+    }
+
+    #[test]
+    fn pattern_root_floats_anywhere() {
+        let (p, d, _) = setup("b*/c", "<a><x><b><c/></b></x></a>");
+        assert_eq!(answer_set(&p, &d).len(), 1);
+    }
+
+    #[test]
+    fn no_match_empty_answers() {
+        let (p, d, _) = setup("z*", "<a><b/></a>");
+        assert!(!matches_anywhere(&p, &d));
+        assert!(answer_set(&p, &d).is_empty());
+        assert_eq!(count_embeddings(&p, &d), 0);
+    }
+
+    #[test]
+    fn forest_answers_tag_tree_index() {
+        let mut tys = TypeInterner::new();
+        let p = parse_pattern("b*", &mut tys).unwrap();
+        let d1 = parse_xml("<a><b/></a>", &mut tys).unwrap();
+        let d2 = parse_xml("<b/>", &mut tys).unwrap();
+        let forest = tpq_data::Forest { trees: vec![d1, d2] };
+        let answers = answer_set_forest(&p, &forest);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].0, 0);
+        assert_eq!(answers[1].0, 1);
+    }
+
+    #[test]
+    fn embeddings_enumeration_matches_counts() {
+        let (p, d, _) = setup("a*[//b][//b]", "<a><b/><b/><b/></a>");
+        let m = Matcher::new(&p, &d);
+        assert_eq!(m.count_embeddings(), 9);
+        let all = m.embeddings(usize::MAX);
+        assert_eq!(all.len(), 9);
+        // Every returned map is a valid embedding.
+        for emb in &all {
+            for v in p.alive_ids() {
+                let u = emb[&v];
+                assert!(d.node(u).types.is_superset(&p.node(v).types));
+                if let Some(parent) = p.node(v).parent {
+                    let pu = emb[&parent];
+                    match p.node(v).edge {
+                        tpq_pattern::EdgeKind::Child => {
+                            assert_eq!(d.node(u).parent, Some(pu))
+                        }
+                        tpq_pattern::EdgeKind::Descendant => {
+                            assert!(d.is_proper_ancestor(pu, u))
+                        }
+                    }
+                }
+            }
+        }
+        // The limit is honored.
+        assert_eq!(m.embeddings(4).len(), 4);
+        assert!(m.embeddings(0).is_empty());
+    }
+
+    #[test]
+    fn embeddings_agree_with_naive_count_on_random_docs() {
+        let mut tys = TypeInterner::new();
+        for i in 0..4 {
+            tys.intern(&format!("t{i}"));
+        }
+        let doc = tpq_data::generate_document(&tpq_data::DocumentSpec {
+            nodes: 30,
+            num_types: 4,
+            max_fanout: 3,
+            extra_type_prob: 0.1,
+            seed: 7,
+        });
+        for q in ["t0*[//t1]//t2", "t1*[/t2][/t3]", "t0*//t0"] {
+            let p = parse_pattern(q, &mut tys).unwrap();
+            let m = Matcher::new(&p, &doc);
+            assert_eq!(
+                m.embeddings(usize::MAX).len() as u64,
+                crate::naive::count_embeddings_naive(&p, &doc),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalent_patterns_same_answers() {
+        // Figure 2(h) ≡ 2(i) — check on an actual database.
+        let (h, d, mut tys) = setup(
+            "OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject",
+            "<Root>\
+               <OrgUnit><Dept><Researcher><X><DBProject/></X></Researcher></Dept></OrgUnit>\
+               <OrgUnit><Dept><Researcher/></Dept><Dept><DBProject/></Dept></OrgUnit>\
+             </Root>",
+        );
+        let i = parse_pattern("OrgUnit*/Dept/Researcher//DBProject", &mut tys).unwrap();
+        assert!(crate::same_answers(&h, &i, &d));
+        // First OrgUnit matches, second does not (its Researcher manages
+        // nothing).
+        assert_eq!(answer_set(&h, &d).len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Brute-force embedding enumeration — the reference evaluator.
+//!
+//! Enumerates every embedding by backtracking over pattern nodes in
+//! pre-order. Exponential in the worst case; exists to cross-validate
+//! [`crate::embed`] in tests and to serve as the baseline in the ablation
+//! benches.
+
+use tpq_base::FxHashSet;
+use tpq_data::{DataNodeId, DocIndex, Document};
+use tpq_pattern::{EdgeKind, NodeId, TreePattern};
+
+/// The answer set of `pattern` on `doc`, by exhaustive enumeration.
+pub fn answer_set_naive(pattern: &TreePattern, doc: &Document) -> Vec<DataNodeId> {
+    let mut answers: FxHashSet<DataNodeId> = FxHashSet::default();
+    enumerate(pattern, doc, &mut |binding| {
+        answers.insert(binding[pattern.output().index()].expect("output bound"));
+    });
+    let mut out: Vec<DataNodeId> = answers.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The number of embeddings of `pattern` into `doc`, by exhaustive
+/// enumeration.
+pub fn count_embeddings_naive(pattern: &TreePattern, doc: &Document) -> u64 {
+    let mut count = 0u64;
+    enumerate(pattern, doc, &mut |_| count += 1);
+    count
+}
+
+fn enumerate<F: FnMut(&[Option<DataNodeId>])>(
+    pattern: &TreePattern,
+    doc: &Document,
+    visit: &mut F,
+) {
+    let index = DocIndex::build(doc);
+    let order: Vec<NodeId> = pattern.pre_order();
+    let mut binding: Vec<Option<DataNodeId>> = vec![None; pattern.arena_len()];
+    fn rec<F: FnMut(&[Option<DataNodeId>])>(
+        pattern: &TreePattern,
+        doc: &Document,
+        index: &DocIndex,
+        order: &[NodeId],
+        i: usize,
+        binding: &mut Vec<Option<DataNodeId>>,
+        visit: &mut F,
+    ) {
+        if i == order.len() {
+            visit(binding);
+            return;
+        }
+        let v = order[i];
+        let node = pattern.node(v);
+        let parent_img = node.parent.map(|p| binding[p.index()].expect("pre-order"));
+        for u in doc.ids() {
+            if !doc.node(u).types.is_superset(&node.types)
+                || !tpq_pattern::condition::satisfied_by(&node.conditions, &doc.node(u).attrs)
+            {
+                continue;
+            }
+            if let Some(pu) = parent_img {
+                let ok = match node.edge {
+                    EdgeKind::Child => index.is_parent(pu, u),
+                    EdgeKind::Descendant => index.is_proper_ancestor(pu, u),
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            binding[v.index()] = Some(u);
+            rec(pattern, doc, index, order, i + 1, binding, visit);
+            binding[v.index()] = None;
+        }
+    }
+    rec(pattern, doc, &index, &order, 0, &mut binding, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{answer_set, count_embeddings};
+    use tpq_base::TypeInterner;
+    use tpq_data::{generate_document, parse_xml, DocumentSpec};
+    use tpq_pattern::parse_pattern;
+
+    #[test]
+    fn agrees_with_fast_evaluator_on_fixed_cases() {
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml(
+            "<r><a><b/><b><c/></b></a><a><c/></a><b><a><b/></a></b></r>",
+            &mut tys,
+        )
+        .unwrap();
+        for q in [
+            "a*", "a*/b", "a*//b", "a//b*", "b*//c", "a*[/b][/b/c]", "r*//a//b", "a*[//c]",
+            "x*",
+        ] {
+            let p = parse_pattern(q, &mut tys).unwrap();
+            let mut fast = answer_set(&p, &doc);
+            fast.sort_unstable();
+            assert_eq!(fast, answer_set_naive(&p, &doc), "{q} answers");
+            assert_eq!(
+                count_embeddings(&p, &doc),
+                count_embeddings_naive(&p, &doc),
+                "{q} counts"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_documents() {
+        let mut tys = TypeInterner::new();
+        for i in 0..8u32 {
+            tys.intern(&format!("t{i}"));
+        }
+        for seed in 0..6u64 {
+            let doc = generate_document(&DocumentSpec {
+                nodes: 30,
+                num_types: 4,
+                max_fanout: 3,
+                extra_type_prob: 0.2,
+                seed,
+            });
+            for q in ["t0*//t1", "t1*[/t2][/t3]", "t0*[//t1//t2]", "t2*/t2"] {
+                let p = parse_pattern(q, &mut tys).unwrap();
+                let mut fast = answer_set(&p, &doc);
+                fast.sort_unstable();
+                assert_eq!(fast, answer_set_naive(&p, &doc), "seed {seed} {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Value-based conditions on pattern nodes and their entailment —
+//! Section 7 of the paper ("the price of a book always be less than
+//! $100").
+//!
+//! A pattern node may carry a conjunction of [`Condition`]s over named
+//! attributes. A data node matches only if its attribute values satisfy
+//! every condition. During minimization (Section 7's prescription), a
+//! node `v` may map onto a node `u` only when "the conditions at `u`
+//! logically entail those at `v`" — [`entails`] decides that by interval
+//! reasoning per attribute:
+//!
+//! * integer conditions are normalized to non-strict bounds
+//!   (`< v` ≡ `<= v-1`), then summarized as `lo`/`hi`/`=`/`!=` facts;
+//! * an unsatisfiable premise set entails everything (a node that can
+//!   never match makes any mapping vacuously sound);
+//! * the check is *conservative* where completeness would require
+//!   enumerating large integer ranges (a missed entailment can only make
+//!   the minimized query larger, never wrong).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpq_base::{Cmp, TypeId, Value};
+
+/// One atomic condition: `attr ∘ value`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// The attribute name (interned in the shared [`tpq_base::TypeInterner`]).
+    pub attr: TypeId,
+    /// The comparison operator.
+    pub op: Cmp,
+    /// The right-hand value.
+    pub value: Value,
+}
+
+impl Condition {
+    /// Construct a condition.
+    pub fn new(attr: TypeId, op: Cmp, value: Value) -> Self {
+        Condition { attr, op, value }
+    }
+
+    /// Normalize strict integer bounds to non-strict ones so that
+    /// summaries are canonical (`< v` → `<= v-1`, `> v` → `>= v+1`).
+    pub fn normalized(&self) -> Condition {
+        if let Value::Int(v) = self.value {
+            match self.op {
+                Cmp::Lt => return Condition::new(self.attr, Cmp::Le, Value::Int(v.saturating_sub(1))),
+                Cmp::Gt => return Condition::new(self.attr, Cmp::Ge, Value::Int(v.saturating_add(1))),
+                _ => {}
+            }
+        }
+        self.clone()
+    }
+
+    /// Does the single attribute value `value` satisfy this condition?
+    pub fn eval(&self, value: &Value) -> bool {
+        self.op.eval(value, &self.value)
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.attr, self.op, self.value)
+    }
+}
+
+/// Do `attrs` (a node's attribute assignment; first match per name wins)
+/// satisfy every condition in `conds`? A referenced attribute that is
+/// absent fails the condition.
+pub fn satisfied_by(conds: &[Condition], attrs: &[(TypeId, Value)]) -> bool {
+    conds.iter().all(|c| {
+        attrs
+            .iter()
+            .find(|(a, _)| *a == c.attr)
+            .is_some_and(|(_, v)| c.eval(v))
+    })
+}
+
+/// Per-attribute summary of a (normalized) premise set.
+#[derive(Debug, Default, Clone)]
+struct Summary {
+    /// `attr >= lo`.
+    lo: Option<i64>,
+    /// `attr <= hi`.
+    hi: Option<i64>,
+    /// `attr = v` (any type).
+    eq: Option<Value>,
+    /// `attr != v` facts.
+    nes: Vec<Value>,
+    /// Integer ordering constraints present (pins the attribute to Int).
+    has_int_bounds: bool,
+}
+
+impl Summary {
+    fn add(&mut self, c: &Condition) {
+        match (c.op, &c.value) {
+            (Cmp::Eq, v) => match &self.eq {
+                Some(prev) if prev != v => {
+                    // Conflicting equalities: encode as an empty interval.
+                    self.lo = Some(1);
+                    self.hi = Some(0);
+                    self.has_int_bounds = true;
+                }
+                _ => self.eq = Some(v.clone()),
+            },
+            (Cmp::Ne, v) => self.nes.push(v.clone()),
+            (Cmp::Le, Value::Int(v)) => {
+                self.hi = Some(self.hi.map_or(*v, |h| h.min(*v)));
+                self.has_int_bounds = true;
+            }
+            (Cmp::Ge, Value::Int(v)) => {
+                self.lo = Some(self.lo.map_or(*v, |l| l.max(*v)));
+                self.has_int_bounds = true;
+            }
+            // Lt/Gt are normalized away; string ordering is rejected by
+            // the parser. Treat a stray one as unsatisfiable-ish by an
+            // empty interval (conservative).
+            (Cmp::Lt | Cmp::Gt | Cmp::Le | Cmp::Ge, _) => {
+                self.lo = Some(1);
+                self.hi = Some(0);
+                self.has_int_bounds = true;
+            }
+        }
+    }
+
+    /// Is any value consistent with this summary?
+    fn satisfiable(&self) -> bool {
+        if let (Some(l), Some(h)) = (self.lo, self.hi) {
+            if l > h {
+                return false;
+            }
+        }
+        if let Some(eq) = &self.eq {
+            if self.nes.contains(eq) {
+                return false;
+            }
+            match eq {
+                Value::Int(v) => {
+                    if self.lo.is_some_and(|l| *v < l) || self.hi.is_some_and(|h| *v > h) {
+                        return false;
+                    }
+                }
+                Value::Str(_) => {
+                    if self.has_int_bounds {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Ne-exhaustion of a small closed interval.
+        if let (Some(l), Some(h)) = (self.lo, self.hi) {
+            let width = h.saturating_sub(l);
+            if width <= 1024 && (l..=h).all(|v| self.nes.contains(&Value::Int(v))) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does this summary force `goal` (already normalized) to hold?
+    fn implies(&self, goal: &Condition) -> bool {
+        // A pinned value decides everything.
+        if let Some(eq) = &self.eq {
+            return goal.eval(eq);
+        }
+        match (goal.op, &goal.value) {
+            (Cmp::Le, Value::Int(v)) => self.hi.is_some_and(|h| h <= *v),
+            (Cmp::Ge, Value::Int(v)) => self.lo.is_some_and(|l| l >= *v),
+            (Cmp::Eq, Value::Int(v)) => {
+                self.lo == Some(*v) && self.hi == Some(*v)
+            }
+            (Cmp::Ne, v) => {
+                if self.nes.contains(v) {
+                    return true;
+                }
+                match v {
+                    Value::Int(i) => {
+                        self.lo.is_some_and(|l| l > *i) || self.hi.is_some_and(|h| h < *i)
+                    }
+                    // The value is pinned to an integer by ordering
+                    // premises, so it cannot equal any string.
+                    Value::Str(_) => self.has_int_bounds,
+                }
+            }
+            (Cmp::Eq, Value::Str(_)) => false,
+            // Normalized goals contain no Lt/Gt; unreachable but safe.
+            _ => false,
+        }
+    }
+}
+
+fn summarize(premises: &[Condition]) -> tpq_base::FxHashMap<TypeId, Summary> {
+    let mut map: tpq_base::FxHashMap<TypeId, Summary> = tpq_base::FxHashMap::default();
+    for p in premises {
+        let n = p.normalized();
+        map.entry(n.attr).or_default().add(&n);
+    }
+    map
+}
+
+/// Is the conjunction `conds` satisfiable by some attribute assignment?
+/// (Conservative: may answer `true` for some exotic unsatisfiable sets;
+/// never answers `false` for a satisfiable one.)
+pub fn satisfiable(conds: &[Condition]) -> bool {
+    summarize(conds).values().all(Summary::satisfiable)
+}
+
+/// Does the conjunction `premises` logically entail every condition in
+/// `goals`? (Conservative in the `false` direction; exact for pinned
+/// values, interval bounds and disequalities.)
+pub fn entails(premises: &[Condition], goals: &[Condition]) -> bool {
+    if goals.is_empty() {
+        return true;
+    }
+    let summaries = summarize(premises);
+    // Ex falso: an unsatisfiable premise set entails everything.
+    if summaries.values().any(|s| !s.satisfiable()) {
+        return true;
+    }
+    goals.iter().all(|g| {
+        let g = g.normalized();
+        summaries.get(&g.attr).is_some_and(|s| s.implies(&g))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(i: u32) -> TypeId {
+        TypeId(i)
+    }
+
+    fn c(a: u32, op: Cmp, v: i64) -> Condition {
+        Condition::new(attr(a), op, Value::Int(v))
+    }
+
+    fn cs(a: u32, op: Cmp, s: &str) -> Condition {
+        Condition::new(attr(a), op, Value::Str(s.into()))
+    }
+
+    #[test]
+    fn interval_entailment() {
+        // price < 50 entails price < 100.
+        assert!(entails(&[c(0, Cmp::Lt, 50)], &[c(0, Cmp::Lt, 100)]));
+        assert!(!entails(&[c(0, Cmp::Lt, 100)], &[c(0, Cmp::Lt, 50)]));
+        // price <= 99 entails price < 100 (integer normalization).
+        assert!(entails(&[c(0, Cmp::Le, 99)], &[c(0, Cmp::Lt, 100)]));
+        // price <= 100 does NOT entail price < 100.
+        assert!(!entails(&[c(0, Cmp::Le, 100)], &[c(0, Cmp::Lt, 100)]));
+        // 10 <= price <= 20 entails price > 5 and price != 30.
+        let premises = [c(0, Cmp::Ge, 10), c(0, Cmp::Le, 20)];
+        assert!(entails(&premises, &[c(0, Cmp::Gt, 5)]));
+        assert!(entails(&premises, &[c(0, Cmp::Ne, 30)]));
+        assert!(!entails(&premises, &[c(0, Cmp::Ne, 15)]));
+    }
+
+    #[test]
+    fn equality_pins_everything() {
+        let premises = [c(0, Cmp::Eq, 42)];
+        assert!(entails(&premises, &[c(0, Cmp::Le, 42)]));
+        assert!(entails(&premises, &[c(0, Cmp::Ge, 42)]));
+        assert!(entails(&premises, &[c(0, Cmp::Ne, 41)]));
+        assert!(entails(&premises, &[c(0, Cmp::Eq, 42)]));
+        assert!(!entails(&premises, &[c(0, Cmp::Eq, 43)]));
+        // Bounds pinning to a point imply equality.
+        assert!(entails(&[c(0, Cmp::Ge, 7), c(0, Cmp::Le, 7)], &[c(0, Cmp::Eq, 7)]));
+    }
+
+    #[test]
+    fn attributes_are_independent() {
+        assert!(!entails(&[c(0, Cmp::Lt, 10)], &[c(1, Cmp::Lt, 10)]));
+        assert!(entails(
+            &[c(0, Cmp::Lt, 10), c(1, Cmp::Eq, 3)],
+            &[c(0, Cmp::Le, 9), c(1, Cmp::Ne, 4)],
+        ));
+    }
+
+    #[test]
+    fn empty_goal_set_always_entailed() {
+        assert!(entails(&[], &[]));
+        assert!(entails(&[c(0, Cmp::Eq, 1)], &[]));
+        assert!(!entails(&[], &[c(0, Cmp::Eq, 1)]));
+    }
+
+    #[test]
+    fn unsatisfiable_premises_entail_everything() {
+        let contradiction = [c(0, Cmp::Ge, 10), c(0, Cmp::Le, 5)];
+        assert!(!satisfiable(&contradiction));
+        assert!(entails(&contradiction, &[c(1, Cmp::Eq, 99)]));
+        let eq_conflict = [c(0, Cmp::Eq, 1), c(0, Cmp::Eq, 2)];
+        assert!(!satisfiable(&eq_conflict));
+        assert!(entails(&eq_conflict, &[cs(3, Cmp::Eq, "x")]));
+    }
+
+    #[test]
+    fn string_conditions() {
+        let premises = [cs(0, Cmp::Eq, "en")];
+        assert!(entails(&premises, &[cs(0, Cmp::Ne, "fr")]));
+        assert!(entails(&premises, &[cs(0, Cmp::Eq, "en")]));
+        assert!(!entails(&premises, &[cs(0, Cmp::Eq, "fr")]));
+        // Ne alone entails only itself.
+        assert!(entails(&[cs(0, Cmp::Ne, "fr")], &[cs(0, Cmp::Ne, "fr")]));
+        assert!(!entails(&[cs(0, Cmp::Ne, "fr")], &[cs(0, Cmp::Ne, "de")]));
+    }
+
+    #[test]
+    fn int_bounds_preclude_string_values() {
+        // price >= 0 forces an integer, so price != "gratis" holds.
+        assert!(entails(&[c(0, Cmp::Ge, 0)], &[cs(0, Cmp::Ne, "gratis")]));
+        // And a string equality premise conflicts with integer bounds.
+        assert!(!satisfiable(&[cs(0, Cmp::Eq, "gratis"), c(0, Cmp::Ge, 0)]));
+    }
+
+    #[test]
+    fn ne_exhaustion_detected_on_small_ranges() {
+        let conds = [
+            c(0, Cmp::Ge, 1),
+            c(0, Cmp::Le, 3),
+            c(0, Cmp::Ne, 1),
+            c(0, Cmp::Ne, 2),
+            c(0, Cmp::Ne, 3),
+        ];
+        assert!(!satisfiable(&conds));
+    }
+
+    #[test]
+    fn satisfied_by_checks_values() {
+        let attrs = vec![
+            (attr(0), Value::Int(95)),
+            (attr(1), Value::Str("en".into())),
+        ];
+        assert!(satisfied_by(&[c(0, Cmp::Lt, 100)], &attrs));
+        assert!(satisfied_by(&[c(0, Cmp::Lt, 100), cs(1, Cmp::Eq, "en")], &attrs));
+        assert!(!satisfied_by(&[c(0, Cmp::Gt, 100)], &attrs));
+        assert!(!satisfied_by(&[c(2, Cmp::Eq, 1)], &attrs), "missing attribute fails");
+        assert!(satisfied_by(&[], &attrs));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let strict = c(0, Cmp::Lt, 10);
+        let norm = strict.normalized();
+        assert_eq!(norm.op, Cmp::Le);
+        assert_eq!(norm.value, Value::Int(9));
+        assert_eq!(norm.normalized(), norm);
+        // Strings pass through.
+        let s = cs(0, Cmp::Eq, "x");
+        assert_eq!(s.normalized(), s);
+    }
+}

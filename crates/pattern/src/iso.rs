@@ -1,0 +1,184 @@
+//! Rooted-tree isomorphism and canonical forms.
+//!
+//! The paper's uniqueness theorems (4.1, 5.1) state that minimal equivalent
+//! queries are unique *up to isomorphism*. Two patterns are isomorphic when
+//! a bijection between their alive nodes preserves the parent relation, the
+//! edge kinds, the full type sets, the output marker and the temporary flag.
+//!
+//! We decide this with the classic canonical-encoding construction: encode
+//! every subtree as a string in which sibling encodings are sorted, then
+//! compare root encodings. Sorting makes sibling order immaterial — tree
+//! patterns are unordered (Section 2.1: "we do not consider order in our
+//! queries").
+
+use crate::node::NodeId;
+use crate::pattern::TreePattern;
+use std::fmt::Write as _;
+
+/// A canonical, order-independent encoding of `pattern`.
+///
+/// Equal canonical forms ⇔ isomorphic patterns. Built bottom-up over an
+/// iterative post-order (no recursion), so depth is not stack-bounded;
+/// note the encoding of a chain is quadratic in its length, as with any
+/// string-based canonical form.
+pub fn canonical_form(pattern: &TreePattern) -> String {
+    let mut enc: Vec<Option<String>> = vec![None; pattern.arena_len()];
+    for id in pattern.post_order() {
+        let s = encode_node(pattern, id, &enc);
+        enc[id.index()] = Some(s);
+    }
+    enc[pattern.root().index()].take().expect("root encoded")
+}
+
+fn encode_node(p: &TreePattern, id: NodeId, enc: &[Option<String>]) -> String {
+    let node = p.node(id);
+    let mut s = String::new();
+    s.push('(');
+    // Full type set, not just the primary type: augmentation-added types are
+    // semantically meaningful while present.
+    for t in node.types.iter() {
+        let _ = write!(s, "{},", t.0);
+    }
+    if node.output {
+        s.push('*');
+    }
+    if node.temporary {
+        s.push('!');
+    }
+    if !node.conditions.is_empty() {
+        let mut conds: Vec<String> = node
+            .conditions
+            .iter()
+            .map(|c| c.normalized())
+            .map(|c| format!("{}{}{};", c.attr.0, c.op, c.value))
+            .collect();
+        conds.sort_unstable();
+        conds.dedup();
+        s.push('{');
+        for c in conds {
+            s.push_str(&c);
+        }
+        s.push('}');
+    }
+    let mut kids: Vec<String> = node
+        .children
+        .iter()
+        .filter(|&&c| p.is_alive(c))
+        .map(|&c| {
+            let mut k = String::new();
+            k.push_str(p.node(c).edge.separator());
+            k.push_str(enc[c.index()].as_deref().expect("post-order: child encoded"));
+            k
+        })
+        .collect();
+    kids.sort_unstable();
+    for k in kids {
+        s.push_str(&k);
+    }
+    s.push(')');
+    s
+}
+
+/// Whether two patterns are isomorphic (as unordered, typed, marked trees).
+pub fn isomorphic(a: &TreePattern, b: &TreePattern) -> bool {
+    // Cheap pre-checks before encoding.
+    if a.size() != b.size() {
+        return false;
+    }
+    canonical_form(a) == canonical_form(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+    use tpq_base::TypeInterner;
+
+    fn p(s: &str, tys: &mut TypeInterner) -> TreePattern {
+        parse_pattern(s, tys).unwrap()
+    }
+
+    #[test]
+    fn sibling_order_is_immaterial() {
+        let mut tys = TypeInterner::new();
+        let a = p("r*[/a][//b]/c", &mut tys);
+        let b = p("r*[//b][/c]/a", &mut tys);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn edge_kind_distinguishes() {
+        let mut tys = TypeInterner::new();
+        let a = p("r/a", &mut tys);
+        let b = p("r//a", &mut tys);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn output_position_distinguishes() {
+        let mut tys = TypeInterner::new();
+        let a = p("r*/a", &mut tys);
+        let b = p("r/a*", &mut tys);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn type_distinguishes() {
+        let mut tys = TypeInterner::new();
+        let a = p("r/a", &mut tys);
+        let b = p("r/b", &mut tys);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn size_mismatch_short_circuits() {
+        let mut tys = TypeInterner::new();
+        let a = p("r/a", &mut tys);
+        let b = p("r/a/a", &mut tys);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn identical_deep_trees_match_after_tombstoning() {
+        let mut tys = TypeInterner::new();
+        let mut a = p("r*[/a][/b/c]//d", &mut tys);
+        let b_full = p("r*[/a][/b/c]//d", &mut tys);
+        // Remove and re-add a node: ids differ, isomorphism holds.
+        let d = *a.leaves().iter().find(|&&l| a.node(l).primary == b_full.node(b_full.leaves()[2]).primary).unwrap();
+        let ty = a.node(d).primary;
+        let edge = a.node(d).edge;
+        let parent = a.node(d).parent.unwrap();
+        a.remove_leaf(d).unwrap();
+        a.add_child(parent, edge, ty);
+        assert!(isomorphic(&a, &b_full));
+    }
+
+    #[test]
+    fn temporary_flag_distinguishes() {
+        let mut tys = TypeInterner::new();
+        let mut a = p("r", &mut tys);
+        let mut b = p("r", &mut tys);
+        let t = tys.intern("x");
+        a.add_child(a.root(), crate::EdgeKind::Child, t);
+        b.add_temp_child(b.root(), crate::EdgeKind::Child, t);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn extra_types_distinguish() {
+        let mut tys = TypeInterner::new();
+        let a = p("r/a", &mut tys);
+        let mut b = p("r/a", &mut tys);
+        let extra = tys.intern("zz");
+        let child = b.node(b.root()).children[0];
+        b.node_mut(child).types.insert(extra);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn canonical_form_is_stable_under_clone() {
+        let mut tys = TypeInterner::new();
+        let a = p("r*[/a][//b[/c]]/d", &mut tys);
+        assert_eq!(canonical_form(&a), canonical_form(&a.clone()));
+    }
+}

@@ -1,0 +1,552 @@
+//! The arena-based tree pattern.
+
+use crate::node::{EdgeKind, NodeId, PatternNode};
+use serde::{Deserialize, Serialize};
+use tpq_base::{Error, Result, TypeId};
+
+/// A tree pattern query.
+///
+/// Nodes live in a flat arena; removal tombstones the node and
+/// [`compact`](TreePattern::compact) renumbers. Exactly one alive node
+/// carries the output marker `*` (the root by default).
+///
+/// ```
+/// use tpq_pattern::{TreePattern, EdgeKind};
+/// use tpq_base::TypeInterner;
+/// let mut tys = TypeInterner::new();
+/// let (a, b, c) = (tys.intern("a"), tys.intern("b"), tys.intern("c"));
+/// let mut q = TreePattern::new(a);
+/// let n1 = q.add_child(q.root(), EdgeKind::Child, b);
+/// let _n2 = q.add_child(n1, EdgeKind::Descendant, c);
+/// assert_eq!(q.size(), 3);
+/// q.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreePattern {
+    nodes: Vec<PatternNode>,
+    root: NodeId,
+    output: NodeId,
+}
+
+impl TreePattern {
+    /// A single-node pattern of type `ty`; the root is the output node.
+    pub fn new(ty: TypeId) -> Self {
+        let mut root = PatternNode::new(ty, None, EdgeKind::Child);
+        root.output = true;
+        TreePattern { nodes: vec![root], root: NodeId(0), output: NodeId(0) }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The output (`*`) node id.
+    #[inline]
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Move the output marker to `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is dead.
+    pub fn set_output(&mut self, id: NodeId) {
+        assert!(self.nodes[id.index()].alive, "output node must be alive");
+        let old = self.output;
+        self.nodes[old.index()].output = false;
+        self.nodes[id.index()].output = true;
+        self.output = id;
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PatternNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Whether `id` is alive (not removed).
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Add a child of type `ty` under `parent` with the given edge kind.
+    pub fn add_child(&mut self, parent: NodeId, edge: EdgeKind, ty: TypeId) -> NodeId {
+        debug_assert!(self.nodes[parent.index()].alive, "parent must be alive");
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("pattern too large"));
+        self.nodes.push(PatternNode::new(ty, Some(parent), edge));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Add a *temporary* child (augmentation, Section 5.2).
+    pub fn add_temp_child(&mut self, parent: NodeId, edge: EdgeKind, ty: TypeId) -> NodeId {
+        let id = self.add_child(parent, edge, ty);
+        self.nodes[id.index()].temporary = true;
+        id
+    }
+
+    /// Number of alive nodes (the paper's "size of a tree query").
+    pub fn size(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Arena length including tombstones.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterate over alive node ids in arena order.
+    pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// All alive leaves.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.alive_ids().filter(|&id| self.node(id).is_leaf()).collect()
+    }
+
+    /// Alive node ids in post-order (children before parents). Iterative:
+    /// safe on arbitrarily deep patterns.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.size());
+        enum Step {
+            Enter(NodeId),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Step::Enter(self.root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(id) => {
+                    if !self.is_alive(id) {
+                        continue;
+                    }
+                    stack.push(Step::Exit(id));
+                    for &c in self.node(id).children.iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+                Step::Exit(id) => out.push(id),
+            }
+        }
+        out
+    }
+
+    /// Alive node ids in pre-order (parents before children).
+    pub fn pre_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.size());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if !self.is_alive(id) {
+                continue;
+            }
+            out.push(id);
+            // Push in reverse so children pop in insertion order.
+            for &c in self.node(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Iterate over the proper ancestors of `id`, nearest first.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { pattern: self, current: self.node(id).parent }
+    }
+
+    /// Whether `anc` is a **proper** ancestor of `desc` in the pattern tree.
+    pub fn is_proper_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.ancestors(desc).any(|a| a == anc)
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Maximum depth over alive nodes (single DFS, O(n)).
+    pub fn max_depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((id, d)) = stack.pop() {
+            if !self.is_alive(id) {
+                continue;
+            }
+            max = max.max(d);
+            for &c in &self.node(id).children {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Maximum fanout (number of alive children) over alive nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.alive_ids()
+            .map(|id| self.node(id).children.iter().filter(|&&c| self.is_alive(c)).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of alive nodes in the subtree rooted at `id` (inclusive).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        if !self.is_alive(id) {
+            return 0;
+        }
+        let mut count = 0;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if !self.is_alive(n) {
+                continue;
+            }
+            count += 1;
+            stack.extend_from_slice(&self.node(n).children);
+        }
+        count
+    }
+
+    /// Remove an alive leaf. Errors if `id` is not an alive leaf, is the
+    /// root, or is the output node (a `*` node can never be redundant).
+    pub fn remove_leaf(&mut self, id: NodeId) -> Result<()> {
+        let node = &self.nodes[id.index()];
+        if !node.alive {
+            return Err(Error::InvalidPattern(format!("{id} is already removed")));
+        }
+        if !node.is_leaf() {
+            return Err(Error::InvalidPattern(format!("{id} is not a leaf")));
+        }
+        if id == self.root {
+            return Err(Error::InvalidPattern("cannot remove the root".into()));
+        }
+        if id == self.output {
+            return Err(Error::InvalidPattern("cannot remove the output node".into()));
+        }
+        let parent = node.parent.expect("non-root has a parent");
+        self.nodes[parent.index()].children.retain(|&c| c != id);
+        self.nodes[id.index()].alive = false;
+        Ok(())
+    }
+
+    /// Remove a whole subtree (used when stripping augmentation temps and by
+    /// partial elimination orderings). Errors if the subtree contains the
+    /// output node or the root.
+    pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
+        if id == self.root {
+            return Err(Error::InvalidPattern("cannot remove the root subtree".into()));
+        }
+        if !self.is_alive(id) {
+            return Err(Error::InvalidPattern(format!("{id} is already removed")));
+        }
+        if id == self.output || self.is_proper_ancestor(id, self.output) {
+            return Err(Error::InvalidPattern(
+                "subtree contains the output node".into(),
+            ));
+        }
+        let parent = self.nodes[id.index()].parent.expect("non-root has a parent");
+        self.nodes[parent.index()].children.retain(|&c| c != id);
+        self.kill_recursive(id);
+        Ok(())
+    }
+
+    fn kill_recursive(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let children = std::mem::take(&mut self.nodes[n.index()].children);
+            self.nodes[n.index()].alive = false;
+            stack.extend(children);
+        }
+    }
+
+    /// Strip every temporary node (and its temporary descendants) and every
+    /// chase-added extra type, restoring an augmentation-free pattern.
+    ///
+    /// Augmentation only ever adds temporary *leaves* under original nodes
+    /// (Section 5.2 applies ICs to original nodes only), so temporary nodes
+    /// never have original descendants.
+    pub fn strip_temporaries(&mut self) {
+        let temps: Vec<NodeId> = self
+            .alive_ids()
+            .filter(|&id| {
+                self.node(id).temporary
+                    && self.node(id).parent.is_none_or(|p| !self.node(p).temporary)
+            })
+            .collect();
+        for t in temps {
+            self.remove_subtree(t).expect("temporary subtree is removable");
+        }
+        for id in 0..self.nodes.len() {
+            let n = &mut self.nodes[id];
+            if n.alive {
+                n.types = tpq_base::TypeSet::singleton(n.primary);
+            }
+        }
+    }
+
+    /// Compact the arena: drop tombstones and renumber. Returns the new
+    /// pattern and the old-id → new-id mapping.
+    pub fn compact(&self) -> (TreePattern, Vec<Option<NodeId>>) {
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut next = 0u32;
+        // Pre-order so the new root is index 0 and parents precede children.
+        for id in self.pre_order() {
+            mapping[id.index()] = Some(NodeId(next));
+            next += 1;
+        }
+        let mut nodes = Vec::with_capacity(next as usize);
+        for id in self.pre_order() {
+            let old = self.node(id);
+            nodes.push(PatternNode {
+                primary: old.primary,
+                types: old.types.clone(),
+                conditions: old.conditions.clone(),
+                parent: old.parent.map(|p| mapping[p.index()].expect("parent alive")),
+                edge: old.edge,
+                children: old
+                    .children
+                    .iter()
+                    .filter(|&&c| self.is_alive(c))
+                    .map(|&c| mapping[c.index()].expect("child alive"))
+                    .collect(),
+                output: old.output,
+                temporary: old.temporary,
+                alive: true,
+            });
+        }
+        let new = TreePattern {
+            nodes,
+            root: mapping[self.root.index()].expect("root alive"),
+            output: mapping[self.output.index()].expect("output alive"),
+        };
+        (new, mapping)
+    }
+
+    /// Check every structural invariant; used defensively at public API
+    /// boundaries and extensively in tests.
+    pub fn validate(&self) -> Result<()> {
+        if !self.is_alive(self.root) {
+            return Err(Error::InvalidPattern("root is dead".into()));
+        }
+        if self.node(self.root).parent.is_some() {
+            return Err(Error::InvalidPattern("root has a parent".into()));
+        }
+        if !self.is_alive(self.output) {
+            return Err(Error::InvalidPattern("output node is dead".into()));
+        }
+        let mut marked = 0usize;
+        let mut reachable = 0usize;
+        for id in self.pre_order() {
+            reachable += 1;
+            let n = self.node(id);
+            if n.output {
+                marked += 1;
+                if id != self.output {
+                    return Err(Error::InvalidPattern(format!(
+                        "{id} is marked but output field says {}",
+                        self.output
+                    )));
+                }
+            }
+            if !n.types.contains(n.primary) {
+                return Err(Error::InvalidPattern(format!(
+                    "{id}: type set does not contain the primary type"
+                )));
+            }
+            for &c in &n.children {
+                if !self.is_alive(c) {
+                    return Err(Error::InvalidPattern(format!("{id} has dead child {c}")));
+                }
+                if self.node(c).parent != Some(id) {
+                    return Err(Error::InvalidPattern(format!(
+                        "child {c} of {id} has a mismatched parent link"
+                    )));
+                }
+            }
+            if let Some(p) = n.parent {
+                if !self.is_alive(p) {
+                    return Err(Error::InvalidPattern(format!("{id} has dead parent {p}")));
+                }
+                if !self.node(p).children.contains(&id) {
+                    return Err(Error::InvalidPattern(format!(
+                        "{id} missing from parent {p}'s child list"
+                    )));
+                }
+            }
+        }
+        if marked != 1 {
+            return Err(Error::InvalidPattern(format!("{marked} output markers (want 1)")));
+        }
+        if reachable != self.size() {
+            return Err(Error::InvalidPattern(format!(
+                "{reachable} reachable alive nodes but {} alive in arena",
+                self.size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over proper ancestors, nearest first. See
+/// [`TreePattern::ancestors`].
+pub struct Ancestors<'a> {
+    pattern: &'a TreePattern,
+    current: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.current?;
+        self.current = self.pattern.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_base::TypeInterner;
+
+    fn chain() -> (TreePattern, Vec<NodeId>) {
+        // a / b // c / d
+        let mut tys = TypeInterner::new();
+        let ids = tys.intern_all(["a", "b", "c", "d"]);
+        let mut q = TreePattern::new(ids[0]);
+        let b = q.add_child(q.root(), EdgeKind::Child, ids[1]);
+        let c = q.add_child(b, EdgeKind::Descendant, ids[2]);
+        let d = q.add_child(c, EdgeKind::Child, ids[3]);
+        (q, vec![NodeId(0), b, c, d])
+    }
+
+    #[test]
+    fn build_and_sizes() {
+        let (q, ids) = chain();
+        assert_eq!(q.size(), 4);
+        assert_eq!(q.leaves(), vec![ids[3]]);
+        assert_eq!(q.depth(ids[3]), 3);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.max_fanout(), 1);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn orders_are_consistent() {
+        let (q, ids) = chain();
+        assert_eq!(q.pre_order(), ids);
+        let mut rev = ids.clone();
+        rev.reverse();
+        assert_eq!(q.post_order(), rev);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let (q, ids) = chain();
+        let anc: Vec<_> = q.ancestors(ids[3]).collect();
+        assert_eq!(anc, vec![ids[2], ids[1], ids[0]]);
+        assert!(q.is_proper_ancestor(ids[0], ids[3]));
+        assert!(!q.is_proper_ancestor(ids[3], ids[0]));
+        assert!(!q.is_proper_ancestor(ids[1], ids[1]));
+    }
+
+    #[test]
+    fn remove_leaf_rules() {
+        let (mut q, ids) = chain();
+        // Not a leaf.
+        assert!(q.remove_leaf(ids[1]).is_err());
+        // Output node (root by default) cannot be removed even if leaf-like.
+        assert!(q.remove_leaf(ids[0]).is_err());
+        q.remove_leaf(ids[3]).unwrap();
+        assert_eq!(q.size(), 3);
+        assert!(q.remove_leaf(ids[3]).is_err(), "double removal rejected");
+        // c is now a leaf.
+        q.remove_leaf(ids[2]).unwrap();
+        assert_eq!(q.size(), 2);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn cannot_remove_output_leaf() {
+        let (mut q, ids) = chain();
+        q.set_output(ids[3]);
+        assert!(q.remove_leaf(ids[3]).is_err());
+    }
+
+    #[test]
+    fn remove_subtree_protects_output() {
+        let (mut q, ids) = chain();
+        q.set_output(ids[2]);
+        assert!(q.remove_subtree(ids[1]).is_err(), "contains output");
+        q.set_output(ids[0]);
+        q.remove_subtree(ids[1]).unwrap();
+        assert_eq!(q.size(), 1);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn compact_renumbers_and_preserves_shape() {
+        let (mut q, ids) = chain();
+        let mut tys = TypeInterner::new();
+        tys.intern_all(["a", "b", "c", "d", "e"]);
+        let e = q.add_child(ids[1], EdgeKind::Descendant, TypeId(4));
+        q.remove_leaf(ids[3]).unwrap();
+        q.remove_leaf(ids[2]).unwrap();
+        let (c, mapping) = q.compact();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.arena_len(), 3);
+        assert_eq!(mapping[ids[3].index()], None);
+        let new_e = mapping[e.index()].unwrap();
+        assert_eq!(c.node(new_e).primary, TypeId(4));
+        assert_eq!(c.node(new_e).edge, EdgeKind::Descendant);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn strip_temporaries_removes_temp_subtrees_and_extra_types() {
+        let (mut q, ids) = chain();
+        let t = q.add_temp_child(ids[1], EdgeKind::Descendant, TypeId(9));
+        let _t2 = q.add_temp_child(t, EdgeKind::Child, TypeId(10));
+        q.node_mut(ids[2]).types.insert(TypeId(11));
+        assert_eq!(q.size(), 6);
+        q.strip_temporaries();
+        assert_eq!(q.size(), 4);
+        assert_eq!(q.node(ids[2]).types.len(), 1);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_double_output() {
+        let (mut q, ids) = chain();
+        q.node_mut(ids[2]).output = true; // corrupt directly
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn set_output_moves_marker() {
+        let (mut q, ids) = chain();
+        q.set_output(ids[2]);
+        assert!(q.node(ids[2]).output);
+        assert!(!q.node(ids[0]).output);
+        assert_eq!(q.output(), ids[2]);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_size_counts_inclusively() {
+        let (q, ids) = chain();
+        assert_eq!(q.subtree_size(ids[0]), 4);
+        assert_eq!(q.subtree_size(ids[2]), 2);
+        assert_eq!(q.subtree_size(ids[3]), 1);
+    }
+}

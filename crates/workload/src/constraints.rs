@@ -1,0 +1,62 @@
+//! Constraint-repository filler for the Figure 8(a) experiment.
+
+use tpq_base::TypeInterner;
+use tpq_constraints::{Constraint, ConstraintSet};
+
+/// `k` constraints over a disjoint type universe `z0, z1, …` — they sit
+/// in the repository but are irrelevant to any query over other types.
+/// Figure 8(a) shows CDM time is flat as this pool grows: every rule
+/// check is a hash probe keyed by a type pair, so repository size never
+/// enters the cost.
+///
+/// The generated set is acyclic (`z_i ->> z_{i+1+j}` style), hence safely
+/// closable, and cycles through the three constraint kinds.
+pub fn irrelevant_constraints(k: usize, types: &mut TypeInterner) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    for j in 0..k {
+        let a = types.intern(&format!("z{j}"));
+        let b = types.intern(&format!("z{}", j + 1));
+        let c = match j % 3 {
+            0 => Constraint::RequiredChild(a, b),
+            1 => Constraint::RequiredDescendant(a, b),
+            _ => Constraint::CoOccurrence(a, b),
+        };
+        let inserted = set.insert(c);
+        debug_assert!(inserted, "consecutive z-pairs are pairwise distinct");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_core::cdm;
+    use tpq_pattern::parse_pattern;
+
+    #[test]
+    fn produces_exactly_k_constraints() {
+        let mut tys = TypeInterner::new();
+        for k in [0, 1, 2, 3, 10, 150] {
+            let set = irrelevant_constraints(k, &mut TypeInterner::new());
+            assert_eq!(set.len(), k, "k={k}");
+            let _ = &mut tys;
+        }
+    }
+
+    #[test]
+    fn set_is_finitely_satisfiable_after_closure() {
+        let mut tys = TypeInterner::new();
+        let set = irrelevant_constraints(60, &mut tys).closure();
+        assert!(set.is_finitely_satisfiable());
+    }
+
+    #[test]
+    fn irrelevant_constraints_never_affect_a_disjoint_query() {
+        let mut tys = TypeInterner::new();
+        // Intern query types FIRST so the z-universe is disjoint.
+        let q = parse_pattern("Book*[/Title][/Publisher]", &mut tys).unwrap();
+        let set = irrelevant_constraints(100, &mut tys);
+        let m = cdm(&q, &set);
+        assert_eq!(m.size(), q.size());
+    }
+}

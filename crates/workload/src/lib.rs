@@ -1,0 +1,31 @@
+//! Synthetic workload generators reproducing the paper's evaluation
+//! (Section 6).
+//!
+//! Each experiment panel of Figures 7–9 has a generator here; the
+//! `tpq-bench` crate drives them. All generators are deterministic and
+//! return the pattern together with the interner and (where applicable)
+//! the constraint set, so benches and tests agree exactly on the inputs.
+//!
+//! | Figure | Generator |
+//! |--------|-----------|
+//! | 7(a)   | [`redundancy::redundancy_query`] + [`redundancy::relevant_constraints`] |
+//! | 7(b)   | [`shapes::ic_chain_query`] (101 nodes, 100 constraints) |
+//! | 8(a)   | [`shapes::ic_chain_query`] + [`constraints::irrelevant_constraints`] |
+//! | 8(b)   | [`shapes::shaped_ic_query`] (right-deep / bushy / wider fanout) |
+//! | 9(a)   | [`shapes::shaped_ic_query`] with fanout 1 (parity workload) |
+//! | 9(b)   | [`prefilter::prefilter_query`] |
+//!
+//! [`random`] additionally provides random patterns and random (finitely
+//! satisfiable) constraint sets for the property-based test suites.
+
+pub mod constraints;
+pub mod prefilter;
+pub mod random;
+pub mod redundancy;
+pub mod shapes;
+
+pub use constraints::irrelevant_constraints;
+pub use prefilter::{prefilter_query, PrefilterQuery};
+pub use random::{random_constraints, random_pattern, ConstraintSpec, PatternSpec};
+pub use redundancy::{redundancy_query, relevant_constraints, RedundancyQuery, RedundancySpec};
+pub use shapes::{ic_chain_query, shaped_ic_query, ShapedQuery};

@@ -1,0 +1,108 @@
+//! The Figure 9(b) workload: CDM removes half of what ACIM removes.
+//!
+//! ```text
+//! root (tB, output)
+//! ├─ IC-chain branch: /c0/c1/…/c{k-1}  with ICs tB -> c0, c0 -> c1, …
+//! │     → k locally redundant nodes (CDM removes them)
+//! ├─ original branch: //b0//b1//…//b{k-1}
+//! └─ duplicate branch: //b0//…//b{k-1}
+//!       → k globally redundant nodes (only ACIM can fold the duplicate
+//!         onto the original — not local, no IC involved)
+//! ```
+//!
+//! ACIM alone removes `2k` nodes; CDM removes the `k` chain nodes, so the
+//! CDM-prefilter hands ACIM a query smaller by exactly half the removable
+//! nodes — the Section 6.4 setup.
+
+use tpq_base::TypeInterner;
+use tpq_constraints::{Constraint, ConstraintSet};
+use tpq_pattern::{EdgeKind, TreePattern};
+
+/// A generated Figure 9(b) query.
+#[derive(Debug, Clone)]
+pub struct PrefilterQuery {
+    /// The query; the root is the output node.
+    pub pattern: TreePattern,
+    /// Interner for the generated type names.
+    pub types: TypeInterner,
+    /// The ICs that make the chain branch redundant.
+    pub constraints: ConstraintSet,
+    /// Number of nodes CDM can remove (the IC chain).
+    pub cdm_removable: usize,
+    /// Number of nodes ACIM removes in total (chain + duplicate branch).
+    pub acim_removable: usize,
+}
+
+/// Build a prefilter query with `3k + 1` nodes.
+pub fn prefilter_query(k: usize) -> PrefilterQuery {
+    assert!(k >= 1, "k must be at least 1");
+    let mut types = TypeInterner::new();
+    let t_root = types.intern("tB");
+    let mut pattern = TreePattern::new(t_root);
+    let root = pattern.root();
+    let mut constraints = ConstraintSet::new();
+    // IC chain branch.
+    let mut prev_ty = t_root;
+    let mut cur = root;
+    for i in 0..k {
+        let ty = types.intern(&format!("c{i}"));
+        cur = pattern.add_child(cur, EdgeKind::Child, ty);
+        constraints.insert(Constraint::RequiredChild(prev_ty, ty));
+        prev_ty = ty;
+    }
+    // Original + duplicate structural branches.
+    let branch_types: Vec<_> = (0..k).map(|i| types.intern(&format!("b{i}"))).collect();
+    for _ in 0..2 {
+        let mut cur = root;
+        for &ty in &branch_types {
+            cur = pattern.add_child(cur, EdgeKind::Descendant, ty);
+        }
+    }
+    pattern.validate().expect("generator produces valid patterns");
+    PrefilterQuery {
+        pattern,
+        types,
+        constraints,
+        cdm_removable: k,
+        acim_removable: 2 * k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_core::{acim, cdm};
+
+    #[test]
+    fn sizes_and_removability() {
+        for k in [1, 3, 10] {
+            let q = prefilter_query(k);
+            assert_eq!(q.pattern.size(), 3 * k + 1);
+            let after_cdm = cdm(&q.pattern, &q.constraints);
+            assert_eq!(
+                after_cdm.size(),
+                q.pattern.size() - q.cdm_removable,
+                "k={k}: CDM removes the chain"
+            );
+            let after_acim = acim(&q.pattern, &q.constraints);
+            assert_eq!(
+                after_acim.size(),
+                q.pattern.size() - q.acim_removable,
+                "k={k}: ACIM removes chain + duplicate branch"
+            );
+            // The prefiltered query still reaches the same minimum.
+            let combined = acim(&after_cdm, &q.constraints);
+            assert_eq!(combined.size(), after_acim.size());
+        }
+    }
+
+    #[test]
+    fn duplicate_branch_is_not_locally_redundant() {
+        let q = prefilter_query(4);
+        let closed = q.constraints.closure();
+        let local = tpq_core::locally_redundant_leaves(&q.pattern, &closed);
+        // Only the chain leaf is locally redundant (1 leaf; removal then
+        // cascades inside CDM).
+        assert_eq!(local.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Figure 7(a) workload: queries with a controlled number of
+//! redundant nodes and degree of redundancy, plus relevant constraints.
+//!
+//! Construction (all sizes deterministic):
+//!
+//! ```text
+//! root (tR, output)
+//! ├─//─ tX        ⎫
+//! ├─//─ tX        ⎬ redundant_nodes planted d-leaves of the shared type tX
+//! ├─//─ tX        ⎭
+//! ├─//─ tX ─//─ tX ─ … ─//─ tX     witness chain of `degree` tX nodes
+//! └─/─ tF0 ─/─ tF1 ─ … ─/─ tFm     filler chain of distinct types
+//! ```
+//!
+//! Every planted leaf can map onto each of the `degree` witness-chain
+//! nodes, so it is redundant with (at least) that degree; the witness
+//! chain itself is incompressible (d-edges cannot shrink a strict chain),
+//! and the filler chain has pairwise distinct types, so CIM removes
+//! exactly the planted leaves. The paper's observation — ACIM time at
+//! fixed query size depends on the *total* `degree × redundant_nodes`
+//! only weakly, but grows with the number of relevant constraints — is
+//! regenerated on exactly this family.
+
+use tpq_base::{TypeId, TypeInterner};
+use tpq_constraints::{Constraint, ConstraintSet};
+use tpq_pattern::{EdgeKind, TreePattern};
+
+/// Parameters for [`redundancy_query`].
+#[derive(Debug, Clone, Copy)]
+pub struct RedundancySpec {
+    /// Total query size in nodes.
+    pub total_nodes: usize,
+    /// Number of planted redundant leaves.
+    pub redundant_nodes: usize,
+    /// Witness-chain length = (minimum) degree of redundancy of each
+    /// planted leaf.
+    pub degree: usize,
+}
+
+/// A generated Figure 7(a) query plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RedundancyQuery {
+    /// The query; the root is the output node.
+    pub pattern: TreePattern,
+    /// Shared interner (filler type ids are needed by
+    /// [`relevant_constraints`]).
+    pub types: TypeInterner,
+    /// The shared redundant type `tX`.
+    pub redundant_type: TypeId,
+    /// The filler chain types, in chain order.
+    pub filler_types: Vec<TypeId>,
+    /// Size of the unique minimal equivalent query.
+    pub expected_minimal_size: usize,
+}
+
+/// Build the Figure 7(a) query family.
+///
+/// # Panics
+/// Panics if the spec does not fit: `1 + degree + redundant_nodes`
+/// must be at most `total_nodes`.
+pub fn redundancy_query(spec: &RedundancySpec) -> RedundancyQuery {
+    let base = 1 + spec.degree + spec.redundant_nodes;
+    assert!(
+        base <= spec.total_nodes,
+        "spec does not fit: {base} core nodes > {} total",
+        spec.total_nodes
+    );
+    assert!(spec.degree >= 1, "degree must be at least 1");
+    let filler = spec.total_nodes - base;
+    let mut types = TypeInterner::new();
+    let t_root = types.intern("tR");
+    let t_x = types.intern("tX");
+    let mut pattern = TreePattern::new(t_root);
+    let root = pattern.root();
+    // Planted redundant leaves.
+    for _ in 0..spec.redundant_nodes {
+        pattern.add_child(root, EdgeKind::Descendant, t_x);
+    }
+    // Witness chain.
+    let mut cur = root;
+    for _ in 0..spec.degree {
+        cur = pattern.add_child(cur, EdgeKind::Descendant, t_x);
+    }
+    // Filler chain of distinct types.
+    let mut filler_types = Vec::with_capacity(filler);
+    let mut cur = root;
+    for i in 0..filler {
+        let t = types.intern(&format!("tF{i}"));
+        filler_types.push(t);
+        cur = pattern.add_child(cur, EdgeKind::Child, t);
+    }
+    pattern.validate().expect("generator produces valid patterns");
+    RedundancyQuery {
+        expected_minimal_size: spec.total_nodes - spec.redundant_nodes,
+        pattern,
+        types,
+        redundant_type: t_x,
+        filler_types,
+    }
+}
+
+/// `k` constraints relevant to `q` (their types all occur in the query)
+/// that change neither the minimal query nor the redundancy structure:
+/// required-descendant constraints among filler types (and from fillers
+/// to `tX`). Because fillers are connected by c-edges and the generated
+/// ICs are all `->>`, no original node becomes removable — the
+/// constraints only feed the augmentation (which is what Figure 7(a)
+/// measures).
+///
+/// # Panics
+/// Panics if `k` exceeds the number of distinct constraints available
+/// (`fillers × fillers`, ample for the paper's 150).
+pub fn relevant_constraints(q: &RedundancyQuery, k: usize) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    let f = q.filler_types.len();
+    assert!(f >= 1 || k == 0, "need filler types to generate constraints");
+    let mut produced = 0usize;
+    'outer: for i in 0..f {
+        // tFi ->> tX first, then tFi ->> tFj for j > i (acyclic).
+        let mut rhs: Vec<TypeId> = vec![q.redundant_type];
+        rhs.extend(q.filler_types.iter().copied().skip(i + 1));
+        for r in rhs {
+            if produced == k {
+                break 'outer;
+            }
+            if set.insert(Constraint::RequiredDescendant(q.filler_types[i], r)) {
+                produced += 1;
+            }
+        }
+    }
+    assert_eq!(produced, k, "not enough filler types for {k} constraints");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_core::{acim, cim};
+    use tpq_pattern::isomorphic;
+
+    #[test]
+    fn sizes_add_up() {
+        let q = redundancy_query(&RedundancySpec {
+            total_nodes: 101,
+            redundant_nodes: 30,
+            degree: 3,
+        });
+        assert_eq!(q.pattern.size(), 101);
+        assert_eq!(q.expected_minimal_size, 71);
+    }
+
+    #[test]
+    fn cim_removes_exactly_the_planted_leaves() {
+        for (r, d) in [(1, 1), (5, 2), (10, 4), (30, 3)] {
+            let q = redundancy_query(&RedundancySpec {
+                total_nodes: 61,
+                redundant_nodes: r,
+                degree: d,
+            });
+            let m = cim(&q.pattern);
+            assert_eq!(m.size(), q.expected_minimal_size, "r={r} d={d}");
+        }
+    }
+
+    #[test]
+    fn relevant_constraints_do_not_change_the_minimum() {
+        let q = redundancy_query(&RedundancySpec {
+            total_nodes: 41,
+            redundant_nodes: 10,
+            degree: 2,
+        });
+        let plain = cim(&q.pattern);
+        for k in [0, 10, 50] {
+            let ics = relevant_constraints(&q, k);
+            assert_eq!(ics.len(), k);
+            let m = acim(&q.pattern, &ics);
+            assert!(
+                isomorphic(&plain, &m),
+                "k={k}: constraints changed the minimal query"
+            );
+        }
+    }
+
+    #[test]
+    fn constraints_mention_only_query_types() {
+        let q = redundancy_query(&RedundancySpec {
+            total_nodes: 31,
+            redundant_nodes: 5,
+            degree: 2,
+        });
+        let present: Vec<TypeId> = (0..q.types.len() as u32).map(TypeId).collect();
+        let ics = relevant_constraints(&q, 20);
+        for c in ics.iter() {
+            assert!(present.contains(&c.lhs()));
+            assert!(present.contains(&c.rhs()));
+        }
+    }
+
+    #[test]
+    fn generator_panics_when_spec_does_not_fit() {
+        let result = std::panic::catch_unwind(|| {
+            redundancy_query(&RedundancySpec {
+                total_nodes: 5,
+                redundant_nodes: 10,
+                degree: 10,
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Shaped fully-IC-redundant queries — the Figure 7(b), 8 and 9(a)
+//! workloads.
+//!
+//! [`shaped_ic_query`] builds an `f`-ary tree query of `n` nodes with a
+//! distinct type per node position and the constraint
+//! `type(parent) -> type(child)` for every edge. Every edge is then
+//! redundant under the constraints and the unique minimal equivalent
+//! query is the root alone — exactly the setup of Section 6.3: "Because
+//! of the way the query is generated (all edges are redundant), the only
+//! node that remains after query minimization is the root node. The only
+//! marked node is the root node."
+//!
+//! * fanout 1 → the paper's **RightDeep** series;
+//! * fanout 2 → **Bushy**;
+//! * larger fanouts → the **VaryingFanout** series and the fanout sweep.
+
+use tpq_base::TypeInterner;
+use tpq_constraints::{Constraint, ConstraintSet};
+use tpq_pattern::{EdgeKind, NodeId, TreePattern};
+
+/// A shaped query with the constraint set that makes all of it redundant.
+#[derive(Debug, Clone)]
+pub struct ShapedQuery {
+    /// The query; the root is the output node.
+    pub pattern: TreePattern,
+    /// Type names `p0..p{n-1}` by node position.
+    pub types: TypeInterner,
+    /// One required-child constraint per edge (`n - 1` of them).
+    pub constraints: ConstraintSet,
+}
+
+/// Build an `n`-node query shaped as an `fanout`-ary tree (c-edges,
+/// breadth-first fill) plus the per-edge required-child constraints.
+pub fn shaped_ic_query(n: usize, fanout: usize) -> ShapedQuery {
+    assert!(n >= 1, "a query has at least one node");
+    assert!(fanout >= 1, "fanout must be at least 1");
+    let mut types = TypeInterner::new();
+    let ids: Vec<_> = (0..n).map(|i| types.intern(&format!("p{i}"))).collect();
+    let mut pattern = TreePattern::new(ids[0]);
+    let mut constraints = ConstraintSet::new();
+    // Breadth-first: node i's parent is node (i - 1) / fanout.
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
+    nodes.push(pattern.root());
+    for i in 1..n {
+        let parent_pos = (i - 1) / fanout;
+        let node = pattern.add_child(nodes[parent_pos], EdgeKind::Child, ids[i]);
+        nodes.push(node);
+        constraints.insert(Constraint::RequiredChild(ids[parent_pos], ids[i]));
+    }
+    pattern.validate().expect("generator produces valid patterns");
+    ShapedQuery { pattern, types, constraints }
+}
+
+/// The right-deep special case used by Figures 7(b), 8(a) and 9(a): a
+/// chain of `n` nodes with `n - 1` constraints.
+pub fn ic_chain_query(n: usize) -> ShapedQuery {
+    shaped_ic_query(n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpq_core::{acim, cdm, locally_redundant_leaves};
+
+    #[test]
+    fn chain_shape() {
+        let q = ic_chain_query(5);
+        assert_eq!(q.pattern.size(), 5);
+        assert_eq!(q.pattern.max_depth(), 4);
+        assert_eq!(q.pattern.max_fanout(), 1);
+        assert_eq!(q.constraints.len(), 4);
+    }
+
+    #[test]
+    fn bushy_shape() {
+        let q = shaped_ic_query(7, 2);
+        assert_eq!(q.pattern.max_depth(), 2);
+        assert_eq!(q.pattern.max_fanout(), 2);
+    }
+
+    #[test]
+    fn wide_shape() {
+        let q = shaped_ic_query(13, 4);
+        assert_eq!(q.pattern.max_fanout(), 4);
+        assert_eq!(q.pattern.max_depth(), 2);
+    }
+
+    #[test]
+    fn cdm_reduces_to_root_alone() {
+        for (n, f) in [(1, 1), (2, 1), (17, 1), (15, 2), (21, 4), (40, 3)] {
+            let q = shaped_ic_query(n, f);
+            let m = cdm(&q.pattern, &q.constraints);
+            assert_eq!(m.size(), 1, "n={n} f={f}: only the root survives CDM");
+        }
+    }
+
+    #[test]
+    fn acim_agrees_with_cdm_on_this_family() {
+        // Figure 9(a)'s premise: both algorithms remove the same set.
+        for n in [5, 12, 30] {
+            let q = ic_chain_query(n);
+            let a = acim(&q.pattern, &q.constraints);
+            assert_eq!(a.size(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn every_leaf_is_locally_redundant_initially() {
+        let q = shaped_ic_query(15, 2);
+        let closed = q.constraints.closure();
+        let local = locally_redundant_leaves(&q.pattern, &closed);
+        let leaves = q.pattern.leaves();
+        assert_eq!(local.len(), leaves.len());
+    }
+}

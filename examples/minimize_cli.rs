@@ -1,0 +1,99 @@
+//! A small command-line minimizer.
+//!
+//! ```text
+//! cargo run --example minimize_cli -- \
+//!     --query 'Book*[/Title][/Publisher]' \
+//!     --ic 'Book -> Publisher' \
+//!     --strategy full --stats
+//! ```
+//!
+//! Options:
+//!   --query <dsl>          the tree pattern (required)
+//!   --ic <line>            one constraint (repeatable)
+//!   --constraints <file>   constraint file (one per line, # comments)
+//!   --strategy <s>         cim | acim | cdm | full   (default: full)
+//!   --tree                 print the ASCII tree, not just the DSL
+//!   --stats                print phase statistics
+
+use std::process::ExitCode;
+use tpq::core::{minimize_with, Strategy};
+use tpq::prelude::*;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> std::result::Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut query_src: Option<String> = None;
+    let mut ic_lines: Vec<String> = Vec::new();
+    let mut strategy = Strategy::CdmThenAcim;
+    let mut show_tree = false;
+    let mut show_stats = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--query" => query_src = Some(args.next().ok_or("--query needs a value")?),
+            "--ic" => ic_lines.push(args.next().ok_or("--ic needs a value")?),
+            "--constraints" => {
+                let path = args.next().ok_or("--constraints needs a path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                ic_lines.extend(text.lines().map(str::to_owned));
+            }
+            "--strategy" => {
+                strategy = match args.next().as_deref() {
+                    Some("cim") => Strategy::CimOnly,
+                    Some("acim") => Strategy::AcimOnly,
+                    Some("cdm") => Strategy::CdmOnly,
+                    Some("full") => Strategy::CdmThenAcim,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                }
+            }
+            "--tree" => show_tree = true,
+            "--stats" => show_stats = true,
+            "--help" | "-h" => {
+                println!("see the module docs: cargo doc --example minimize_cli");
+                return Ok(());
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let query_src = query_src.ok_or("--query is required")?;
+
+    let mut types = TypeInterner::new();
+    let query = parse_pattern(&query_src, &mut types).map_err(|e| e.to_string())?;
+    let ics = parse_constraints(&ic_lines.join("\n"), &mut types).map_err(|e| e.to_string())?;
+
+    let outcome = minimize_with(&query, &ics, strategy);
+    println!("{}", to_dsl(&outcome.pattern, &types));
+    if show_tree {
+        eprintln!("\n{}", to_tree_string(&outcome.pattern, &types));
+    }
+    if show_stats {
+        let s = &outcome.stats;
+        eprintln!(
+            "nodes: {} -> {}  (cdm removed {}, cim/acim removed {})",
+            query.size(),
+            outcome.pattern.size(),
+            s.cdm_removed,
+            s.cim_removed
+        );
+        eprintln!(
+            "augmentation: {} temp nodes, {} co-occurrence types",
+            s.augment_nodes_added, s.augment_types_added
+        );
+        eprintln!(
+            "time: {:?} total, {:?} building images/ancestor tables ({:.0}%)",
+            s.total_time,
+            s.tables_time,
+            s.tables_fraction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! `tpq` — the command-line front door to the library.
+//!
+//! ```text
+//! tpq minimize --query 'Book*[/Title][/Publisher]' --ic 'Book -> Publisher' --stats
+//! tpq minimize --xpath '//Book[Title][.//LastName]' --schema schema.txt --tree
+//! tpq minimize --batch queries.txt --constraints ics.txt
+//! tpq match    --query 'Dept*//Manager' --doc org.xml
+//! tpq check    --q1 'a*[/b]' --q2 'a*' --ic 'a -> b'
+//! tpq closure  --constraints ics.txt
+//! tpq repair   --doc org.xml --constraints ics.txt
+//! ```
+//!
+//! Patterns are given in the DSL by default; `--xpath` switches the query
+//! syntax. Constraints can come inline (`--ic`, repeatable), from a file
+//! (`--constraints`), or inferred from a schema file (`--schema`);
+//! sources combine.
+
+use std::process::ExitCode;
+use tpq::constraints::Schema;
+use tpq::core::{minimize_with, Strategy};
+use tpq::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: tpq <minimize|match|check|closure|repair> [options]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "minimize" => cmd_minimize(rest),
+        "match" => cmd_match(rest),
+        "check" => cmd_check(rest),
+        "closure" => cmd_closure(rest),
+        "repair" => cmd_repair(rest),
+        "--help" | "-h" | "help" => {
+            println!("subcommands: minimize, match, check, closure, repair");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag cracker: `--name value` pairs plus boolean flags.
+struct Opts {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], booleans: &[&str]) -> Result2<Opts> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let name = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got '{a}'"))?;
+            if booleans.contains(&name) {
+                flags.push(name.to_owned());
+            } else {
+                let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                pairs.push((name.to_owned(), v.clone()));
+            }
+        }
+        Ok(Opts { pairs, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn require(&self, name: &str) -> Result2<&str> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+type Result2<T> = std::result::Result<T, String>;
+
+fn read_file(path: &str) -> Result2<String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn parse_query(opts: &Opts, types: &mut TypeInterner) -> Result2<TreePattern> {
+    if let Some(x) = opts.get("xpath") {
+        return tpq::pattern::parse_xpath(x, types).map_err(|e| e.to_string());
+    }
+    let q = opts.require("query")?;
+    parse_pattern(q, types).map_err(|e| e.to_string())
+}
+
+fn gather_constraints(opts: &Opts, types: &mut TypeInterner) -> Result2<ConstraintSet> {
+    let mut lines: Vec<String> = opts.get_all("ic").iter().map(|s| s.to_string()).collect();
+    if let Some(path) = opts.get("constraints") {
+        lines.extend(read_file(path)?.lines().map(str::to_owned));
+    }
+    let mut set = parse_constraints(&lines.join("\n"), types).map_err(|e| e.to_string())?;
+    if let Some(path) = opts.get("schema") {
+        let schema = Schema::parse(&read_file(path)?, types).map_err(|e| e.to_string())?;
+        for c in schema.infer_constraints().iter() {
+            set.insert(c);
+        }
+    }
+    Ok(set)
+}
+
+fn constraint_line(c: &Constraint, types: &TypeInterner) -> String {
+    let op = match c {
+        Constraint::RequiredChild(..) => "->",
+        Constraint::RequiredDescendant(..) => "->>",
+        Constraint::CoOccurrence(..) => "~",
+    };
+    format!("{} {} {}", types.name(c.lhs()), op, types.name(c.rhs()))
+}
+
+fn cmd_minimize(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &["tree", "stats"])?;
+    let mut types = TypeInterner::new();
+    let strategy = match opts.get("strategy") {
+        None | Some("full") => Strategy::CdmThenAcim,
+        Some("cim") => Strategy::CimOnly,
+        Some("acim") => Strategy::AcimOnly,
+        Some("cdm") => Strategy::CdmOnly,
+        Some(other) => return Err(format!("unknown strategy '{other}'")),
+    };
+    // Batch mode: one query per line from a file, sharing one session (the
+    // constraint closure is computed once).
+    if let Some(path) = opts.get("batch") {
+        let text = read_file(path)?;
+        let ics = gather_constraints(&opts, &mut types)?;
+        let session = tpq::core::Minimizer::with_strategy(&ics, strategy);
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let q = parse_pattern(line, &mut types)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let out = session.minimize(&q);
+            println!("{}", to_dsl(&out.pattern, &types));
+        }
+        return Ok(());
+    }
+    let query = parse_query(&opts, &mut types)?;
+    let ics = gather_constraints(&opts, &mut types)?;
+    let out = minimize_with(&query, &ics, strategy);
+    println!("{}", to_dsl(&out.pattern, &types));
+    if opts.flag("tree") {
+        eprintln!("\n{}", to_tree_string(&out.pattern, &types));
+    }
+    if opts.flag("stats") {
+        let s = &out.stats;
+        eprintln!(
+            "nodes {} -> {} | cdm removed {} | acim removed {} | temps added {} | {:?} total ({:.0}% tables)",
+            query.size(),
+            out.pattern.size(),
+            s.cdm_removed,
+            s.cim_removed,
+            s.augment_nodes_added,
+            s.total_time,
+            s.tables_fraction() * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_match(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &["count"])?;
+    let mut types = TypeInterner::new();
+    let query = parse_query(&opts, &mut types)?;
+    let doc = parse_xml(&read_file(opts.require("doc")?)?, &mut types)
+        .map_err(|e| e.to_string())?;
+    if opts.flag("count") {
+        println!("{}", count_embeddings(&query, &doc));
+        return Ok(());
+    }
+    let answers = answer_set(&query, &doc);
+    println!("{} answer(s)", answers.len());
+    for a in answers {
+        // Print the path from the root to the answer node.
+        let mut path = Vec::new();
+        let mut cur = Some(a);
+        while let Some(n) = cur {
+            path.push(types.name(doc.node(n).primary).to_owned());
+            cur = doc.node(n).parent;
+        }
+        path.reverse();
+        println!("  /{} (node {})", path.join("/"), a.0);
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &[])?;
+    let mut types = TypeInterner::new();
+    let q1 = parse_pattern(opts.require("q1")?, &mut types).map_err(|e| e.to_string())?;
+    let q2 = parse_pattern(opts.require("q2")?, &mut types).map_err(|e| e.to_string())?;
+    let ics = gather_constraints(&opts, &mut types)?;
+    let fwd = contains_under(&q1, &q2, &ics);
+    let bwd = contains_under(&q2, &q1, &ics);
+    println!("q1 ⊆ q2: {fwd}");
+    println!("q2 ⊆ q1: {bwd}");
+    println!(
+        "equivalent: {}{}",
+        fwd && bwd,
+        if ics.is_empty() { "" } else { " (under the given constraints)" }
+    );
+    Ok(())
+}
+
+fn cmd_closure(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &[])?;
+    let mut types = TypeInterner::new();
+    let ics = gather_constraints(&opts, &mut types)?;
+    let closed = ics.closure();
+    let mut lines: Vec<String> = closed.iter().map(|c| constraint_line(&c, &types)).collect();
+    lines.sort();
+    for l in lines {
+        println!("{l}");
+    }
+    eprintln!("{} constraints ({} given)", closed.len(), ics.len());
+    if !closed.is_finitely_satisfiable() {
+        eprintln!("warning: the closure contains a required-descendant cycle; no finite tree satisfies it");
+    }
+    Ok(())
+}
+
+fn cmd_repair(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &[])?;
+    let mut types = TypeInterner::new();
+    let doc = parse_xml(&read_file(opts.require("doc")?)?, &mut types)
+        .map_err(|e| e.to_string())?;
+    let ics = gather_constraints(&opts, &mut types)?.closure();
+    let fixed = tpq::constraints::repair(&doc, &ics).map_err(|e| e.to_string())?;
+    print!("{}", tpq::data::write_xml(&fixed, &types));
+    eprintln!("{} -> {} nodes", doc.len(), fixed.len());
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Integration tests for the `tpq` command-line binary.
+
+use std::io::Write as _;
+use std::process::{Command, Output};
+
+fn tpq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tpq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tpq-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn minimize_with_inline_constraint() {
+    let out = tpq(&[
+        "minimize",
+        "--query",
+        "Book*[/Title][/Publisher]",
+        "--ic",
+        "Book -> Publisher",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "Book*/Title");
+    assert!(stderr(&out).contains("nodes 3 -> 2"));
+}
+
+#[test]
+fn minimize_accepts_xpath() {
+    let out = tpq(&[
+        "minimize",
+        "--xpath",
+        "//Dept[.//DBProject]//Manager//DBProject",
+        "--strategy",
+        "cim",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // XPath marks the trailing DBProject; the bare predicate branch folds.
+    let dsl = stdout(&out);
+    assert!(dsl.contains("Manager"), "{dsl}");
+    assert!(!dsl.contains('['), "single spine expected: {dsl}");
+}
+
+#[test]
+fn minimize_with_schema_file() {
+    let schema = temp_file("schema.txt", "element Book = Title, Author+\nelement Author = LastName");
+    let out = tpq(&[
+        "minimize",
+        "--query",
+        "Book*[/Title][//LastName][/Chapter]",
+        "--schema",
+        schema.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "Book*/Chapter");
+}
+
+#[test]
+fn match_reports_answers_with_paths() {
+    let doc = temp_file(
+        "org.xml",
+        "<Root><Dept><Manager/></Dept><Dept/></Root>",
+    );
+    let out = tpq(&["match", "--query", "Dept*/Manager", "--doc", doc.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("1 answer(s)"), "{text}");
+    assert!(text.contains("/Root/Dept"), "{text}");
+}
+
+#[test]
+fn match_count_mode() {
+    let doc = temp_file("shelf.xml", r#"<Shelf><Book price="5"/><Book price="50"/></Shelf>"#);
+    let out = tpq(&[
+        "match",
+        "--query",
+        "Shelf*//Book{price<10}",
+        "--doc",
+        doc.to_str().unwrap(),
+        "--count",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "1");
+}
+
+#[test]
+fn check_reports_containment_directions() {
+    let out = tpq(&["check", "--q1", "a*/b/c", "--q2", "a*/b"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("q1 ⊆ q2: true"), "{text}");
+    assert!(text.contains("q2 ⊆ q1: false"), "{text}");
+    assert!(text.contains("equivalent: false"), "{text}");
+    // With an IC the reverse direction holds too.
+    let out = tpq(&["check", "--q1", "a*", "--q2", "a*/b", "--ic", "a -> b"]);
+    assert!(stdout(&out).contains("equivalent: true"), "{}", stdout(&out));
+}
+
+#[test]
+fn closure_prints_derived_constraints() {
+    let ics = temp_file("ics.txt", "a -> b\nb ~ c\n");
+    let out = tpq(&["closure", "--constraints", ics.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("a -> b"));
+    assert!(text.contains("a -> c"), "transferred via co-occurrence: {text}");
+    assert!(text.contains("a ->> b"));
+}
+
+#[test]
+fn repair_outputs_satisfying_xml() {
+    let doc = temp_file("raw.xml", "<Book/>");
+    let ics = temp_file("bookics.txt", "Book -> Title\n");
+    let out = tpq(&[
+        "repair",
+        "--doc",
+        doc.to_str().unwrap(),
+        "--constraints",
+        ics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("<Title/>"), "{}", stdout(&out));
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let out = tpq(&["minimize", "--query", "a[["]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error:"));
+    let out = tpq(&["bogus"]);
+    assert!(!out.status.success());
+    let out = tpq(&["minimize"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--query is required"), "{}", stderr(&out));
+}
+
+#[test]
+fn minimize_batch_mode_shares_one_session() {
+    let queries = temp_file(
+        "queries.txt",
+        "# comment\nBook*[/Title][/Publisher]\nBook*[/Publisher]\n\nShelf*//Book[/Publisher]\n",
+    );
+    let out = tpq(&[
+        "minimize",
+        "--batch",
+        queries.to_str().unwrap(),
+        "--ic",
+        "Book -> Publisher",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.trim().lines().collect();
+    assert_eq!(lines, vec!["Book*/Title", "Book*", "Shelf*//Book"]);
+}

@@ -1,0 +1,316 @@
+//! Property-based validation of the paper's theorems on random inputs.
+//!
+//! Patterns, documents and constraint sets are drawn from the
+//! `tpq-workload` generators (seeded through proptest), so failures
+//! shrink to small seeds and every case is reproducible.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use tpq::core::{
+    cdm, cim, cim_with_order, equivalent, equivalent_under, has_homomorphism,
+    has_homomorphism_naive, locally_redundant_leaves, minimize_with, Strategy,
+};
+use tpq::matching::{answer_set, answer_set_naive};
+use tpq::pattern::{canonical_form, isomorphic, TreePattern};
+use tpq_workload::{
+    random_constraints, random_pattern, ConstraintSpec, PatternSpec,
+};
+
+fn pattern(seed: u64, nodes: usize, num_types: usize) -> TreePattern {
+    random_pattern(&PatternSpec {
+        nodes,
+        num_types,
+        d_edge_prob: 0.5,
+        max_fanout: 3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Theorem 4.1 (existence): CIM output is equivalent to the input and
+    /// no larger.
+    #[test]
+    fn cim_preserves_equivalence(seed in 0u64..10_000, nodes in 1usize..14, nt in 1usize..5) {
+        let q = pattern(seed, nodes, nt);
+        let m = cim(&q);
+        prop_assert!(m.size() <= q.size());
+        prop_assert!(equivalent(&q, &m), "not equivalent for seed {seed}");
+        m.validate().unwrap();
+    }
+
+    /// Theorem 4.1 (uniqueness): any elimination order reaches an
+    /// isomorphic minimal query.
+    #[test]
+    fn cim_unique_up_to_isomorphism(seed in 0u64..10_000, nodes in 1usize..12) {
+        let q = pattern(seed, nodes, 3);
+        let default = cim(&q);
+        for shuffle_seed in 0..3u64 {
+            let shuffled = cim_with_order(&q, |_, cands| {
+                let mut v = cands.to_vec();
+                let mut rng = StdRng::seed_from_u64(seed ^ shuffle_seed);
+                v.shuffle(&mut rng);
+                v
+            });
+            prop_assert!(
+                isomorphic(&default, &shuffled),
+                "orders disagree for seed {seed}"
+            );
+        }
+    }
+
+    /// CIM is idempotent, and its output has no redundant leaf.
+    #[test]
+    fn cim_idempotent(seed in 0u64..10_000, nodes in 1usize..14) {
+        let q = pattern(seed, nodes, 3);
+        let once = cim(&q);
+        let twice = cim(&once);
+        prop_assert!(isomorphic(&once, &twice));
+    }
+
+    /// The incremental engine (Section 6.1 implementation) computes the
+    /// same minimum as the rebuild-per-test implementation.
+    #[test]
+    fn incremental_engine_matches_rebuilding(seed in 0u64..10_000, nodes in 1usize..14) {
+        let q = pattern(seed, nodes, 3);
+        let inc = tpq::core::cim_incremental(&q);
+        let reb = cim(&q);
+        prop_assert!(
+            isomorphic(&inc, &reb),
+            "incremental {} vs rebuilding {} (seed {seed})",
+            inc.size(),
+            reb.size()
+        );
+    }
+
+    /// ... and the same under constraints, through augmentation.
+    #[test]
+    fn incremental_acim_matches_rebuilding(
+        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
+    ) {
+        let q = pattern(pseed, 10, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+        let closed = ics.closure();
+        let mut s1 = tpq::core::MinimizeStats::default();
+        let mut s2 = tpq::core::MinimizeStats::default();
+        let inc = tpq::core::acim_incremental_closed(&q, &closed, &mut s1);
+        let reb = tpq::core::acim_closed(&q, &closed, &mut s2);
+        prop_assert!(
+            isomorphic(&inc, &reb),
+            "incremental {} vs rebuilding {} (seeds {pseed}/{cseed})",
+            inc.size(),
+            reb.size()
+        );
+    }
+
+    /// The polynomial containment test agrees with brute-force search.
+    #[test]
+    fn homomorphism_pruning_matches_naive(
+        s1 in 0u64..10_000, s2 in 0u64..10_000,
+        n1 in 1usize..8, n2 in 1usize..8,
+    ) {
+        let a = pattern(s1, n1, 3);
+        let b = pattern(s2, n2, 3);
+        prop_assert_eq!(has_homomorphism(&a, &b), has_homomorphism_naive(&a, &b));
+        prop_assert_eq!(has_homomorphism(&b, &a), has_homomorphism_naive(&b, &a));
+    }
+
+    /// The production evaluator agrees with exhaustive enumeration.
+    #[test]
+    fn evaluator_matches_naive(pseed in 0u64..10_000, dseed in 0u64..10_000) {
+        let q = pattern(pseed, 6, 3);
+        let doc = tpq::data::generate_document(&tpq::data::DocumentSpec {
+            nodes: 25,
+            num_types: 3,
+            max_fanout: 3,
+            extra_type_prob: 0.15,
+            seed: dseed,
+        });
+        let mut fast = answer_set(&q, &doc);
+        fast.sort_unstable();
+        prop_assert_eq!(fast, answer_set_naive(&q, &doc));
+    }
+
+    /// Semantic check of CIM: identical answer sets on random documents.
+    #[test]
+    fn cim_preserves_answers_on_random_documents(
+        pseed in 0u64..10_000, dseed in 0u64..10_000,
+    ) {
+        let q = pattern(pseed, 10, 3);
+        let m = cim(&q);
+        let doc = tpq::data::generate_document(&tpq::data::DocumentSpec {
+            nodes: 40,
+            num_types: 3,
+            max_fanout: 4,
+            extra_type_prob: 0.1,
+            seed: dseed,
+        });
+        prop_assert!(tpq::matching::same_answers(&q, &m, &doc));
+    }
+
+    /// Theorem 5.1: ACIM output is equivalent under the constraints and
+    /// no larger than the CIM output.
+    #[test]
+    fn acim_preserves_equivalence_under_ics(
+        pseed in 0u64..10_000, cseed in 0u64..10_000,
+        nodes in 1usize..12, count in 0usize..8,
+    ) {
+        let q = pattern(pseed, nodes, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+        let a = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
+        let c = cim(&q);
+        prop_assert!(a.size() <= c.size(), "ACIM must subsume CIM");
+        prop_assert!(equivalent_under(&q, &a, &ics), "seed {pseed}/{cseed}");
+        a.validate().unwrap();
+    }
+
+    /// Theorem 5.2: CDM output is equivalent and locally minimal.
+    #[test]
+    fn cdm_locally_minimal(
+        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
+    ) {
+        let q = pattern(pseed, 12, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+        let m = cdm(&q, &ics);
+        prop_assert!(equivalent_under(&q, &m, &ics));
+        let closed = ics.closure();
+        prop_assert!(
+            locally_redundant_leaves(&m, &closed).is_empty(),
+            "locally redundant leaf survives CDM (seeds {pseed}/{cseed})"
+        );
+    }
+
+    /// Theorem 5.3: CDM as a pre-filter does not change ACIM's result.
+    #[test]
+    fn cdm_prefilter_reaches_the_same_minimum(
+        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
+    ) {
+        let q = pattern(pseed, 12, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+        let direct = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
+        let combined = minimize_with(&q, &ics, Strategy::CdmThenAcim).pattern;
+        prop_assert!(
+            isomorphic(&direct, &combined),
+            "ACIM {} nodes vs CDM+ACIM {} nodes (seeds {pseed}/{cseed})",
+            direct.size(),
+            combined.size()
+        );
+    }
+
+    /// Semantic check of ACIM: answer sets agree on databases *repaired to
+    /// satisfy the constraints*.
+    #[test]
+    fn acim_preserves_answers_on_conforming_documents(
+        pseed in 0u64..10_000, cseed in 0u64..10_000, dseed in 0u64..10_000,
+    ) {
+        let q = pattern(pseed, 8, 4);
+        let ics = random_constraints(&ConstraintSpec { count: 5, num_types: 4, seed: cseed });
+        let m = minimize_with(&q, &ics, Strategy::CdmThenAcim).pattern;
+        let raw = tpq::data::generate_document(&tpq::data::DocumentSpec {
+            nodes: 20,
+            num_types: 4,
+            max_fanout: 3,
+            extra_type_prob: 0.1,
+            seed: dseed,
+        });
+        let closed = ics.closure();
+        prop_assume!(closed.is_finitely_satisfiable());
+        let doc = tpq::constraints::repair(&raw, &closed).unwrap();
+        prop_assert!(
+            tpq::matching::same_answers(&q, &m, &doc),
+            "answers diverge on a conforming document (seeds {pseed}/{cseed}/{dseed})"
+        );
+    }
+
+    /// DSL printing round-trips through the parser up to isomorphism.
+    #[test]
+    fn dsl_round_trip(seed in 0u64..10_000, nodes in 1usize..15) {
+        let q = pattern(seed, nodes, 4);
+        let mut tys = tpq::base::TypeInterner::new();
+        tpq_workload::random::universe(&mut tys, 4);
+        let printed = tpq::pattern::print::to_dsl(&q, &tys);
+        let back = tpq::pattern::parse_pattern(&printed, &mut tys).unwrap();
+        prop_assert!(isomorphic(&q, &back), "{printed}");
+    }
+
+    /// Compaction preserves the canonical form.
+    #[test]
+    fn compaction_preserves_canonical_form(seed in 0u64..10_000, nodes in 2usize..12) {
+        let mut q = pattern(seed, nodes, 3);
+        // Remove a random non-output leaf if one exists, then compact.
+        if let Some(l) = q
+            .leaves()
+            .into_iter()
+            .find(|&l| l != q.output() && l != q.root())
+        {
+            q.remove_leaf(l).unwrap();
+        }
+        let (compacted, _) = q.compact();
+        prop_assert_eq!(canonical_form(&q), canonical_form(&compacted));
+        compacted.validate().unwrap();
+    }
+
+    /// Closure is idempotent and finitely satisfiable for generated sets.
+    #[test]
+    fn closure_idempotent(cseed in 0u64..10_000, count in 0usize..12) {
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 6, seed: cseed });
+        let closed = ics.closure();
+        prop_assert!(closed.is_closed());
+        prop_assert!(closed.is_finitely_satisfiable());
+        prop_assert!(closed.len() >= ics.len());
+    }
+
+    /// Parsers reject or accept arbitrary input without panicking.
+    #[test]
+    fn parsers_never_panic(input in "\\PC{0,60}") {
+        let mut tys = tpq::base::TypeInterner::new();
+        let _ = tpq::pattern::parse_pattern(&input, &mut tys);
+        let _ = tpq::pattern::parse_xpath(&input, &mut tys);
+        let _ = tpq::data::parse_xml(&input, &mut tys);
+        let _ = tpq::constraints::parse_constraints(&input, &mut tys);
+        let _ = tpq::constraints::Schema::parse(&input, &mut tys);
+    }
+
+    /// Near-miss mutations of valid pattern text parse or fail cleanly,
+    /// and whatever parses round-trips.
+    #[test]
+    fn mutated_dsl_never_panics(seed in 0u64..10_000, cut in 0usize..40) {
+        let base = r#"Articles/Article*{price<100,lang="en"}[/Title][//Para]//Section"#;
+        let mut text: Vec<char> = base.chars().collect();
+        let pos = (seed as usize) % text.len();
+        match seed % 4 {
+            0 => { text.remove(pos); }
+            1 => text.insert(pos, '['),
+            2 => text.insert(pos, '}'),
+            _ => { text.truncate(cut.min(text.len())); }
+        }
+        let s: String = text.into_iter().collect();
+        let mut tys = tpq::base::TypeInterner::new();
+        if let Ok(q) = tpq::pattern::parse_pattern(&s, &mut tys) {
+            q.validate().unwrap();
+            let printed = tpq::pattern::print::to_dsl(&q, &tys);
+            let back = tpq::pattern::parse_pattern(&printed, &mut tys).unwrap();
+            prop_assert!(isomorphic(&q, &back));
+        }
+    }
+
+    /// Repair always yields a satisfying document.
+    #[test]
+    fn repair_satisfies(cseed in 0u64..10_000, dseed in 0u64..10_000) {
+        let ics = random_constraints(&ConstraintSpec { count: 6, num_types: 5, seed: cseed });
+        let closed = ics.closure();
+        prop_assume!(closed.is_finitely_satisfiable());
+        let raw = tpq::data::generate_document(&tpq::data::DocumentSpec {
+            nodes: 15,
+            num_types: 5,
+            max_fanout: 3,
+            extra_type_prob: 0.2,
+            seed: dseed,
+        });
+        let fixed = tpq::constraints::repair(&raw, &closed).unwrap();
+        prop_assert!(tpq::constraints::satisfies(&fixed, &closed));
+        fixed.validate().unwrap();
+    }
+}
