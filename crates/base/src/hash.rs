@@ -1,0 +1,121 @@
+//! The workspace hash function.
+//!
+//! Every hot map in the workspace is keyed by small dense integers
+//! (`TypeId`, `NodeId`, pairs of them), so a short multiply-rotate mixer
+//! beats SipHash by a wide margin (DESIGN.md §5). The implementation is
+//! self-contained: the build must not depend on any external registry.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier with a good bit-dispersion pattern (odd, high entropy).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fast, non-cryptographic hasher for small keys.
+///
+/// Each written word is folded in with a rotate-xor-multiply step; strings
+/// are consumed eight bytes at a time. Not DoS-resistant — do not expose
+/// to untrusted key sets.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(26) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche so that low bits (used by the table mask)
+        // depend on every input bit.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^= h >> 29;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; plugs into `HashMap::default`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let hashes: std::collections::HashSet<u64> = (0u32..1000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn pairs_do_not_collide_trivially() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u32..40 {
+            for b in 0u32..40 {
+                seen.insert(hash_of((a, b)));
+            }
+        }
+        assert_eq!(seen.len(), 1600, "no collisions on a small pair grid");
+    }
+
+    #[test]
+    fn strings_hash_consistently() {
+        assert_eq!(hash_of("Book"), hash_of("Book"));
+        assert_ne!(hash_of("Book"), hash_of("Boot"));
+        // Length is mixed in: a prefix must not collide with the whole.
+        assert_ne!(hash_of("ab"), hash_of("ab\0\0"));
+    }
+
+    #[test]
+    fn low_bits_vary() {
+        // HashMap masks with (capacity - 1); consecutive keys must spread
+        // over the low bits.
+        let low: std::collections::HashSet<u64> = (0u32..64).map(|v| hash_of(v) & 63).collect();
+        assert!(low.len() > 32, "low-bit spread too weak: {}", low.len());
+    }
+}

@@ -7,14 +7,13 @@
 //! information-content propagation — hash and compare plain `u32`s.
 
 use crate::FxHashMap;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense identifier for an interned type name.
 ///
 /// Ids are allocated consecutively from 0 by a [`TypeInterner`], so they can
 /// double as indexes into `Vec`-backed per-type tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TypeId(pub u32);
 
 impl TypeId {
@@ -45,10 +44,9 @@ impl fmt::Display for TypeId {
 /// assert_eq!(tys.name(book), "Book");
 /// assert_eq!(tys.lookup("Title"), None);      // not interned yet
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TypeInterner {
     names: Vec<String>,
-    #[serde(skip)]
     by_name: FxHashMap<String, TypeId>,
 }
 
@@ -94,20 +92,14 @@ impl TypeInterner {
 
     /// Iterate over all `(id, name)` pairs in allocation order.
     pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TypeId(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (TypeId(i as u32), n.as_str()))
     }
 
-    /// Rebuild the name → id index after deserialization (serde skips it).
+    /// Rebuild the name → id index after deserialization (the index is not
+    /// part of any serialised form).
     pub fn rebuild_index(&mut self) {
-        self.by_name = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), TypeId(i as u32)))
-            .collect();
+        self.by_name =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), TypeId(i as u32))).collect();
     }
 
     /// Intern a batch of names, returning their ids in order. Convenient for
@@ -146,10 +138,7 @@ mod tests {
         let mut t = TypeInterner::new();
         t.intern_all(["x", "y", "z"]);
         let collected: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
-        assert_eq!(
-            collected,
-            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
-        );
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]);
     }
 
     #[test]

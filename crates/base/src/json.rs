@@ -1,0 +1,520 @@
+//! A minimal JSON document model, writer, and parser.
+//!
+//! The workspace serialises patterns, constraints, bench panels and metrics
+//! reports without external crates, so this module provides the small JSON
+//! surface those callers need. Integers and floats are kept apart
+//! ([`Json::Int`] vs [`Json::Float`]) so `i64` values round-trip exactly;
+//! object members preserve insertion order for deterministic output.
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// A number without fractional part or exponent in the source.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Members in insertion order; duplicate keys are not rejected but
+    /// lookups return the first match.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object(members: Vec<(&str, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member of an object by key; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` — accepts both number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ---------------------------------------------------------------- writing
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(n) => out.push_str(&n.to_string()),
+        Json::Float(x) => write_float(out, *x),
+        Json::Str(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let text = format!("{x}");
+        out.push_str(&text);
+        // `{}` prints integral floats without a dot; keep the value typed
+        // as a float on re-parse.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; null is the conventional fallback.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy runs of plain bytes wholesale.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let b = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0c}',
+            b'u' => {
+                let first = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&first) {
+                    // Surrogate pair.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let second = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&second) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else {
+                    first
+                };
+                char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        if !fractional {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-17", "9007199254740993"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string_compact(), text);
+        }
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        assert_eq!(Json::parse("5").unwrap(), Json::Int(5));
+        assert_eq!(Json::parse("5.0").unwrap(), Json::Float(5.0));
+        assert_eq!(Json::Float(5.0).to_string_compact(), "5.0");
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::Str("a\"b\\c\nd\te\u{1}é日🎉".to_string());
+        let text = original.to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse() {
+        assert_eq!(Json::parse(r#""🎉""#).unwrap(), Json::Str("🎉".to_string()));
+        assert!(Json::parse(r#""\ud83c""#).is_err());
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::object(vec![
+            ("name", Json::Str("fig7b".into())),
+            ("points", Json::Array(vec![Json::Int(1), Json::Float(2.5), Json::Null])),
+            ("nested", Json::object(vec![("ok", Json::Bool(true))])),
+            ("empty_arr", Json::Array(vec![])),
+            ("empty_obj", Json::Object(vec![])),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"a": 1, "b": [2.5], "c": "x", "d": true}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(Json::as_array).map(|a| a.len()), Some(1));
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("d").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = Json::parse("[1, 2").unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("[] []").is_err());
+        assert!(Json::parse("0x10").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = Json::parse(" {\n\t\"k\" :\r [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_array).map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn nonfinite_floats_degrade_to_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string_compact(), "null");
+    }
+}

@@ -9,20 +9,29 @@
 //! * [`TypeSet`] — the small sorted set of types carried by a data node
 //!   (LDAP entries are multi-typed; the chase of co-occurrence constraints
 //!   adds types to pattern nodes);
+//! * [`FxHashMap`] / [`FxHashSet`] — std maps with the fast in-tree hasher
+//!   (see DESIGN.md §5);
+//! * [`Json`] — a small self-contained JSON model for serialisation;
+//! * [`SmallRng`] — a deterministic PRNG for generators and tests;
 //! * [`Error`] / [`Result`] — the workspace-wide error type.
 
 pub mod error;
+pub mod hash;
 pub mod interner;
+pub mod json;
+pub mod rng;
 pub mod typeset;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use interner::{TypeId, TypeInterner};
+pub use json::{Json, JsonError};
+pub use rng::SmallRng;
 pub use typeset::TypeSet;
 pub use value::{Cmp, Value};
 
-/// Fast hash map keyed by small integer ids (see DESIGN.md §5 for the
-/// justification of `rustc-hash`).
-pub type FxHashMap<K, V> = rustc_hash::FxHashMap<K, V>;
+/// Fast hash map keyed by small integer ids (in-tree hasher, DESIGN.md §5).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 /// Fast hash set, companion to [`FxHashMap`].
-pub type FxHashSet<K> = rustc_hash::FxHashSet<K>;
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;

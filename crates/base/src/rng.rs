@@ -1,0 +1,189 @@
+//! A small deterministic PRNG for generators and tests.
+//!
+//! Workload synthesis and the property tests only need reproducible,
+//! reasonably-distributed randomness — not cryptographic strength — so a
+//! self-contained xoshiro-style generator keeps the workspace free of
+//! external dependencies.
+
+/// Deterministic 64-bit PRNG (xorshift* core, splitmix64 seeding).
+///
+/// The same seed always yields the same stream, across platforms.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s0: u64,
+    s1: u64,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Expand a 64-bit seed into the full generator state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm);
+        let s1 = splitmix64(&mut sm);
+        SmallRng { s0, s1 }
+    }
+
+    /// Next raw 64-bit output (xorshift128+).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from `range` (half-open). Panics on an empty range,
+    /// matching the behaviour generator code already relies on.
+    #[inline]
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick an element, `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+/// Types [`SmallRng::gen_range`] can sample.
+pub trait SampleRange: Copy {
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self;
+}
+
+/// Debiased bounded sample via Lemire's multiply-shift with rejection.
+#[inline]
+fn bounded_u64(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone below `threshold` removes the modulo bias.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let r = rng.next_u64();
+        let hi = ((r as u128 * bound as u128) >> 64) as u64;
+        let lo = (r as u128 * bound as u128) as u64;
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+impl SampleRange for u64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + bounded_u64(rng, range.end - range.start)
+    }
+}
+
+impl SampleRange for u32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<u32>) -> u32 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + bounded_u64(rng, (range.end - range.start) as u64) as u32
+    }
+}
+
+impl SampleRange for usize {
+    #[inline]
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on empty range");
+        range.start + bounded_u64(rng, (range.end - range.start) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..13u32);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay sorted");
+    }
+
+    #[test]
+    fn choose_is_none_only_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[9]), Some(&9));
+    }
+}

@@ -7,7 +7,6 @@
 //! both space and time.
 
 use crate::TypeId;
-use serde::{Deserialize, Serialize};
 
 /// A sorted, duplicate-free set of [`TypeId`]s.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(s.contains(TypeId(1)));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![TypeId(1), TypeId(3)]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct TypeSet {
     sorted: Vec<TypeId>,
 }

@@ -7,14 +7,13 @@
 //! value primitives; the condition language and entailment live in
 //! `tpq-pattern`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An attribute value carried by a data node or compared by a condition.
 ///
 /// Integers compare numerically; strings only support equality and
 /// disequality (the condition parser enforces this).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// A 64-bit integer.
     Int(i64),
@@ -32,7 +31,7 @@ impl fmt::Display for Value {
 }
 
 /// Comparison operators for conditions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Cmp {
     /// `=`
     Eq,
@@ -75,6 +74,19 @@ impl Cmp {
             Cmp::Ge => ">=",
         }
     }
+
+    /// Inverse of [`Cmp::token`].
+    pub fn from_token(token: &str) -> Option<Cmp> {
+        Some(match token {
+            "=" => Cmp::Eq,
+            "!=" => Cmp::Ne,
+            "<" => Cmp::Lt,
+            "<=" => Cmp::Le,
+            ">" => Cmp::Gt,
+            ">=" => Cmp::Ge,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Cmp {
@@ -115,6 +127,14 @@ mod tests {
         assert!(!Cmp::Eq.eval(&a, &b));
         assert!(Cmp::Ne.eval(&a, &b));
         assert!(!Cmp::Lt.eval(&a, &b));
+    }
+
+    #[test]
+    fn token_round_trips() {
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(Cmp::from_token(op.token()), Some(op));
+        }
+        assert_eq!(Cmp::from_token("=="), None);
     }
 
     #[test]

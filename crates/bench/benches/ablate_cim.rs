@@ -43,11 +43,9 @@ fn bench_containment(c: &mut Criterion) {
 
 fn bench_matching(c: &mut Criterion) {
     let mut tys = TypeInterner::new();
-    let full = tpq_pattern::parse_pattern(
-        "Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]",
-        &mut tys,
-    )
-    .unwrap();
+    let full =
+        tpq_pattern::parse_pattern("Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]", &mut tys)
+            .unwrap();
     let minimal = cim(&full);
     let dept = tys.lookup("Dept").unwrap();
     let mgr = tys.lookup("Mgr").unwrap();

@@ -16,10 +16,7 @@ fn bench(c: &mut Criterion) {
     let mut stats = MinimizeStats::default();
     let out = acim_closed(&chain.pattern, &closed, &mut stats);
     assert_eq!(out.size(), 1);
-    eprintln!(
-        "fig7b: tables time fraction = {:.1}% of total",
-        stats.tables_fraction() * 100.0
-    );
+    eprintln!("fig7b: tables time fraction = {:.1}% of total", stats.tables_fraction() * 100.0);
 
     let mut group = c.benchmark_group("fig7b_acim_tables");
     group.sample_size(10);

@@ -25,16 +25,12 @@ fn bench(c: &mut Criterion) {
     for fanout in [2usize, 6, 12] {
         let q = shaped_ic_query(121, fanout);
         let closed = q.constraints.closure();
-        group.bench_with_input(
-            BenchmarkId::new("fanout_sweep_n121", fanout),
-            &fanout,
-            |b, _| {
-                b.iter(|| {
-                    let mut stats = MinimizeStats::default();
-                    cdm_closed(&q.pattern, &closed, &mut stats)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fanout_sweep_n121", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let mut stats = MinimizeStats::default();
+                cdm_closed(&q.pattern, &closed, &mut stats)
+            })
+        });
     }
     group.finish();
 }

@@ -4,7 +4,14 @@
 //! cargo run --release -p tpq-bench --bin experiments            # all panels
 //! cargo run --release -p tpq-bench --bin experiments -- fig8a   # one panel
 //! cargo run --release -p tpq-bench --bin experiments -- --json all > series.json
+//! cargo run --release -p tpq-bench --bin experiments -- --metrics-dir out fig7b
 //! ```
+//!
+//! With `--metrics-dir <dir>`, every panel run is captured by the `tpq-obs`
+//! layer and its span/counter report is written to `<dir>/<panel>.metrics.json`
+//! (one file per panel name; `ablate` produces `ablate.metrics.json`). For
+//! panels exercising ACIM this also prints the share of ACIM time spent
+//! building the images/ancestor tables — the paper's Figure 7(b) quantity.
 
 use std::process::ExitCode;
 use tpq_bench::experiments;
@@ -12,14 +19,23 @@ use tpq_bench::Panel;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut metrics_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--metrics-dir" => match args.next() {
+                Some(dir) => metrics_dir = Some(dir),
+                None => {
+                    eprintln!("--metrics-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--json] [fig7a fig7b fig8a fig8b fig8b-fanout \
-                     fig9a fig9b ablate | all]"
+                    "usage: experiments [--json] [--metrics-dir <dir>] \
+                     [fig7a fig7b fig8a fig8b fig8b-fanout fig9a fig9b ablate | all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -27,39 +43,73 @@ fn main() -> ExitCode {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        return emit(experiments::all_panels(), json);
+        wanted = ["fig7a", "fig7b", "fig8a", "fig8b", "fig8b-fanout", "fig9a", "fig9b", "ablate"]
+            .map(str::to_owned)
+            .to_vec();
     }
     let mut panels: Vec<Panel> = Vec::new();
     for w in &wanted {
-        match w.as_str() {
-            "fig7a" => panels.push(experiments::fig7a()),
-            "fig7b" => panels.push(experiments::fig7b()),
-            "fig8a" => panels.push(experiments::fig8a()),
-            "fig8b" => panels.push(experiments::fig8b()),
-            "fig8b-fanout" => panels.push(experiments::fig8b_fanout()),
-            "fig9a" => panels.push(experiments::fig9a()),
-            "fig9b" => panels.push(experiments::fig9b()),
-            "ablate" => panels.extend(experiments::ablations()),
+        let run: fn() -> Vec<Panel> = match w.as_str() {
+            "fig7a" => || vec![experiments::fig7a()],
+            "fig7b" => || vec![experiments::fig7b()],
+            "fig8a" => || vec![experiments::fig8a()],
+            "fig8b" => || vec![experiments::fig8b()],
+            "fig8b-fanout" => || vec![experiments::fig8b_fanout()],
+            "fig9a" => || vec![experiments::fig9a()],
+            "fig9b" => || vec![experiments::fig9b()],
+            "ablate" => experiments::ablations,
             other => {
                 eprintln!("unknown panel '{other}' (try --help)");
                 return ExitCode::FAILURE;
             }
-        }
-    }
-    emit(panels, json)
-}
-
-fn emit(panels: Vec<Panel>, json: bool) -> ExitCode {
-    if json {
-        match serde_json::to_string_pretty(&panels) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization failed: {e}");
+        };
+        match run_captured(w, metrics_dir.as_deref(), run) {
+            Ok(mut group) => panels.append(&mut group),
+            Err(msg) => {
+                eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    emit(&panels, json)
+}
+
+/// Run one panel group, capturing its observability report when a metrics
+/// directory was given.
+fn run_captured(
+    name: &str,
+    metrics_dir: Option<&str>,
+    run: fn() -> Vec<Panel>,
+) -> Result<Vec<Panel>, String> {
+    let Some(dir) = metrics_dir else {
+        return Ok(run());
+    };
+    tpq_obs::set_enabled(true);
+    tpq_obs::reset();
+    let panels = run();
+    let report = tpq_obs::report();
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/{name}.metrics.json");
+    std::fs::write(&path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    if let (Some(tables), Some(acim)) = (report.span("acim.tables"), report.span("acim")) {
+        eprintln!(
+            "{name}: acim.tables = {:.0}% of acim time ({} table builds over {} tests)",
+            tables.total_ns as f64 / acim.total_ns.max(1) as f64 * 100.0,
+            tables.count,
+            report.counter("redundancy_tests"),
+        );
+    }
+    eprintln!("{name}: metrics written to {path}");
+    Ok(panels)
+}
+
+fn emit(panels: &[Panel], json: bool) -> ExitCode {
+    if json {
+        let doc = tpq_base::Json::Array(panels.iter().map(Panel::to_json).collect());
+        println!("{}", doc.to_string_pretty());
     } else {
-        for p in &panels {
+        for p in panels {
             println!("{}", p.to_table());
         }
     }

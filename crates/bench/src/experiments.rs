@@ -8,13 +8,12 @@
 use crate::{median_micros, Panel, Point, Series};
 use tpq_base::FxHashSet;
 use tpq_core::{
-    acim_closed, acim_incremental_closed, cdm_closed, cim, minimize_with, MinimizeStats,
-    Strategy,
+    acim_closed, acim_incremental_closed, cdm_closed, cim, minimize_with, MinimizeStats, Strategy,
 };
 use tpq_pattern::TreePattern;
 use tpq_workload::{
-    ic_chain_query, prefilter_query, redundancy_query, relevant_constraints,
-    shaped_ic_query, RedundancySpec,
+    ic_chain_query, prefilter_query, redundancy_query, relevant_constraints, shaped_ic_query,
+    RedundancySpec,
 };
 
 /// Iterations per measured point (median is reported).
@@ -238,9 +237,8 @@ pub fn fig9b() -> Panel {
     for &x in &xs {
         let k = ((x as usize).saturating_sub(1) / 3).max(1);
         let q = prefilter_query(k);
-        let (d_us, d_out) = median_micros(ITERS, || {
-            minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly)
-        });
+        let (d_us, d_out) =
+            median_micros(ITERS, || minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly));
         let (c_us, c_out) = median_micros(ITERS, || {
             minimize_with(&q.pattern, &q.constraints, Strategy::CdmThenAcim)
         });
@@ -262,12 +260,7 @@ pub fn fig9b() -> Panel {
 
 /// Ablations of the design choices called out in DESIGN.md §3.
 pub fn ablations() -> Vec<Panel> {
-    vec![
-        ablate_containment(),
-        ablate_cim_cache(),
-        ablate_incremental(),
-        ablate_matching(),
-    ]
+    vec![ablate_containment(), ablate_cim_cache(), ablate_incremental(), ablate_matching()]
 }
 
 /// Rebuild-per-test ACIM (the literal Figure 3 loop) vs the incremental
@@ -398,11 +391,8 @@ fn cim_no_cache(q: &TreePattern) -> TreePattern {
     let mut work = q.clone();
     loop {
         let mut progress = false;
-        let leaves: Vec<_> = work
-            .leaves()
-            .into_iter()
-            .filter(|&l| l != work.root() && l != work.output())
-            .collect();
+        let leaves: Vec<_> =
+            work.leaves().into_iter().filter(|&l| l != work.root() && l != work.output()).collect();
         for l in leaves {
             if work.is_alive(l) && tpq_core::redundant_leaf(&work, l) {
                 work.remove_leaf(l).expect("leaf");
@@ -420,11 +410,9 @@ fn cim_no_cache(q: &TreePattern) -> TreePattern {
 /// minimization on a synthetic department database.
 fn ablate_matching() -> Panel {
     let mut tys = tpq_base::TypeInterner::new();
-    let full = tpq_pattern::parse_pattern(
-        "Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]",
-        &mut tys,
-    )
-    .unwrap();
+    let full =
+        tpq_pattern::parse_pattern("Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]", &mut tys)
+            .unwrap();
     let minimal = cim(&full);
     let mut before = Vec::new();
     let mut after = Vec::new();
@@ -468,15 +456,7 @@ fn department_doc(n: usize, tys: &mut tpq_base::TypeInterner) -> tpq_data::Docum
 
 /// All standard panels, in figure order.
 pub fn all_panels() -> Vec<Panel> {
-    let mut v = vec![
-        fig7a(),
-        fig7b(),
-        fig8a(),
-        fig8b(),
-        fig8b_fanout(),
-        fig9a(),
-        fig9b(),
-    ];
+    let mut v = vec![fig7a(), fig7b(), fig8a(), fig8b(), fig8b_fanout(), fig9a(), fig9b()];
     v.extend(ablations());
     v
 }

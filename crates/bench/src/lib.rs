@@ -8,23 +8,34 @@
 
 pub mod experiments;
 
-use serde::Serialize;
 use std::time::Instant;
+use tpq_base::Json;
 
 /// One measured point of a series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// The x-axis value (query size, redundancy, constraint count, …).
     pub x: u64,
     /// Measured median wall time in microseconds.
     pub micros: f64,
     /// Optional secondary measurement (e.g. tables time for Figure 7(b)).
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub aux_micros: Option<f64>,
 }
 
+impl Point {
+    /// JSON form; `aux_micros` is omitted when absent.
+    pub fn to_json(&self) -> Json {
+        let mut members =
+            vec![("x", Json::Int(self.x as i64)), ("micros", Json::Float(self.micros))];
+        if let Some(aux) = self.aux_micros {
+            members.push(("aux_micros", Json::Float(aux)));
+        }
+        Json::object(members)
+    }
+}
+
 /// A named curve, mirroring one gnuplot series of the paper's figures.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Label as it appears in the paper (e.g. `"100Constraints"`).
     pub label: String,
@@ -32,8 +43,18 @@ pub struct Series {
     pub points: Vec<Point>,
 }
 
+impl Series {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("points", Json::Array(self.points.iter().map(Point::to_json).collect())),
+        ])
+    }
+}
+
 /// A whole figure panel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Identifier, e.g. `"fig7a"`.
     pub id: String,
@@ -46,6 +67,16 @@ pub struct Panel {
 }
 
 impl Panel {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("x_label", Json::Str(self.x_label.clone())),
+            ("series", Json::Array(self.series.iter().map(Series::to_json).collect())),
+        ])
+    }
+
     /// Render the panel as an aligned text table (x column + one column
     /// per series, times in microseconds).
     pub fn to_table(&self) -> String {
@@ -57,9 +88,8 @@ impl Panel {
             let _ = write!(out, " {:>16}", s.label);
         }
         let _ = writeln!(out);
-        let xs: Vec<u64> = self.series.first().map_or(Vec::new(), |s| {
-            s.points.iter().map(|p| p.x).collect()
-        });
+        let xs: Vec<u64> =
+            self.series.first().map_or(Vec::new(), |s| s.points.iter().map(|p| p.x).collect());
         for (i, x) in xs.iter().enumerate() {
             let _ = write!(out, "{x:>12}");
             for s in &self.series {

@@ -1,11 +1,10 @@
 //! The constraint datatype.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
-use tpq_base::TypeId;
+use tpq_base::{Json, TypeId};
 
 /// One integrity constraint (Figure 1(b) of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Constraint {
     /// `t1 -> t2`: every `t1` node has a *child* of type `t2`.
     RequiredChild(TypeId, TypeId),
@@ -39,6 +38,35 @@ impl Constraint {
     pub fn is_trivial(self) -> bool {
         matches!(self, Constraint::CoOccurrence(a, b) if a == b)
     }
+
+    /// JSON form: `{"kind": "->", "lhs": 0, "rhs": 1}` with the kind spelled
+    /// as the DSL arrow (`->`, `->>`, `~`).
+    pub fn to_json(self) -> Json {
+        let kind = match self {
+            Constraint::RequiredChild(..) => "->",
+            Constraint::RequiredDescendant(..) => "->>",
+            Constraint::CoOccurrence(..) => "~",
+        };
+        Json::object(vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("lhs", Json::Int(self.lhs().0 as i64)),
+            ("rhs", Json::Int(self.rhs().0 as i64)),
+        ])
+    }
+
+    /// Inverse of [`Constraint::to_json`].
+    pub fn from_json(json: &Json) -> Option<Constraint> {
+        let side = |key| {
+            json.get(key).and_then(Json::as_i64).and_then(|i| u32::try_from(i).ok()).map(TypeId)
+        };
+        let (lhs, rhs) = (side("lhs")?, side("rhs")?);
+        Some(match json.get("kind")?.as_str()? {
+            "->" => Constraint::RequiredChild(lhs, rhs),
+            "->>" => Constraint::RequiredDescendant(lhs, rhs),
+            "~" => Constraint::CoOccurrence(lhs, rhs),
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Constraint {
@@ -70,12 +98,23 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trips() {
+        for c in [
+            Constraint::RequiredChild(TypeId(0), TypeId(1)),
+            Constraint::RequiredDescendant(TypeId(2), TypeId(3)),
+            Constraint::CoOccurrence(TypeId(4), TypeId(4)),
+        ] {
+            let text = c.to_json().to_string_compact();
+            let back = Constraint::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(c, back);
+        }
+        assert_eq!(Constraint::from_json(&Json::Null), None);
+    }
+
+    #[test]
     fn display_forms() {
         assert_eq!(Constraint::RequiredChild(TypeId(0), TypeId(1)).to_string(), "t0 -> t1");
-        assert_eq!(
-            Constraint::RequiredDescendant(TypeId(0), TypeId(1)).to_string(),
-            "t0 ->> t1"
-        );
+        assert_eq!(Constraint::RequiredDescendant(TypeId(0), TypeId(1)).to_string(), "t0 ->> t1");
         assert_eq!(Constraint::CoOccurrence(TypeId(0), TypeId(1)).to_string(), "t0 ~ t1");
     }
 }

@@ -25,10 +25,8 @@ pub fn parse_constraints(input: &str, types: &mut TypeInterner) -> Result<Constr
         if line.is_empty() {
             continue;
         }
-        let c = parse_line(line, types).map_err(|message| Error::ConstraintParse {
-            line: lineno + 1,
-            message,
-        })?;
+        let c = parse_line(line, types)
+            .map_err(|message| Error::ConstraintParse { line: lineno + 1, message })?;
         set.insert(c);
     }
     Ok(set)
@@ -69,11 +67,9 @@ mod tests {
     #[test]
     fn parses_all_three_kinds() {
         let mut tys = TypeInterner::new();
-        let s = parse_constraints(
-            "Book -> Title\nBook ->> LastName\nEmployee ~ Person\n",
-            &mut tys,
-        )
-        .unwrap();
+        let s =
+            parse_constraints("Book -> Title\nBook ->> LastName\nEmployee ~ Person\n", &mut tys)
+                .unwrap();
         let (book, title) = (tys.lookup("Book").unwrap(), tys.lookup("Title").unwrap());
         let last = tys.lookup("LastName").unwrap();
         let (emp, person) = (tys.lookup("Employee").unwrap(), tys.lookup("Person").unwrap());

@@ -174,7 +174,8 @@ mod tests {
         let mut tys = TypeInterner::new();
         let doc = parse_xml("<Book/>", &mut tys).unwrap();
         let book = tys.lookup("Book").unwrap();
-        let (title, author, last) = (tys.intern("Title"), tys.intern("Author"), tys.intern("LastName"));
+        let (title, author, last) =
+            (tys.intern("Title"), tys.intern("Author"), tys.intern("LastName"));
         let set = ConstraintSet::from_iter([
             RequiredChild(book, title),
             RequiredChild(book, author),
@@ -202,11 +203,9 @@ mod tests {
     #[test]
     fn repair_satisfies_constraints_on_nodes_it_adds() {
         // a ->> b, b -> c: repairing an <a/> must produce the whole chain.
-        let set = ConstraintSet::from_iter([
-            RequiredDescendant(t(0), t(1)),
-            RequiredChild(t(1), t(2)),
-        ])
-        .closure();
+        let set =
+            ConstraintSet::from_iter([RequiredDescendant(t(0), t(1)), RequiredChild(t(1), t(2))])
+                .closure();
         let doc = Document::new(t(0));
         let fixed = repair(&doc, &set).unwrap();
         assert!(satisfies(&fixed, &set));

@@ -21,11 +21,10 @@
 
 use crate::constraint::Constraint;
 use crate::set::ConstraintSet;
-use serde::{Deserialize, Serialize};
 use tpq_base::{Error, Result, TypeId, TypeInterner};
 
 /// Occurrence bounds of a content item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Multiplicity {
     /// Exactly one (no suffix).
     One,
@@ -45,7 +44,7 @@ impl Multiplicity {
 }
 
 /// One `element` declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElementDecl {
     /// The declared element type.
     pub name: TypeId,
@@ -55,7 +54,7 @@ pub struct ElementDecl {
 
 /// A parsed schema: element declarations plus class (co-occurrence)
 /// declarations.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     /// `element` declarations.
     pub elements: Vec<ElementDecl>,
@@ -170,9 +169,8 @@ mod tests {
     fn figure_1a_book_schema() {
         // The paper's Figure 1(a): Title required, Author minOccurs=1,
         // Chapter is a complex child (required here).
-        let (schema, tys) = parse(
-            "element Book = Title, Author+, Chapter\nelement Author = LastName, FirstName?",
-        );
+        let (schema, tys) =
+            parse("element Book = Title, Author+, Chapter\nelement Author = LastName, FirstName?");
         let set = schema.infer_closed();
         let t = |n: &str| tys.lookup(n).unwrap();
         assert!(set.has_required_child(t("Book"), t("Title")));

@@ -8,7 +8,6 @@
 //! is what makes CDM independent of the repository size (Figure 8(a)).
 
 use crate::constraint::Constraint;
-use serde::{Deserialize, Serialize};
 use tpq_base::{FxHashMap, FxHashSet, TypeId};
 
 /// Which of the three constraint kinds a pair belongs to.
@@ -21,7 +20,7 @@ enum Kind {
 
 /// A set of integrity constraints with O(1) pair lookups and per-type
 /// adjacency lists in both directions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ConstraintSet {
     child: FxHashSet<(TypeId, TypeId)>,
     desc: FxHashSet<(TypeId, TypeId)>,
@@ -39,7 +38,6 @@ impl ConstraintSet {
     pub fn new() -> Self {
         Self::default()
     }
-
 
     /// Insert a constraint; returns `true` if it was new. Trivial
     /// constraints (`t ~ t`) are ignored.
@@ -130,6 +128,7 @@ impl ConstraintSet {
     /// The closure has at most `O(T²)` constraints over `T` participating
     /// types (three pair-sets), matching the paper's quadratic size bound.
     pub fn closure(&self) -> ConstraintSet {
+        let _span = tpq_obs::span!("constraints.closure");
         let mut out = self.clone();
         let mut work: Vec<Constraint> = out.iter().collect();
         while let Some(c) = work.pop() {
@@ -208,10 +207,7 @@ impl ConstraintSet {
     ///
     /// Call on the closure; on a non-closed set this may miss cycles.
     pub fn is_finitely_satisfiable(&self) -> bool {
-        !self
-            .desc
-            .iter()
-            .any(|&(a, b)| a == b || self.desc.contains(&(b, a)))
+        !self.desc.iter().any(|&(a, b)| a == b || self.desc.contains(&(b, a)))
     }
 }
 
@@ -289,11 +285,8 @@ mod tests {
 
     #[test]
     fn closure_child_then_descendant_chains() {
-        let s = ConstraintSet::from_iter([
-            RequiredChild(t(0), t(1)),
-            RequiredChild(t(1), t(2)),
-        ])
-        .closure();
+        let s = ConstraintSet::from_iter([RequiredChild(t(0), t(1)), RequiredChild(t(1), t(2))])
+            .closure();
         // Children do not compose into children...
         assert!(!s.has_required_child(t(0), t(2)));
         // ...but do compose into descendants.
@@ -303,11 +296,8 @@ mod tests {
     #[test]
     fn closure_cooccurrence_transfers_constraints() {
         // Employee ~ Person, Person -> Name  ⟹  Employee -> Name.
-        let s = ConstraintSet::from_iter([
-            CoOccurrence(t(0), t(1)),
-            RequiredChild(t(1), t(2)),
-        ])
-        .closure();
+        let s = ConstraintSet::from_iter([CoOccurrence(t(0), t(1)), RequiredChild(t(1), t(2))])
+            .closure();
         assert!(s.has_required_child(t(0), t(2)));
         assert!(s.has_required_descendant(t(0), t(2)));
     }
@@ -315,21 +305,15 @@ mod tests {
     #[test]
     fn closure_rhs_cooccurrence_widens_targets() {
         // a -> b, b ~ c  ⟹  a -> c (the required child is also a c).
-        let s = ConstraintSet::from_iter([
-            RequiredChild(t(0), t(1)),
-            CoOccurrence(t(1), t(2)),
-        ])
-        .closure();
+        let s = ConstraintSet::from_iter([RequiredChild(t(0), t(1)), CoOccurrence(t(1), t(2))])
+            .closure();
         assert!(s.has_required_child(t(0), t(2)));
     }
 
     #[test]
     fn closure_cooccurrence_transitive() {
-        let s = ConstraintSet::from_iter([
-            CoOccurrence(t(0), t(1)),
-            CoOccurrence(t(1), t(2)),
-        ])
-        .closure();
+        let s = ConstraintSet::from_iter([CoOccurrence(t(0), t(1)), CoOccurrence(t(1), t(2))])
+            .closure();
         assert!(s.has_cooccurrence(t(0), t(2)));
         assert!(!s.has_cooccurrence(t(2), t(0)), "co-occurrence is directed");
     }
@@ -352,10 +336,8 @@ mod tests {
     fn closure_size_is_quadratic_bounded() {
         // A chain of n descendant constraints closes to n(n+1)/2 pairs.
         let n = 20u32;
-        let s = ConstraintSet::from_iter(
-            (0..n).map(|i| RequiredDescendant(t(i), t(i + 1))),
-        )
-        .closure();
+        let s =
+            ConstraintSet::from_iter((0..n).map(|i| RequiredDescendant(t(i), t(i + 1)))).closure();
         assert_eq!(s.len(), (n * (n + 1) / 2) as usize);
     }
 
@@ -375,11 +357,8 @@ mod tests {
 
     #[test]
     fn iter_round_trips() {
-        let cs = [
-            RequiredChild(t(0), t(1)),
-            RequiredDescendant(t(2), t(3)),
-            CoOccurrence(t(4), t(5)),
-        ];
+        let cs =
+            [RequiredChild(t(0), t(1)), RequiredDescendant(t(2), t(3)), CoOccurrence(t(4), t(5))];
         let s = ConstraintSet::from_iter(cs);
         let mut back: Vec<_> = s.iter().collect();
         back.sort();

@@ -50,6 +50,7 @@ pub fn acim_closed(
     closed: &ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> TreePattern {
+    let _span = tpq_obs::span!("acim");
     let t0 = Instant::now();
     let mut work = q.clone();
     let allowed = present_types(&work);
@@ -64,7 +65,7 @@ pub fn acim_closed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::containment::{equivalent_under, equivalent};
+    use crate::containment::{equivalent, equivalent_under};
     use tpq_base::TypeInterner;
     use tpq_constraints::parse_constraints;
     use tpq_pattern::{isomorphic, parse_pattern};
@@ -88,10 +89,7 @@ mod tests {
     fn required_child_removes_leaf() {
         // "find the title and author of books that have a publisher" with
         // "every book has a publisher" (Section 1).
-        let (q, ics, mut tys) = setup(
-            "Book*[/Title][/Author][/Publisher]",
-            "Book -> Publisher",
-        );
+        let (q, ics, mut tys) = setup("Book*[/Title][/Author][/Publisher]", "Book -> Publisher");
         let m = acim(&q, &ics);
         let expected = parse_pattern("Book*[/Title][/Author]", &mut tys).unwrap();
         assert!(isomorphic(&m, &expected));
@@ -141,10 +139,8 @@ mod tests {
         // /Article*//Section. With Section ->> Paragraph, augmentation
         // temporarily re-adds a Paragraph below Section, the left branch
         // folds, and the result is 2(e).
-        let (q, ics, mut tys) = setup(
-            "Articles[/Article//Paragraph]/Article*//Section",
-            "Section ->> Paragraph",
-        );
+        let (q, ics, mut tys) =
+            setup("Articles[/Article//Paragraph]/Article*//Section", "Section ->> Paragraph");
         let m = acim(&q, &ics);
         let e = parse_pattern("Articles/Article*//Section", &mut tys).unwrap();
         assert!(isomorphic(&m, &e));

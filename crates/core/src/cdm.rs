@@ -77,12 +77,14 @@ pub fn cdm_in_place(
     closed: &ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> usize {
+    let _span = tpq_obs::span!("cdm");
     let mut total = 0;
     loop {
         let removed_before = total;
         let root = q.root();
         let _ = process(q, closed, root, &mut total);
         stats.cdm_removed += total - removed_before;
+        tpq_obs::incr("cdm_removed", (total - removed_before) as u64);
         if total == removed_before {
             break;
         }
@@ -106,13 +108,8 @@ fn process(
         infos: Vec<(NodeId, InfoContent)>,
     }
     fn frame(q: &TreePattern, node: NodeId) -> Frame {
-        let children: Vec<NodeId> = q
-            .node(node)
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| q.is_alive(c))
-            .collect();
+        let children: Vec<NodeId> =
+            q.node(node).children.iter().copied().filter(|&c| q.is_alive(c)).collect();
         Frame { node, infos: Vec::with_capacity(children.len()), children, next: 0 }
     }
     let mut stack = vec![frame(q, start)];
@@ -278,10 +275,7 @@ mod tests {
     fn condition_3_sibling_cooccurrence() {
         // Figure 2(f) core: Employee c-child is subsumed by the PermEmp
         // c-child since PermEmp ~ Employee.
-        let (q, m, ics, _) = run(
-            "Organization*[/Employee][/PermEmp]",
-            "PermEmp ~ Employee",
-        );
+        let (q, m, ics, _) = run("Organization*[/Employee][/PermEmp]", "PermEmp ~ Employee");
         assert_eq!(m.size(), 2);
         // The PermEmp child must be the survivor.
         assert!(equivalent_under(&q, &m, &ics));
@@ -301,10 +295,8 @@ mod tests {
     fn condition_4_deep_witness() {
         // The Paragraph d-leaf under Article is witnessed by the deep
         // Section node (Section ->> Paragraph), Figure 2(b) reasoning.
-        let (q, m, ics, mut tys) = run(
-            "Article*[//Paragraph]//Section//Paragraph",
-            "Section ->> Paragraph",
-        );
+        let (q, m, ics, mut tys) =
+            run("Article*[//Paragraph]//Section//Paragraph", "Section ->> Paragraph");
         // Both Paragraphs go: the deep one by condition 2 at Section, the
         // shallow one by condition 4 at Article (witness Section).
         let want = parse_pattern("Article*//Section", &mut tys).unwrap();
@@ -359,10 +351,7 @@ mod tests {
         // local removals. We exercise a compact variant:
         //   t1*[//t2[//t5[/t6]][/t6]] with t5 -> t6 and t2 -> t6:
         //   both t6 leaves vanish.
-        let (q, m, ics, _) = run(
-            "t1*[//t2[//t5[/t6]][/t6]]",
-            "t5 -> t6\nt2 -> t6",
-        );
+        let (q, m, ics, _) = run("t1*[//t2[//t5[/t6]][/t6]]", "t5 -> t6\nt2 -> t6");
         assert_eq!(m.size(), 3);
         assert!(equivalent_under(&q, &m, &ics));
     }
@@ -387,10 +376,8 @@ mod tests {
 
     #[test]
     fn cdm_is_idempotent() {
-        let (_, m, ics, _) = run(
-            "Book*[/Title][/Publisher][//LastName]",
-            "Book -> Publisher\nBook ->> LastName",
-        );
+        let (_, m, ics, _) =
+            run("Book*[/Title][/Publisher][//LastName]", "Book -> Publisher\nBook ->> LastName");
         let again = cdm(&m, &ics);
         assert!(isomorphic(&m, &again));
     }

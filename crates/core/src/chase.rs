@@ -62,6 +62,7 @@ pub fn augment(
     allowed_rhs: &FxHashSet<TypeId>,
     stats: &mut MinimizeStats,
 ) -> usize {
+    let _span = tpq_obs::span!("acim.augment");
     let originals: Vec<NodeId> = q.alive_ids().filter(|&v| !q.node(v).temporary).collect();
     // Phase 1: co-occurrence types. One pass suffices on a closed set.
     for &v in &originals {
@@ -108,6 +109,7 @@ pub fn augment(
         }
     }
     stats.augment_nodes_added += added;
+    tpq_obs::incr("augment_nodes_added", added as u64);
     added
 }
 
@@ -145,22 +147,17 @@ mod tests {
     fn augment_adds_temp_children_for_present_types_only() {
         let mut tys = TypeInterner::new();
         let mut q = parse_pattern("Book*[/Title][/Author]", &mut tys).unwrap();
-        let ics = parse_constraints(
-            "Book -> Title\nBook -> Publisher\nAuthor ->> LastName",
-            &mut tys,
-        )
-        .unwrap()
-        .closure();
+        let ics =
+            parse_constraints("Book -> Title\nBook -> Publisher\nAuthor ->> LastName", &mut tys)
+                .unwrap()
+                .closure();
         let allowed = present_types(&q);
         let mut stats = MinimizeStats::default();
         let added = augment(&mut q, &ics, &allowed, &mut stats);
         // Only Book -> Title fires: Publisher and LastName are not in the
         // query.
         assert_eq!(added, 1);
-        let temp = q
-            .alive_ids()
-            .find(|&v| q.node(v).temporary)
-            .expect("one temp node");
+        let temp = q.alive_ids().find(|&v| q.node(v).temporary).expect("one temp node");
         assert_eq!(tys.name(q.node(temp).primary), "Title");
         assert_eq!(q.node(temp).edge, EdgeKind::Child);
         assert_eq!(q.node(temp).parent, Some(q.root()));

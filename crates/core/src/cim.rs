@@ -42,6 +42,10 @@ pub fn cim_with_stats(q: &TreePattern, stats: &mut MinimizeStats) -> TreePattern
 /// node ids, in removal order — an elimination ordering witnessing the
 /// minimization.
 pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeId> {
+    let _span = tpq_obs::span!("cim");
+    let tests = tpq_obs::counter("redundancy_tests");
+    let removals = tpq_obs::counter("cim_removed");
+    let obs_on = tpq_obs::enabled();
     let mut removed = Vec::new();
     let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
     loop {
@@ -58,10 +62,16 @@ pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeI
                 continue;
             }
             stats.redundancy_tests += 1;
+            if obs_on {
+                tests.add(1);
+            }
             if redundant_leaf_with_stats(q, l, stats) {
                 remove_q_leaf(q, l);
                 removed.push(l);
                 stats.cim_removed += 1;
+                if obs_on {
+                    removals.add(1);
+                }
                 progress = true;
             } else {
                 non_redundant.insert(l);
@@ -78,21 +88,14 @@ pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeI
 /// candidates. Temporary children are virtual and do not keep a node
 /// internal.
 fn q_leaves(q: &TreePattern) -> Vec<NodeId> {
-    q.alive_ids()
-        .filter(|&v| !q.node(v).temporary && original_children(q, v).is_empty())
-        .collect()
+    q.alive_ids().filter(|&v| !q.node(v).temporary && original_children(q, v).is_empty()).collect()
 }
 
 /// Remove an original leaf, detaching any temporary children it carries
 /// first (they were hung under it by augmentation and die with it).
 fn remove_q_leaf(q: &mut TreePattern, l: NodeId) {
-    let temps: Vec<NodeId> = q
-        .node(l)
-        .children
-        .iter()
-        .copied()
-        .filter(|&c| q.is_alive(c))
-        .collect();
+    let temps: Vec<NodeId> =
+        q.node(l).children.iter().copied().filter(|&c| q.is_alive(c)).collect();
     for t in temps {
         debug_assert!(q.node(t).temporary);
         q.remove_subtree(t).expect("temp subtree is removable");
@@ -183,10 +186,7 @@ mod tests {
     #[test]
     fn figure_2h_to_2i() {
         let mut tys = TypeInterner::new();
-        let q = p(
-            "OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject",
-            &mut tys,
-        );
+        let q = p("OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject", &mut tys);
         let m = cim(&q);
         let expected = p("OrgUnit*/Dept/Researcher//DBProject", &mut tys);
         assert!(isomorphic(&m, &expected), "Figure 2(h) minimizes to 2(i)");
@@ -196,10 +196,7 @@ mod tests {
     #[test]
     fn figure_2b_to_2c() {
         let mut tys = TypeInterner::new();
-        let b = p(
-            "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
-            &mut tys,
-        );
+        let b = p("Articles[/Article//Paragraph]/Article*//Section//Paragraph", &mut tys);
         let m = cim(&b);
         let c = p("Articles/Article*//Section//Paragraph", &mut tys);
         assert!(isomorphic(&m, &c), "Figure 2(b) minimizes to 2(c)");

@@ -40,8 +40,7 @@ pub fn contains_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -
 /// `q1 ≡_Σ q2`: two-way containment under `ics`.
 pub fn equivalent_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -> bool {
     let closed = ics.closure();
-    ContainmentUnder::new(q1, q2, &closed).check()
-        && ContainmentUnder::new(q2, q1, &closed).check()
+    ContainmentUnder::new(q1, q2, &closed).check() && ContainmentUnder::new(q2, q1, &closed).check()
 }
 
 struct ContainmentUnder<'a> {
@@ -74,9 +73,7 @@ impl<'a> ContainmentUnder<'a> {
     /// Under `Σ`, does every database node matching `u` (types `u_types`)
     /// also carry type `t`? Direct membership or via co-occurrence.
     fn node_has_type(&self, u_types: &TypeSet, t: TypeId) -> bool {
-        u_types
-            .iter()
-            .any(|s| s == t || self.closed.has_cooccurrence(s, t))
+        u_types.iter().any(|s| s == t || self.closed.has_cooccurrence(s, t))
     }
 
     /// Is the q2 subtree rooted at `w`, reached over an edge of kind
@@ -100,14 +97,8 @@ impl<'a> ContainmentUnder<'a> {
             EdgeKind::Child => self.closed.required_children_of(basis).to_vec(),
             EdgeKind::Descendant => self.closed.required_descendants_of(basis).to_vec(),
         };
-        let children: Vec<NodeId> = self
-            .q2
-            .node(w)
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| self.q2.is_alive(c))
-            .collect();
+        let children: Vec<NodeId> =
+            self.q2.node(w).children.iter().copied().filter(|&c| self.q2.is_alive(c)).collect();
         let mut ok = false;
         'witness: for s in witnesses {
             if !self.covers(s, &need) {
@@ -149,9 +140,7 @@ impl<'a> ContainmentUnder<'a> {
                     .filter(|&z| z == u || self.q1_index.is_proper_ancestor(u, z))
                     .flat_map(|z| self.q1.node(z).types.iter().collect::<Vec<_>>())
                     .collect();
-                anchors
-                    .into_iter()
-                    .any(|t| self.guaranteed(t, w, EdgeKind::Descendant))
+                anchors.into_iter().any(|t| self.guaranteed(t, w, EdgeKind::Descendant))
             }
         }
     }
@@ -181,14 +170,8 @@ impl<'a> ContainmentUnder<'a> {
                 .collect();
         }
         for v in self.q2.post_order() {
-            let children: Vec<NodeId> = self
-                .q2
-                .node(v)
-                .children
-                .iter()
-                .copied()
-                .filter(|&c| self.q2.is_alive(c))
-                .collect();
+            let children: Vec<NodeId> =
+                self.q2.node(v).children.iter().copied().filter(|&c| self.q2.is_alive(c)).collect();
             if children.is_empty() {
                 continue;
             }
@@ -281,11 +264,9 @@ mod tests {
     #[test]
     fn containment_under_needs_the_right_edge_kind() {
         // Book ->> LastName does NOT imply a LastName *child*.
-        let (plain, with_child, ics, _) =
-            setup("Book*", "Book*/LastName", "Book ->> LastName");
+        let (plain, with_child, ics, _) = setup("Book*", "Book*/LastName", "Book ->> LastName");
         assert!(!contains_under(&plain, &with_child, &ics));
-        let (plain2, with_desc, ics2, _) =
-            setup("Book*", "Book*//LastName", "Book ->> LastName");
+        let (plain2, with_desc, ics2, _) = setup("Book*", "Book*//LastName", "Book ->> LastName");
         assert!(contains_under(&plain2, &with_desc, &ics2));
     }
 
@@ -303,8 +284,7 @@ mod tests {
     #[test]
     fn cooccurrence_containment() {
         // PermEmp ~ Employee: Org*/PermEmp ⊆_Σ Org*/Employee.
-        let (perm, emp, ics, _) =
-            setup("Org*/PermEmp", "Org*/Employee", "PermEmp ~ Employee");
+        let (perm, emp, ics, _) = setup("Org*/PermEmp", "Org*/Employee", "PermEmp ~ Employee");
         assert!(contains_under(&perm, &emp, &ics));
         assert!(!contains_under(&emp, &perm, &ics), "co-occurrence is directed");
         assert!(!contains(&perm, &emp), "not contained without the IC");
@@ -350,19 +330,13 @@ mod tests {
     fn d_edge_guarantee_anchors_on_descendant_nodes() {
         // The Paragraph below Article* is guaranteed through the Section
         // descendant, not through Article*'s own type.
-        let (small, big, ics, _) = setup(
-            "Article*//Section",
-            "Article*[//Paragraph]//Section",
-            "Section ->> Paragraph",
-        );
+        let (small, big, ics, _) =
+            setup("Article*//Section", "Article*[//Paragraph]//Section", "Section ->> Paragraph");
         assert!(contains_under(&small, &big, &ics));
         assert!(!contains(&small, &big));
         // A c-edge cannot be anchored on a descendant.
-        let (small2, big2, ics2, _) = setup(
-            "Article*//Section",
-            "Article*[/Paragraph]//Section",
-            "Section ->> Paragraph",
-        );
+        let (small2, big2, ics2, _) =
+            setup("Article*//Section", "Article*[/Paragraph]//Section", "Section ->> Paragraph");
         assert!(!contains_under(&small2, &big2, &ics2));
     }
 
@@ -385,11 +359,8 @@ mod tests {
     fn guarantees_inside_branches() {
         // d-edge guarantee with inner structure: every Dept has a Manager
         // descendant who (by ~) is a Person. Org*//Dept ⊆ Org*//Dept[//Person].
-        let (lhs, rhs, ics, _) = setup(
-            "Org*//Dept",
-            "Org*//Dept//Person",
-            "Dept ->> Manager\nManager ~ Person",
-        );
+        let (lhs, rhs, ics, _) =
+            setup("Org*//Dept", "Org*//Dept//Person", "Dept ->> Manager\nManager ~ Person");
         assert!(contains_under(&lhs, &rhs, &ics));
     }
 }

@@ -48,6 +48,7 @@ impl CimEngine {
     /// Build the engine: ancestor/descendant index plus the globally
     /// pruned images table (timed into `stats.tables_time`).
     pub fn new(q: TreePattern, stats: &mut MinimizeStats) -> Self {
+        let _span = tpq_obs::span!("acim.tables");
         let t0 = Instant::now();
         let index = PatIndex::build(&q);
         let base = pruned_candidates(&q, &q, &index, None);
@@ -87,6 +88,7 @@ impl CimEngine {
     /// The pre/post index stays valid: deleting leaves never changes the
     /// relative order of surviving nodes.
     fn apply_removal(&mut self, l: NodeId, dead_temps: &[NodeId], stats: &mut MinimizeStats) {
+        let _span = tpq_obs::span!("acim.tables");
         let t0 = Instant::now();
         let ancestors: Vec<NodeId> = self.q.ancestors(l).collect();
         let anc_set: FxHashSet<NodeId> = ancestors.iter().copied().collect();
@@ -147,22 +149,19 @@ impl CimEngine {
             EdgeKind::Child => child_set.iter().any(|&u2| {
                 self.q.node(u2).edge == EdgeKind::Child && self.q.node(u2).parent == Some(u)
             }),
-            EdgeKind::Descendant => child_set
-                .iter()
-                .any(|&u2| self.index.is_proper_ancestor(u, u2)),
+            EdgeKind::Descendant => {
+                child_set.iter().any(|&u2| self.index.is_proper_ancestor(u, u2))
+            }
         }
     }
 
     /// Figure 3 redundancy test via the overlay walk. `l` must be an
     /// original leaf (no original children), not the root or output node.
     pub fn test_leaf(&self, l: NodeId) -> bool {
+        let _span = tpq_obs::span!("acim.scan");
         debug_assert!(original_children(&self.q, l).is_empty());
         let mut overlay: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
-        let start: Vec<NodeId> = self.base[l.index()]
-            .iter()
-            .copied()
-            .filter(|&u| u != l)
-            .collect();
+        let start: Vec<NodeId> = self.base[l.index()].iter().copied().filter(|&u| u != l).collect();
         if start.is_empty() {
             return false;
         }
@@ -191,6 +190,9 @@ impl CimEngine {
 
     /// Run the MEO loop to completion. Returns removed node ids in order.
     pub fn run(&mut self, stats: &mut MinimizeStats) -> Vec<NodeId> {
+        let tests = tpq_obs::counter("redundancy_tests");
+        let removals = tpq_obs::counter("cim_removed");
+        let obs_on = tpq_obs::enabled();
         let mut removed = Vec::new();
         let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
         loop {
@@ -214,6 +216,9 @@ impl CimEngine {
                     continue;
                 }
                 stats.redundancy_tests += 1;
+                if obs_on {
+                    tests.add(1);
+                }
                 if self.test_leaf(l) {
                     // Remove l and its temporary children, then maintain
                     // the tables incrementally.
@@ -233,6 +238,9 @@ impl CimEngine {
                     self.apply_removal(l, &temps, stats);
                     removed.push(l);
                     stats.cim_removed += 1;
+                    if obs_on {
+                        removals.add(1);
+                    }
                     progress = true;
                 } else {
                     non_redundant.insert(l);
@@ -268,6 +276,7 @@ pub fn acim_incremental_closed(
     closed: &tpq_constraints::ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> TreePattern {
+    let _span = tpq_obs::span!("acim");
     let t0 = Instant::now();
     let mut work = q.clone();
     let allowed = crate::chase::present_types(&work);

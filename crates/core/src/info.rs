@@ -116,13 +116,8 @@ pub fn propagate(q: &TreePattern) -> Vec<Option<InfoContent>> {
     let mut out: Vec<Option<InfoContent>> = vec![None; q.arena_len()];
     for v in q.post_order() {
         let mut info = InfoContent::leaf(q.node(v).primary);
-        let children: Vec<NodeId> = q
-            .node(v)
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| q.is_alive(c))
-            .collect();
+        let children: Vec<NodeId> =
+            q.node(v).children.iter().copied().filter(|&c| q.is_alive(c)).collect();
         for c in children {
             let child_info = out[c.index()].take().expect("post-order: child processed");
             info.absorb_child(q, c, &child_info);
@@ -158,11 +153,7 @@ mod tests {
         let q = parse_pattern("t1*//t2//t5/t4", &mut tys).unwrap();
         let infos = propagate(&q);
         let t = |n: &str| tys.lookup(n).unwrap();
-        let find = |name: &str| {
-            q.alive_ids()
-                .find(|&v| q.node(v).primary == t(name))
-                .unwrap()
-        };
+        let find = |name: &str| q.alive_ids().find(|&v| q.node(v).primary == t(name)).unwrap();
         let i4 = infos[find("t4").index()].as_ref().unwrap();
         assert_eq!(i4.self_type, t("t4"));
         assert!(!i4.self_constrained);
@@ -229,11 +220,7 @@ mod tests {
         let root_info = infos[q.root().index()].as_ref().unwrap();
         // Two plain a-obligations of type y (distinct sources) + one p x.
         let t = |n: &str| tys.lookup(n).unwrap();
-        let y_obs: Vec<_> = root_info
-            .obligations
-            .iter()
-            .filter(|o| o.ty == t("y"))
-            .collect();
+        let y_obs: Vec<_> = root_info.obligations.iter().filter(|o| o.ty == t("y")).collect();
         assert_eq!(y_obs.len(), 2);
         assert!(y_obs.iter().all(|o| !o.constrained && o.source.is_some()));
         assert_ne!(y_obs[0].source, y_obs[1].source);
@@ -247,11 +234,7 @@ mod tests {
         let infos = propagate(&q);
         let root_info = infos[q.root().index()].as_ref().unwrap();
         let t = |n: &str| tys.lookup(n).unwrap();
-        let c_obs: Vec<_> = root_info
-            .obligations
-            .iter()
-            .filter(|o| o.ty == t("c"))
-            .collect();
+        let c_obs: Vec<_> = root_info.obligations.iter().filter(|o| o.ty == t("c")).collect();
         assert_eq!(c_obs.len(), 1, "constrained duplicates merge");
         assert!(c_obs[0].constrained);
     }

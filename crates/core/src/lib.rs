@@ -68,7 +68,9 @@ pub use cdm::{cdm, cdm_closed, cdm_in_place, cdm_with_stats};
 pub use chase::{augment, chase};
 pub use cim::{cim, cim_in_place, cim_with_order, cim_with_stats};
 pub use containment::{contains, contains_under, equivalent, equivalent_under};
-pub use incremental::{acim_incremental_closed, cim_incremental, cim_incremental_with_stats, CimEngine};
+pub use incremental::{
+    acim_incremental_closed, cim_incremental, cim_incremental_with_stats, CimEngine,
+};
 pub use local::locally_redundant_leaves;
 pub use mapping::{has_homomorphism, has_homomorphism_naive};
 pub use pipeline::{minimize, minimize_with, MinimizeOutcome, Strategy};

@@ -33,9 +33,8 @@ fn is_locally_redundant(q: &TreePattern, closed: &ConstraintSet, l: NodeId) -> b
     // condition-free leaf; co-occurrence witnesses must entail the leaf's
     // conditions.
     let unconditioned = q.node(l).conditions.is_empty();
-    let entailed_by = |w: NodeId| {
-        tpq_pattern::condition::entails(&q.node(w).conditions, &q.node(l).conditions)
-    };
+    let entailed_by =
+        |w: NodeId| tpq_pattern::condition::entails(&q.node(w).conditions, &q.node(l).conditions);
     match q.node(l).edge {
         EdgeKind::Child => {
             // Condition (i): t1 -> t2.
@@ -44,16 +43,11 @@ fn is_locally_redundant(q: &TreePattern, closed: &ConstraintSet, l: NodeId) -> b
             }
             // Condition (iii): another c-child of v of a type co-occurring
             // with t2.
-            q.node(v)
-                .children
-                .iter()
-                .copied()
-                .filter(|&c| c != l && q.is_alive(c))
-                .any(|c| {
-                    q.node(c).edge == EdgeKind::Child
-                        && closed.has_cooccurrence(q.node(c).primary, t2)
-                        && entailed_by(c)
-                })
+            q.node(v).children.iter().copied().filter(|&c| c != l && q.is_alive(c)).any(|c| {
+                q.node(c).edge == EdgeKind::Child
+                    && closed.has_cooccurrence(q.node(c).primary, t2)
+                    && entailed_by(c)
+            })
         }
         EdgeKind::Descendant => {
             // Condition (ii): t1 ->> t2.
@@ -73,25 +67,14 @@ fn is_locally_redundant(q: &TreePattern, closed: &ConstraintSet, l: NodeId) -> b
 
 fn descendants_except(q: &TreePattern, v: NodeId, skip: NodeId) -> Vec<NodeId> {
     let mut out = Vec::new();
-    let mut stack: Vec<NodeId> = q
-        .node(v)
-        .children
-        .iter()
-        .copied()
-        .filter(|&c| q.is_alive(c))
-        .collect();
+    let mut stack: Vec<NodeId> =
+        q.node(v).children.iter().copied().filter(|&c| q.is_alive(c)).collect();
     while let Some(n) = stack.pop() {
         if n == skip {
             continue;
         }
         out.push(n);
-        stack.extend(
-            q.node(n)
-                .children
-                .iter()
-                .copied()
-                .filter(|&c| q.is_alive(c)),
-        );
+        stack.extend(q.node(n).children.iter().copied().filter(|&c| q.is_alive(c)));
     }
     out
 }
@@ -115,10 +98,7 @@ mod tests {
         assert_eq!(audit("Book*[/Publisher][/x]", "Book -> Publisher"), 1);
         assert_eq!(audit("Book*[//LastName][/x]", "Book ->> LastName"), 1);
         assert_eq!(audit("O*[/Employee][/PermEmp]", "PermEmp ~ Employee"), 1);
-        assert_eq!(
-            audit("Article*[//Paragraph]//Section/x", "Section ->> Paragraph"),
-            1
-        );
+        assert_eq!(audit("Article*[//Paragraph]//Section/x", "Section ->> Paragraph"), 1);
     }
 
     #[test]

@@ -91,12 +91,7 @@ impl PatIndex {
 /// logically entail the source's: every data node matching `u` then also
 /// satisfies `v`'s conditions.
 #[inline]
-pub(crate) fn node_compatible(
-    from: &TreePattern,
-    v: NodeId,
-    to: &TreePattern,
-    u: NodeId,
-) -> bool {
+pub(crate) fn node_compatible(from: &TreePattern, v: NodeId, to: &TreePattern, u: NodeId) -> bool {
     (!from.node(v).output || to.node(u).output)
         && to.node(u).types.is_superset(&from.node(v).types)
         && tpq_pattern::condition::entails(&to.node(u).conditions, &from.node(v).conditions)
@@ -111,12 +106,7 @@ pub(crate) fn node_compatible(
 /// wrongly block removals (an original node whose only children are temps
 /// must be removable by mapping onto a temp, which has no children).
 pub(crate) fn original_children(q: &TreePattern, v: NodeId) -> Vec<NodeId> {
-    q.node(v)
-        .children
-        .iter()
-        .copied()
-        .filter(|&c| q.is_alive(c) && !q.node(c).temporary)
-        .collect()
+    q.node(v).children.iter().copied().filter(|&c| q.is_alive(c) && !q.node(c).temporary).collect()
 }
 
 /// Compute the pruned candidate sets ("images") for a homomorphism
@@ -141,11 +131,8 @@ pub(crate) fn pruned_candidates(
         if from.node(v).temporary {
             continue;
         }
-        let mut list: Vec<NodeId> = to_alive
-            .iter()
-            .copied()
-            .filter(|&u| node_compatible(from, v, to, u))
-            .collect();
+        let mut list: Vec<NodeId> =
+            to_alive.iter().copied().filter(|&u| node_compatible(from, v, to, u)).collect();
         if let Some((ev, eu)) = exclude {
             if ev == v {
                 list.retain(|&u| u != eu);
@@ -181,12 +168,12 @@ pub(crate) fn prune_node(
         let u = cand[v.index()][i];
         for &w in &children {
             let ok = match from.node(w).edge {
-                EdgeKind::Child => cand[w.index()]
-                    .iter()
-                    .any(|&u2| to.node(u2).edge == EdgeKind::Child && to.node(u2).parent == Some(u)),
-                EdgeKind::Descendant => cand[w.index()]
-                    .iter()
-                    .any(|&u2| to_index.is_proper_ancestor(u, u2)),
+                EdgeKind::Child => cand[w.index()].iter().any(|&u2| {
+                    to.node(u2).edge == EdgeKind::Child && to.node(u2).parent == Some(u)
+                }),
+                EdgeKind::Descendant => {
+                    cand[w.index()].iter().any(|&u2| to_index.is_proper_ancestor(u, u2))
+                }
             };
             if !ok {
                 continue 'outer;
@@ -224,16 +211,12 @@ pub fn find_homomorphism(
         let u = map[&v];
         for w in original_children(from, v) {
             let u2 = match from.node(w).edge {
-                EdgeKind::Child => cand[w.index()]
-                    .iter()
-                    .copied()
-                    .find(|&u2| {
-                        to.node(u2).edge == EdgeKind::Child && to.node(u2).parent == Some(u)
-                    }),
-                EdgeKind::Descendant => cand[w.index()]
-                    .iter()
-                    .copied()
-                    .find(|&u2| to_index.is_proper_ancestor(u, u2)),
+                EdgeKind::Child => cand[w.index()].iter().copied().find(|&u2| {
+                    to.node(u2).edge == EdgeKind::Child && to.node(u2).parent == Some(u)
+                }),
+                EdgeKind::Descendant => {
+                    cand[w.index()].iter().copied().find(|&u2| to_index.is_proper_ancestor(u, u2))
+                }
             }
             .expect("pruned candidate sets are exact");
             map.insert(w, u2);
@@ -247,11 +230,8 @@ pub fn find_homomorphism(
 /// [`has_homomorphism`]; used for cross-validation only.
 pub fn has_homomorphism_naive(from: &TreePattern, to: &TreePattern) -> bool {
     let to_index = PatIndex::build(to);
-    let order: Vec<NodeId> = from
-        .pre_order()
-        .into_iter()
-        .filter(|&v| !from.node(v).temporary)
-        .collect();
+    let order: Vec<NodeId> =
+        from.pre_order().into_iter().filter(|&v| !from.node(v).temporary).collect();
     let mut assignment: FxHashMap<NodeId, NodeId> = FxHashMap::default();
     backtrack(from, to, &to_index, &order, 0, &mut assignment)
 }
@@ -275,7 +255,9 @@ fn backtrack(
         }
         if let Some(pu) = parent_img {
             let ok = match from.node(v).edge {
-                EdgeKind::Child => to.node(u).edge == EdgeKind::Child && to.node(u).parent == Some(pu),
+                EdgeKind::Child => {
+                    to.node(u).edge == EdgeKind::Child && to.node(u).parent == Some(pu)
+                }
                 EdgeKind::Descendant => to_index.is_proper_ancestor(pu, u),
             };
             if !ok {
@@ -310,7 +292,9 @@ pub fn is_valid_homomorphism(
         if let Some(p) = from.node(v).parent {
             let Some(&pu) = map.get(&p) else { return false };
             let ok = match from.node(v).edge {
-                EdgeKind::Child => to.node(u).edge == EdgeKind::Child && to.node(u).parent == Some(pu),
+                EdgeKind::Child => {
+                    to.node(u).edge == EdgeKind::Child && to.node(u).parent == Some(pu)
+                }
                 EdgeKind::Descendant => to_index.is_proper_ancestor(pu, u),
             };
             if !ok {
@@ -445,21 +429,13 @@ mod tests {
         let mut tys = TypeInterner::new();
         let mut q = p("a*[/b/c][//d]/e", &mut tys);
         // Remove a leaf so the index must handle tombstones.
-        let d = q
-            .leaves()
-            .into_iter()
-            .find(|&l| tys.name(q.node(l).primary) == "d")
-            .unwrap();
+        let d = q.leaves().into_iter().find(|&l| tys.name(q.node(l).primary) == "d").unwrap();
         q.remove_leaf(d).unwrap();
         let idx = PatIndex::build(&q);
         let alive: Vec<NodeId> = q.alive_ids().collect();
         for &a in &alive {
             for &b in &alive {
-                assert_eq!(
-                    idx.is_proper_ancestor(a, b),
-                    q.is_proper_ancestor(a, b),
-                    "{a} anc {b}"
-                );
+                assert_eq!(idx.is_proper_ancestor(a, b), q.is_proper_ancestor(a, b), "{a} anc {b}");
             }
         }
     }

@@ -114,10 +114,8 @@ mod tests {
 
     #[test]
     fn stats_total_time_covers_phases() {
-        let (q, ics, _) = setup(
-            "Book*[/Title][/Publisher][//LastName]",
-            "Book -> Publisher\nBook ->> LastName",
-        );
+        let (q, ics, _) =
+            setup("Book*[/Title][/Publisher][//LastName]", "Book -> Publisher\nBook ->> LastName");
         let out = minimize(&q, &ics);
         assert!(out.stats.total_time >= out.stats.tables_time);
         assert!(out.stats.total_removed() >= 1);

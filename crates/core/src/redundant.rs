@@ -48,13 +48,11 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
     // Images are keyed by original (non-temporary) nodes — the
     // homomorphism domain. Targets include temporary nodes: that is how
     // ACIM's augmentation makes IC-implied leaves removable.
+    let tables_span = tpq_obs::span!("acim.tables");
     let t0 = Instant::now();
     let index = PatIndex::build(q);
     let targets: Vec<NodeId> = q.alive_ids().collect();
-    let originals: Vec<NodeId> = q
-        .alive_ids()
-        .filter(|&v| !q.node(v).temporary)
-        .collect();
+    let originals: Vec<NodeId> = q.alive_ids().filter(|&v| !q.node(v).temporary).collect();
     let mut images: Vec<Vec<NodeId>> = vec![Vec::new(); q.arena_len()];
     for &v in &originals {
         images[v.index()] = targets
@@ -64,6 +62,7 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
             .collect();
     }
     stats.tables_time += t0.elapsed();
+    drop(tables_span);
 
     // If no candidate exists for l at all, it cannot move anywhere.
     if images[l.index()].is_empty() {
@@ -71,6 +70,7 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
     }
 
     // --- Walk up from l, minimizing images on demand (Figure 3). ---
+    let _scan_span = tpq_obs::span!("acim.scan");
     let mut marked = vec![false; q.arena_len()];
     marked[l.index()] = true;
     // All (original-children-free) leaves start marked: their images need
@@ -161,11 +161,7 @@ mod tests {
         assert!(redundant_leaf(&q, branch_leaf));
         assert!(redundant_reference(&q, branch_leaf));
         // The deep DBProject (under Manager) is NOT redundant.
-        let deep = *q
-            .leaves()
-            .iter()
-            .find(|&&l| l != branch_leaf)
-            .unwrap();
+        let deep = *q.leaves().iter().find(|&&l| l != branch_leaf).unwrap();
         assert!(!redundant_leaf(&q, deep));
         assert!(!redundant_reference(&q, deep));
     }

@@ -58,6 +58,7 @@ impl Minimizer {
 
     /// Minimize one query.
     pub fn minimize(&self, q: &TreePattern) -> MinimizeOutcome {
+        let _span = tpq_obs::span!("minimize");
         let mut stats = MinimizeStats::default();
         let t0 = Instant::now();
         let pattern = match self.strategy {
@@ -113,11 +114,7 @@ mod tests {
 
     fn setup() -> (Minimizer, TypeInterner) {
         let mut tys = TypeInterner::new();
-        let ics = parse_constraints(
-            "Article -> Title\nSection ->> Paragraph",
-            &mut tys,
-        )
-        .unwrap();
+        let ics = parse_constraints("Article -> Title\nSection ->> Paragraph", &mut tys).unwrap();
         (Minimizer::new(&ics), tys)
     }
 
@@ -156,12 +153,9 @@ mod tests {
         let mut tys = TypeInterner::new();
         let ics = parse_constraints("a -> b", &mut tys).unwrap();
         let q = parse_pattern("a*[/b][/c]", &mut tys).unwrap();
-        for strategy in [
-            Strategy::CimOnly,
-            Strategy::AcimOnly,
-            Strategy::CdmOnly,
-            Strategy::CdmThenAcim,
-        ] {
+        for strategy in
+            [Strategy::CimOnly, Strategy::AcimOnly, Strategy::CdmOnly, Strategy::CdmThenAcim]
+        {
             let mini = Minimizer::with_strategy(&ics, strategy);
             let m = mini.minimize(&q).pattern;
             match strategy {

@@ -1,14 +1,14 @@
 //! Instrumentation counters for the minimization algorithms.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
+use tpq_base::Json;
 
 /// Measurements collected across a minimization run.
 ///
 /// `tables_time` isolates the construction of the images and
 /// ancestor/descendant tables, which Figure 7(b) of the paper reports as
 /// ~60 % of total ACIM time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinimizeStats {
     /// Wall time spent building images + ancestor/descendant tables.
     pub tables_time: Duration,
@@ -28,8 +28,9 @@ pub struct MinimizeStats {
 
 impl MinimizeStats {
     /// Merge another stats record into this one (durations and counters
-    /// add).
-    pub fn absorb(&mut self, other: &MinimizeStats) {
+    /// add). The record is `Copy`, so taking it by value costs nothing and
+    /// spares callers the `&other.clone()` dance `absorb` used to force.
+    pub fn merge(&mut self, other: MinimizeStats) {
         self.tables_time += other.tables_time;
         self.total_time += other.total_time;
         self.cim_removed += other.cim_removed;
@@ -37,6 +38,12 @@ impl MinimizeStats {
         self.augment_nodes_added += other.augment_nodes_added;
         self.augment_types_added += other.augment_types_added;
         self.redundancy_tests += other.redundancy_tests;
+    }
+
+    /// Merge by reference.
+    #[deprecated(since = "0.1.0", note = "use `merge`, which takes the record by value")]
+    pub fn absorb(&mut self, other: &MinimizeStats) {
+        self.merge(*other);
     }
 
     /// Fraction of total time spent building tables (0 when total is 0).
@@ -53,15 +60,29 @@ impl MinimizeStats {
     pub fn total_removed(&self) -> usize {
         self.cim_removed + self.cdm_removed
     }
+
+    /// JSON form with times in microseconds, matching the metrics report
+    /// schema (`docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("tables_micros", Json::Float(self.tables_time.as_secs_f64() * 1e6)),
+            ("total_micros", Json::Float(self.total_time.as_secs_f64() * 1e6)),
+            ("tables_fraction", Json::Float(self.tables_fraction())),
+            ("cim_removed", Json::Int(self.cim_removed as i64)),
+            ("cdm_removed", Json::Int(self.cdm_removed as i64)),
+            ("augment_nodes_added", Json::Int(self.augment_nodes_added as i64)),
+            ("augment_types_added", Json::Int(self.augment_types_added as i64)),
+            ("redundancy_tests", Json::Int(self.redundancy_tests as i64)),
+        ])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn absorb_adds_fields() {
-        let mut a = MinimizeStats {
+    fn sample() -> MinimizeStats {
+        MinimizeStats {
             tables_time: Duration::from_millis(10),
             total_time: Duration::from_millis(30),
             cim_removed: 2,
@@ -69,12 +90,27 @@ mod tests {
             augment_nodes_added: 4,
             augment_types_added: 5,
             redundancy_tests: 6,
-        };
-        a.absorb(&a.clone());
+        }
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = sample();
+        a.merge(a);
         assert_eq!(a.tables_time, Duration::from_millis(20));
         assert_eq!(a.cim_removed, 4);
         assert_eq!(a.total_removed(), 6);
         assert_eq!(a.redundancy_tests, 12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn absorb_still_matches_merge() {
+        let mut a = sample();
+        let mut b = sample();
+        a.absorb(&sample());
+        b.merge(sample());
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -86,5 +122,12 @@ mod tests {
             ..Default::default()
         };
         assert!((s.tables_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_form_exposes_counters() {
+        let j = sample().to_json();
+        assert_eq!(j.get("redundancy_tests").and_then(Json::as_i64), Some(6));
+        assert!(j.get("tables_fraction").and_then(Json::as_f64).unwrap() > 0.0);
     }
 }

@@ -1,0 +1,292 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! Exposes the subset of the `criterion` crate API the `tpq-bench` bench
+//! files use — `Criterion`, `benchmark_group`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples timer so the benches build and run without any
+//! external dependency. The statistics are deliberately plain (median and
+//! spread over `sample_size` timed batches after warmup); for
+//! publication-quality confidence intervals swap in the real crate.
+//!
+//! Environment knobs:
+//!
+//! * `TPQ_BENCH_SAMPLES` — override every group's sample count;
+//! * `TPQ_BENCH_FILTER` — substring filter on benchmark ids (the first CLI
+//!   argument acts the same way, mirroring `cargo bench -- <filter>`).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark inside a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("acim", 64)` renders as `acim/64`.
+    pub fn new<S: fmt::Display, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// A parameter-only id (parity with the real crate).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median and min/max per-iteration times, filled by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    ///
+    /// The routine is auto-batched so that one timed sample lasts roughly a
+    /// millisecond, then `self.samples` samples are recorded and summarized
+    /// by their median.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup + batch sizing: grow the batch until one batch costs
+        // ≥ ~1 ms or the batch is large enough to swamp timer noise.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        self.result = Some(Sample {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+            iters_per_sample: batch,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for API parity; the shim's auto-batching already bounds
+    /// wall time per benchmark.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Run one parameterized benchmark. The input reference is passed
+    /// through to the closure exactly like the real crate does.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, id: String, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.filter.is_empty() && !full.contains(&self.criterion.filter) {
+            return;
+        }
+        let samples = self.criterion.sample_override.unwrap_or(self.samples);
+        let mut bencher = Bencher { samples, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(s) => {
+                let per_iter = |d: Duration| d.as_secs_f64() * 1e9 / s.iters_per_sample as f64;
+                println!(
+                    "{full:<50} time: [{} {} {}]",
+                    fmt_ns(per_iter(s.min)),
+                    fmt_ns(per_iter(s.median)),
+                    fmt_ns(per_iter(s.max)),
+                );
+            }
+            None => println!("{full:<50} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// End the group (stateless in the shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: String,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards the filter as the first
+        // non-flag argument.
+        let filter = std::env::var("TPQ_BENCH_FILTER").ok().unwrap_or_else(|| {
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).unwrap_or_default()
+        });
+        let sample_override = std::env::var("TPQ_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok());
+        Criterion { filter, sample_override }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name, samples: 10 }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group(&id).bench_function("bench", f);
+        self
+    }
+
+    /// Hook for `criterion_main!`; nothing to flush in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, exactly like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the benchmark `main`, exactly like the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("acim", 64).to_string(), "acim/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { samples: 3, result: None };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let s = b.result.expect("iter records a sample");
+        assert!(s.median >= s.min && s.median <= s.max);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion { filter: String::new(), sample_override: Some(2) };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| {
+                ran = true;
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: "nope".into(), sample_override: None };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+}

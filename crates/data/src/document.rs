@@ -1,11 +1,10 @@
 //! Arena-based documents and forests.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tpq_base::{Error, Result, TypeId, TypeSet, Value};
 
 /// Index of a node inside a [`Document`] arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataNodeId(pub u32);
 
 impl DataNodeId {
@@ -24,7 +23,7 @@ impl fmt::Display for DataNodeId {
 
 /// One node of a document. Data nodes carry a *set* of types (Section 2.2:
 /// an `employee` entry is also a `person`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataNode {
     /// The element name / primary object class.
     pub primary: TypeId,
@@ -35,7 +34,6 @@ pub struct DataNode {
     /// Children in document order.
     pub children: Vec<DataNodeId>,
     /// Attribute values (`name id -> value`; first entry per name wins).
-    #[serde(default)]
     pub attrs: Vec<(TypeId, Value)>,
 }
 
@@ -48,7 +46,7 @@ impl DataNode {
 
 /// A single rooted data tree. Unlike patterns, documents are append-only —
 /// repairs (making a document satisfy constraints) only add nodes or types.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<DataNode>,
 }
@@ -178,9 +176,7 @@ impl Document {
             seen[id.index()] = true;
             let n = self.node(id);
             if !n.types.contains(n.primary) {
-                return Err(Error::InvalidDocument(format!(
-                    "{id}: type set missing primary type"
-                )));
+                return Err(Error::InvalidDocument(format!("{id}: type set missing primary type")));
             }
             for &c in &n.children {
                 if self.node(c).parent != Some(id) {
@@ -199,7 +195,7 @@ impl Document {
 
 /// A forest of documents — the paper's database model ("information is
 /// represented as a forest of trees").
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Forest {
     /// The member trees.
     pub trees: Vec<Document>,

@@ -5,9 +5,7 @@
 //! equivalence checks need a population of databases).
 
 use crate::document::Document;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tpq_base::TypeId;
+use tpq_base::{SmallRng, TypeId};
 
 /// Parameters for [`generate_document`].
 #[derive(Debug, Clone)]
@@ -27,13 +25,7 @@ pub struct DocumentSpec {
 
 impl Default for DocumentSpec {
     fn default() -> Self {
-        DocumentSpec {
-            nodes: 100,
-            num_types: 8,
-            max_fanout: 4,
-            extra_type_prob: 0.1,
-            seed: 0,
-        }
+        DocumentSpec { nodes: 100, num_types: 8, max_fanout: 4, extra_type_prob: 0.1, seed: 0 }
     }
 }
 
@@ -44,8 +36,8 @@ pub fn generate_document(spec: &DocumentSpec) -> Document {
     assert!(spec.nodes >= 1, "a document has at least one node");
     assert!(spec.num_types >= 1, "need at least one type");
     assert!(spec.max_fanout >= 1, "fanout must be at least 1");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let ty = |rng: &mut StdRng| TypeId(rng.gen_range(0..spec.num_types as u32));
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let ty = |rng: &mut SmallRng| TypeId(rng.gen_range(0..spec.num_types as u32));
     let root_ty = ty(&mut rng);
     let mut doc = Document::new(root_ty);
     // Candidates that still have spare fanout (swap-remove keeps this O(1)).
@@ -110,12 +102,8 @@ mod tests {
 
     #[test]
     fn extra_types_appear_when_probability_is_one() {
-        let spec = DocumentSpec {
-            nodes: 50,
-            extra_type_prob: 1.0,
-            num_types: 2,
-            ..Default::default()
-        };
+        let spec =
+            DocumentSpec { nodes: 50, extra_type_prob: 1.0, num_types: 2, ..Default::default() };
         let doc = generate_document(&spec);
         // Every non-root node got an extra-type draw; with 2 types roughly
         // half of the draws differ from the primary, so at least one node

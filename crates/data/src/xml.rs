@@ -47,9 +47,9 @@ pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
                 let end_name = p.parse_name()?;
                 let (want, _) = open.pop().expect("stack non-empty");
                 if end_name != want {
-                    return Err(p.err(&format!(
-                        "mismatched end tag </{end_name}> (expected </{want}>)"
-                    )));
+                    return Err(
+                        p.err(&format!("mismatched end tag </{end_name}> (expected </{want}>)"))
+                    );
                 }
                 p.skip_ws();
                 if p.peek() != Some(b'>') {
@@ -162,10 +162,7 @@ impl XmlParser<'_> {
         // (integer-looking text parses as an integer).
         let mut extra = Vec::new();
         let mut attrs: Vec<(tpq_base::TypeId, tpq_base::Value)> = Vec::new();
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphabetic() || b == b'_') {
             let attr_name = self.parse_name()?;
             self.skip_ws();
             if self.peek() != Some(b'=') {
@@ -213,10 +210,7 @@ impl XmlParser<'_> {
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 /// Serialize a document back to the XML subset (indented, one element per
@@ -266,12 +260,8 @@ fn write_open(
     out.push('<');
     out.push_str(name);
     if node.types.len() > 1 {
-        let extras: Vec<&str> = node
-            .types
-            .iter()
-            .filter(|&t| t != node.primary)
-            .map(|t| types.name(t))
-            .collect();
+        let extras: Vec<&str> =
+            node.types.iter().filter(|&t| t != node.primary).map(|t| types.name(t)).collect();
         out.push_str(" also=\"");
         out.push_str(&extras.join(","));
         out.push('"');
@@ -314,9 +304,7 @@ mod tests {
 
     #[test]
     fn nested_elements_with_text_and_comments() {
-        let (d, _) = parse(
-            "<a> hello <!-- note --> <b><c/></b> tail <b/> </a>",
-        );
+        let (d, _) = parse("<a> hello <!-- note --> <b><c/></b> tail <b/> </a>");
         assert_eq!(d.len(), 4);
         assert_eq!(d.node(d.root()).children.len(), 2);
     }
@@ -357,15 +345,9 @@ mod tests {
         let (d, tys) = parse(r#"<Book price="95" lang="en" isbn="978-3"/>"#);
         let n = d.node(d.root());
         assert_eq!(n.attr(tys.lookup("price").unwrap()), Some(&Value::Int(95)));
-        assert_eq!(
-            n.attr(tys.lookup("lang").unwrap()),
-            Some(&Value::Str("en".into()))
-        );
+        assert_eq!(n.attr(tys.lookup("lang").unwrap()), Some(&Value::Str("en".into())));
         // Not a pure integer -> string.
-        assert_eq!(
-            n.attr(tys.lookup("isbn").unwrap()),
-            Some(&Value::Str("978-3".into()))
-        );
+        assert_eq!(n.attr(tys.lookup("isbn").unwrap()), Some(&Value::Str("978-3".into())));
         assert_eq!(n.attr(tys.lookup("Book").unwrap()), None);
     }
 
@@ -374,10 +356,7 @@ mod tests {
         let (d, tys) = parse(r#"<Employee also="Person" age="41"><Badge/></Employee>"#);
         let n = d.node(d.root());
         assert!(n.types.contains(tys.lookup("Person").unwrap()));
-        assert_eq!(
-            n.attr(tys.lookup("age").unwrap()),
-            Some(&tpq_base::Value::Int(41))
-        );
+        assert_eq!(n.attr(tys.lookup("age").unwrap()), Some(&tpq_base::Value::Int(41)));
         assert_eq!(d.len(), 2);
     }
 

@@ -25,9 +25,17 @@ use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 ///   a suffix-minimum lookup.
 enum ChildCheck {
     /// Tiny candidate lists: a plain scan beats building any structure.
-    Linear { edge: EdgeKind, cand: Vec<DataNodeId> },
-    Child { parents: FxHashSet<DataNodeId> },
-    Descendant { pres: Vec<u32>, suffix_min_post: Vec<u32> },
+    Linear {
+        edge: EdgeKind,
+        cand: Vec<DataNodeId>,
+    },
+    Child {
+        parents: FxHashSet<DataNodeId>,
+    },
+    Descendant {
+        pres: Vec<u32>,
+        suffix_min_post: Vec<u32>,
+    },
 }
 
 /// Below this length, linear scans win over hash/binary-search setups.
@@ -77,14 +85,8 @@ impl ChildCheck {
 ///   pre-sorted list), an ancestor exists iff the maximum post rank in
 ///   that prefix is `> post(u2)`.
 enum ParentCheck {
-    Linear {
-        feasible: Vec<DataNodeId>,
-    },
-    Indexed {
-        set: FxHashSet<DataNodeId>,
-        pres: Vec<u32>,
-        prefix_max_post: Vec<u32>,
-    },
+    Linear { feasible: Vec<DataNodeId> },
+    Indexed { set: FxHashSet<DataNodeId>, pres: Vec<u32>, prefix_max_post: Vec<u32> },
 }
 
 impl ParentCheck {
@@ -114,10 +116,7 @@ impl ParentCheck {
                 EdgeKind::Descendant => index.is_proper_ancestor(u, u2),
             }),
             ParentCheck::Indexed { set, pres, prefix_max_post } => match edge {
-                EdgeKind::Child => doc
-                    .node(u2)
-                    .parent
-                    .is_some_and(|p| set.contains(&p)),
+                EdgeKind::Child => doc.node(u2).parent.is_some_and(|p| set.contains(&p)),
                 EdgeKind::Descendant => {
                     let upto = pres.partition_point(|&p| p < index.pre(u2));
                     // prefix_max_post stores max(post)+1 (0 = empty prefix):
@@ -145,7 +144,12 @@ pub struct Matcher<'a> {
 impl<'a> Matcher<'a> {
     /// Build candidate and feasibility tables for `pattern` on `doc`.
     pub fn new(pattern: &'a TreePattern, doc: &'a Document) -> Self {
-        let index = DocIndex::build(doc);
+        let _span = tpq_obs::span!("match.build");
+        let index = {
+            let _s = tpq_obs::span!("match.index");
+            DocIndex::build(doc)
+        };
+        let cand_span = tpq_obs::span!("match.candidates");
         let mut cand: Vec<Vec<DataNodeId>> = vec![Vec::new(); pattern.arena_len()];
         // Bottom-up candidates.
         for v in pattern.post_order() {
@@ -171,24 +175,28 @@ impl<'a> Matcher<'a> {
                     })
                     .collect()
             };
-            let children: Vec<NodeId> = node
-                .children
-                .iter()
-                .copied()
-                .filter(|&c| pattern.is_alive(c))
-                .collect();
+            let children: Vec<NodeId> =
+                node.children.iter().copied().filter(|&c| pattern.is_alive(c)).collect();
             if !children.is_empty() {
                 // Structural-join style checks: O(1)/O(log k) per
                 // candidate instead of scanning child candidate lists.
                 let checks: Vec<ChildCheck> = children
                     .iter()
-                    .map(|&w| ChildCheck::build(pattern.node(w).edge, &cand[w.index()], doc, &index))
+                    .map(|&w| {
+                        ChildCheck::build(pattern.node(w).edge, &cand[w.index()], doc, &index)
+                    })
                     .collect();
                 list.retain(|&u| checks.iter().all(|c| c.has_image_below(u, &index)));
             }
             cand[v.index()] = list;
         }
+        if tpq_obs::enabled() {
+            let total: usize = cand.iter().map(Vec::len).sum();
+            tpq_obs::incr("match.candidates", total as u64);
+        }
+        drop(cand_span);
         // Top-down feasibility.
+        let _join_span = tpq_obs::span!("match.join");
         let mut feasible: Vec<Vec<DataNodeId>> = vec![Vec::new(); pattern.arena_len()];
         feasible[pattern.root().index()] = cand[pattern.root().index()].clone();
         for v in pattern.pre_order() {
@@ -269,6 +277,7 @@ impl<'a> Matcher<'a> {
     /// sets top-down, so each partial assignment extends to at least one
     /// embedding — no dead-end backtracking.
     pub fn embeddings(&self, limit: usize) -> Vec<tpq_base::FxHashMap<NodeId, DataNodeId>> {
+        let _span = tpq_obs::span!("match.enumerate");
         let mut out = Vec::new();
         if limit == 0 || !self.matches() {
             return out;
@@ -276,6 +285,7 @@ impl<'a> Matcher<'a> {
         let order = self.pattern.pre_order();
         let mut binding: tpq_base::FxHashMap<NodeId, DataNodeId> = tpq_base::FxHashMap::default();
         self.enumerate(&order, 0, &mut binding, limit, &mut out);
+        tpq_obs::incr("match.embeddings", out.len() as u64);
         out
     }
 
@@ -407,11 +417,7 @@ mod tests {
         let person = tys.intern("Person");
         let emp_node = p.node(p.root()).children[0];
         p.node_mut(emp_node).types.insert(person);
-        let d = parse_xml(
-            r#"<Org><Employee/><Employee also="Person"/></Org>"#,
-            &mut tys,
-        )
-        .unwrap();
+        let d = parse_xml(r#"<Org><Employee/><Employee also="Person"/></Org>"#, &mut tys).unwrap();
         let m = Matcher::new(&p, &d);
         assert_eq!(m.candidates(emp_node).len(), 1, "only the multi-typed node");
         assert!(m.matches());

@@ -86,24 +86,16 @@ mod tests {
     #[test]
     fn agrees_with_fast_evaluator_on_fixed_cases() {
         let mut tys = TypeInterner::new();
-        let doc = parse_xml(
-            "<r><a><b/><b><c/></b></a><a><c/></a><b><a><b/></a></b></r>",
-            &mut tys,
-        )
-        .unwrap();
-        for q in [
-            "a*", "a*/b", "a*//b", "a//b*", "b*//c", "a*[/b][/b/c]", "r*//a//b", "a*[//c]",
-            "x*",
-        ] {
+        let doc = parse_xml("<r><a><b/><b><c/></b></a><a><c/></a><b><a><b/></a></b></r>", &mut tys)
+            .unwrap();
+        for q in
+            ["a*", "a*/b", "a*//b", "a//b*", "b*//c", "a*[/b][/b/c]", "r*//a//b", "a*[//c]", "x*"]
+        {
             let p = parse_pattern(q, &mut tys).unwrap();
             let mut fast = answer_set(&p, &doc);
             fast.sort_unstable();
             assert_eq!(fast, answer_set_naive(&p, &doc), "{q} answers");
-            assert_eq!(
-                count_embeddings(&p, &doc),
-                count_embeddings_naive(&p, &doc),
-                "{q} counts"
-            );
+            assert_eq!(count_embeddings(&p, &doc), count_embeddings_naive(&p, &doc), "{q} counts");
         }
     }
 

@@ -1,0 +1,174 @@
+//! Lock-free log-scale latency histograms.
+//!
+//! Values (nanoseconds) are bucketed HDR-style: three mantissa bits per
+//! power-of-two octave, so relative bucket error is bounded at ~12.5%
+//! across the full `u64` range while the whole histogram is a fixed
+//! 512-slot array of atomics. Percentile queries walk the buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MANTISSA_BITS: u32 = 3;
+const SUB_BUCKETS: u64 = 1 << MANTISSA_BITS;
+pub(crate) const BUCKETS: usize = 512;
+
+/// Index of the bucket holding `value`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    let exp = 63 - (value | 1).leading_zeros();
+    if exp < MANTISSA_BITS {
+        value as usize
+    } else {
+        let shift = exp - MANTISSA_BITS;
+        let sub = (value >> shift) & (SUB_BUCKETS - 1);
+        (((exp - MANTISSA_BITS + 1) as u64 * SUB_BUCKETS) + sub) as usize
+    }
+}
+
+/// Representative (upper-bound) value of bucket `idx`, the inverse of
+/// [`bucket_of`] up to bucket granularity.
+fn bucket_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let octave = idx / SUB_BUCKETS - 1;
+    let sub = idx % SUB_BUCKETS;
+    let shift = octave as u32;
+    ((SUB_BUCKETS + sub) << shift) + (1u64 << shift) - 1
+}
+
+/// A concurrent log-scale histogram of `u64` samples (nanoseconds).
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket upper bound — exact to
+    /// the ~12.5% bucket width). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the sample we want, 1-based, clamped.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(idx);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Reset to empty.
+    pub fn clear(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotonic_and_tight() {
+        let mut prev = 0usize;
+        for exp in 3..63u32 {
+            for step in [0u64, 1, 3] {
+                let v = (1u64 << exp) + step * (1 << (exp - 3));
+                let idx = bucket_of(v);
+                assert!(idx >= prev, "bucket index decreased at {v}");
+                prev = idx;
+                let bound = bucket_bound(idx);
+                assert!(bound >= v, "bound {bound} below value {v}");
+                // Relative error bounded by one sub-bucket (~12.5%).
+                assert!((bound - v) as f64 <= v as f64 / 8.0 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((450..=570).contains(&p50), "p50 = {p50}");
+        assert!((930..=1130).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) >= 1000);
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9), "q=0 clamps to first sample");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::default();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+}

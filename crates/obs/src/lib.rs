@@ -1,0 +1,96 @@
+//! Lightweight observability for the tree-pattern-query workspace.
+//!
+//! Three ingredients, all process-global and safe to use from any thread:
+//!
+//! * **Spans** — `let _s = span!("acim.tables");` measures the enclosing
+//!   scope with RAII, attributing time to the span *and* the nesting edge
+//!   from its parent span (thread-local stack), so reports can show both
+//!   totals and self time.
+//! * **Counters** — named atomic `u64`s ([`counter`] / [`incr`]).
+//! * **Histograms** — every span feeds a log-scale latency histogram;
+//!   reports surface p50/p95/p99.
+//!
+//! The whole layer is **disabled by default**: every entry point starts
+//! with one relaxed atomic load and bails, so instrumented hot paths cost
+//! a branch. Enable via [`set_enabled`] (the `tpq` CLI's `--trace` /
+//! `--metrics-json` flags do this) or the environment:
+//!
+//! * `TPQ_TRACE=1` — record everything; `TPQ_TRACE=acim,cdm` — record only
+//!   spans whose name starts with one of the prefixes (counters are always
+//!   recorded while enabled);
+//! * `TPQ_METRICS=1` — ditto, conventionally used when only the JSON
+//!   export matters.
+//!
+//! Sinks: [`report`] returns a [`Report`] that renders as a flame-style
+//! text tree ([`Report::to_text`]) or JSON ([`Report::to_json`]); see
+//! `docs/OBSERVABILITY.md` for naming conventions and the JSON schema.
+
+mod histogram;
+mod registry;
+mod report;
+mod span;
+
+pub use histogram::Histogram;
+pub use registry::{Counter, EdgeStat, SpanStat};
+pub use report::Report;
+pub use span::{span, SpanGuard};
+
+use registry::Registry;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Whether the layer is recording.
+#[inline]
+pub fn enabled() -> bool {
+    Registry::global().enabled.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off at runtime (overrides the environment).
+pub fn set_enabled(on: bool) {
+    Registry::global().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Replace the span-name prefix filter (empty = record all spans).
+pub fn set_filter(prefixes: Vec<String>) {
+    Registry::global().set_filter(prefixes);
+}
+
+/// Handle to the named counter; cache it outside hot loops. Counters exist
+/// (at value 0) from the first call, even while disabled, so reports can
+/// distinguish "never incremented" from "unknown".
+pub fn counter(name: &'static str) -> Counter {
+    Registry::global().counter(name)
+}
+
+/// Add `n` to the named counter, if enabled. Convenience for cold paths —
+/// hot loops should cache the [`counter`] handle and pair it with
+/// [`enabled`].
+#[inline]
+pub fn incr(name: &'static str, n: u64) {
+    let registry = Registry::global();
+    if registry.enabled.load(Ordering::Relaxed) {
+        registry.counter(name).add(n);
+    }
+}
+
+/// Record an externally-measured duration under `name`, as if a span of
+/// that length had completed with no parent. For code that already holds
+/// an `Instant`-based measurement it cannot restructure into a guard.
+pub fn record_duration(name: &'static str, elapsed: Duration) {
+    let registry = Registry::global();
+    if registry.enabled.load(Ordering::Relaxed) && registry.span_allowed(name) {
+        registry.record_span(name, None, elapsed, elapsed);
+    }
+}
+
+/// Snapshot everything recorded so far.
+pub fn report() -> Report {
+    Report::new(Registry::global().snapshot())
+}
+
+/// Clear all recorded data (counters zero in place so cached handles stay
+/// live). Enabled state and filter are preserved. Meant for benches and
+/// tests that need per-run isolation.
+pub fn reset() {
+    Registry::global().reset();
+}

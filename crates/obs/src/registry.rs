@@ -1,0 +1,224 @@
+//! The process-wide metrics registry.
+//!
+//! All state is keyed by `&'static str` names. Counters and histogram
+//! buckets are atomics shared out behind `Arc`, so the hot path after the
+//! first lookup is a single `fetch_add`; the maps themselves sit behind
+//! `Mutex`es that are only taken on lookup, registration, reset and
+//! reporting.
+
+use crate::histogram::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Wall time not attributed to child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Aggregated statistics for one (parent, child) span nesting edge.
+/// `parent` is `None` for spans entered with no enclosing span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeStat {
+    /// Times the child completed directly under this parent.
+    pub count: u64,
+    /// Total child wall time under this parent, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// A handle to a named counter. Cloning is cheap; increments are a single
+/// atomic add, so handles can be cached across hot loops.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct Registry {
+    pub(crate) enabled: AtomicBool,
+    /// Span-name prefixes to record; empty means record everything.
+    filter: Mutex<Vec<String>>,
+    counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+    spans: Mutex<HashMap<&'static str, SpanStat>>,
+    edges: Mutex<HashMap<(Option<&'static str>, &'static str), EdgeStat>>,
+}
+
+impl Registry {
+    pub(crate) fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let trace = std::env::var("TPQ_TRACE").ok();
+            let metrics = std::env::var("TPQ_METRICS").ok();
+            let enabled = is_on(trace.as_deref()) || is_on(metrics.as_deref());
+            Registry {
+                enabled: AtomicBool::new(enabled),
+                filter: Mutex::new(parse_filter(trace.as_deref())),
+                counters: Mutex::new(HashMap::new()),
+                histograms: Mutex::new(HashMap::new()),
+                spans: Mutex::new(HashMap::new()),
+                edges: Mutex::new(HashMap::new()),
+            }
+        })
+    }
+
+    pub(crate) fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        Counter { cell: Arc::clone(map.entry(name).or_default()) }
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    pub(crate) fn span_allowed(&self, name: &str) -> bool {
+        let filter = self.filter.lock().expect("filter poisoned");
+        filter.is_empty() || filter.iter().any(|p| name.starts_with(p.as_str()))
+    }
+
+    pub(crate) fn record_span(
+        &self,
+        name: &'static str,
+        parent: Option<&'static str>,
+        total: Duration,
+        self_time: Duration,
+    ) {
+        let total_ns = total.as_nanos() as u64;
+        {
+            let mut spans = self.spans.lock().expect("span map poisoned");
+            let stat = spans.entry(name).or_default();
+            stat.count += 1;
+            stat.total_ns += total_ns;
+            stat.self_ns += self_time.as_nanos() as u64;
+        }
+        {
+            let mut edges = self.edges.lock().expect("edge map poisoned");
+            let edge = edges.entry((parent, name)).or_default();
+            edge.count += 1;
+            edge.total_ns += total_ns;
+        }
+        self.histogram(name).record(total_ns);
+    }
+
+    pub(crate) fn set_filter(&self, prefixes: Vec<String>) {
+        *self.filter.lock().expect("filter poisoned") = prefixes;
+    }
+
+    pub(crate) fn reset(&self) {
+        // Zero counters and histograms in place so cached handles stay
+        // valid; drop span aggregates entirely.
+        for cell in self.counters.lock().expect("counter map poisoned").values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().expect("histogram map poisoned").values() {
+            h.clear();
+        }
+        self.spans.lock().expect("span map poisoned").clear();
+        self.edges.lock().expect("edge map poisoned").clear();
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(&name, cell)| (name, cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(&name, h)| (name, Arc::clone(h)))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span map poisoned")
+            .iter()
+            .map(|(&name, &stat)| (name, stat))
+            .collect();
+        let edges = self
+            .edges
+            .lock()
+            .expect("edge map poisoned")
+            .iter()
+            .map(|(&key, &stat)| (key, stat))
+            .collect();
+        Snapshot { counters, spans, edges, histograms }
+    }
+}
+
+/// A point-in-time copy of everything the registry holds, from which the
+/// report sinks render.
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Span aggregates by name.
+    pub spans: Vec<(&'static str, SpanStat)>,
+    /// Nesting edges: `((parent, child), stat)`.
+    pub edges: Vec<((Option<&'static str>, &'static str), EdgeStat)>,
+    /// Latency histograms by span name.
+    pub histograms: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+fn is_on(var: Option<&str>) -> bool {
+    match var {
+        None => false,
+        Some("0") | Some("false") | Some("off") => false,
+        Some(_) => true,
+    }
+}
+
+fn parse_filter(trace: Option<&str>) -> Vec<String> {
+    match trace {
+        // "1"/"true"/"on" (or empty) mean "everything", i.e. no filter.
+        None | Some("" | "1" | "true" | "on" | "0" | "false" | "off") => Vec::new(),
+        Some(list) => {
+            list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_value_interpretation() {
+        assert!(!is_on(None));
+        assert!(!is_on(Some("0")));
+        assert!(!is_on(Some("off")));
+        assert!(is_on(Some("1")));
+        assert!(is_on(Some("acim,cdm")));
+    }
+
+    #[test]
+    fn filter_parsing() {
+        assert!(parse_filter(None).is_empty());
+        assert!(parse_filter(Some("1")).is_empty());
+        assert_eq!(parse_filter(Some("acim, cdm")), vec!["acim", "cdm"]);
+        assert_eq!(parse_filter(Some("a,,b")), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Report sinks: flame-style text and JSON.
+
+use crate::registry::{EdgeStat, Snapshot, SpanStat};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tpq_base::Json;
+
+/// A rendered view over one registry snapshot.
+pub struct Report {
+    snapshot: Snapshot,
+}
+
+impl Report {
+    pub(crate) fn new(snapshot: Snapshot) -> Report {
+        Report { snapshot }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.spans.is_empty() && self.snapshot.counters.iter().all(|(_, v)| *v == 0)
+    }
+
+    /// Aggregate stats for one span, if it completed at least once.
+    pub fn span(&self, name: &str) -> Option<SpanStat> {
+        self.snapshot.spans.iter().find(|(n, _)| *n == name).map(|&(_, stat)| stat)
+    }
+
+    /// Value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Stats of the nesting edge `parent → child` (`None` parent = root).
+    pub fn edge(&self, parent: Option<&str>, child: &str) -> Option<EdgeStat> {
+        self.snapshot
+            .edges
+            .iter()
+            .find(|((p, c), _)| *c == child && p.as_deref() == parent)
+            .map(|&(_, stat)| stat)
+    }
+
+    /// Flame-style text report: the span tree indented by nesting (children
+    /// sorted by time, shares relative to the parent), then counters, then
+    /// per-span latency percentiles.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.snapshot.spans.is_empty() && self.snapshot.counters.is_empty() {
+            return "no observations recorded (is TPQ_TRACE/TPQ_METRICS set?)\n".into();
+        }
+
+        // children[parent] = [(child, edge)]
+        let mut children: HashMap<Option<&str>, Vec<(&str, EdgeStat)>> = HashMap::new();
+        for &((parent, child), stat) in &self.snapshot.edges {
+            children.entry(parent).or_default().push((child, stat));
+        }
+        for list in children.values_mut() {
+            list.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        }
+        let spans: HashMap<&str, SpanStat> =
+            self.snapshot.spans.iter().map(|&(n, s)| (n, s)).collect();
+
+        let _ =
+            writeln!(out, "{:<42} {:>10} {:>10} {:>8}  share", "span", "total", "self", "calls");
+        // Iterative DFS over the edge tree. All columns are per *edge*
+        // (this parent → this child), so a span reached from several
+        // parents shows each call path's own time; `share` is the edge's
+        // portion of its parent's total. Self time is tracked per span,
+        // so it is attributed to each edge proportionally to the edge's
+        // share of the span's total time.
+        let mut stack: Vec<(&str, usize, EdgeStat, u64)> = Vec::new();
+        let mut roots = children.get(&None).cloned().unwrap_or_default();
+        let root_total: u64 = roots.iter().map(|(_, e)| e.total_ns).sum();
+        roots.reverse();
+        for (name, edge) in roots {
+            stack.push((name, 0, edge, root_total));
+        }
+        let mut guard = 0usize;
+        while let Some((name, depth, edge, parent_ns)) = stack.pop() {
+            guard += 1;
+            if guard > 10_000 {
+                let _ = writeln!(out, "... (span tree truncated)");
+                break;
+            }
+            let stat = spans.get(name).copied().unwrap_or_default();
+            let self_ns = if stat.total_ns == 0 {
+                0
+            } else {
+                (stat.self_ns as u128 * edge.total_ns as u128 / stat.total_ns as u128) as u64
+            };
+            let share = if parent_ns == 0 {
+                100.0
+            } else {
+                edge.total_ns as f64 / parent_ns as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>10} {:>8}  {share:>5.1}%",
+                format!("{}{}", "  ".repeat(depth), name),
+                fmt_ns(edge.total_ns),
+                fmt_ns(self_ns),
+                edge.count,
+            );
+            if depth >= 32 {
+                continue; // degenerate recursion; keep the report bounded
+            }
+            if let Some(kids) = children.get(&Some(name)) {
+                for &(child, child_edge) in kids.iter().rev() {
+                    stack.push((child, depth + 1, child_edge, edge.total_ns));
+                }
+            }
+        }
+
+        let mut counters: Vec<_> = self.snapshot.counters.clone();
+        counters.sort();
+        if counters.iter().any(|(_, v)| *v > 0) {
+            let _ = writeln!(out, "\ncounters");
+            for (name, value) in counters {
+                if value > 0 {
+                    let _ = writeln!(out, "  {name:<40} {value:>10}");
+                }
+            }
+        }
+
+        let mut histograms: Vec<_> =
+            self.snapshot.histograms.iter().filter(|(_, h)| h.count() > 0).collect();
+        histograms.sort_by_key(|(n, _)| *n);
+        if !histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<42} {:>10} {:>10} {:>10} {:>8}",
+                "latency", "p50", "p95", "p99", "count"
+            );
+            for (name, h) in histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<42} {:>10} {:>10} {:>10} {:>8}",
+                    name,
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.95)),
+                    fmt_ns(h.quantile(0.99)),
+                    h.count(),
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON export (schema documented in `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        let histograms: HashMap<&str, &Arc<crate::Histogram>> =
+            self.snapshot.histograms.iter().map(|(n, h)| (*n, h)).collect();
+        let micros = |ns: u64| Json::Float(ns as f64 / 1e3);
+
+        let mut spans: Vec<_> = self.snapshot.spans.clone();
+        spans.sort_by_key(|(n, _)| *n);
+        let spans = spans
+            .into_iter()
+            .map(|(name, stat)| {
+                let mut members = vec![
+                    ("name", Json::Str(name.to_string())),
+                    ("count", Json::Int(stat.count as i64)),
+                    ("total_micros", micros(stat.total_ns)),
+                    ("self_micros", micros(stat.self_ns)),
+                ];
+                if let Some(h) = histograms.get(name) {
+                    members.push(("p50_micros", micros(h.quantile(0.50))));
+                    members.push(("p95_micros", micros(h.quantile(0.95))));
+                    members.push(("p99_micros", micros(h.quantile(0.99))));
+                }
+                Json::object(members)
+            })
+            .collect();
+
+        let mut edges: Vec<_> = self.snapshot.edges.clone();
+        edges.sort_by_key(|&((p, c), _)| (p, c));
+        let edges = edges
+            .into_iter()
+            .map(|((parent, child), stat)| {
+                Json::object(vec![
+                    ("parent", parent.map_or(Json::Null, |p| Json::Str(p.to_string()))),
+                    ("child", Json::Str(child.to_string())),
+                    ("count", Json::Int(stat.count as i64)),
+                    ("total_micros", micros(stat.total_ns)),
+                ])
+            })
+            .collect();
+
+        let mut counters: Vec<_> = self.snapshot.counters.clone();
+        counters.sort();
+        let counters = counters
+            .into_iter()
+            .map(|(name, value)| {
+                Json::object(vec![
+                    ("name", Json::Str(name.to_string())),
+                    ("value", Json::Int(value as i64)),
+                ])
+            })
+            .collect();
+
+        Json::object(vec![
+            ("spans", Json::Array(spans)),
+            ("edges", Json::Array(edges)),
+            ("counters", Json::Array(counters)),
+        ])
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}

@@ -1,0 +1,87 @@
+//! RAII span guards with thread-local parent attribution.
+//!
+//! Entering a span pushes a frame on a thread-local stack; dropping the
+//! guard pops it, charges the elapsed time to the enclosing frame (so
+//! parents can report *self* time, i.e. time not covered by children) and
+//! records the completed span into the global registry together with its
+//! parent's name.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+struct Frame {
+    name: &'static str,
+    /// Total time of directly-nested child spans, accumulated as they
+    /// close.
+    child: Duration,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span; records itself into the registry when dropped.
+///
+/// Inert (a no-op on drop) when observability is disabled or the span name
+/// does not pass the `TPQ_TRACE` filter — the constructor then does one
+/// relaxed atomic load and nothing else.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct SpanGuard {
+    active: bool,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Enter a span. Prefer the [`span!`](crate::span!) macro, which reads
+/// slightly better at call sites.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let registry = Registry::global();
+    if !registry.enabled.load(std::sync::atomic::Ordering::Relaxed) || !registry.span_allowed(name)
+    {
+        return SpanGuard { active: false, name, start: Instant::now() };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame { name, child: Duration::ZERO });
+    });
+    SpanGuard { active: true, name, start: Instant::now() }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let elapsed = self.start.elapsed();
+        let (child_time, parent) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are dropped in reverse creation order within a thread,
+            // so the top frame is ours (unless a guard was moved across
+            // threads — then we conservatively skip attribution).
+            match stack.last() {
+                Some(top) if top.name == self.name => {
+                    let frame = stack.pop().expect("just observed");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child += elapsed;
+                        (frame.child, Some(parent.name))
+                    } else {
+                        (frame.child, None)
+                    }
+                }
+                _ => (Duration::ZERO, None),
+            }
+        });
+        let self_time = elapsed.saturating_sub(child_time);
+        Registry::global().record_span(self.name, parent, elapsed, self_time);
+    }
+}
+
+/// Enter a span for the rest of the enclosing scope:
+/// `let _s = span!("acim.tables");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,191 @@
+//! Integration tests for the global observability registry.
+//!
+//! The registry is process-global, so every test takes `serial()` first —
+//! the harness runs tests on multiple threads and these must not interleave
+//! resets.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use tpq_obs::span;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panicking test poisons the lock; later tests still need to run.
+    match LOCK.get_or_init(Mutex::default).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn fresh() -> MutexGuard<'static, ()> {
+    let guard = serial();
+    tpq_obs::set_enabled(true);
+    tpq_obs::set_filter(Vec::new());
+    tpq_obs::reset();
+    guard
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let _guard = fresh();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                let counter = tpq_obs::counter("test.concurrent");
+                for _ in 0..PER_THREAD {
+                    counter.add(1);
+                }
+            });
+        }
+    });
+    assert_eq!(tpq_obs::report().counter("test.concurrent"), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_percentiles_on_known_distribution() {
+    let _guard = fresh();
+    // 90 fast samples at ~1µs, 10 slow at ~1ms: p50 must sit in the fast
+    // cluster, p99 in the slow one. Log-scale buckets are exact to ~12.5%.
+    for _ in 0..90 {
+        tpq_obs::record_duration("test.latency", Duration::from_micros(1));
+    }
+    for _ in 0..10 {
+        tpq_obs::record_duration("test.latency", Duration::from_millis(1));
+    }
+    let json = tpq_obs::report().to_json();
+    let spans = json.get("spans").and_then(|s| s.as_array()).unwrap();
+    let span = spans
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("test.latency"))
+        .expect("span recorded");
+    let p50 = span.get("p50_micros").and_then(|v| v.as_f64()).unwrap();
+    let p99 = span.get("p99_micros").and_then(|v| v.as_f64()).unwrap();
+    assert!((0.8..=1.3).contains(&p50), "p50 = {p50}µs");
+    assert!((800.0..=1300.0).contains(&p99), "p99 = {p99}µs");
+    assert_eq!(span.get("count").and_then(|v| v.as_i64()), Some(100));
+}
+
+#[test]
+fn span_nesting_attributes_parents_and_self_time() {
+    let _guard = fresh();
+    {
+        let _outer = span!("test.outer");
+        std::thread::sleep(Duration::from_millis(4));
+        for _ in 0..2 {
+            let _inner = span!("test.inner");
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    }
+    let report = tpq_obs::report();
+
+    let outer = report.span("test.outer").expect("outer recorded");
+    let inner = report.span("test.inner").expect("inner recorded");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 2);
+
+    // The edge carries the correct parent.
+    let edge = report.edge(Some("test.outer"), "test.inner").expect("edge");
+    assert_eq!(edge.count, 2);
+    assert!(report.edge(None, "test.outer").is_some(), "outer is a root");
+    assert!(report.edge(None, "test.inner").is_none(), "inner is never a root");
+
+    // Self time excludes children: outer slept ~4ms itself while children
+    // took ~6ms, so outer.self must be well below outer.total.
+    assert!(outer.total_ns >= inner.total_ns);
+    assert!(
+        outer.self_ns <= outer.total_ns - inner.total_ns + 2_000_000,
+        "self {} vs total {} minus children {}",
+        outer.self_ns,
+        outer.total_ns,
+        inner.total_ns
+    );
+    // And the parts roughly sum: children + self ≈ total.
+    let reconstructed = outer.self_ns + inner.total_ns;
+    assert!(
+        reconstructed.abs_diff(outer.total_ns) < 2_000_000,
+        "self+children = {reconstructed} vs total = {}",
+        outer.total_ns
+    );
+}
+
+#[test]
+fn sibling_spans_attribute_to_the_same_parent() {
+    let _guard = fresh();
+    {
+        let _root = span!("test.root");
+        {
+            let _a = span!("test.a");
+        }
+        {
+            let _b = span!("test.b");
+            let _nested = span!("test.nested");
+        }
+    }
+    let report = tpq_obs::report();
+    assert!(report.edge(Some("test.root"), "test.a").is_some());
+    assert!(report.edge(Some("test.root"), "test.b").is_some());
+    assert!(report.edge(Some("test.b"), "test.nested").is_some());
+    assert!(report.edge(Some("test.a"), "test.nested").is_none());
+}
+
+#[test]
+fn disabled_layer_records_nothing() {
+    let _guard = fresh();
+    tpq_obs::set_enabled(false);
+    {
+        let _s = span!("test.dark");
+        tpq_obs::incr("test.dark_counter", 5);
+    }
+    tpq_obs::set_enabled(true);
+    let report = tpq_obs::report();
+    assert!(report.span("test.dark").is_none());
+    assert_eq!(report.counter("test.dark_counter"), 0);
+}
+
+#[test]
+fn filter_limits_spans_but_not_counters() {
+    let _guard = fresh();
+    tpq_obs::set_filter(vec!["test.kept".into()]);
+    {
+        let _kept = span!("test.kept.inner");
+        let _dropped = span!("test.other");
+        tpq_obs::incr("test.filtered_counter", 1);
+    }
+    tpq_obs::set_filter(Vec::new());
+    let report = tpq_obs::report();
+    assert!(report.span("test.kept.inner").is_some());
+    assert!(report.span("test.other").is_none());
+    assert_eq!(report.counter("test.filtered_counter"), 1);
+}
+
+#[test]
+fn text_report_renders_tree_and_counters() {
+    let _guard = fresh();
+    {
+        let _p = span!("test.parent");
+        let _c = span!("test.child");
+        tpq_obs::incr("test.visible", 3);
+    }
+    let text = tpq_obs::report().to_text();
+    assert!(text.contains("test.parent"));
+    assert!(text.contains("  test.child"), "child is indented:\n{text}");
+    assert!(text.contains("test.visible"));
+    let json_text = tpq_obs::report().to_json().to_string_pretty();
+    let parsed = tpq_base::Json::parse(&json_text).expect("export is valid JSON");
+    assert!(parsed.get("spans").is_some());
+}
+
+#[test]
+fn spans_on_worker_threads_are_aggregated() {
+    let _guard = fresh();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let _s = span!("test.worker");
+            });
+        }
+    });
+    assert_eq!(tpq_obs::report().span("test.worker").unwrap().count, 4);
+}

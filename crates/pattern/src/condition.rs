@@ -17,12 +17,11 @@
 //!   enumerating large integer ranges (a missed entailment can only make
 //!   the minimized query larger, never wrong).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
-use tpq_base::{Cmp, TypeId, Value};
+use tpq_base::{Cmp, Json, TypeId, Value};
 
 /// One atomic condition: `attr ∘ value`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Condition {
     /// The attribute name (interned in the shared [`tpq_base::TypeInterner`]).
     pub attr: TypeId,
@@ -43,8 +42,12 @@ impl Condition {
     pub fn normalized(&self) -> Condition {
         if let Value::Int(v) = self.value {
             match self.op {
-                Cmp::Lt => return Condition::new(self.attr, Cmp::Le, Value::Int(v.saturating_sub(1))),
-                Cmp::Gt => return Condition::new(self.attr, Cmp::Ge, Value::Int(v.saturating_add(1))),
+                Cmp::Lt => {
+                    return Condition::new(self.attr, Cmp::Le, Value::Int(v.saturating_sub(1)))
+                }
+                Cmp::Gt => {
+                    return Condition::new(self.attr, Cmp::Ge, Value::Int(v.saturating_add(1)))
+                }
                 _ => {}
             }
         }
@@ -54,6 +57,31 @@ impl Condition {
     /// Does the single attribute value `value` satisfy this condition?
     pub fn eval(&self, value: &Value) -> bool {
         self.op.eval(value, &self.value)
+    }
+
+    /// JSON form: `{"attr": 3, "op": "<=", "value": 100}`.
+    pub fn to_json(&self) -> Json {
+        let value = match &self.value {
+            Value::Int(i) => Json::Int(*i),
+            Value::Str(s) => Json::Str(s.clone()),
+        };
+        Json::object(vec![
+            ("attr", Json::Int(self.attr.0 as i64)),
+            ("op", Json::Str(self.op.token().to_string())),
+            ("value", value),
+        ])
+    }
+
+    /// Inverse of [`Condition::to_json`].
+    pub fn from_json(json: &Json) -> Option<Condition> {
+        let attr = TypeId(u32::try_from(json.get("attr")?.as_i64()?).ok()?);
+        let op = Cmp::from_token(json.get("op")?.as_str()?)?;
+        let value = match json.get("value")? {
+            Json::Int(i) => Value::Int(*i),
+            Json::Str(s) => Value::Str(s.clone()),
+            _ => return None,
+        };
+        Some(Condition { attr, op, value })
     }
 }
 
@@ -67,12 +95,7 @@ impl fmt::Display for Condition {
 /// satisfy every condition in `conds`? A referenced attribute that is
 /// absent fails the condition.
 pub fn satisfied_by(conds: &[Condition], attrs: &[(TypeId, Value)]) -> bool {
-    conds.iter().all(|c| {
-        attrs
-            .iter()
-            .find(|(a, _)| *a == c.attr)
-            .is_some_and(|(_, v)| c.eval(v))
-    })
+    conds.iter().all(|c| attrs.iter().find(|(a, _)| *a == c.attr).is_some_and(|(_, v)| c.eval(v)))
 }
 
 /// Per-attribute summary of a (normalized) premise set.
@@ -165,9 +188,7 @@ impl Summary {
         match (goal.op, &goal.value) {
             (Cmp::Le, Value::Int(v)) => self.hi.is_some_and(|h| h <= *v),
             (Cmp::Ge, Value::Int(v)) => self.lo.is_some_and(|l| l >= *v),
-            (Cmp::Eq, Value::Int(v)) => {
-                self.lo == Some(*v) && self.hi == Some(*v)
-            }
+            (Cmp::Eq, Value::Int(v)) => self.lo == Some(*v) && self.hi == Some(*v),
             (Cmp::Ne, v) => {
                 if self.nes.contains(v) {
                     return true;
@@ -325,10 +346,7 @@ mod tests {
 
     #[test]
     fn satisfied_by_checks_values() {
-        let attrs = vec![
-            (attr(0), Value::Int(95)),
-            (attr(1), Value::Str("en".into())),
-        ];
+        let attrs = vec![(attr(0), Value::Int(95)), (attr(1), Value::Str("en".into()))];
         assert!(satisfied_by(&[c(0, Cmp::Lt, 100)], &attrs));
         assert!(satisfied_by(&[c(0, Cmp::Lt, 100), cs(1, Cmp::Eq, "en")], &attrs));
         assert!(!satisfied_by(&[c(0, Cmp::Gt, 100)], &attrs));

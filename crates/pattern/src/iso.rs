@@ -144,7 +144,11 @@ mod tests {
         let mut a = p("r*[/a][/b/c]//d", &mut tys);
         let b_full = p("r*[/a][/b/c]//d", &mut tys);
         // Remove and re-add a node: ids differ, isomorphism holds.
-        let d = *a.leaves().iter().find(|&&l| a.node(l).primary == b_full.node(b_full.leaves()[2]).primary).unwrap();
+        let d = *a
+            .leaves()
+            .iter()
+            .find(|&&l| a.node(l).primary == b_full.node(b_full.leaves()[2]).primary)
+            .unwrap();
         let ty = a.node(d).primary;
         let edge = a.node(d).edge;
         let parent = a.node(d).parent.unwrap();

@@ -1,7 +1,6 @@
 //! Pattern node and edge primitives.
 
 use crate::condition::Condition;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tpq_base::{TypeId, TypeSet};
 
@@ -9,7 +8,7 @@ use tpq_base::{TypeId, TypeSet};
 ///
 /// Ids are stable across leaf removal (tombstones) but are invalidated by
 /// [`TreePattern::compact`](crate::TreePattern::compact).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -28,7 +27,7 @@ impl fmt::Display for NodeId {
 
 /// The two edge kinds of a tree pattern (Section 3: single edges are *child*
 /// edges, double edges are *descendant* edges).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EdgeKind {
     /// `/` — the child must be directly contained in the parent.
     Child,
@@ -58,7 +57,7 @@ impl fmt::Display for EdgeKind {
 /// holds co-occurrence types merged in by the chase (Section 5.2) and always
 /// contains `primary`. `temporary` marks nodes added by augmentation — they
 /// are never candidates for removal and are stripped after ACIM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternNode {
     /// The query type of this node.
     pub primary: TypeId,
@@ -72,7 +71,6 @@ pub struct PatternNode {
     /// Children in insertion order.
     pub children: Vec<NodeId>,
     /// Value-based conditions on the node (conjunction; Section 7).
-    #[serde(default)]
     pub conditions: Vec<Condition>,
     /// Whether this node carries the output marker `*`.
     pub output: bool,

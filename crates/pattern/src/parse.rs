@@ -139,16 +139,12 @@ impl Parser<'_> {
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.input[start..self.pos])
-                .expect("ascii digits");
-            let n: i64 = text
-                .parse()
-                .map_err(|_| self.err("expected an integer or quoted string value"))?;
+            let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+            let n: i64 =
+                text.parse().map_err(|_| self.err("expected an integer or quoted string value"))?;
             Value::Int(n)
         };
-        if matches!(value, Value::Str(_))
-            && matches!(op, Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge)
-        {
+        if matches!(value, Value::Str(_)) && matches!(op, Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge) {
             return Err(self.err("ordering comparisons require integer values"));
         }
         Ok(crate::condition::Condition::new(attr, op, value))
@@ -291,16 +287,8 @@ mod tests {
         let article = p.node(p.root()).children[0];
         assert_eq!(p.output(), article);
         assert_eq!(p.node(article).children.len(), 3);
-        let kinds: Vec<_> = p
-            .node(article)
-            .children
-            .iter()
-            .map(|&c| p.node(c).edge)
-            .collect();
-        assert_eq!(
-            kinds,
-            vec![EdgeKind::Child, EdgeKind::Descendant, EdgeKind::Child]
-        );
+        let kinds: Vec<_> = p.node(article).children.iter().map(|&c| p.node(c).edge).collect();
+        assert_eq!(kinds, vec![EdgeKind::Child, EdgeKind::Descendant, EdgeKind::Child]);
     }
 
     #[test]
@@ -365,10 +353,7 @@ mod tests {
         let (p, _) = parse("a{x=1, y!=2, z<3, w<=4, v>5, u>=-6}");
         let ops: Vec<Cmp> = p.node(p.root()).conditions.iter().map(|c| c.op).collect();
         assert_eq!(ops, vec![Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge]);
-        assert_eq!(
-            p.node(p.root()).conditions[5].value,
-            tpq_base::Value::Int(-6)
-        );
+        assert_eq!(p.node(p.root()).conditions[5].value, tpq_base::Value::Int(-6));
     }
 
     #[test]
@@ -382,12 +367,12 @@ mod tests {
     fn condition_errors() {
         let mut tys = TypeInterner::new();
         for bad in [
-            "a{x<\"s\"}",       // string ordering
-            "a{x}",              // missing operator
-            "a{x=}",             // missing value
-            "a{x=1",             // unterminated group
+            "a{x<\"s\"}", // string ordering
+            "a{x}",       // missing operator
+            "a{x=}",      // missing value
+            "a{x=1",      // unterminated group
             "a{x=\"unterminated}",
-            "a{x!1}",            // bad operator
+            "a{x!1}", // bad operator
         ] {
             assert!(parse_pattern(bad, &mut tys).is_err(), "{bad} should fail");
         }
@@ -396,8 +381,8 @@ mod tests {
     #[test]
     fn conditioned_round_trip() {
         let mut tys = TypeInterner::new();
-        let p = parse_pattern(r#"Book*{price<=99,lang="en"}[/Title{len>3}]//Para"#, &mut tys)
-            .unwrap();
+        let p =
+            parse_pattern(r#"Book*{price<=99,lang="en"}[/Title{len>3}]//Para"#, &mut tys).unwrap();
         let printed = crate::print::to_dsl(&p, &tys);
         let q = parse_pattern(&printed, &mut tys).unwrap();
         assert!(crate::iso::isomorphic(&p, &q), "{printed}");

@@ -1,8 +1,8 @@
 //! The arena-based tree pattern.
 
+use crate::condition::Condition;
 use crate::node::{EdgeKind, NodeId, PatternNode};
-use serde::{Deserialize, Serialize};
-use tpq_base::{Error, Result, TypeId};
+use tpq_base::{Error, Json, Result, TypeId, TypeSet};
 
 /// A tree pattern query.
 ///
@@ -21,7 +21,7 @@ use tpq_base::{Error, Result, TypeId};
 /// assert_eq!(q.size(), 3);
 /// q.validate().unwrap();
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreePattern {
     nodes: Vec<PatternNode>,
     root: NodeId,
@@ -106,11 +106,7 @@ impl TreePattern {
 
     /// Iterate over alive node ids in arena order.
     pub fn alive_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.alive)
-            .map(|(i, _)| NodeId(i as u32))
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| NodeId(i as u32))
     }
 
     /// All alive leaves.
@@ -250,9 +246,7 @@ impl TreePattern {
             return Err(Error::InvalidPattern(format!("{id} is already removed")));
         }
         if id == self.output || self.is_proper_ancestor(id, self.output) {
-            return Err(Error::InvalidPattern(
-                "subtree contains the output node".into(),
-            ));
+            return Err(Error::InvalidPattern("subtree contains the output node".into()));
         }
         let parent = self.nodes[id.index()].parent.expect("non-root has a parent");
         self.nodes[parent.index()].children.retain(|&c| c != id);
@@ -330,6 +324,128 @@ impl TreePattern {
             output: mapping[self.output.index()].expect("output alive"),
         };
         (new, mapping)
+    }
+
+    /// JSON form of the whole arena, tombstones included, so that
+    /// [`TreePattern::from_json`] reproduces the pattern exactly
+    /// (`from_json(to_json(q)) == q` under full structural equality).
+    pub fn to_json(&self) -> Json {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::object(vec![
+                    ("primary", Json::Int(n.primary.0 as i64)),
+                    ("types", Json::Array(n.types.iter().map(|t| Json::Int(t.0 as i64)).collect())),
+                    ("parent", n.parent.map_or(Json::Null, |p| Json::Int(p.0 as i64))),
+                    ("edge", Json::Str(n.edge.separator().to_string())),
+                    (
+                        "children",
+                        Json::Array(n.children.iter().map(|c| Json::Int(c.0 as i64)).collect()),
+                    ),
+                    (
+                        "conditions",
+                        Json::Array(n.conditions.iter().map(Condition::to_json).collect()),
+                    ),
+                    ("output", Json::Bool(n.output)),
+                    ("temporary", Json::Bool(n.temporary)),
+                    ("alive", Json::Bool(n.alive)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("nodes", Json::Array(nodes)),
+            ("root", Json::Int(self.root.0 as i64)),
+            ("output", Json::Int(self.output.0 as i64)),
+        ])
+    }
+
+    /// Inverse of [`TreePattern::to_json`]. Validates the reconstructed
+    /// pattern before returning it.
+    pub fn from_json(json: &Json) -> Result<TreePattern> {
+        fn node_id(json: &Json) -> Option<NodeId> {
+            Some(NodeId(u32::try_from(json.as_i64()?).ok()?))
+        }
+        let bad = |what: &str| Error::InvalidPattern(format!("pattern json: {what}"));
+
+        let raw_nodes =
+            json.get("nodes").and_then(Json::as_array).ok_or_else(|| bad("missing nodes array"))?;
+        let mut nodes = Vec::with_capacity(raw_nodes.len());
+        for raw in raw_nodes {
+            let primary = raw
+                .get("primary")
+                .and_then(Json::as_i64)
+                .and_then(|i| u32::try_from(i).ok())
+                .map(TypeId)
+                .ok_or_else(|| bad("bad primary type"))?;
+            let types: TypeSet = raw
+                .get("types")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("bad type set"))?
+                .iter()
+                .map(|t| {
+                    t.as_i64()
+                        .and_then(|i| u32::try_from(i).ok())
+                        .map(TypeId)
+                        .ok_or_else(|| bad("bad type id"))
+                })
+                .collect::<Result<_>>()?;
+            let parent = match raw.get("parent") {
+                Some(Json::Null) | None => None,
+                Some(p) => Some(node_id(p).ok_or_else(|| bad("bad parent id"))?),
+            };
+            let edge = match raw.get("edge").and_then(Json::as_str) {
+                Some("/") => EdgeKind::Child,
+                Some("//") => EdgeKind::Descendant,
+                _ => return Err(bad("bad edge kind")),
+            };
+            let children = raw
+                .get("children")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("bad child list"))?
+                .iter()
+                .map(|c| node_id(c).ok_or_else(|| bad("bad child id")))
+                .collect::<Result<_>>()?;
+            let conditions = match raw.get("conditions").and_then(Json::as_array) {
+                Some(conds) => conds
+                    .iter()
+                    .map(|c| Condition::from_json(c).ok_or_else(|| bad("bad condition")))
+                    .collect::<Result<_>>()?,
+                None => Vec::new(),
+            };
+            let flag = |key: &str| raw.get(key).and_then(Json::as_bool).unwrap_or_default();
+            nodes.push(PatternNode {
+                primary,
+                types,
+                parent,
+                edge,
+                children,
+                conditions,
+                output: flag("output"),
+                temporary: flag("temporary"),
+                alive: raw.get("alive").and_then(Json::as_bool).unwrap_or(true),
+            });
+        }
+        let root = json
+            .get("root")
+            .and_then(node_id)
+            .filter(|r| r.index() < nodes.len())
+            .ok_or_else(|| bad("bad root id"))?;
+        let output = json
+            .get("output")
+            .and_then(node_id)
+            .filter(|o| o.index() < nodes.len())
+            .ok_or_else(|| bad("bad output id"))?;
+        for n in &nodes {
+            for &c in n.children.iter().chain(n.parent.iter()) {
+                if c.index() >= nodes.len() {
+                    return Err(bad("node id out of range"));
+                }
+            }
+        }
+        let pattern = TreePattern { nodes, root, output };
+        pattern.validate()?;
+        Ok(pattern)
     }
 
     /// Check every structural invariant; used defensively at public API
@@ -540,6 +656,33 @@ mod tests {
         assert!(!q.node(ids[0]).output);
         assert_eq!(q.output(), ids[2]);
         q.validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip_preserves_tombstones_and_flags() {
+        let (mut q, ids) = chain();
+        let t = q.add_temp_child(ids[1], EdgeKind::Descendant, TypeId(9));
+        q.node_mut(t).types.insert(TypeId(11));
+        q.remove_leaf(ids[3]).unwrap();
+        q.set_output(ids[2]);
+        let text = q.to_json().to_string_pretty();
+        let back = TreePattern::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(q, back);
+        assert_eq!(back.arena_len(), q.arena_len(), "tombstones survive");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        for text in [
+            "{}",
+            r#"{"nodes": [], "root": 0, "output": 0}"#,
+            r#"{"nodes": [{"primary": 0, "types": [0], "parent": 7, "edge": "/",
+                 "children": [], "conditions": [], "output": true,
+                 "temporary": false, "alive": true}], "root": 0, "output": 0}"#,
+        ] {
+            let json = Json::parse(text).unwrap();
+            assert!(TreePattern::from_json(&json).is_err(), "accepted: {text}");
+        }
     }
 
     #[test]

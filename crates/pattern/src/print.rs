@@ -89,12 +89,8 @@ fn describe(p: &TreePattern, types: &TypeInterner, id: NodeId, out: &mut String)
     let node = p.node(id);
     out.push_str(types.name(node.primary));
     if node.types.len() > 1 {
-        let extras: Vec<&str> = node
-            .types
-            .iter()
-            .filter(|&t| t != node.primary)
-            .map(|t| types.name(t))
-            .collect();
+        let extras: Vec<&str> =
+            node.types.iter().filter(|&t| t != node.primary).map(|t| types.name(t)).collect();
         let _ = write!(out, " (+{})", extras.join(",+"));
     }
     if node.output {

@@ -175,8 +175,7 @@ impl XPathParser<'_> {
         self.skip_ws();
         let first_edge = if self.eat(b'.') {
             // `./x` or `.//x`
-            self.try_axis()
-                .ok_or_else(|| self.err("expected '/' or '//' after '.'"))?
+            self.try_axis().ok_or_else(|| self.err("expected '/' or '//' after '.'"))?
         } else {
             // Bare `x` means child.
             EdgeKind::Child
@@ -242,9 +241,8 @@ impl XPathParser<'_> {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
-                let n: i64 = text
-                    .parse()
-                    .map_err(|_| self.err("expected a number or quoted string"))?;
+                let n: i64 =
+                    text.parse().map_err(|_| self.err("expected a number or quoted string"))?;
                 Value::Int(n)
             }
         };
@@ -336,18 +334,9 @@ mod tests {
     #[test]
     fn unsupported_features_are_rejected() {
         let mut tys = TypeInterner::new();
-        for bad in [
-            "//*",
-            "a|b",
-            "parent::a",
-            "a[1]",
-            "a[@x < 'str']",
-            "a[",
-            "a[@x]",
-            "a[]",
-            "",
-            "a/",
-        ] {
+        for bad in
+            ["//*", "a|b", "parent::a", "a[1]", "a[@x < 'str']", "a[", "a[@x]", "a[]", "", "a/"]
+        {
             assert!(parse_xpath(bad, &mut tys).is_err(), "{bad} should fail");
         }
     }

@@ -59,13 +59,7 @@ pub fn prefilter_query(k: usize) -> PrefilterQuery {
         }
     }
     pattern.validate().expect("generator produces valid patterns");
-    PrefilterQuery {
-        pattern,
-        types,
-        constraints,
-        cdm_removable: k,
-        acim_removable: 2 * k,
-    }
+    PrefilterQuery { pattern, types, constraints, cdm_removable: k, acim_removable: 2 * k }
 }
 
 #[cfg(test)]

@@ -5,9 +5,7 @@
 //! higher-indexed one), which guarantees finite satisfiability of the
 //! closure — a precondition for repairing documents to satisfy them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tpq_base::{TypeId, TypeInterner};
+use tpq_base::{SmallRng, TypeId, TypeInterner};
 use tpq_constraints::{Constraint, ConstraintSet};
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
@@ -37,8 +35,8 @@ impl Default for PatternSpec {
 /// many names (e.g. with [`universe`]) for printing.
 pub fn random_pattern(spec: &PatternSpec) -> TreePattern {
     assert!(spec.nodes >= 1 && spec.num_types >= 1 && spec.max_fanout >= 1);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let ty = |rng: &mut StdRng| TypeId(rng.gen_range(0..spec.num_types as u32));
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let ty = |rng: &mut SmallRng| TypeId(rng.gen_range(0..spec.num_types as u32));
     let root_ty = ty(&mut rng);
     let mut q = TreePattern::new(root_ty);
     let mut open: Vec<NodeId> = vec![q.root()];
@@ -46,11 +44,8 @@ pub fn random_pattern(spec: &PatternSpec) -> TreePattern {
     while q.size() < spec.nodes {
         let slot = rng.gen_range(0..open.len());
         let parent = open[slot];
-        let edge = if rng.gen_bool(spec.d_edge_prob) {
-            EdgeKind::Descendant
-        } else {
-            EdgeKind::Child
-        };
+        let edge =
+            if rng.gen_bool(spec.d_edge_prob) { EdgeKind::Descendant } else { EdgeKind::Child };
         let child = q.add_child(parent, edge, ty(&mut rng));
         open.push(child);
         all.push(child);
@@ -85,14 +80,14 @@ impl Default for ConstraintSpec {
 /// set over `TypeId(0)..TypeId(num_types-1)`.
 pub fn random_constraints(spec: &ConstraintSpec) -> ConstraintSet {
     assert!(spec.num_types >= 2 || spec.count == 0);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
     let mut set = ConstraintSet::new();
     let mut attempts = 0;
     while set.len() < spec.count && attempts < spec.count * 50 {
         attempts += 1;
         let a = rng.gen_range(0..spec.num_types as u32 - 1);
         let b = rng.gen_range(a + 1..spec.num_types as u32);
-        let c = match rng.gen_range(0..3) {
+        let c = match rng.gen_range(0..3u32) {
             0 => Constraint::RequiredChild(TypeId(a), TypeId(b)),
             1 => Constraint::RequiredDescendant(TypeId(a), TypeId(b)),
             _ => Constraint::CoOccurrence(TypeId(a), TypeId(b)),
@@ -115,7 +110,8 @@ mod tests {
     #[test]
     fn pattern_respects_spec() {
         for seed in 0..10 {
-            let spec = PatternSpec { nodes: 20, num_types: 3, max_fanout: 2, seed, ..Default::default() };
+            let spec =
+                PatternSpec { nodes: 20, num_types: 3, max_fanout: 2, seed, ..Default::default() };
             let q = random_pattern(&spec);
             assert_eq!(q.size(), 20);
             assert!(q.max_fanout() <= 2);

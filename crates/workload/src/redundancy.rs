@@ -140,11 +140,8 @@ mod tests {
 
     #[test]
     fn sizes_add_up() {
-        let q = redundancy_query(&RedundancySpec {
-            total_nodes: 101,
-            redundant_nodes: 30,
-            degree: 3,
-        });
+        let q =
+            redundancy_query(&RedundancySpec { total_nodes: 101, redundant_nodes: 30, degree: 3 });
         assert_eq!(q.pattern.size(), 101);
         assert_eq!(q.expected_minimal_size, 71);
     }
@@ -164,30 +161,21 @@ mod tests {
 
     #[test]
     fn relevant_constraints_do_not_change_the_minimum() {
-        let q = redundancy_query(&RedundancySpec {
-            total_nodes: 41,
-            redundant_nodes: 10,
-            degree: 2,
-        });
+        let q =
+            redundancy_query(&RedundancySpec { total_nodes: 41, redundant_nodes: 10, degree: 2 });
         let plain = cim(&q.pattern);
         for k in [0, 10, 50] {
             let ics = relevant_constraints(&q, k);
             assert_eq!(ics.len(), k);
             let m = acim(&q.pattern, &ics);
-            assert!(
-                isomorphic(&plain, &m),
-                "k={k}: constraints changed the minimal query"
-            );
+            assert!(isomorphic(&plain, &m), "k={k}: constraints changed the minimal query");
         }
     }
 
     #[test]
     fn constraints_mention_only_query_types() {
-        let q = redundancy_query(&RedundancySpec {
-            total_nodes: 31,
-            redundant_nodes: 5,
-            degree: 2,
-        });
+        let q =
+            redundancy_query(&RedundancySpec { total_nodes: 31, redundant_nodes: 5, degree: 2 });
         let present: Vec<TypeId> = (0..q.types.len() as u32).map(TypeId).collect();
         let ics = relevant_constraints(&q, 20);
         for c in ics.iter() {
@@ -199,11 +187,7 @@ mod tests {
     #[test]
     fn generator_panics_when_spec_does_not_fit() {
         let result = std::panic::catch_unwind(|| {
-            redundancy_query(&RedundancySpec {
-                total_nodes: 5,
-                redundant_nodes: 10,
-                degree: 10,
-            })
+            redundancy_query(&RedundancySpec { total_nodes: 5, redundant_nodes: 10, degree: 10 })
         });
         assert!(result.is_err());
     }

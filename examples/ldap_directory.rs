@@ -46,10 +46,8 @@ fn main() -> Result<()> {
     // ------------------------------------------------------------------
     // Figure 2(h) -> 2(i): constraint-independent.
     // ------------------------------------------------------------------
-    let fig2h = parse_pattern(
-        "OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject",
-        &mut types,
-    )?;
+    let fig2h =
+        parse_pattern("OrgUnit*[/Dept/Researcher//DBProject]//Dept//DBProject", &mut types)?;
     let fig2i = cim(&fig2h);
     println!("Figure 2(h), {} nodes, minimizes to:", fig2h.size());
     println!("{}", to_tree_string(&fig2i, &types));
@@ -72,15 +70,10 @@ fn main() -> Result<()> {
          DBproject ~ Project",
         &mut types,
     )?;
-    let fig2f = parse_pattern(
-        "Organization*[/Employee//Project][/PermEmp//DBproject]",
-        &mut types,
-    )?;
+    let fig2f =
+        parse_pattern("Organization*[/Employee//Project][/PermEmp//DBproject]", &mut types)?;
     let outcome = minimize(&fig2f, &ics);
-    println!(
-        "Figure 2(f), {} nodes, minimizes under co-occurrence ICs to:",
-        fig2f.size()
-    );
+    println!("Figure 2(f), {} nodes, minimizes under co-occurrence ICs to:", fig2f.size());
     println!("{}", to_tree_string(&outcome.pattern, &types));
     let fig2g = parse_pattern("Organization*/PermEmp//DBproject", &mut types)?;
     assert!(isomorphic(&outcome.pattern, &fig2g), "reached Figure 2(g)");
@@ -89,10 +82,7 @@ fn main() -> Result<()> {
     let mut g_answers = answer_set(&outcome.pattern, &directory);
     f_answers.sort_unstable();
     g_answers.sort_unstable();
-    assert_eq!(
-        f_answers, g_answers,
-        "the directory satisfies the ICs, so answers agree"
-    );
+    assert_eq!(f_answers, g_answers, "the directory satisfies the ICs, so answers agree");
     println!(
         "both return {} Organization(s): the one with a permanent employee ✓",
         g_answers.len()

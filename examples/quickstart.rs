@@ -1,11 +1,17 @@
 //! Quickstart: parse a tree pattern, minimize it with and without
-//! integrity constraints, and inspect the result.
+//! integrity constraints, and inspect the result — then print where the
+//! time went, phase by phase.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use tpq::prelude::*;
 
 fn main() -> Result<()> {
+    // Turn the observability layer on for the whole run so the final
+    // report covers every phase below (it is off by default and costs
+    // one atomic load per instrumented call site when disabled).
+    tpq::obs::set_enabled(true);
+
     let mut types = TypeInterner::new();
 
     // ------------------------------------------------------------------
@@ -61,5 +67,13 @@ fn main() -> Result<()> {
     );
     assert_eq!(before.len(), after.len());
     println!("minimization preserved the answer set ✓");
+
+    // ------------------------------------------------------------------
+    // 4. Where did the time go? The tpq-obs layer has been recording
+    // spans for every phase (minimize / cdm / acim.tables / acim.scan /
+    // match.*) the whole time — render the per-phase report.
+    // ------------------------------------------------------------------
+    println!("\nper-phase timing report:");
+    print!("{}", tpq::obs::report().to_text());
     Ok(())
 }

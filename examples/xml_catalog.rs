@@ -92,10 +92,7 @@ fn main() -> Result<()> {
     before.sort_unstable();
     after.sort_unstable();
     assert_eq!(before, after, "answer sets agree on a conforming catalog");
-    println!(
-        "\nboth queries return the same {} article(s) on the catalog ✓",
-        after.len()
-    );
+    println!("\nboth queries return the same {} article(s) on the catalog ✓", after.len());
     println!(
         "embeddings enumerated: {} for Figure 2(a) vs {} for the minimal query",
         count_embeddings(&fig2a, &catalog),

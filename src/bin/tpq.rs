@@ -4,6 +4,8 @@
 //! tpq minimize --query 'Book*[/Title][/Publisher]' --ic 'Book -> Publisher' --stats
 //! tpq minimize --xpath '//Book[Title][.//LastName]' --schema schema.txt --tree
 //! tpq minimize --batch queries.txt --constraints ics.txt
+//! tpq --trace minimize 'Dept*[//DBProject]//Manager//DBProject'
+//! tpq --metrics-json out.json minimize 'a*[/b][/b/c]'
 //! tpq match    --query 'Dept*//Manager' --doc org.xml
 //! tpq check    --q1 'a*[/b]' --q2 'a*' --ic 'a -> b'
 //! tpq closure  --constraints ics.txt
@@ -11,9 +13,16 @@
 //! ```
 //!
 //! Patterns are given in the DSL by default; `--xpath` switches the query
-//! syntax. Constraints can come inline (`--ic`, repeatable), from a file
-//! (`--constraints`), or inferred from a schema file (`--schema`);
-//! sources combine.
+//! syntax (`minimize` and `match` also accept the query as a bare
+//! positional argument). Constraints can come inline (`--ic`, repeatable),
+//! from a file (`--constraints`), or inferred from a schema file
+//! (`--schema`); sources combine.
+//!
+//! Observability (may appear anywhere on the command line):
+//!
+//! * `--trace` — print a flame-style span/counter report to stderr;
+//! * `--metrics-json <path>` — write the span/counter/latency report as
+//!   JSON (see `docs/OBSERVABILITY.md` for the schema).
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
@@ -21,9 +30,25 @@ use tpq::core::{minimize_with, Strategy};
 use tpq::prelude::*;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut trace, metrics_json) = match peel_obs_flags(&mut args) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // `TPQ_TRACE=…` enables the layer inside tpq-obs itself; mirror it
+    // here so the report is also *printed* without an explicit --trace.
+    if matches!(std::env::var("TPQ_TRACE").as_deref(), Ok(v) if !matches!(v, "" | "0" | "false" | "off"))
+    {
+        trace = true;
+    }
+    if trace || metrics_json.is_some() {
+        tpq::obs::set_enabled(true);
+    }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: tpq <minimize|match|check|closure|repair> [options]");
+        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|match|check|closure|repair> [options]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -34,10 +59,12 @@ fn main() -> ExitCode {
         "repair" => cmd_repair(rest),
         "--help" | "-h" | "help" => {
             println!("subcommands: minimize, match, check, closure, repair");
+            println!("global flags: --trace, --metrics-json <path>");
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'")),
     };
+    let result = result.and_then(|()| emit_obs(trace, metrics_json.as_deref()));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -47,21 +74,61 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal flag cracker: `--name value` pairs plus boolean flags.
+/// Remove the global observability flags from `args`, wherever they occur.
+fn peel_obs_flags(args: &mut Vec<String>) -> Result2<(bool, Option<String>)> {
+    let mut trace = false;
+    let mut metrics_json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                trace = true;
+                args.remove(i);
+            }
+            "--metrics-json" => {
+                args.remove(i);
+                if i >= args.len() {
+                    return Err("--metrics-json needs a path".into());
+                }
+                metrics_json = Some(args.remove(i));
+            }
+            _ => i += 1,
+        }
+    }
+    Ok((trace, metrics_json))
+}
+
+/// Flush the requested observability sinks after a successful command.
+fn emit_obs(trace: bool, metrics_json: Option<&str>) -> Result2<()> {
+    if trace {
+        eprint!("\n{}", tpq::obs::report().to_text());
+    }
+    if let Some(path) = metrics_json {
+        let json = tpq::obs::report().to_json().to_string_pretty();
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Minimal flag cracker: `--name value` pairs, boolean flags, and bare
+/// positional arguments.
 struct Opts {
     pairs: Vec<(String, String)>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Opts {
     fn parse(args: &[String], booleans: &[&str]) -> Result2<Opts> {
         let mut pairs = Vec::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
-            let name = a
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected an option, got '{a}'"))?;
+            let Some(name) = a.strip_prefix("--") else {
+                positionals.push(a.clone());
+                continue;
+            };
             if booleans.contains(&name) {
                 flags.push(name.to_owned());
             } else {
@@ -69,7 +136,7 @@ impl Opts {
                 pairs.push((name.to_owned(), v.clone()));
             }
         }
-        Ok(Opts { pairs, flags })
+        Ok(Opts { pairs, flags, positionals })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -77,11 +144,7 @@ impl Opts {
     }
 
     fn get_all(&self, name: &str) -> Vec<&str> {
-        self.pairs
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
-            .collect()
+        self.pairs.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -90,6 +153,13 @@ impl Opts {
 
     fn require(&self, name: &str) -> Result2<&str> {
         self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn no_positionals(&self) -> Result2<()> {
+        match self.positionals.first() {
+            Some(p) => Err(format!("unexpected argument '{p}'")),
+            None => Ok(()),
+        }
     }
 }
 
@@ -103,7 +173,14 @@ fn parse_query(opts: &Opts, types: &mut TypeInterner) -> Result2<TreePattern> {
     if let Some(x) = opts.get("xpath") {
         return tpq::pattern::parse_xpath(x, types).map_err(|e| e.to_string());
     }
-    let q = opts.require("query")?;
+    let q = match opts.get("query") {
+        Some(q) => q,
+        None => opts
+            .positionals
+            .first()
+            .map(String::as_str)
+            .ok_or("--query is required (or pass the query as a bare argument)")?,
+    };
     parse_pattern(q, types).map_err(|e| e.to_string())
 }
 
@@ -152,8 +229,8 @@ fn cmd_minimize(args: &[String]) -> Result2<()> {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let q = parse_pattern(line, &mut types)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let q =
+                parse_pattern(line, &mut types).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             let out = session.minimize(&q);
             println!("{}", to_dsl(&out.pattern, &types));
         }
@@ -186,8 +263,8 @@ fn cmd_match(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &["count"])?;
     let mut types = TypeInterner::new();
     let query = parse_query(&opts, &mut types)?;
-    let doc = parse_xml(&read_file(opts.require("doc")?)?, &mut types)
-        .map_err(|e| e.to_string())?;
+    let doc =
+        parse_xml(&read_file(opts.require("doc")?)?, &mut types).map_err(|e| e.to_string())?;
     if opts.flag("count") {
         println!("{}", count_embeddings(&query, &doc));
         return Ok(());
@@ -210,6 +287,7 @@ fn cmd_match(args: &[String]) -> Result2<()> {
 
 fn cmd_check(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &[])?;
+    opts.no_positionals()?;
     let mut types = TypeInterner::new();
     let q1 = parse_pattern(opts.require("q1")?, &mut types).map_err(|e| e.to_string())?;
     let q2 = parse_pattern(opts.require("q2")?, &mut types).map_err(|e| e.to_string())?;
@@ -228,6 +306,7 @@ fn cmd_check(args: &[String]) -> Result2<()> {
 
 fn cmd_closure(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &[])?;
+    opts.no_positionals()?;
     let mut types = TypeInterner::new();
     let ics = gather_constraints(&opts, &mut types)?;
     let closed = ics.closure();
@@ -245,9 +324,10 @@ fn cmd_closure(args: &[String]) -> Result2<()> {
 
 fn cmd_repair(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &[])?;
+    opts.no_positionals()?;
     let mut types = TypeInterner::new();
-    let doc = parse_xml(&read_file(opts.require("doc")?)?, &mut types)
-        .map_err(|e| e.to_string())?;
+    let doc =
+        parse_xml(&read_file(opts.require("doc")?)?, &mut types).map_err(|e| e.to_string())?;
     let ics = gather_constraints(&opts, &mut types)?.closure();
     let fixed = tpq::constraints::repair(&doc, &ics).map_err(|e| e.to_string())?;
     print!("{}", tpq::data::write_xml(&fixed, &types));

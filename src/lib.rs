@@ -10,7 +10,9 @@
 //! * [`data`] — tree-structured documents, XML-subset parsing;
 //! * [`constraints`] — integrity constraints, logical closure, schemas;
 //! * [`core`] — containment mappings and the CIM / ACIM / CDM algorithms;
-//! * [`matching`] — pattern evaluation against documents.
+//! * [`matching`] — pattern evaluation against documents;
+//! * [`obs`] — spans, counters and latency histograms over all of the
+//!   above (disabled unless requested; see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -30,6 +32,7 @@ pub use tpq_constraints as constraints;
 pub use tpq_core as core;
 pub use tpq_data as data;
 pub use tpq_match as matching;
+pub use tpq_obs as obs;
 pub use tpq_pattern as pattern;
 
 /// Single-import convenience: the types and functions nearly every user
@@ -43,9 +46,9 @@ pub mod prelude {
     };
     pub use tpq_data::{parse_xml, Document, Forest};
     pub use tpq_match::{answer_set, count_embeddings, matches_anywhere};
+    pub use tpq_pattern::print::{to_dsl, to_tree_string};
     pub use tpq_pattern::{
         canonical_form, entails, isomorphic, parse_pattern, parse_xpath, Condition, EdgeKind,
         NodeId, TreePattern,
     };
-    pub use tpq_pattern::print::{to_dsl, to_tree_string};
 }

@@ -4,10 +4,7 @@ use std::io::Write as _;
 use std::process::{Command, Output};
 
 fn tpq(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_tpq"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_tpq")).args(args).output().expect("binary runs")
 }
 
 fn stdout(o: &Output) -> String {
@@ -60,7 +57,8 @@ fn minimize_accepts_xpath() {
 
 #[test]
 fn minimize_with_schema_file() {
-    let schema = temp_file("schema.txt", "element Book = Title, Author+\nelement Author = LastName");
+    let schema =
+        temp_file("schema.txt", "element Book = Title, Author+\nelement Author = LastName");
     let out = tpq(&[
         "minimize",
         "--query",
@@ -74,10 +72,7 @@ fn minimize_with_schema_file() {
 
 #[test]
 fn match_reports_answers_with_paths() {
-    let doc = temp_file(
-        "org.xml",
-        "<Root><Dept><Manager/></Dept><Dept/></Root>",
-    );
+    let doc = temp_file("org.xml", "<Root><Dept><Manager/></Dept><Dept/></Root>");
     let out = tpq(&["match", "--query", "Dept*/Manager", "--doc", doc.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -128,13 +123,8 @@ fn closure_prints_derived_constraints() {
 fn repair_outputs_satisfying_xml() {
     let doc = temp_file("raw.xml", "<Book/>");
     let ics = temp_file("bookics.txt", "Book -> Title\n");
-    let out = tpq(&[
-        "repair",
-        "--doc",
-        doc.to_str().unwrap(),
-        "--constraints",
-        ics.to_str().unwrap(),
-    ]);
+    let out =
+        tpq(&["repair", "--doc", doc.to_str().unwrap(), "--constraints", ics.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("<Title/>"), "{}", stdout(&out));
 }
@@ -157,13 +147,7 @@ fn minimize_batch_mode_shares_one_session() {
         "queries.txt",
         "# comment\nBook*[/Title][/Publisher]\nBook*[/Publisher]\n\nShelf*//Book[/Publisher]\n",
     );
-    let out = tpq(&[
-        "minimize",
-        "--batch",
-        queries.to_str().unwrap(),
-        "--ic",
-        "Book -> Publisher",
-    ]);
+    let out = tpq(&["minimize", "--batch", queries.to_str().unwrap(), "--ic", "Book -> Publisher"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     let lines: Vec<&str> = text.trim().lines().collect();

@@ -23,11 +23,7 @@ fn publishing_house_end_to_end() {
     let ics = schema.infer_closed();
 
     // A customer query written the long way.
-    let q = parse_pattern(
-        "Catalog/Book*[/Title][//LastName][/Author/LastName]",
-        &mut tys,
-    )
-    .unwrap();
+    let q = parse_pattern("Catalog/Book*[/Title][//LastName][/Author/LastName]", &mut tys).unwrap();
     let out = tpq::core::minimize_with(&q, &ics, Strategy::CdmThenAcim);
     // Title is implied (Book -> Title); //LastName is implied
     // (Book ->> LastName); Author/LastName is implied too: Book -> Author
@@ -93,11 +89,7 @@ fn minimization_reduces_matching_work() {
     // enumerate. Build a query with heavy duplication and a fanout-y
     // document.
     let mut tys = TypeInterner::new();
-    let q = parse_pattern(
-        "Dept*[//Proj][//Proj][//Proj][//Mgr//Proj]",
-        &mut tys,
-    )
-    .unwrap();
+    let q = parse_pattern("Dept*[//Proj][//Proj][//Proj][//Mgr//Proj]", &mut tys).unwrap();
     let m = cim(&q);
     assert_eq!(m.size(), 3);
 
@@ -119,11 +111,7 @@ fn minimization_reduces_matching_work() {
 fn stats_plumb_through_the_public_api() {
     let mut tys = TypeInterner::new();
     let q = parse_pattern("Book*[/Title][/Publisher][//LastName]", &mut tys).unwrap();
-    let ics = parse_constraints(
-        "Book -> Publisher\nBook ->> LastName",
-        &mut tys,
-    )
-    .unwrap();
+    let ics = parse_constraints("Book -> Publisher\nBook ->> LastName", &mut tys).unwrap();
     let out = minimize(&q, &ics);
     assert_eq!(out.pattern.size(), 2);
     assert_eq!(out.stats.cdm_removed, 2, "both implied leaves are local");
@@ -132,15 +120,22 @@ fn stats_plumb_through_the_public_api() {
 }
 
 #[test]
-fn serde_round_trips_patterns_and_constraints() {
+fn json_round_trips_patterns_and_constraints() {
     let mut tys = TypeInterner::new();
     let q = parse_pattern("a*[/b][//c/d]", &mut tys).unwrap();
-    let json = serde_json::to_string(&q).unwrap();
-    let back: tpq::pattern::TreePattern = serde_json::from_str(&json).unwrap();
+    let json = q.to_json().to_string_compact();
+    let parsed = tpq::base::Json::parse(&json).unwrap();
+    let back = tpq::pattern::TreePattern::from_json(&parsed).unwrap();
     assert_eq!(q, back);
 
     let ics = parse_constraints("a -> b\nc ~ d", &mut tys).unwrap();
-    let json = serde_json::to_string(&ics.iter().collect::<Vec<_>>()).unwrap();
-    let back: Vec<tpq::constraints::Constraint> = serde_json::from_str(&json).unwrap();
+    let json = tpq::base::Json::Array(ics.iter().map(|c| c.to_json()).collect());
+    let parsed = tpq::base::Json::parse(&json.to_string_compact()).unwrap();
+    let back: Vec<tpq::constraints::Constraint> = match &parsed {
+        tpq::base::Json::Array(items) => {
+            items.iter().map(|j| tpq::constraints::Constraint::from_json(j).unwrap()).collect()
+        }
+        _ => panic!("expected array"),
+    };
     assert_eq!(back.len(), 2);
 }

@@ -160,11 +160,7 @@ fn cim_preserves_answers_exhaustively() {
             minimized_count += 1;
         }
         for d in &docs {
-            assert_eq!(
-                answers_sorted(q, d),
-                answers_sorted(&m, d),
-                "q={q:?} m={m:?} d={d:?}"
-            );
+            assert_eq!(answers_sorted(q, d), answers_sorted(&m, d), "q={q:?} m={m:?} d={d:?}");
         }
     }
     assert!(minimized_count > 50, "some queries must actually shrink: {minimized_count}");
@@ -193,8 +189,7 @@ fn containment_is_sound_and_complete_exhaustively() {
             } else {
                 // Completeness: some canonical expansion separates them.
                 let separated = expansions(q1).into_iter().any(|(d, witness)| {
-                    answer_set(q1, &d).contains(&witness)
-                        && !answer_set(q2, &d).contains(&witness)
+                    answer_set(q1, &d).contains(&witness) && !answer_set(q2, &d).contains(&witness)
                 });
                 assert!(
                     separated,
@@ -228,11 +223,7 @@ fn minimize_under_ics_preserves_answers_exhaustively() {
             shrunk += 1;
         }
         for d in &docs {
-            assert_eq!(
-                answers_sorted(q, d),
-                answers_sorted(&m, d),
-                "q={q:?} m={m:?} d={d:?}"
-            );
+            assert_eq!(answers_sorted(q, d), answers_sorted(&m, d), "q={q:?} m={m:?} d={d:?}");
         }
     }
     assert!(shrunk > 100, "the IC must fire often: {shrunk}");

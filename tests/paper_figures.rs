@@ -9,8 +9,7 @@ fn types() -> TypeInterner {
 
 /// Figure 2 queries, by panel, in the DSL.
 mod fig2 {
-    pub const A: &str =
-        "Articles[/Article//Paragraph]/Article*[/Title]//Section//Paragraph";
+    pub const A: &str = "Articles[/Article//Paragraph]/Article*[/Title]//Section//Paragraph";
     pub const B: &str = "Articles[/Article//Paragraph]/Article*//Section//Paragraph";
     pub const C: &str = "Articles/Article*//Section//Paragraph";
     pub const D: &str = "Articles[/Article//Paragraph]/Article*//Section";
@@ -59,11 +58,8 @@ fn fig_2h_star_on_dept_breaks_equivalence() {
     // Section 3.1: "if Figure 2(h) were modified to put the '*' on the
     // Dept node in the right branch, the queries would not be equivalent."
     let mut tys = types();
-    let h_star = parse_pattern(
-        "OrgUnit[/Dept/Researcher//DBProject]//Dept*//DBProject",
-        &mut tys,
-    )
-    .unwrap();
+    let h_star =
+        parse_pattern("OrgUnit[/Dept/Researcher//DBProject]//Dept*//DBProject", &mut tys).unwrap();
     let i_star = parse_pattern("OrgUnit/Dept*/Researcher//DBProject", &mut tys).unwrap();
     assert!(!equivalent(&h_star, &i_star));
     // And the modified 2(h) really keeps both branches under CIM.
@@ -93,11 +89,7 @@ fn fig_2a_chain_of_simplifications() {
     let e = parse_pattern(fig2::E, &mut tys).unwrap();
     let title_ic = parse_constraints("Article -> Title", &mut tys).unwrap();
     let para_ic = parse_constraints("Section ->> Paragraph", &mut tys).unwrap();
-    let both = parse_constraints(
-        "Article -> Title\nSection ->> Paragraph",
-        &mut tys,
-    )
-    .unwrap();
+    let both = parse_constraints("Article -> Title\nSection ->> Paragraph", &mut tys).unwrap();
 
     // Erratum (see DESIGN.md §2.3): the paper says 2(a) "cannot be
     // minimized further" without ICs, but its own 2(b) -> 2(c) step folds
@@ -207,11 +199,8 @@ fn non_conforming_database_distinguishes_them() {
     let mut tys = types();
     let c = parse_pattern(fig2::C, &mut tys).unwrap();
     let e = parse_pattern(fig2::E, &mut tys).unwrap();
-    let bad = parse_xml(
-        "<Articles><Article><Title/><Section/></Article></Articles>",
-        &mut tys,
-    )
-    .unwrap();
+    let bad =
+        parse_xml("<Articles><Article><Title/><Section/></Article></Articles>", &mut tys).unwrap();
     let ans_c = answer_set(&c, &bad);
     let ans_e = answer_set(&e, &bad);
     assert!(ans_c.is_empty());

@@ -1,270 +1,306 @@
 //! Property-based validation of the paper's theorems on random inputs.
 //!
 //! Patterns, documents and constraint sets are drawn from the
-//! `tpq-workload` generators (seeded through proptest), so failures
-//! shrink to small seeds and every case is reproducible.
+//! `tpq-workload` generators under explicit seed loops, so every failure
+//! message names the seed that reproduces it.
 
-use proptest::prelude::*;
-use rand::seq::SliceRandom;
-use rand::{rngs::StdRng, SeedableRng};
+use tpq::base::SmallRng;
 use tpq::core::{
     cdm, cim, cim_with_order, equivalent, equivalent_under, has_homomorphism,
     has_homomorphism_naive, locally_redundant_leaves, minimize_with, Strategy,
 };
 use tpq::matching::{answer_set, answer_set_naive};
 use tpq::pattern::{canonical_form, isomorphic, TreePattern};
-use tpq_workload::{
-    random_constraints, random_pattern, ConstraintSpec, PatternSpec,
-};
+use tpq_workload::{random_constraints, random_pattern, ConstraintSpec, PatternSpec};
+
+const CASES: u64 = 64;
 
 fn pattern(seed: u64, nodes: usize, num_types: usize) -> TreePattern {
-    random_pattern(&PatternSpec {
-        nodes,
-        num_types,
-        d_edge_prob: 0.5,
-        max_fanout: 3,
-        seed,
-    })
+    random_pattern(&PatternSpec { nodes, num_types, d_edge_prob: 0.5, max_fanout: 3, seed })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Derive per-case parameters from the case number: a fresh RNG whose
+/// draws are stable across test reorderings.
+fn case_rng(salt: u64, case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
 
-    /// Theorem 4.1 (existence): CIM output is equivalent to the input and
-    /// no larger.
-    #[test]
-    fn cim_preserves_equivalence(seed in 0u64..10_000, nodes in 1usize..14, nt in 1usize..5) {
-        let q = pattern(seed, nodes, nt);
+/// Theorem 4.1 (existence): CIM output is equivalent to the input and no
+/// larger.
+#[test]
+fn cim_preserves_equivalence() {
+    for case in 0..CASES {
+        let mut r = case_rng(1, case);
+        let nodes = r.gen_range(1..14usize);
+        let nt = r.gen_range(1..5usize);
+        let q = pattern(case, nodes, nt);
         let m = cim(&q);
-        prop_assert!(m.size() <= q.size());
-        prop_assert!(equivalent(&q, &m), "not equivalent for seed {seed}");
+        assert!(m.size() <= q.size());
+        assert!(equivalent(&q, &m), "not equivalent for case {case}");
         m.validate().unwrap();
     }
+}
 
-    /// Theorem 4.1 (uniqueness): any elimination order reaches an
-    /// isomorphic minimal query.
-    #[test]
-    fn cim_unique_up_to_isomorphism(seed in 0u64..10_000, nodes in 1usize..12) {
-        let q = pattern(seed, nodes, 3);
+/// Theorem 4.1 (uniqueness): any elimination order reaches an isomorphic
+/// minimal query.
+#[test]
+fn cim_unique_up_to_isomorphism() {
+    for case in 0..CASES {
+        let mut r = case_rng(2, case);
+        let nodes = r.gen_range(1..12usize);
+        let q = pattern(case, nodes, 3);
         let default = cim(&q);
         for shuffle_seed in 0..3u64 {
             let shuffled = cim_with_order(&q, |_, cands| {
                 let mut v = cands.to_vec();
-                let mut rng = StdRng::seed_from_u64(seed ^ shuffle_seed);
-                v.shuffle(&mut rng);
+                let mut rng = SmallRng::seed_from_u64(case ^ shuffle_seed);
+                rng.shuffle(&mut v);
                 v
             });
-            prop_assert!(
-                isomorphic(&default, &shuffled),
-                "orders disagree for seed {seed}"
-            );
+            assert!(isomorphic(&default, &shuffled), "orders disagree for case {case}");
         }
     }
+}
 
-    /// CIM is idempotent, and its output has no redundant leaf.
-    #[test]
-    fn cim_idempotent(seed in 0u64..10_000, nodes in 1usize..14) {
-        let q = pattern(seed, nodes, 3);
+/// CIM is idempotent.
+#[test]
+fn cim_idempotent() {
+    for case in 0..CASES {
+        let mut r = case_rng(3, case);
+        let q = pattern(case, r.gen_range(1..14usize), 3);
         let once = cim(&q);
         let twice = cim(&once);
-        prop_assert!(isomorphic(&once, &twice));
+        assert!(isomorphic(&once, &twice), "case {case}");
     }
+}
 
-    /// The incremental engine (Section 6.1 implementation) computes the
-    /// same minimum as the rebuild-per-test implementation.
-    #[test]
-    fn incremental_engine_matches_rebuilding(seed in 0u64..10_000, nodes in 1usize..14) {
-        let q = pattern(seed, nodes, 3);
+/// The incremental engine (Section 6.1 implementation) computes the same
+/// minimum as the rebuild-per-test implementation.
+#[test]
+fn incremental_engine_matches_rebuilding() {
+    for case in 0..CASES {
+        let mut r = case_rng(4, case);
+        let q = pattern(case, r.gen_range(1..14usize), 3);
         let inc = tpq::core::cim_incremental(&q);
         let reb = cim(&q);
-        prop_assert!(
+        assert!(
             isomorphic(&inc, &reb),
-            "incremental {} vs rebuilding {} (seed {seed})",
+            "incremental {} vs rebuilding {} (case {case})",
             inc.size(),
             reb.size()
         );
     }
+}
 
-    /// ... and the same under constraints, through augmentation.
-    #[test]
-    fn incremental_acim_matches_rebuilding(
-        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
-    ) {
-        let q = pattern(pseed, 10, 4);
-        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+/// ... and the same under constraints, through augmentation.
+#[test]
+fn incremental_acim_matches_rebuilding() {
+    for case in 0..CASES {
+        let mut r = case_rng(5, case);
+        let count = r.gen_range(0..8usize);
+        let q = pattern(case, 10, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: case << 8 });
         let closed = ics.closure();
         let mut s1 = tpq::core::MinimizeStats::default();
         let mut s2 = tpq::core::MinimizeStats::default();
         let inc = tpq::core::acim_incremental_closed(&q, &closed, &mut s1);
         let reb = tpq::core::acim_closed(&q, &closed, &mut s2);
-        prop_assert!(
+        assert!(
             isomorphic(&inc, &reb),
-            "incremental {} vs rebuilding {} (seeds {pseed}/{cseed})",
+            "incremental {} vs rebuilding {} (case {case})",
             inc.size(),
             reb.size()
         );
     }
+}
 
-    /// The polynomial containment test agrees with brute-force search.
-    #[test]
-    fn homomorphism_pruning_matches_naive(
-        s1 in 0u64..10_000, s2 in 0u64..10_000,
-        n1 in 1usize..8, n2 in 1usize..8,
-    ) {
-        let a = pattern(s1, n1, 3);
-        let b = pattern(s2, n2, 3);
-        prop_assert_eq!(has_homomorphism(&a, &b), has_homomorphism_naive(&a, &b));
-        prop_assert_eq!(has_homomorphism(&b, &a), has_homomorphism_naive(&b, &a));
+/// The polynomial containment test agrees with brute-force search.
+#[test]
+fn homomorphism_pruning_matches_naive() {
+    for case in 0..CASES {
+        let mut r = case_rng(6, case);
+        let n1 = r.gen_range(1..8usize);
+        let n2 = r.gen_range(1..8usize);
+        let a = pattern(case, n1, 3);
+        let b = pattern(case ^ 0xFFFF, n2, 3);
+        assert_eq!(has_homomorphism(&a, &b), has_homomorphism_naive(&a, &b), "case {case} a→b");
+        assert_eq!(has_homomorphism(&b, &a), has_homomorphism_naive(&b, &a), "case {case} b→a");
     }
+}
 
-    /// The production evaluator agrees with exhaustive enumeration.
-    #[test]
-    fn evaluator_matches_naive(pseed in 0u64..10_000, dseed in 0u64..10_000) {
-        let q = pattern(pseed, 6, 3);
+/// The production evaluator agrees with exhaustive enumeration.
+#[test]
+fn evaluator_matches_naive() {
+    for case in 0..CASES {
+        let q = pattern(case, 6, 3);
         let doc = tpq::data::generate_document(&tpq::data::DocumentSpec {
             nodes: 25,
             num_types: 3,
             max_fanout: 3,
             extra_type_prob: 0.15,
-            seed: dseed,
+            seed: case << 16,
         });
         let mut fast = answer_set(&q, &doc);
         fast.sort_unstable();
-        prop_assert_eq!(fast, answer_set_naive(&q, &doc));
+        assert_eq!(fast, answer_set_naive(&q, &doc), "case {case}");
     }
+}
 
-    /// Semantic check of CIM: identical answer sets on random documents.
-    #[test]
-    fn cim_preserves_answers_on_random_documents(
-        pseed in 0u64..10_000, dseed in 0u64..10_000,
-    ) {
-        let q = pattern(pseed, 10, 3);
+/// Semantic check of CIM: identical answer sets on random documents.
+#[test]
+fn cim_preserves_answers_on_random_documents() {
+    for case in 0..CASES {
+        let q = pattern(case, 10, 3);
         let m = cim(&q);
         let doc = tpq::data::generate_document(&tpq::data::DocumentSpec {
             nodes: 40,
             num_types: 3,
             max_fanout: 4,
             extra_type_prob: 0.1,
-            seed: dseed,
+            seed: case << 16,
         });
-        prop_assert!(tpq::matching::same_answers(&q, &m, &doc));
+        assert!(tpq::matching::same_answers(&q, &m, &doc), "case {case}");
     }
+}
 
-    /// Theorem 5.1: ACIM output is equivalent under the constraints and
-    /// no larger than the CIM output.
-    #[test]
-    fn acim_preserves_equivalence_under_ics(
-        pseed in 0u64..10_000, cseed in 0u64..10_000,
-        nodes in 1usize..12, count in 0usize..8,
-    ) {
-        let q = pattern(pseed, nodes, 4);
-        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+/// Theorem 5.1: ACIM output is equivalent under the constraints and no
+/// larger than the CIM output.
+#[test]
+fn acim_preserves_equivalence_under_ics() {
+    for case in 0..CASES {
+        let mut r = case_rng(7, case);
+        let nodes = r.gen_range(1..12usize);
+        let count = r.gen_range(0..8usize);
+        let q = pattern(case, nodes, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: case << 8 });
         let a = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
         let c = cim(&q);
-        prop_assert!(a.size() <= c.size(), "ACIM must subsume CIM");
-        prop_assert!(equivalent_under(&q, &a, &ics), "seed {pseed}/{cseed}");
+        assert!(a.size() <= c.size(), "ACIM must subsume CIM (case {case})");
+        assert!(equivalent_under(&q, &a, &ics), "case {case}");
         a.validate().unwrap();
     }
+}
 
-    /// Theorem 5.2: CDM output is equivalent and locally minimal.
-    #[test]
-    fn cdm_locally_minimal(
-        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
-    ) {
-        let q = pattern(pseed, 12, 4);
-        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+/// Theorem 5.2: CDM output is equivalent and locally minimal.
+#[test]
+fn cdm_locally_minimal() {
+    for case in 0..CASES {
+        let mut r = case_rng(8, case);
+        let count = r.gen_range(0..8usize);
+        let q = pattern(case, 12, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: case << 8 });
         let m = cdm(&q, &ics);
-        prop_assert!(equivalent_under(&q, &m, &ics));
+        assert!(equivalent_under(&q, &m, &ics), "case {case}");
         let closed = ics.closure();
-        prop_assert!(
+        assert!(
             locally_redundant_leaves(&m, &closed).is_empty(),
-            "locally redundant leaf survives CDM (seeds {pseed}/{cseed})"
+            "locally redundant leaf survives CDM (case {case})"
         );
     }
+}
 
-    /// Theorem 5.3: CDM as a pre-filter does not change ACIM's result.
-    #[test]
-    fn cdm_prefilter_reaches_the_same_minimum(
-        pseed in 0u64..10_000, cseed in 0u64..10_000, count in 0usize..8,
-    ) {
-        let q = pattern(pseed, 12, 4);
-        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: cseed });
+/// Theorem 5.3: CDM as a pre-filter does not change ACIM's result.
+#[test]
+fn cdm_prefilter_reaches_the_same_minimum() {
+    for case in 0..CASES {
+        let mut r = case_rng(9, case);
+        let count = r.gen_range(0..8usize);
+        let q = pattern(case, 12, 4);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 4, seed: case << 8 });
         let direct = minimize_with(&q, &ics, Strategy::AcimOnly).pattern;
         let combined = minimize_with(&q, &ics, Strategy::CdmThenAcim).pattern;
-        prop_assert!(
+        assert!(
             isomorphic(&direct, &combined),
-            "ACIM {} nodes vs CDM+ACIM {} nodes (seeds {pseed}/{cseed})",
+            "ACIM {} nodes vs CDM+ACIM {} nodes (case {case})",
             direct.size(),
             combined.size()
         );
     }
+}
 
-    /// Semantic check of ACIM: answer sets agree on databases *repaired to
-    /// satisfy the constraints*.
-    #[test]
-    fn acim_preserves_answers_on_conforming_documents(
-        pseed in 0u64..10_000, cseed in 0u64..10_000, dseed in 0u64..10_000,
-    ) {
-        let q = pattern(pseed, 8, 4);
-        let ics = random_constraints(&ConstraintSpec { count: 5, num_types: 4, seed: cseed });
+/// Semantic check of ACIM: answer sets agree on databases *repaired to
+/// satisfy the constraints*.
+#[test]
+fn acim_preserves_answers_on_conforming_documents() {
+    for case in 0..CASES {
+        let q = pattern(case, 8, 4);
+        let ics = random_constraints(&ConstraintSpec { count: 5, num_types: 4, seed: case << 8 });
         let m = minimize_with(&q, &ics, Strategy::CdmThenAcim).pattern;
         let raw = tpq::data::generate_document(&tpq::data::DocumentSpec {
             nodes: 20,
             num_types: 4,
             max_fanout: 3,
             extra_type_prob: 0.1,
-            seed: dseed,
+            seed: case << 16,
         });
         let closed = ics.closure();
-        prop_assume!(closed.is_finitely_satisfiable());
+        if !closed.is_finitely_satisfiable() {
+            continue;
+        }
         let doc = tpq::constraints::repair(&raw, &closed).unwrap();
-        prop_assert!(
+        assert!(
             tpq::matching::same_answers(&q, &m, &doc),
-            "answers diverge on a conforming document (seeds {pseed}/{cseed}/{dseed})"
+            "answers diverge on a conforming document (case {case})"
         );
     }
+}
 
-    /// DSL printing round-trips through the parser up to isomorphism.
-    #[test]
-    fn dsl_round_trip(seed in 0u64..10_000, nodes in 1usize..15) {
-        let q = pattern(seed, nodes, 4);
+/// DSL printing round-trips through the parser up to isomorphism.
+#[test]
+fn dsl_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng(10, case);
+        let q = pattern(case, r.gen_range(1..15usize), 4);
         let mut tys = tpq::base::TypeInterner::new();
         tpq_workload::random::universe(&mut tys, 4);
         let printed = tpq::pattern::print::to_dsl(&q, &tys);
         let back = tpq::pattern::parse_pattern(&printed, &mut tys).unwrap();
-        prop_assert!(isomorphic(&q, &back), "{printed}");
+        assert!(isomorphic(&q, &back), "{printed}");
     }
+}
 
-    /// Compaction preserves the canonical form.
-    #[test]
-    fn compaction_preserves_canonical_form(seed in 0u64..10_000, nodes in 2usize..12) {
-        let mut q = pattern(seed, nodes, 3);
-        // Remove a random non-output leaf if one exists, then compact.
-        if let Some(l) = q
-            .leaves()
-            .into_iter()
-            .find(|&l| l != q.output() && l != q.root())
-        {
+/// Compaction preserves the canonical form.
+#[test]
+fn compaction_preserves_canonical_form() {
+    for case in 0..CASES {
+        let mut r = case_rng(11, case);
+        let mut q = pattern(case, r.gen_range(2..12usize), 3);
+        if let Some(l) = q.leaves().into_iter().find(|&l| l != q.output() && l != q.root()) {
             q.remove_leaf(l).unwrap();
         }
         let (compacted, _) = q.compact();
-        prop_assert_eq!(canonical_form(&q), canonical_form(&compacted));
+        assert_eq!(canonical_form(&q), canonical_form(&compacted), "case {case}");
         compacted.validate().unwrap();
     }
+}
 
-    /// Closure is idempotent and finitely satisfiable for generated sets.
-    #[test]
-    fn closure_idempotent(cseed in 0u64..10_000, count in 0usize..12) {
-        let ics = random_constraints(&ConstraintSpec { count, num_types: 6, seed: cseed });
+/// Closure is idempotent and finitely satisfiable for generated sets.
+#[test]
+fn closure_idempotent() {
+    for case in 0..CASES {
+        let mut r = case_rng(12, case);
+        let count = r.gen_range(0..12usize);
+        let ics = random_constraints(&ConstraintSpec { count, num_types: 6, seed: case });
         let closed = ics.closure();
-        prop_assert!(closed.is_closed());
-        prop_assert!(closed.is_finitely_satisfiable());
-        prop_assert!(closed.len() >= ics.len());
+        assert!(closed.is_closed(), "case {case}");
+        assert!(closed.is_finitely_satisfiable(), "case {case}");
+        assert!(closed.len() >= ics.len(), "case {case}");
     }
+}
 
-    /// Parsers reject or accept arbitrary input without panicking.
-    #[test]
-    fn parsers_never_panic(input in "\\PC{0,60}") {
+/// Parsers reject or accept arbitrary input without panicking.
+#[test]
+fn parsers_never_panic() {
+    // A character pool biased toward DSL/XML syntax so random strings
+    // reach deep parser states, plus some unicode.
+    const POOL: &[char] = &[
+        'a', 'b', 'Z', '0', '9', '/', '[', ']', '{', '}', '*', '<', '>', '=', '"', '\'', ',', '.',
+        '-', '~', ' ', '\t', '\n', '(', ')', '&', ';', '!', 'é', '∀', '§',
+    ];
+    for case in 0..400u64 {
+        let mut r = case_rng(13, case);
+        let len = r.gen_range(0..60usize);
+        let input: String = (0..len).map(|_| *r.choose(POOL).expect("non-empty pool")).collect();
         let mut tys = tpq::base::TypeInterner::new();
         let _ = tpq::pattern::parse_pattern(&input, &mut tys);
         let _ = tpq::pattern::parse_xpath(&input, &mut tys);
@@ -272,19 +308,25 @@ proptest! {
         let _ = tpq::constraints::parse_constraints(&input, &mut tys);
         let _ = tpq::constraints::Schema::parse(&input, &mut tys);
     }
+}
 
-    /// Near-miss mutations of valid pattern text parse or fail cleanly,
-    /// and whatever parses round-trips.
-    #[test]
-    fn mutated_dsl_never_panics(seed in 0u64..10_000, cut in 0usize..40) {
-        let base = r#"Articles/Article*{price<100,lang="en"}[/Title][//Para]//Section"#;
+/// Near-miss mutations of valid pattern text parse or fail cleanly, and
+/// whatever parses round-trips.
+#[test]
+fn mutated_dsl_never_panics() {
+    let base = r#"Articles/Article*{price<100,lang="en"}[/Title][//Para]//Section"#;
+    for case in 0..200u64 {
+        let mut r = case_rng(14, case);
+        let cut = r.gen_range(0..40usize);
         let mut text: Vec<char> = base.chars().collect();
-        let pos = (seed as usize) % text.len();
-        match seed % 4 {
-            0 => { text.remove(pos); }
+        let pos = (case as usize) % text.len();
+        match case % 4 {
+            0 => {
+                text.remove(pos);
+            }
             1 => text.insert(pos, '['),
             2 => text.insert(pos, '}'),
-            _ => { text.truncate(cut.min(text.len())); }
+            _ => text.truncate(cut.min(text.len())),
         }
         let s: String = text.into_iter().collect();
         let mut tys = tpq::base::TypeInterner::new();
@@ -292,25 +334,29 @@ proptest! {
             q.validate().unwrap();
             let printed = tpq::pattern::print::to_dsl(&q, &tys);
             let back = tpq::pattern::parse_pattern(&printed, &mut tys).unwrap();
-            prop_assert!(isomorphic(&q, &back));
+            assert!(isomorphic(&q, &back), "{printed}");
         }
     }
+}
 
-    /// Repair always yields a satisfying document.
-    #[test]
-    fn repair_satisfies(cseed in 0u64..10_000, dseed in 0u64..10_000) {
-        let ics = random_constraints(&ConstraintSpec { count: 6, num_types: 5, seed: cseed });
+/// Repair always yields a satisfying document.
+#[test]
+fn repair_satisfies() {
+    for case in 0..CASES {
+        let ics = random_constraints(&ConstraintSpec { count: 6, num_types: 5, seed: case });
         let closed = ics.closure();
-        prop_assume!(closed.is_finitely_satisfiable());
+        if !closed.is_finitely_satisfiable() {
+            continue;
+        }
         let raw = tpq::data::generate_document(&tpq::data::DocumentSpec {
             nodes: 15,
             num_types: 5,
             max_fanout: 3,
             extra_type_prob: 0.2,
-            seed: dseed,
+            seed: case << 16,
         });
         let fixed = tpq::constraints::repair(&raw, &closed).unwrap();
-        prop_assert!(tpq::constraints::satisfies(&fixed, &closed));
+        assert!(tpq::constraints::satisfies(&fixed, &closed), "case {case}");
         fixed.validate().unwrap();
     }
 }

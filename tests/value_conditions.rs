@@ -16,11 +16,7 @@ fn entailed_conditioned_branch_is_redundant() {
     // Books cheaper than 50 are also cheaper than 100: the looser branch
     // folds onto the stricter one.
     let mut t = tys();
-    let q = parse_pattern(
-        "Shelf*[//Book{price<100}]//Book{price<50}//Review",
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern("Shelf*[//Book{price<100}]//Book{price<50}//Review", &mut t).unwrap();
     let m = cim(&q);
     let want = parse_pattern("Shelf*//Book{price<50}//Review", &mut t).unwrap();
     assert!(isomorphic(&m, &want), "got {} nodes", m.size());
@@ -42,14 +38,8 @@ fn non_entailed_conditions_block_minimization() {
     let q3 = parse_pattern("Shelf*[//Book{price<10}]//Book{price<50}", &mut t).unwrap();
     let m3 = cim(&q3);
     assert_eq!(m3.size(), 2);
-    let survivor = m3
-        .alive_ids()
-        .find(|&v| !m3.node(v).conditions.is_empty())
-        .unwrap();
-    assert_eq!(
-        m3.node(survivor).conditions[0].value,
-        tpq::base::Value::Int(10)
-    );
+    let survivor = m3.alive_ids().find(|&v| !m3.node(v).conditions.is_empty()).unwrap();
+    assert_eq!(m3.node(survivor).conditions[0].value, tpq::base::Value::Int(10));
 }
 
 #[test]
@@ -71,11 +61,7 @@ fn unconditioned_node_subsumed_by_conditioned_twin() {
 fn equality_pins_fold_both_ways() {
     // lang="en" twins are mutually redundant: exactly one survives.
     let mut t = tys();
-    let q = parse_pattern(
-        r#"Shelf*[//Book{lang="en"}]//Book{lang="en"}"#,
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern(r#"Shelf*[//Book{lang="en"}]//Book{lang="en"}"#, &mut t).unwrap();
     let m = cim(&q);
     assert_eq!(m.size(), 2);
 }
@@ -109,11 +95,7 @@ fn matching_respects_attribute_values() {
 #[test]
 fn minimized_conditioned_query_keeps_answers() {
     let mut t = tys();
-    let q = parse_pattern(
-        "Shelf*[//Book{price<100}]//Book{price<50}//Review",
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern("Shelf*[//Book{price<100}]//Book{price<50}//Review", &mut t).unwrap();
     let m = cim(&q);
     let doc = parse_xml(
         r#"<Shelf>
@@ -126,11 +108,9 @@ fn minimized_conditioned_query_keeps_answers() {
     assert!(tpq::matching::same_answers(&q, &m, &doc));
     assert_eq!(answer_set(&m, &doc).len(), 1);
     // A shelf whose only cheap book has no review does not match.
-    let doc2 = parse_xml(
-        r#"<Shelf><Book price="40"/><Book price="80"><Review/></Book></Shelf>"#,
-        &mut t,
-    )
-    .unwrap();
+    let doc2 =
+        parse_xml(r#"<Shelf><Book price="40"/><Book price="80"><Review/></Book></Shelf>"#, &mut t)
+            .unwrap();
     assert!(answer_set(&m, &doc2).is_empty());
     assert!(tpq::matching::same_answers(&q, &m, &doc2));
 }
@@ -157,18 +137,10 @@ fn cdm_uses_entailment_for_cooccurrence_witnesses() {
     // PermEmp{age>20} one.
     let mut t = tys();
     let ics = parse_constraints("PermEmp ~ Employee", &mut t).unwrap();
-    let q = parse_pattern(
-        "Org*[/Employee{age>30}][/PermEmp{age>40}]",
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern("Org*[/Employee{age>30}][/PermEmp{age>40}]", &mut t).unwrap();
     let m = cdm(&q, &ics);
     assert_eq!(m.size(), 2, "entailed sibling folds");
-    let q2 = parse_pattern(
-        "Org*[/Employee{age>30}][/PermEmp{age>20}]",
-        &mut t,
-    )
-    .unwrap();
+    let q2 = parse_pattern("Org*[/Employee{age>30}][/PermEmp{age>20}]", &mut t).unwrap();
     let m2 = cdm(&q2, &ics);
     assert_eq!(m2.size(), 3, "non-entailed sibling survives");
 }
@@ -178,11 +150,7 @@ fn unsatisfiable_conditions_entail_anything() {
     // A node that can never match makes its subsuming branch trivially
     // removable; the containment machinery must not choke.
     let mut t = tys();
-    let q = parse_pattern(
-        "Shelf*[//Book{price<10}]//Book{price<5,price>6}",
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern("Shelf*[//Book{price<10}]//Book{price<5,price>6}", &mut t).unwrap();
     let m = cim(&q);
     // The price<10 branch folds onto the unsatisfiable one (ex falso).
     assert_eq!(m.size(), 2);
@@ -197,11 +165,7 @@ fn integer_normalization_in_minimization() {
     // price<=99 and price<100 are the same integer condition; the twins
     // are mutually redundant and the survivor's DSL keeps working.
     let mut t = tys();
-    let q = parse_pattern(
-        "Shelf*[//Book{price<=99}]//Book{price<100}",
-        &mut t,
-    )
-    .unwrap();
+    let q = parse_pattern("Shelf*[//Book{price<=99}]//Book{price<100}", &mut t).unwrap();
     let m = cim(&q);
     assert_eq!(m.size(), 2);
     let printed = tpq::pattern::print::to_dsl(&m, &t);
@@ -224,10 +188,11 @@ fn containment_under_ics_with_conditions() {
 }
 
 #[test]
-fn serde_round_trips_conditions() {
+fn json_round_trips_conditions() {
     let mut t = tys();
     let q = parse_pattern(r#"Book*{price<100,lang="en"}/Title"#, &mut t).unwrap();
-    let json = serde_json::to_string(&q).unwrap();
-    let back: TreePattern = serde_json::from_str(&json).unwrap();
+    let json = q.to_json().to_string_compact();
+    let parsed = tpq::base::Json::parse(&json).unwrap();
+    let back = TreePattern::from_json(&parsed).unwrap();
     assert_eq!(q, back);
 }
