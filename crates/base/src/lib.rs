@@ -13,12 +13,14 @@
 //!   (see DESIGN.md §5);
 //! * [`Json`] — a small self-contained JSON model for serialisation;
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests;
+//! * [`pool`] — a scoped work-stealing thread pool for batch fan-out;
 //! * [`Error`] / [`Result`] — the workspace-wide error type.
 
 pub mod error;
 pub mod hash;
 pub mod interner;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod typeset;
 pub mod value;

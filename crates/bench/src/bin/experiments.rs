@@ -35,7 +35,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--json] [--metrics-dir <dir>] \
-                     [fig7a fig7b fig8a fig8b fig8b-fanout fig9a fig9b ablate | all]"
+                     [fig7a fig7b fig8a fig8b fig8b-fanout fig9a fig9b ablate batch | all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -43,9 +43,19 @@ fn main() -> ExitCode {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["fig7a", "fig7b", "fig8a", "fig8b", "fig8b-fanout", "fig9a", "fig9b", "ablate"]
-            .map(str::to_owned)
-            .to_vec();
+        wanted = [
+            "fig7a",
+            "fig7b",
+            "fig8a",
+            "fig8b",
+            "fig8b-fanout",
+            "fig9a",
+            "fig9b",
+            "ablate",
+            "batch",
+        ]
+        .map(str::to_owned)
+        .to_vec();
     }
     let mut panels: Vec<Panel> = Vec::new();
     for w in &wanted {
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
             "fig9a" => || vec![experiments::fig9a()],
             "fig9b" => || vec![experiments::fig9b()],
             "ablate" => experiments::ablations,
+            "batch" => || vec![experiments::batch()],
             other => {
                 eprintln!("unknown panel '{other}' (try --help)");
                 return ExitCode::FAILURE;

@@ -258,6 +258,81 @@ pub fn fig9b() -> Panel {
     }
 }
 
+/// Parallel batch minimization over the Figure 7(a) workload family: 500
+/// queries (125 distinct specs, each appearing 4×) minimized by
+/// [`tpq_core::BatchMinimizer`] at increasing worker counts. The `Cold`
+/// series starts from an empty memo cache each run (in-batch duplicates
+/// still fold, so 125 minimizations serve 500 queries); the `Warm` series
+/// re-runs the same batch on the warmed engine, where every query is a
+/// cache hit. Speedup at `--jobs N` is `Cold(x=1) / Cold(x=N)` — on a
+/// multi-core host it tracks the worker count until the key pass and
+/// memory bandwidth dominate.
+pub fn batch() -> Panel {
+    // Degree starts at 2: with a degree-1 witness the shared `tF0 ->> tX`
+    // constraint makes the lone witness leaf itself removable, which would
+    // put the generator's expected size off by one for that slice.
+    let specs: Vec<RedundancySpec> = (2..=6)
+        .flat_map(|degree| {
+            (1..=25).map(move |red| RedundancySpec {
+                total_nodes: 33,
+                redundant_nodes: red,
+                degree,
+            })
+        })
+        .collect();
+    let generated: Vec<_> = specs.iter().map(redundancy_query).collect();
+    let mut queries: Vec<TreePattern> = Vec::with_capacity(4 * generated.len());
+    let mut expected: Vec<usize> = Vec::with_capacity(4 * generated.len());
+    for _ in 0..4 {
+        for g in &generated {
+            queries.push(g.pattern.clone());
+            expected.push(g.expected_minimal_size);
+        }
+    }
+    // All specs intern tR, tX, tF0.. in the same order, so type ids agree
+    // across the family and one constraint set covers the whole batch.
+    let most_fillers =
+        generated.iter().max_by_key(|g| g.filler_types.len()).expect("non-empty family");
+    let ics = relevant_constraints(most_fillers, 20);
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for jobs in [1u64, 2, 4, 8] {
+        let (cold_us, outcome) = median_micros(3, || {
+            let engine = tpq_core::BatchMinimizer::new(&ics);
+            engine.minimize_batch(&queries, jobs as usize)
+        });
+        for (m, want) in outcome.patterns.iter().zip(&expected) {
+            assert_eq!(m.size(), *want, "batch result disagrees with the generator");
+        }
+        assert_eq!(outcome.stats.unique, generated.len(), "duplicates must fold");
+        let warm_engine = tpq_core::BatchMinimizer::new(&ics);
+        warm_engine.minimize_batch(&queries, jobs as usize); // prime the cache
+        let (warm_us, warm_out) =
+            median_micros(3, || warm_engine.minimize_batch(&queries, jobs as usize));
+        assert_eq!(warm_out.stats.cache_misses, 0, "warmed engine must serve all hits");
+        cold.push(Point { x: jobs, micros: cold_us, aux_micros: None });
+        warm.push(Point { x: jobs, micros: warm_us, aux_micros: None });
+    }
+    let base = cold[0].micros;
+    for p in &cold {
+        eprintln!(
+            "batch: jobs={} cold {:.0}us ({:.2}x vs jobs=1)",
+            p.x,
+            p.micros,
+            base / p.micros.max(1.0)
+        );
+    }
+    Panel {
+        id: "batch".into(),
+        title: "parallel batch minimization: 500 Figure-7 queries, cold vs warm cache".into(),
+        x_label: "Jobs".into(),
+        series: vec![
+            Series { label: "ColdCache".into(), points: cold },
+            Series { label: "WarmCache".into(), points: warm },
+        ],
+    }
+}
+
 /// Ablations of the design choices called out in DESIGN.md §3.
 pub fn ablations() -> Vec<Panel> {
     vec![ablate_containment(), ablate_cim_cache(), ablate_incremental(), ablate_matching()]
@@ -458,6 +533,7 @@ fn department_doc(n: usize, tys: &mut tpq_base::TypeInterner) -> tpq_data::Docum
 pub fn all_panels() -> Vec<Panel> {
     let mut v = vec![fig7a(), fig7b(), fig8a(), fig8b(), fig8b_fanout(), fig9a(), fig9b()];
     v.extend(ablations());
+    v.push(batch());
     v
 }
 

@@ -211,6 +211,16 @@ impl ConstraintSet {
     }
 }
 
+impl PartialEq for ConstraintSet {
+    /// Two repositories are equal when they hold the same constraints; the
+    /// adjacency lists are derived data and their ordering is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.child == other.child && self.desc == other.desc && self.cooc == other.cooc
+    }
+}
+
+impl Eq for ConstraintSet {}
+
 impl FromIterator<Constraint> for ConstraintSet {
     /// Build from an iterator of constraints (trivial ones are dropped).
     fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
@@ -353,6 +363,28 @@ mod tests {
         assert!(!cyc.is_finitely_satisfiable());
         let selfloop = ConstraintSet::from_iter([RequiredChild(t(0), t(0))]).closure();
         assert!(!selfloop.is_finitely_satisfiable());
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = ConstraintSet::from_iter([
+            RequiredChild(t(0), t(1)),
+            RequiredDescendant(t(2), t(3)),
+            CoOccurrence(t(4), t(5)),
+        ]);
+        let b = ConstraintSet::from_iter([
+            CoOccurrence(t(4), t(5)),
+            RequiredChild(t(0), t(1)),
+            RequiredDescendant(t(2), t(3)),
+        ]);
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.insert(RequiredChild(t(9), t(1)));
+        assert_ne!(a, c);
+        // Kind matters: a -> b is not a ->> b.
+        let d = ConstraintSet::from_iter([RequiredChild(t(0), t(1))]);
+        let e = ConstraintSet::from_iter([RequiredDescendant(t(0), t(1))]);
+        assert_ne!(d, e);
     }
 
     #[test]

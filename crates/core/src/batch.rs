@@ -1,0 +1,394 @@
+//! Parallel batch minimization with a canonical-pattern memo cache.
+//!
+//! The paper's motivating deployment (Section 1) minimizes *many* queries
+//! against *one* schema. [`BatchMinimizer`] makes that the unit of work:
+//! it owns one closed constraint set (computed once) plus a memo cache
+//! keyed by [`TreePattern::canonical_key`], and fans a `Vec` of queries
+//! out over the scoped work-stealing pool in [`tpq_base::pool`].
+//!
+//! Queries that are **isomorphic** to one another — the common case in
+//! query-optimizer traffic, where the same generated pattern arrives over
+//! and over with different node numbering — are minimized once: the
+//! canonical key folds duplicates before any worker runs, and the cache
+//! persists across batches so a warmed engine answers repeats without
+//! running CDM or ACIM at all. Theorem 5.1 (minimal queries are unique up
+//! to isomorphism) is what makes serving a cached result sound.
+//!
+//! Output is **deterministic**: results come back in input order and do
+//! not depend on the worker count, because keys are assigned before the
+//! fan-out and each unique pattern is minimized exactly once.
+//!
+//! Observability (when the `tpq-obs` layer is enabled): counters
+//! `batch.cache.hit`, `batch.cache.miss`, `batch.steal` and per-worker
+//! latency histograms `batch.worker.N` (see `docs/OBSERVABILITY.md`).
+//!
+//! ```
+//! use tpq_base::TypeInterner;
+//! use tpq_constraints::parse_constraints;
+//! use tpq_core::batch::BatchMinimizer;
+//! use tpq_pattern::parse_pattern;
+//!
+//! let mut tys = TypeInterner::new();
+//! let ics = parse_constraints("Book -> Title", &mut tys).unwrap();
+//! let engine = BatchMinimizer::new(&ics);
+//! let queries = vec![
+//!     parse_pattern("Book*[/Title][/Author]", &mut tys).unwrap(),
+//!     parse_pattern("Book*[/Author][/Title]", &mut tys).unwrap(), // isomorphic
+//! ];
+//! let out = engine.minimize_batch(&queries, 2);
+//! assert_eq!(out.patterns.len(), 2);
+//! assert_eq!(out.stats.unique, 1, "duplicate folded by the memo cache");
+//! assert_eq!(out.patterns[0].size(), 2);
+//! ```
+
+use crate::pipeline::{MinimizeOutcome, Strategy};
+use crate::session::minimize_closed;
+use crate::stats::MinimizeStats;
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+use tpq_base::pool::{scoped_map, PoolStats};
+use tpq_base::FxHashMap;
+use tpq_constraints::ConstraintSet;
+use tpq_pattern::{CanonicalKey, TreePattern};
+
+/// Static span names so per-worker latency lands in distinct histograms
+/// without allocating names (the registry is keyed by `&'static str`).
+/// Workers beyond the table share the overflow bucket.
+const WORKER_SPANS: [&str; 16] = [
+    "batch.worker.0",
+    "batch.worker.1",
+    "batch.worker.2",
+    "batch.worker.3",
+    "batch.worker.4",
+    "batch.worker.5",
+    "batch.worker.6",
+    "batch.worker.7",
+    "batch.worker.8",
+    "batch.worker.9",
+    "batch.worker.10",
+    "batch.worker.11",
+    "batch.worker.12",
+    "batch.worker.13",
+    "batch.worker.14",
+    "batch.worker.15",
+];
+
+fn worker_span(worker: usize) -> &'static str {
+    WORKER_SPANS.get(worker).copied().unwrap_or("batch.worker.overflow")
+}
+
+/// A batch minimization session: one closed constraint set, one strategy,
+/// and a memo cache of minimized patterns keyed by canonical form.
+///
+/// The cache is internally synchronized — `minimize_batch` takes `&self`,
+/// so one engine can serve concurrent callers.
+#[derive(Debug)]
+pub struct BatchMinimizer {
+    closed: ConstraintSet,
+    strategy: Strategy,
+    cache: RwLock<FxHashMap<CanonicalKey, TreePattern>>,
+}
+
+/// What one batch run did, beyond the per-query results.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Distinct canonical patterns that had to be minimized.
+    pub unique: usize,
+    /// Queries answered from the memo cache (persistent hits plus
+    /// in-batch duplicates of an already-scheduled pattern).
+    pub cache_hits: u64,
+    /// Queries that ran the minimization pipeline.
+    pub cache_misses: u64,
+    /// Work-stealing events in the pool.
+    pub steals: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Items executed per worker.
+    pub executed_per_worker: Vec<u64>,
+    /// Wall time of the whole batch, including the key pass.
+    pub wall_time: Duration,
+    /// Algorithm counters summed over every minimization actually run.
+    pub minimize: MinimizeStats,
+}
+
+/// Result of [`BatchMinimizer::minimize_batch`]: one minimized pattern per
+/// input query, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Minimized (compacted) patterns, parallel to the input slice.
+    pub patterns: Vec<TreePattern>,
+    /// Batch-level measurements.
+    pub stats: BatchStats,
+}
+
+/// How each input query gets its result: from the persistent cache, or
+/// from slot `i` of this batch's unique-work list.
+enum Plan {
+    Cached(TreePattern),
+    Computed(usize),
+}
+
+impl BatchMinimizer {
+    /// Build from a (not necessarily closed) constraint set with the
+    /// default strategy. The quadratic closure is computed once, here.
+    pub fn new(ics: &ConstraintSet) -> Self {
+        Self::with_strategy(ics, Strategy::default())
+    }
+
+    /// Build with an explicit strategy.
+    pub fn with_strategy(ics: &ConstraintSet, strategy: Strategy) -> Self {
+        BatchMinimizer { closed: ics.closure(), strategy, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// The closed constraint set the engine minimizes under.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.closed
+    }
+
+    /// The strategy every query runs with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Number of distinct canonical patterns memoized so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().expect("batch cache poisoned").len()
+    }
+
+    /// Drop every memoized result (the closed constraint set stays).
+    pub fn clear_cache(&self) {
+        self.cache.write().expect("batch cache poisoned").clear();
+    }
+
+    /// Minimize one query through the cache (a one-element batch without
+    /// the pool; useful for mixed single/batch callers that want the memo
+    /// behavior everywhere).
+    pub fn minimize(&self, q: &TreePattern) -> TreePattern {
+        let key = q.canonical_key();
+        if let Some(hit) = self.cache.read().expect("batch cache poisoned").get(&key) {
+            tpq_obs::incr("batch.cache.hit", 1);
+            return hit.clone();
+        }
+        tpq_obs::incr("batch.cache.miss", 1);
+        let out = minimize_closed(q, &self.closed, self.strategy);
+        self.cache.write().expect("batch cache poisoned").insert(key, out.pattern.clone());
+        out.pattern
+    }
+
+    /// Minimize every query in `queries` on up to `jobs` worker threads.
+    ///
+    /// Results are returned in input order and are identical for every
+    /// `jobs` value: the sequential key pass fixes which patterns are
+    /// computed before any thread runs, so thread scheduling cannot leak
+    /// into the output.
+    pub fn minimize_batch(&self, queries: &[TreePattern], jobs: usize) -> BatchOutcome {
+        let _span = tpq_obs::span!("batch");
+        let t0 = Instant::now();
+
+        // Key pass (sequential, cheap next to minimization): fold cache
+        // hits and in-batch duplicates, and collect the unique survivors.
+        let mut plan: Vec<Plan> = Vec::with_capacity(queries.len());
+        let mut unique: Vec<&TreePattern> = Vec::new();
+        let mut keys: Vec<CanonicalKey> = Vec::new();
+        let mut scheduled: FxHashMap<CanonicalKey, usize> = FxHashMap::default();
+        let mut hits = 0u64;
+        {
+            let cache = self.cache.read().expect("batch cache poisoned");
+            for q in queries {
+                let key = q.canonical_key();
+                if let Some(hit) = cache.get(&key) {
+                    hits += 1;
+                    plan.push(Plan::Cached(hit.clone()));
+                } else if let Some(&slot) = scheduled.get(&key) {
+                    hits += 1;
+                    plan.push(Plan::Computed(slot));
+                } else {
+                    let slot = unique.len();
+                    scheduled.insert(key.clone(), slot);
+                    unique.push(q);
+                    keys.push(key);
+                    plan.push(Plan::Computed(slot));
+                }
+            }
+        }
+        let misses = unique.len() as u64;
+        tpq_obs::incr("batch.cache.hit", hits);
+        tpq_obs::incr("batch.cache.miss", misses);
+
+        // Fan the unique patterns out over the pool.
+        let (outcomes, pool): (Vec<MinimizeOutcome>, PoolStats) =
+            scoped_map(jobs, &unique, |ctx, q| {
+                let t = Instant::now();
+                let out = minimize_closed(q, &self.closed, self.strategy);
+                tpq_obs::record_duration(worker_span(ctx.worker), t.elapsed());
+                out
+            });
+        tpq_obs::incr("batch.steal", pool.steals);
+
+        // Memoize for the next batch.
+        {
+            let mut cache = self.cache.write().expect("batch cache poisoned");
+            for (key, out) in keys.into_iter().zip(&outcomes) {
+                cache.insert(key, out.pattern.clone());
+            }
+        }
+
+        let mut minimize = MinimizeStats::default();
+        for out in &outcomes {
+            minimize.merge(out.stats);
+        }
+        let patterns = plan
+            .into_iter()
+            .map(|p| match p {
+                Plan::Cached(pattern) => pattern,
+                Plan::Computed(slot) => outcomes[slot].pattern.clone(),
+            })
+            .collect();
+        BatchOutcome {
+            patterns,
+            stats: BatchStats {
+                queries: queries.len(),
+                unique: unique.len(),
+                cache_hits: hits,
+                cache_misses: misses,
+                steals: pool.steals,
+                workers: pool.workers,
+                executed_per_worker: pool.executed,
+                wall_time: t0.elapsed(),
+                minimize,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Minimizer;
+    use tpq_base::TypeInterner;
+    use tpq_constraints::parse_constraints;
+    use tpq_pattern::{isomorphic, parse_pattern};
+
+    fn setup() -> (BatchMinimizer, Vec<TreePattern>, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let ics = parse_constraints("Article -> Title\nSection ->> Paragraph", &mut tys).unwrap();
+        let queries: Vec<TreePattern> = [
+            "Articles/Article*[/Title]//Section//Paragraph",
+            "Article*[/Title]",
+            "Article*//Section",
+            "Section*//Paragraph",
+            "Articles/Article*[/Title]//Section//Paragraph", // exact repeat
+        ]
+        .iter()
+        .map(|s| parse_pattern(s, &mut tys).unwrap())
+        .collect();
+        (BatchMinimizer::new(&ics), queries, tys)
+    }
+
+    #[test]
+    fn batch_matches_sequential_session() {
+        let (engine, queries, mut tys) = setup();
+        let ics = parse_constraints("Article -> Title\nSection ->> Paragraph", &mut tys).unwrap();
+        let session = Minimizer::new(&ics);
+        for jobs in [1, 2, 4] {
+            let out = engine.minimize_batch(&queries, jobs);
+            assert_eq!(out.patterns.len(), queries.len());
+            for (q, m) in queries.iter().zip(&out.patterns) {
+                let want = session.minimize(q).pattern;
+                assert!(isomorphic(m, &want), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_fold_into_one_computation() {
+        let (engine, queries, _) = setup();
+        let out = engine.minimize_batch(&queries, 2);
+        assert_eq!(out.stats.queries, 5);
+        assert_eq!(out.stats.unique, 4, "the repeated query folds");
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(out.stats.cache_misses, 4);
+        assert!(isomorphic(&out.patterns[0], &out.patterns[4]));
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let (engine, queries, _) = setup();
+        let first = engine.minimize_batch(&queries, 2);
+        assert_eq!(engine.cache_len(), 4);
+        let second = engine.minimize_batch(&queries, 2);
+        assert_eq!(second.stats.cache_hits, 5, "everything warm");
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.unique, 0);
+        for (a, b) in first.patterns.iter().zip(&second.patterns) {
+            assert_eq!(a, b, "warm results identical, not merely isomorphic");
+        }
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn isomorphic_queries_share_a_cache_entry() {
+        let mut tys = TypeInterner::new();
+        let ics = parse_constraints("a -> b", &mut tys).unwrap();
+        let engine = BatchMinimizer::new(&ics);
+        let q1 = parse_pattern("a*[/b][/c]", &mut tys).unwrap();
+        let q2 = parse_pattern("a*[/c][/b]", &mut tys).unwrap(); // sibling order flipped
+        let out = engine.minimize_batch(&[q1, q2], 2);
+        assert_eq!(out.stats.unique, 1);
+        assert_eq!(out.patterns[0], out.patterns[1]);
+        assert_eq!(out.patterns[0].size(), 2, "a -> b makes /b redundant");
+    }
+
+    #[test]
+    fn single_query_path_uses_the_cache() {
+        let (engine, queries, _) = setup();
+        let a = engine.minimize(&queries[0]);
+        assert_eq!(engine.cache_len(), 1);
+        let b = engine.minimize(&queries[4]);
+        assert_eq!(engine.cache_len(), 1, "isomorphic repeat hits");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_independent_of_jobs() {
+        let (engine, queries, _) = setup();
+        let baseline = engine.minimize_batch(&queries, 1);
+        for jobs in 2..=8 {
+            let engine2 = {
+                let mut tys = TypeInterner::new();
+                let ics =
+                    parse_constraints("Article -> Title\nSection ->> Paragraph", &mut tys).unwrap();
+                BatchMinimizer::new(&ics)
+            };
+            let out = engine2.minimize_batch(&queries, jobs);
+            assert_eq!(out.patterns, baseline.patterns, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (engine, _, _) = setup();
+        let out = engine.minimize_batch(&[], 4);
+        assert!(out.patterns.is_empty());
+        assert_eq!(out.stats.unique, 0);
+        assert_eq!(out.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn every_strategy_is_supported() {
+        let mut tys = TypeInterner::new();
+        let ics = parse_constraints("a -> b", &mut tys).unwrap();
+        let q = parse_pattern("a*[/b][/c]", &mut tys).unwrap();
+        for strategy in
+            [Strategy::CimOnly, Strategy::AcimOnly, Strategy::CdmOnly, Strategy::CdmThenAcim]
+        {
+            let engine = BatchMinimizer::with_strategy(&ics, strategy);
+            let out = engine.minimize_batch(std::slice::from_ref(&q), 2);
+            let want = Minimizer::with_strategy(&ics, strategy).minimize(&q).pattern;
+            assert!(isomorphic(&out.patterns[0], &want), "{strategy:?}");
+        }
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod acim;
+pub mod batch;
 pub mod cdm;
 pub mod chase;
 pub mod cim;
@@ -64,6 +65,7 @@ pub mod session;
 pub mod stats;
 
 pub use acim::{acim, acim_closed, acim_with_stats};
+pub use batch::{BatchMinimizer, BatchOutcome, BatchStats};
 pub use cdm::{cdm, cdm_closed, cdm_in_place, cdm_with_stats};
 pub use chase::{augment, chase};
 pub use cim::{cim, cim_in_place, cim_with_order, cim_with_stats};
@@ -75,5 +77,5 @@ pub use local::locally_redundant_leaves;
 pub use mapping::{has_homomorphism, has_homomorphism_naive};
 pub use pipeline::{minimize, minimize_with, MinimizeOutcome, Strategy};
 pub use redundant::redundant_leaf;
-pub use session::{is_minimal, Minimizer};
+pub use session::{is_minimal, minimize_closed, Minimizer};
 pub use stats::MinimizeStats;

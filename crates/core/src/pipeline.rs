@@ -2,6 +2,7 @@
 //! pre-filter, then ACIM for global minimality.
 
 use crate::stats::MinimizeStats;
+use std::sync::{Arc, Mutex, OnceLock};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::TreePattern;
 
@@ -38,11 +39,42 @@ pub fn minimize(q: &TreePattern, ics: &ConstraintSet) -> MinimizeOutcome {
 
 /// Minimize `q` under `ics` with an explicit [`Strategy`].
 ///
-/// One-shot convenience over [`crate::session::Minimizer`] — when
-/// minimizing many queries against one schema, build a `Minimizer` once
-/// instead (the constraint closure is then computed only once).
+/// One-shot convenience over [`crate::session::Minimizer`]. Repeated calls
+/// against the same constraint set do **not** recompute the quadratic
+/// closure: a small process-wide cache maps recently seen sets to their
+/// closures (the `closure.cache.hit` / `closure.recomputed` counters
+/// report its behavior). For heavy many-query workloads, prefer a
+/// [`crate::session::Minimizer`] or [`crate::batch::BatchMinimizer`],
+/// which also skip the set-equality probe.
 pub fn minimize_with(q: &TreePattern, ics: &ConstraintSet, strategy: Strategy) -> MinimizeOutcome {
-    crate::session::Minimizer::with_strategy(ics, strategy).minimize(q)
+    crate::session::minimize_closed(q, &cached_closure(ics), strategy)
+}
+
+/// Entries kept in the process-wide closure cache. Sets are compared by
+/// value, so the probe is `O(|ics|)` — noise against the `O(T²)` fixpoint
+/// it avoids — and collisions are impossible.
+const CLOSURE_CACHE_CAPACITY: usize = 8;
+
+/// Cache entries: the original set paired with its shared closure.
+type ClosureCache = Vec<(ConstraintSet, Arc<ConstraintSet>)>;
+
+/// The closure of `ics`, from the cache when this set was seen recently.
+fn cached_closure(ics: &ConstraintSet) -> Arc<ConstraintSet> {
+    static CACHE: OnceLock<Mutex<ClosureCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut entries = cache.lock().expect("closure cache poisoned");
+    if let Some(pos) = entries.iter().position(|(original, _)| original == ics) {
+        let hit = entries.remove(pos);
+        let closed = Arc::clone(&hit.1);
+        entries.insert(0, hit); // move to front (LRU)
+        tpq_obs::incr("closure.cache.hit", 1);
+        return closed;
+    }
+    let closed = Arc::new(ics.closure());
+    tpq_obs::incr("closure.recomputed", 1);
+    entries.insert(0, (ics.clone(), Arc::clone(&closed)));
+    entries.truncate(CLOSURE_CACHE_CAPACITY);
+    closed
 }
 
 #[cfg(test)]
@@ -124,5 +156,24 @@ mod tests {
     #[test]
     fn default_strategy_is_cdm_then_acim() {
         assert_eq!(Strategy::default(), Strategy::CdmThenAcim);
+    }
+
+    #[test]
+    fn repeated_one_shot_calls_reuse_the_closure() {
+        // Counters only move while the obs layer is enabled; other tests
+        // may add further hits concurrently, so assert on the delta floor.
+        tpq_obs::set_enabled(true);
+        let (q, ics, _) =
+            setup("Book*[/Title][/Publisher][//LastName]", "Book -> Publisher\nBook ->> LastName");
+        let hits_before = tpq_obs::report().counter("closure.cache.hit");
+        let a = minimize(&q, &ics).pattern;
+        let b = minimize(&q, &ics).pattern;
+        let c = minimize(&q, &ics).pattern;
+        let hits_after = tpq_obs::report().counter("closure.cache.hit");
+        assert!(
+            hits_after >= hits_before + 2,
+            "second and third calls must hit the closure cache ({hits_before} -> {hits_after})"
+        );
+        assert!(isomorphic(&a, &b) && isomorphic(&b, &c));
     }
 }

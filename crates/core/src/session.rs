@@ -51,33 +51,28 @@ impl Minimizer {
         Minimizer { closed: ics.closure(), strategy }
     }
 
+    /// Build from a constraint set that is **already closed** (e.g. one
+    /// taken from another session or the pipeline's closure cache). The
+    /// quadratic closure computation is skipped; passing a non-closed set
+    /// silently under-minimizes, so only hand this sets produced by
+    /// [`ConstraintSet::closure`].
+    pub fn from_closed(closed: ConstraintSet, strategy: Strategy) -> Self {
+        Minimizer { closed, strategy }
+    }
+
     /// The closed constraint set this session minimizes under.
     pub fn constraints(&self) -> &ConstraintSet {
         &self.closed
     }
 
+    /// The strategy this session runs.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
     /// Minimize one query.
     pub fn minimize(&self, q: &TreePattern) -> MinimizeOutcome {
-        let _span = tpq_obs::span!("minimize");
-        let mut stats = MinimizeStats::default();
-        let t0 = Instant::now();
-        let pattern = match self.strategy {
-            Strategy::CimOnly => cim_with_stats(q, &mut stats),
-            Strategy::AcimOnly => acim_incremental_closed(q, &self.closed, &mut stats),
-            Strategy::CdmOnly => {
-                let mut work = q.clone();
-                cdm_in_place(&mut work, &self.closed, &mut stats);
-                work.compact().0
-            }
-            Strategy::CdmThenAcim => {
-                let mut work = q.clone();
-                cdm_in_place(&mut work, &self.closed, &mut stats);
-                let (prefiltered, _) = work.compact();
-                acim_incremental_closed(&prefiltered, &self.closed, &mut stats)
-            }
-        };
-        stats.total_time = t0.elapsed();
-        MinimizeOutcome { pattern, stats }
+        minimize_closed(q, &self.closed, self.strategy)
     }
 
     /// `q1 ⊆ q2` under the session's constraints.
@@ -97,6 +92,37 @@ impl Minimizer {
         let m = self.minimize(q).pattern;
         m.size() == q.size() && isomorphic(&m, q)
     }
+}
+
+/// Minimize `q` under an **already closed** constraint set with the given
+/// strategy. This is the shared core behind [`Minimizer::minimize`], the
+/// one-shot [`crate::pipeline::minimize_with`] and the batch engine — the
+/// closure is never recomputed here.
+pub fn minimize_closed(
+    q: &TreePattern,
+    closed: &ConstraintSet,
+    strategy: Strategy,
+) -> MinimizeOutcome {
+    let _span = tpq_obs::span!("minimize");
+    let mut stats = MinimizeStats::default();
+    let t0 = Instant::now();
+    let pattern = match strategy {
+        Strategy::CimOnly => cim_with_stats(q, &mut stats),
+        Strategy::AcimOnly => acim_incremental_closed(q, closed, &mut stats),
+        Strategy::CdmOnly => {
+            let mut work = q.clone();
+            cdm_in_place(&mut work, closed, &mut stats);
+            work.compact().0
+        }
+        Strategy::CdmThenAcim => {
+            let mut work = q.clone();
+            cdm_in_place(&mut work, closed, &mut stats);
+            let (prefiltered, _) = work.compact();
+            acim_incremental_closed(&prefiltered, closed, &mut stats)
+        }
+    };
+    stats.total_time = t0.elapsed();
+    MinimizeOutcome { pattern, stats }
 }
 
 /// Is `q` minimal in the absence of constraints? (Theorem 4.1.)

@@ -37,28 +37,29 @@ pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
         doc.set_attr(doc.root(), a, v);
     }
     if !root_selfclosing {
-        // Stack of (open element name, node id).
+        // Stack of (open element name, node id). The `while let` keeps the
+        // "stack is non-empty inside the loop" invariant structural, so a
+        // malformed document can only produce an `Err`, never a panic.
         let mut open: Vec<(String, DataNodeId)> = vec![(root_name, doc.root())];
-        while !open.is_empty() {
-            let parent = open.last().expect("non-empty").1;
+        while let Some(parent) = open.last().map(|(_, id)| *id) {
             p.skip_misc();
             if p.starts_with("</") {
                 p.pos += 2;
                 let end_name = p.parse_name()?;
-                let (want, _) = open.pop().expect("stack non-empty");
-                if end_name != want {
-                    return Err(
-                        p.err(&format!("mismatched end tag </{end_name}> (expected </{want}>)"))
-                    );
+                match open.pop() {
+                    Some((want, _)) if end_name == want => {}
+                    Some((want, _)) => {
+                        return Err(p.err(&format!(
+                            "mismatched end tag </{end_name}> (expected </{want}>)"
+                        )))
+                    }
+                    None => return Err(p.err(&format!("unmatched end tag </{end_name}>"))),
                 }
                 p.skip_ws();
                 if p.peek() != Some(b'>') {
                     return Err(p.err("expected '>' closing end tag"));
                 }
                 p.pos += 1;
-                if open.is_empty() {
-                    break;
-                }
             } else if p.peek() == Some(b'<') {
                 let (name, extra, attrs, selfclosing) = p.parse_start_tag(types)?;
                 let me = doc.add_child(parent, types.intern(&name));
@@ -337,6 +338,35 @@ mod tests {
         assert!(parse_xml("<a><b/>", &mut tys).is_err());
         assert!(parse_xml("<a", &mut tys).is_err());
         assert!(parse_xml("", &mut tys).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_error_instead_of_panicking() {
+        // Regression battery: every input here used to reach (or guard
+        // with) an `expect` somewhere in the parse loop. Each must come
+        // back as Err with a usable offset, never a panic.
+        let cases = [
+            "</a>",
+            "<a></a></a>",
+            "<a></b>",
+            "<a><b></b></b>",
+            "<a><b></a></b>",
+            "<a></a",
+            "<a><</a>",
+            "<a></ >",
+            "<a><b/></a></a>",
+            "<!-- only a comment -->",
+            "<a></a x>",
+        ];
+        for case in cases {
+            let mut tys = TypeInterner::new();
+            let got = parse_xml(case, &mut tys);
+            let err = got.expect_err(&format!("{case:?} must fail"));
+            match err {
+                Error::XmlParse { offset, .. } => assert!(offset <= case.len(), "{case:?}"),
+                other => panic!("{case:?}: expected XmlParse, got {other:?}"),
+            }
+        }
     }
 
     #[test]

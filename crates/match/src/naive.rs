@@ -13,7 +13,11 @@ use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 pub fn answer_set_naive(pattern: &TreePattern, doc: &Document) -> Vec<DataNodeId> {
     let mut answers: FxHashSet<DataNodeId> = FxHashSet::default();
     enumerate(pattern, doc, &mut |binding| {
-        answers.insert(binding[pattern.output().index()].expect("output bound"));
+        // Every node is bound when `visit` fires; an unbound output would
+        // mean a corrupted traversal, so skip it rather than panic.
+        if let Some(out) = binding[pattern.output().index()] {
+            answers.insert(out);
+        }
     });
     let mut out: Vec<DataNodeId> = answers.into_iter().collect();
     out.sort_unstable();
@@ -51,7 +55,15 @@ fn enumerate<F: FnMut(&[Option<DataNodeId>])>(
         }
         let v = order[i];
         let node = pattern.node(v);
-        let parent_img = node.parent.map(|p| binding[p.index()].expect("pre-order"));
+        // Pre-order binds parents before children; if that invariant were
+        // ever broken, produce no embeddings instead of panicking.
+        let parent_img = match node.parent {
+            None => None,
+            Some(p) => match binding[p.index()] {
+                Some(img) => Some(img),
+                None => return,
+            },
+        };
         for u in doc.ids() {
             if !doc.node(u).types.is_superset(&node.types)
                 || !tpq_pattern::condition::satisfied_by(&node.conditions, &doc.node(u).attrs)

@@ -31,6 +31,14 @@ fn bucket_bound(idx: usize) -> u64 {
     if idx < SUB_BUCKETS {
         return idx;
     }
+    // `bucket_of` never produces an index above this (u64::MAX lands in
+    // it), but `quantile()`'s fallback can ask for the last array slot;
+    // the nominal bound of those trailing buckets exceeds u64::MAX, so
+    // saturate instead of overflowing the shift.
+    let max_idx = (64 - MANTISSA_BITS) as u64 * SUB_BUCKETS + (SUB_BUCKETS - 1);
+    if idx >= max_idx {
+        return u64::MAX;
+    }
     let octave = idx / SUB_BUCKETS - 1;
     let sub = idx % SUB_BUCKETS;
     let shift = octave as u32;
@@ -137,6 +145,46 @@ mod tests {
                 // Relative error bounded by one sub-bucket (~12.5%).
                 assert!((bound - v) as f64 <= v as f64 / 8.0 + 1.0);
             }
+        }
+    }
+
+    #[test]
+    fn octave_boundaries_round_trip() {
+        // The spot values each sit on (or next to) an octave boundary,
+        // where off-by-one bucket math would bite first.
+        for v in [0u64, 7, 8, 15, 16, u64::MAX] {
+            let bound = bucket_bound(bucket_of(v));
+            assert!(bound >= v, "bound {bound} below {v}");
+            // Relative error bounded by one sub-bucket (12.5%).
+            assert!(bound - v <= v / 8, "bound {bound} too loose for {v}");
+        }
+        // Every exact octave boundary across the range, and its neighbors.
+        for exp in 0..64u32 {
+            let b = 1u64 << exp;
+            for v in [b - 1, b, b.saturating_add(1)] {
+                let bound = bucket_bound(bucket_of(v));
+                assert!(bound >= v, "bound {bound} below {v} (exp {exp})");
+                assert!(bound - v <= v / 8 + 1, "bound {bound} too loose for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_bucket_index_has_a_finite_bound() {
+        // Exhaustive over the whole array: no index may overflow (buckets
+        // past bucket_of(u64::MAX) saturate), and bounds never decrease.
+        let mut prev = 0u64;
+        for idx in 0..BUCKETS {
+            let bound = bucket_bound(idx);
+            assert!(bound >= prev, "bound regressed at index {idx}");
+            prev = bound;
+        }
+        assert_eq!(bucket_bound(bucket_of(u64::MAX)), u64::MAX);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX, "fallback bucket saturates");
+        // Populated buckets invert exactly: the bound lands back in the
+        // bucket it describes.
+        for idx in 0..=bucket_of(u64::MAX) {
+            assert_eq!(bucket_of(bucket_bound(idx)), idx, "round trip broke at {idx}");
         }
     }
 

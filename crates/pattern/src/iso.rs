@@ -79,6 +79,30 @@ fn encode_node(p: &TreePattern, id: NodeId, enc: &[Option<String>]) -> String {
     s
 }
 
+/// An exact cache key for a pattern: two patterns have equal keys **iff**
+/// they are isomorphic (within one type interner). Wraps the canonical
+/// string encoding of [`canonical_form`], so no hash collisions are
+/// possible — batch memo caches can trust equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey(String);
+
+impl CanonicalKey {
+    /// The underlying canonical encoding.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl TreePattern {
+    /// A hashable canonical key, built on the [`canonical_form`] encoding:
+    /// equal keys ⇔ isomorphic patterns. Cost is one canonical encoding
+    /// (roughly `O(n log n)` string work for an `n`-node pattern —
+    /// quadratic on pure chains); cache it when keying repeated lookups.
+    pub fn canonical_key(&self) -> CanonicalKey {
+        CanonicalKey(canonical_form(self))
+    }
+}
+
 /// Whether two patterns are isomorphic (as unordered, typed, marked trees).
 pub fn isomorphic(a: &TreePattern, b: &TreePattern) -> bool {
     // Cheap pre-checks before encoding.
@@ -184,5 +208,20 @@ mod tests {
         let mut tys = TypeInterner::new();
         let a = p("r*[/a][//b[/c]]/d", &mut tys);
         assert_eq!(canonical_form(&a), canonical_form(&a.clone()));
+    }
+
+    #[test]
+    fn canonical_key_agrees_with_isomorphism() {
+        let mut tys = TypeInterner::new();
+        let a = p("r*[/a][//b]/c", &mut tys);
+        let b = p("r*[//b][/c]/a", &mut tys);
+        let c = p("r*[//b][/c]/d", &mut tys);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        assert_eq!(a.canonical_key().as_str(), canonical_form(&a));
+        // Usable as a hash-map key.
+        let mut map = std::collections::HashMap::new();
+        map.insert(a.canonical_key(), 1);
+        assert_eq!(map.get(&b.canonical_key()), Some(&1));
     }
 }

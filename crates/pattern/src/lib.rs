@@ -24,7 +24,7 @@ pub mod print;
 pub mod xpath;
 
 pub use condition::{entails, satisfiable, satisfied_by, Condition};
-pub use iso::{canonical_form, isomorphic};
+pub use iso::{canonical_form, isomorphic, CanonicalKey};
 pub use node::{EdgeKind, NodeId, PatternNode};
 pub use parse::parse_pattern;
 pub use pattern::TreePattern;

@@ -240,7 +240,9 @@ impl XPathParser<'_> {
                 while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+                // The slice holds only '-' and ASCII digits; lossy decode
+                // keeps even a broken slice on the Err path below.
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]);
                 let n: i64 =
                     text.parse().map_err(|_| self.err("expected a number or quoted string"))?;
                 Value::Int(n)

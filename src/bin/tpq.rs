@@ -3,7 +3,7 @@
 //! ```text
 //! tpq minimize --query 'Book*[/Title][/Publisher]' --ic 'Book -> Publisher' --stats
 //! tpq minimize --xpath '//Book[Title][.//LastName]' --schema schema.txt --tree
-//! tpq minimize --batch queries.txt --constraints ics.txt
+//! tpq minimize --batch queries.txt --constraints ics.txt --jobs 4
 //! tpq --trace minimize 'Dept*[//DBProject]//Manager//DBProject'
 //! tpq --metrics-json out.json minimize 'a*[/b][/b/c]'
 //! tpq match    --query 'Dept*//Manager' --doc org.xml
@@ -199,6 +199,42 @@ fn gather_constraints(opts: &Opts, types: &mut TypeInterner) -> Result2<Constrai
     Ok(set)
 }
 
+/// Load batch queries from `path`: either one file with one DSL query per
+/// line (blank lines and `#` comments skipped), or a directory whose
+/// `.txt` files are read in sorted-name order.
+fn read_batch_queries(path: &str, types: &mut TypeInterner) -> Result2<Vec<TreePattern>> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    if std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?.is_dir() {
+        for entry in std::fs::read_dir(path).map_err(|e| format!("cannot read {path}: {e}"))? {
+            let entry = entry.map_err(|e| format!("cannot read {path}: {e}"))?;
+            let p = entry.path();
+            if p.extension().is_some_and(|ext| ext == "txt") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{path} contains no .txt query files"));
+        }
+    } else {
+        files.push(path.into());
+    }
+    let mut queries = Vec::new();
+    for file in &files {
+        let text = read_file(&file.display().to_string())?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let q = parse_pattern(line, types)
+                .map_err(|e| format!("{}:{}: {e}", file.display(), lineno + 1))?;
+            queries.push(q);
+        }
+    }
+    Ok(queries)
+}
+
 fn constraint_line(c: &Constraint, types: &TypeInterner) -> String {
     let op = match c {
         Constraint::RequiredChild(..) => "->",
@@ -218,21 +254,32 @@ fn cmd_minimize(args: &[String]) -> Result2<()> {
         Some("cdm") => Strategy::CdmOnly,
         Some(other) => return Err(format!("unknown strategy '{other}'")),
     };
-    // Batch mode: one query per line from a file, sharing one session (the
-    // constraint closure is computed once).
+    // Batch mode: one query per line from a file (or every `.txt` file in
+    // a directory), minimized by the parallel batch engine: the constraint
+    // closure is computed once, isomorphic queries are minimized once via
+    // the canonical-key memo cache, and the unique remainder fans out over
+    // `--jobs` worker threads. Output order always matches input order.
     if let Some(path) = opts.get("batch") {
-        let text = read_file(path)?;
+        let jobs = match opts.get("jobs") {
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("--jobs needs a positive integer, got '{n}'")),
+            },
+        };
+        let queries = read_batch_queries(path, &mut types)?;
         let ics = gather_constraints(&opts, &mut types)?;
-        let session = tpq::core::Minimizer::with_strategy(&ics, strategy);
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let q =
-                parse_pattern(line, &mut types).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            let out = session.minimize(&q);
-            println!("{}", to_dsl(&out.pattern, &types));
+        let engine = tpq::core::BatchMinimizer::with_strategy(&ics, strategy);
+        let out = engine.minimize_batch(&queries, jobs);
+        for m in &out.patterns {
+            println!("{}", to_dsl(m, &types));
+        }
+        if opts.flag("stats") {
+            let s = &out.stats;
+            eprintln!(
+                "{} queries ({} unique) | cache {} hit / {} miss | {} workers, {} steals | {:?}",
+                s.queries, s.unique, s.cache_hits, s.cache_misses, s.workers, s.steals, s.wall_time,
+            );
         }
         return Ok(());
     }
