@@ -46,6 +46,55 @@ pub enum Error {
     /// A constraint set violated an internal invariant (e.g. closure of an
     /// inconsistent repository).
     InvalidConstraints(String),
+    /// A resource guard tripped: the operation ran out of its deadline or
+    /// step budget, or was cancelled cooperatively. The caller's input is
+    /// untouched — guarded entry points never publish partial results.
+    Budget {
+        /// Which resource was exhausted.
+        resource: BudgetResource,
+        /// How much of the resource was consumed when the guard tripped
+        /// (steps for [`BudgetResource::Steps`], elapsed milliseconds for
+        /// [`BudgetResource::Deadline`], steps so far for
+        /// [`BudgetResource::Cancelled`]).
+        spent: u64,
+        /// The configured limit (milliseconds for deadlines, steps for
+        /// budgets; 0 for cancellation, which has no numeric limit).
+        limit: u64,
+    },
+    /// A deterministic fault injected through `tpq_base::failpoint` — only
+    /// ever produced while a failpoint is armed (tests, chaos drills).
+    Injected {
+        /// Name of the failpoint that fired.
+        point: String,
+    },
+    /// A worker thread panicked while executing an isolated task; the
+    /// payload message is preserved. Produced by the panic-capturing pool
+    /// paths instead of aborting the process.
+    WorkerPanic {
+        /// Panic payload rendered as text (best effort).
+        message: String,
+    },
+}
+
+/// The resource dimension a [`Error::Budget`] ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step/node budget was spent.
+    Steps,
+    /// The cooperative cancellation flag was raised.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Deadline => write!(f, "deadline"),
+            BudgetResource::Steps => write!(f, "step budget"),
+            BudgetResource::Cancelled => write!(f, "cancelled"),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -66,7 +115,26 @@ impl fmt::Display for Error {
             Error::InvalidPattern(m) => write!(f, "invalid pattern: {m}"),
             Error::InvalidDocument(m) => write!(f, "invalid document: {m}"),
             Error::InvalidConstraints(m) => write!(f, "invalid constraints: {m}"),
+            Error::Budget { resource: BudgetResource::Cancelled, spent, .. } => {
+                write!(f, "budget error: cancelled after {spent} steps")
+            }
+            Error::Budget { resource: BudgetResource::Deadline, spent, limit } => {
+                write!(f, "budget error: deadline of {limit} ms exceeded ({spent} ms elapsed)")
+            }
+            Error::Budget { resource: BudgetResource::Steps, spent, limit } => {
+                write!(f, "budget error: step budget of {limit} exhausted ({spent} spent)")
+            }
+            Error::Injected { point } => write!(f, "injected fault at failpoint '{point}'"),
+            Error::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
         }
+    }
+}
+
+impl Error {
+    /// True for [`Error::Budget`] — the "ran out of resources, input
+    /// intact" family callers may want to retry with a larger allowance.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, Error::Budget { .. })
     }
 }
 
@@ -91,5 +159,25 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
         assert_err(&Error::InvalidPattern("x".into()));
+    }
+
+    #[test]
+    fn budget_display_names_the_resource() {
+        let e = Error::Budget { resource: BudgetResource::Deadline, spent: 12, limit: 5 };
+        assert_eq!(e.to_string(), "budget error: deadline of 5 ms exceeded (12 ms elapsed)");
+        assert!(e.is_budget());
+        let e = Error::Budget { resource: BudgetResource::Steps, spent: 1001, limit: 1000 };
+        assert_eq!(e.to_string(), "budget error: step budget of 1000 exhausted (1001 spent)");
+        let e = Error::Budget { resource: BudgetResource::Cancelled, spent: 40, limit: 0 };
+        assert_eq!(e.to_string(), "budget error: cancelled after 40 steps");
+    }
+
+    #[test]
+    fn injected_and_panic_variants_display() {
+        let e = Error::Injected { point: "chase.step".into() };
+        assert_eq!(e.to_string(), "injected fault at failpoint 'chase.step'");
+        assert!(!e.is_budget());
+        let e = Error::WorkerPanic { message: "boom".into() };
+        assert_eq!(e.to_string(), "worker panicked: boom");
     }
 }

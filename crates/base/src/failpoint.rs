@@ -1,0 +1,289 @@
+//! Deterministic fault injection.
+//!
+//! A *failpoint* is a named hook compiled into production code at a place
+//! where faults are interesting: a chase step, a pool task, a parser
+//! entry. In normal operation a hook costs one relaxed atomic load. When
+//! armed — programmatically via [`arm`]/[`set`], or through the
+//! `TPQ_FAILPOINT` environment variable — the hook fires a configured
+//! fault on a configured hit count, letting tests drive panics and errors
+//! through the public API deterministically:
+//!
+//! ```text
+//! TPQ_FAILPOINT=chase.step=panic@17          # panic on the 17th chase step
+//! TPQ_FAILPOINT=pool.task=err,parse.json=err # error on first hit of each
+//! ```
+//!
+//! Syntax: comma-separated `name=action[@n]` entries, where `action` is
+//! `panic` or `err` and `@n` (default 1) selects the nth hit. Each armed
+//! entry fires **once** and then disarms itself, so a single run observes
+//! exactly the configured fault — re-arm for repeated faults.
+//!
+//! Failpoint names in this workspace are listed in `docs/ROBUSTNESS.md`.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a recognizable message — exercises `catch_unwind` paths.
+    Panic,
+    /// Return [`Error::Injected`] from the hook.
+    Err,
+}
+
+struct Entry {
+    action: Action,
+    /// Fire on the nth hit (1-based).
+    on_hit: u64,
+    /// Hits observed so far.
+    hits: u64,
+    /// When set, only hits from this thread count — lets a test arm a
+    /// globally-named point (e.g. `pool.task`) without racing parallel
+    /// tests in the same process.
+    thread: Option<std::thread::ThreadId>,
+}
+
+/// Fast-path flag: true iff the registry holds at least one armed entry.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("TPQ_FAILPOINT") {
+            if let Ok(entries) = parse_spec(&spec) {
+                for (name, action, on_hit) in entries {
+                    map.insert(name, Entry { action, on_hit, hits: 0, thread: None });
+                }
+            }
+        }
+        if !map.is_empty() {
+            ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Parse a `TPQ_FAILPOINT`-style spec into `(name, action, on_hit)`
+/// triples. Public so the CLI and tests can validate specs up front.
+pub fn parse_spec(spec: &str) -> std::result::Result<Vec<(String, Action, u64)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, rhs) =
+            part.split_once('=').ok_or_else(|| format!("failpoint entry '{part}' lacks '='"))?;
+        let (action_text, on_hit) = match rhs.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 =
+                    n.parse().map_err(|_| format!("failpoint '{name}': bad hit count '{n}'"))?;
+                if n == 0 {
+                    return Err(format!("failpoint '{name}': hit count must be >= 1"));
+                }
+                (a, n)
+            }
+            None => (rhs, 1),
+        };
+        let action = match action_text {
+            "panic" => Action::Panic,
+            "err" => Action::Err,
+            other => return Err(format!("failpoint '{name}': unknown action '{other}'")),
+        };
+        if name.is_empty() {
+            return Err(format!("failpoint entry '{part}' has an empty name"));
+        }
+        out.push((name.to_owned(), action, on_hit));
+    }
+    Ok(out)
+}
+
+/// Arm `name` to fire `action` on its `on_hit`th hit (1-based).
+/// Overwrites any previous arming of the same name and resets its count.
+pub fn set(name: &str, action: Action, on_hit: u64) {
+    insert(name, action, on_hit, None);
+}
+
+/// Like [`set`], but only hits from the **calling thread** count toward
+/// the trigger. Use in unit tests that arm shared point names while
+/// unrelated tests run in parallel threads of the same process.
+pub fn set_for_thread(name: &str, action: Action, on_hit: u64) {
+    insert(name, action, on_hit, Some(std::thread::current().id()));
+}
+
+fn insert(name: &str, action: Action, on_hit: u64, thread: Option<std::thread::ThreadId>) {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.insert(name.to_owned(), Entry { action, on_hit: on_hit.max(1), hits: 0, thread });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm `name` (no-op when it was not armed).
+pub fn clear(name: &str) {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.remove(name);
+    if map.is_empty() {
+        ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarm everything.
+pub fn clear_all() {
+    let mut map = registry().lock().expect("failpoint registry poisoned");
+    map.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// RAII arming: the failpoint is disarmed when the returned token drops.
+/// Prefer this in tests — it keeps parallel tests from leaking armed
+/// points into each other (use a unique name per test regardless).
+#[must_use = "the failpoint disarms when this token drops"]
+pub fn arm(name: &str, action: Action, on_hit: u64) -> ArmedFailpoint {
+    set(name, action, on_hit);
+    ArmedFailpoint { name: name.to_owned() }
+}
+
+/// RAII variant of [`set_for_thread`].
+#[must_use = "the failpoint disarms when this token drops"]
+pub fn arm_for_thread(name: &str, action: Action, on_hit: u64) -> ArmedFailpoint {
+    set_for_thread(name, action, on_hit);
+    ArmedFailpoint { name: name.to_owned() }
+}
+
+/// Token returned by [`arm`]; clears the failpoint on drop.
+pub struct ArmedFailpoint {
+    name: String,
+}
+
+impl Drop for ArmedFailpoint {
+    fn drop(&mut self) {
+        clear(&self.name);
+    }
+}
+
+/// The hook: call at a named failpoint. Nearly free (two uncontended
+/// atomic loads) unless some failpoint is armed. When `name` is armed and
+/// this is its configured hit, the point disarms itself and fires —
+/// either panicking or returning [`Error::Injected`].
+#[inline]
+pub fn hit(name: &str) -> Result<()> {
+    // Parse TPQ_FAILPOINT exactly once, lazily; after initialization this
+    // is a single acquire load.
+    static ENV_LOADED: OnceLock<()> = OnceLock::new();
+    ENV_LOADED.get_or_init(|| {
+        let _ = registry();
+    });
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    fire(name)
+}
+
+#[cold]
+fn fire(name: &str) -> Result<()> {
+    let action = {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        match map.get_mut(name) {
+            None => return Ok(()),
+            Some(entry) => {
+                if entry.thread.is_some_and(|t| t != std::thread::current().id()) {
+                    return Ok(());
+                }
+                entry.hits += 1;
+                if entry.hits != entry.on_hit {
+                    return Ok(());
+                }
+                let action = entry.action;
+                map.remove(name);
+                if map.is_empty() {
+                    ARMED.store(false, Ordering::Release);
+                }
+                action
+            }
+        }
+    };
+    match action {
+        Action::Panic => panic!("injected panic at failpoint '{name}'"),
+        Action::Err => Err(Error::Injected { point: name.to_owned() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_hits_are_free_and_ok() {
+        for _ in 0..1000 {
+            hit("test.unarmed.point").unwrap();
+        }
+    }
+
+    #[test]
+    fn thread_scoped_arming_ignores_other_threads() {
+        let _fp = arm_for_thread("test.thread.point", Action::Err, 1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    hit("test.thread.point").unwrap();
+                }
+            });
+        });
+        // Still armed: the other thread's hits did not count.
+        assert!(hit("test.thread.point").is_err());
+    }
+
+    #[test]
+    fn err_action_fires_on_the_configured_hit_then_disarms() {
+        let _fp = arm("test.err.point", Action::Err, 3);
+        hit("test.err.point").unwrap();
+        hit("test.err.point").unwrap();
+        let err = hit("test.err.point").unwrap_err();
+        assert_eq!(err, Error::Injected { point: "test.err.point".into() });
+        // One-shot: the 4th hit is clean again.
+        hit("test.err.point").unwrap();
+    }
+
+    #[test]
+    fn panic_action_panics_with_recognizable_message() {
+        let _fp = arm("test.panic.point", Action::Panic, 1);
+        let caught = std::panic::catch_unwind(|| hit("test.panic.point"));
+        let payload = caught.unwrap_err();
+        let message = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("injected panic at failpoint 'test.panic.point'"), "{message}");
+    }
+
+    #[test]
+    fn raii_token_disarms_on_drop() {
+        {
+            let _fp = arm("test.raii.point", Action::Err, 1);
+        }
+        hit("test.raii.point").unwrap();
+    }
+
+    #[test]
+    fn clear_and_set_interact() {
+        set("test.clear.point", Action::Err, 1);
+        clear("test.clear.point");
+        hit("test.clear.point").unwrap();
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let entries = parse_spec("chase.step=panic@17, pool.task=err").unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("chase.step".to_owned(), Action::Panic, 17),
+                ("pool.task".to_owned(), Action::Err, 1),
+            ]
+        );
+        assert!(parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_entries() {
+        for bad in ["nameonly", "x=explode", "x=err@zero", "x=err@0", "=err"] {
+            assert!(parse_spec(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+}

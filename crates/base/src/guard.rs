@@ -1,0 +1,377 @@
+//! Cooperative resource governance for expensive algorithms.
+//!
+//! Minimization, the chase and the matchers are worst-case expensive; a
+//! production service cannot let one adversarial input stall the process.
+//! A [`Guard`] carries three independent limits — a wall-clock deadline, a
+//! step budget, and a cancellation flag — and the expensive loops check it
+//! at their heads via [`Guard::spend`]. When a limit trips the algorithm
+//! unwinds with [`Error::Budget`], leaving the caller's input untouched.
+//!
+//! Guards are cheap to clone (an `Arc` bump) and share their state across
+//! clones, so a batch driver can hand one guard to a worker thread and
+//! [`cancel`](Guard::cancel) it from outside.
+//!
+//! The unlimited guard is free: [`Guard::unlimited`] performs no atomic
+//! traffic on the spend path beyond one branch, so infallible legacy entry
+//! points wrap the guarded ones at zero practical cost. Deadline reads are
+//! amortized — `Instant::now` is consulted once every
+//! [`DEADLINE_CHECK_INTERVAL`] spent steps and at every explicit
+//! [`check`](Guard::check) — so a 1 ms deadline still trips promptly while
+//! hot loops stay cheap.
+
+use crate::error::{BudgetResource, Error, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many spent steps may pass between two wall-clock reads. Powers of
+/// two keep the modulo a mask.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 128;
+
+#[derive(Debug)]
+struct GuardInner {
+    /// Instant after which [`Guard::spend`] fails; `None` disables it.
+    deadline: Option<Instant>,
+    /// When the deadline was armed — reported limits/spent are relative.
+    armed_at: Instant,
+    /// Deadline expressed in milliseconds, for error reporting.
+    deadline_ms: u64,
+    /// Maximum number of steps; `u64::MAX` disables the budget.
+    budget: u64,
+    /// Steps spent so far across all clones.
+    spent: AtomicU64,
+    /// Cooperative cancellation flag, shared across clones.
+    cancelled: AtomicBool,
+}
+
+/// A clonable handle bundling a deadline, a step budget and a cancel flag.
+///
+/// See the [module docs](self) for the design; see `docs/ROBUSTNESS.md`
+/// for how the workspace threads guards through its layers.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    inner: Option<Arc<GuardInner>>,
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard::unlimited()
+    }
+}
+
+impl Guard {
+    /// A guard that never trips (modulo [`cancel`](Guard::cancel), which
+    /// is unavailable without limits — unlimited guards share no state).
+    /// The spend path is a single branch; infallible wrappers use this.
+    pub fn unlimited() -> Self {
+        Guard { inner: None }
+    }
+
+    /// A guard with a wall-clock deadline of `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        GuardBuilder::new().deadline_ms(ms).build()
+    }
+
+    /// A guard with a step budget: after `steps` units of work,
+    /// [`spend`](Guard::spend) fails.
+    pub fn with_budget(steps: u64) -> Self {
+        GuardBuilder::new().budget(steps).build()
+    }
+
+    /// A cancellable guard with no other limits.
+    pub fn cancellable() -> Self {
+        GuardBuilder::new().build_limited()
+    }
+
+    /// Start composing a guard with several limits.
+    pub fn builder() -> GuardBuilder {
+        GuardBuilder::new()
+    }
+
+    /// True when this guard can never trip.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Raise the cancellation flag: every clone of this guard fails its
+    /// next check. No-op on unlimited guards (they share no state).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has [`cancel`](Guard::cancel) been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.cancelled.load(Ordering::Acquire))
+    }
+
+    /// Steps spent so far across all clones (0 for unlimited guards).
+    pub fn spent(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.spent.load(Ordering::Relaxed))
+    }
+
+    /// Account `steps` units of work and fail if any limit has tripped.
+    ///
+    /// The deadline is consulted when the spent counter crosses a
+    /// [`DEADLINE_CHECK_INTERVAL`] boundary; call [`check`](Guard::check)
+    /// at coarse loop heads for an unconditional read.
+    #[inline]
+    pub fn spend(&self, steps: u64) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let spent = inner.spent.fetch_add(steps, Ordering::Relaxed) + steps;
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(Error::Budget { resource: BudgetResource::Cancelled, spent, limit: 0 });
+        }
+        if spent > inner.budget {
+            return Err(Error::Budget {
+                resource: BudgetResource::Steps,
+                spent,
+                limit: inner.budget,
+            });
+        }
+        // Amortize Instant::now(): only read the clock when the counter
+        // crossed an interval boundary.
+        if let Some(deadline) = inner.deadline {
+            let crossed =
+                (spent / DEADLINE_CHECK_INTERVAL) != ((spent - steps) / DEADLINE_CHECK_INTERVAL);
+            if crossed {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(self.deadline_error(inner, now));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unconditional limit check (always reads the clock when a deadline
+    /// is armed). Use at the heads of coarse outer loops so short
+    /// deadlines trip before the amortized counter does.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Err(Error::Budget {
+                resource: BudgetResource::Cancelled,
+                spent: inner.spent.load(Ordering::Relaxed),
+                limit: 0,
+            });
+        }
+        let spent = inner.spent.load(Ordering::Relaxed);
+        if spent > inner.budget {
+            return Err(Error::Budget {
+                resource: BudgetResource::Steps,
+                spent,
+                limit: inner.budget,
+            });
+        }
+        if let Some(deadline) = inner.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.deadline_error(inner, now));
+            }
+        }
+        Ok(())
+    }
+
+    fn deadline_error(&self, inner: &GuardInner, now: Instant) -> Error {
+        Error::Budget {
+            resource: BudgetResource::Deadline,
+            spent: now.duration_since(inner.armed_at).as_millis() as u64,
+            limit: inner.deadline_ms,
+        }
+    }
+}
+
+/// Composes a [`Guard`] out of individual limits.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GuardBuilder {
+    deadline_ms: Option<u64>,
+    budget: Option<u64>,
+}
+
+impl GuardBuilder {
+    /// An empty builder: [`build`](GuardBuilder::build) with no limits set
+    /// yields an unlimited guard.
+    pub fn new() -> Self {
+        GuardBuilder::default()
+    }
+
+    /// Arm a wall-clock deadline `ms` milliseconds from `build` time.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Arm a step budget.
+    pub fn budget(mut self, steps: u64) -> Self {
+        self.budget = Some(steps);
+        self
+    }
+
+    /// Build the guard. With no limits set this returns
+    /// [`Guard::unlimited`] (free spend path, but not cancellable).
+    pub fn build(self) -> Guard {
+        if self.deadline_ms.is_none() && self.budget.is_none() {
+            return Guard::unlimited();
+        }
+        self.build_limited()
+    }
+
+    /// Build a guard that always carries shared state, so
+    /// [`Guard::cancel`] works even with no other limit armed.
+    pub fn build_limited(self) -> Guard {
+        let armed_at = Instant::now();
+        let deadline_ms = self.deadline_ms.unwrap_or(0);
+        Guard {
+            inner: Some(Arc::new(GuardInner {
+                deadline: self
+                    .deadline_ms
+                    .map(|ms| armed_at + std::time::Duration::from_millis(ms)),
+                armed_at,
+                deadline_ms,
+                budget: self.budget.unwrap_or(u64::MAX),
+                spent: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = Guard::unlimited();
+        for _ in 0..10_000 {
+            g.spend(1_000_000).unwrap();
+        }
+        g.check().unwrap();
+        assert!(g.is_unlimited());
+        assert_eq!(g.spent(), 0);
+        g.cancel(); // no-op
+        assert!(!g.is_cancelled());
+    }
+
+    #[test]
+    fn step_budget_trips_at_the_limit() {
+        let g = Guard::with_budget(10);
+        for _ in 0..10 {
+            g.spend(1).unwrap();
+        }
+        let err = g.spend(1).unwrap_err();
+        match err {
+            Error::Budget { resource: BudgetResource::Steps, spent, limit } => {
+                assert_eq!(limit, 10);
+                assert_eq!(spent, 11);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Once tripped, stays tripped.
+        assert!(g.check().is_err());
+    }
+
+    #[test]
+    fn bulk_spend_counts_every_step() {
+        let g = Guard::with_budget(100);
+        g.spend(100).unwrap();
+        assert!(g.spend(1).is_err());
+        assert_eq!(g.spent(), 101);
+    }
+
+    #[test]
+    fn expired_deadline_trips_check_immediately() {
+        let g = Guard::with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        let err = g.check().unwrap_err();
+        assert!(matches!(err, Error::Budget { resource: BudgetResource::Deadline, .. }), "{err}");
+    }
+
+    #[test]
+    fn deadline_trips_spend_within_one_interval() {
+        let g = Guard::with_deadline_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let mut tripped = false;
+        for _ in 0..=DEADLINE_CHECK_INTERVAL {
+            if g.spend(1).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "spend must notice an expired deadline within one interval");
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let g = Guard::with_deadline_ms(60_000);
+        for _ in 0..1_000 {
+            g.spend(1).unwrap();
+        }
+        g.check().unwrap();
+    }
+
+    #[test]
+    fn cancel_reaches_every_clone() {
+        let g = Guard::cancellable();
+        let clone = g.clone();
+        clone.spend(5).unwrap();
+        g.cancel();
+        assert!(clone.is_cancelled());
+        let err = clone.spend(1).unwrap_err();
+        assert!(matches!(err, Error::Budget { resource: BudgetResource::Cancelled, .. }), "{err}");
+        assert!(clone.check().is_err());
+    }
+
+    #[test]
+    fn cancel_from_another_thread() {
+        let g = Guard::cancellable();
+        let worker = g.clone();
+        let handle = std::thread::spawn(move || {
+            // Spin until the main thread cancels us.
+            loop {
+                if worker.spend(1).is_err() {
+                    return worker.spent();
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        g.cancel();
+        let spent = handle.join().unwrap();
+        assert!(spent > 0);
+    }
+
+    #[test]
+    fn builder_combines_limits() {
+        let g = Guard::builder().budget(5).deadline_ms(60_000).build();
+        assert!(!g.is_unlimited());
+        g.spend(5).unwrap();
+        assert!(g.spend(1).unwrap_err().is_budget());
+    }
+
+    #[test]
+    fn empty_builder_is_unlimited() {
+        assert!(Guard::builder().build().is_unlimited());
+        assert!(Guard::default().is_unlimited());
+        // ...but build_limited always carries state, for cancellation.
+        assert!(!Guard::builder().build_limited().is_unlimited());
+    }
+
+    #[test]
+    fn shared_spend_accumulates_across_clones() {
+        let g = Guard::with_budget(10);
+        let a = g.clone();
+        let b = g.clone();
+        a.spend(6).unwrap();
+        b.spend(4).unwrap();
+        assert_eq!(g.spent(), 10);
+        assert!(a.spend(1).is_err());
+    }
+}

@@ -98,8 +98,12 @@ impl Json {
     }
 
     /// Parse a complete JSON document (trailing whitespace allowed).
+    ///
+    /// Nesting is limited to [`MAX_DEPTH`](Json::MAX_DEPTH) levels: the
+    /// parser recurses per container, so unbounded nesting would overflow
+    /// the stack instead of returning an error.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -108,6 +112,11 @@ impl Json {
         }
         Ok(value)
     }
+}
+
+impl Json {
+    /// Maximum container nesting accepted by [`Json::parse`].
+    pub const MAX_DEPTH: usize = 512;
 }
 
 impl fmt::Display for Json {
@@ -230,6 +239,8 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, bounded by [`Json::MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -279,12 +290,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > Json::MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -295,6 +316,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -304,10 +326,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(members));
         }
         loop {
@@ -322,6 +346,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -428,8 +453,10 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        // Only ASCII digit/sign/exponent bytes were consumed, so the slice
+        // is valid UTF-8; still, degrade to a parse error over a panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         if !fractional {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Json::Int(n));
@@ -516,5 +543,57 @@ mod tests {
     fn nonfinite_floats_degrade_to_null() {
         assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // 100k unclosed brackets would blow the stack without the depth
+        // limit; the parser must return Err well before that.
+        let deep = "[".repeat(100_000);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_obj).is_err());
+    }
+
+    #[test]
+    fn nesting_below_the_limit_parses() {
+        let depth = 100;
+        let text = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        let v = Json::parse(&text).unwrap();
+        assert!(matches!(v, Json::Array(_)));
+        // Siblings do not accumulate depth.
+        let wide = format!("[{}]", vec!["[[]]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn malformed_input_battery_returns_err() {
+        for bad in [
+            "",
+            " ",
+            "[",
+            "]",
+            "{",
+            "}",
+            "nul",
+            "truex",
+            "\"",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "[1,, 2]",
+            "[1 2]",
+            "{\"a\"}",
+            "{a:1}",
+            "{\"a\":}",
+            "-",
+            "1e",
+            "--1",
+            "\u{7f}",
+            "[\"\u{1}\"]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
     }
 }

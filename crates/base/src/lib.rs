@@ -13,10 +13,16 @@
 //!   (see DESIGN.md §5);
 //! * [`Json`] — a small self-contained JSON model for serialisation;
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests;
-//! * [`pool`] — a scoped work-stealing thread pool for batch fan-out;
+//! * [`pool`] — a scoped work-stealing thread pool for batch fan-out,
+//!   with per-task panic isolation;
+//! * [`Guard`] — deadlines, step budgets and cooperative cancellation
+//!   for the expensive algorithms (see `docs/ROBUSTNESS.md`);
+//! * [`failpoint`] — deterministic fault injection (`TPQ_FAILPOINT`);
 //! * [`Error`] / [`Result`] — the workspace-wide error type.
 
 pub mod error;
+pub mod failpoint;
+pub mod guard;
 pub mod hash;
 pub mod interner;
 pub mod json;
@@ -25,7 +31,8 @@ pub mod rng;
 pub mod typeset;
 pub mod value;
 
-pub use error::{Error, Result};
+pub use error::{BudgetResource, Error, Result};
+pub use guard::{Guard, GuardBuilder};
 pub use hash::{FxBuildHasher, FxHasher};
 pub use interner::{TypeId, TypeInterner};
 pub use json::{Json, JsonError};

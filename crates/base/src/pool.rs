@@ -11,6 +11,13 @@
 //! Results come back **in input order** regardless of which worker ran
 //! which item, so callers get deterministic output for free.
 //!
+//! Tasks are *isolated*: every task runs under `catch_unwind`, so one
+//! panicking item becomes an [`Error::WorkerPanic`] entry in the result
+//! of [`scoped_map_isolated`] while the remaining items complete — the
+//! pool, and the process, survive. The infallible [`scoped_map`] wrapper
+//! keeps the old calling convention and re-raises the first task failure
+//! on the calling thread.
+//!
 //! ```
 //! let (squares, stats) = tpq_base::pool::scoped_map(4, &[1u64, 2, 3, 4, 5], |ctx, &x| {
 //!     assert!(ctx.worker < 4);
@@ -20,6 +27,9 @@
 //! assert_eq!(stats.executed.iter().sum::<u64>(), 5);
 //! ```
 
+use crate::error::{Error, Result};
+use crate::failpoint;
+use std::panic::AssertUnwindSafe;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -46,6 +56,8 @@ pub struct PoolStats {
     pub busy: Vec<Duration>,
     /// Wall time of the whole map, including scheduling.
     pub wall: Duration,
+    /// Tasks whose panic was captured and turned into an error entry.
+    pub panics: u64,
 }
 
 /// A half-open index range `[next, end)` owned by one worker.
@@ -60,17 +72,69 @@ impl Range {
     }
 }
 
+/// Render a panic payload as text (best effort).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run one task behind the `pool.task` failpoint and a panic shield.
+fn run_task<T, R, F>(f: &F, ctx: TaskCtx, item: &T) -> Result<R>
+where
+    F: Fn(TaskCtx, &T) -> Result<R>,
+{
+    // The failpoint fires inside the shield so an injected panic is
+    // captured exactly like one from the task itself.
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        failpoint::hit("pool.task")?;
+        f(ctx, item)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(Error::WorkerPanic { message: panic_message(payload) }),
+    }
+}
+
 /// Map `f` over `items` on up to `jobs` threads, returning the results in
 /// input order together with scheduler statistics.
 ///
 /// `jobs` is clamped to `1..=items.len()`; `jobs <= 1` (or a single item)
 /// runs inline on the calling thread with no scheduling overhead, so the
 /// function is safe to call unconditionally on small inputs.
+///
+/// Task failures (panics, injected faults) are re-raised as a panic on
+/// the calling thread, preserving the historical contract. Callers that
+/// want per-task isolation use [`scoped_map_isolated`].
 pub fn scoped_map<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
 where
     T: Sync,
     R: Send,
     F: Fn(TaskCtx, &T) -> R + Sync,
+{
+    let (results, stats) = scoped_map_isolated(jobs, items, |ctx, item| Ok(f(ctx, item)));
+    let results = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("pool task failed: {e}"),
+        })
+        .collect();
+    (results, stats)
+}
+
+/// [`scoped_map`] with per-task fault isolation: the mapped closure is
+/// fallible, every call runs under `catch_unwind`, and each item yields
+/// `Ok(R)` or the `Err` that stopped it — a panicking or erroring item
+/// never disturbs the others. `stats.panics` counts captured panics.
+pub fn scoped_map_isolated<T, R, F>(jobs: usize, items: &[T], f: F) -> (Vec<Result<R>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(TaskCtx, &T) -> Result<R> + Sync,
 {
     let t0 = Instant::now();
     let jobs = jobs.clamp(1, items.len().max(1));
@@ -78,14 +142,16 @@ where
         let mut results = Vec::with_capacity(items.len());
         let busy0 = Instant::now();
         for (index, item) in items.iter().enumerate() {
-            results.push(f(TaskCtx { worker: 0, index }, item));
+            results.push(run_task(&f, TaskCtx { worker: 0, index }, item));
         }
+        let panics = count_panics(&results);
         let stats = PoolStats {
             workers: 1,
             steals: 0,
             executed: vec![items.len() as u64],
             busy: vec![busy0.elapsed()],
             wall: t0.elapsed(),
+            panics,
         };
         return (results, stats);
     }
@@ -105,13 +171,13 @@ where
         .collect();
 
     struct WorkerOut<R> {
-        results: Vec<(usize, R)>,
+        results: Vec<(usize, Result<R>)>,
         executed: u64,
         steals: u64,
         busy: Duration,
     }
 
-    let outputs: Vec<WorkerOut<R>> = std::thread::scope(|scope| {
+    let outputs: Vec<std::thread::Result<WorkerOut<R>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let queues = &queues;
@@ -145,7 +211,7 @@ where
                             },
                         };
                         let t = Instant::now();
-                        let r = f(TaskCtx { worker: w, index }, &items[index]);
+                        let r = run_task(f, TaskCtx { worker: w, index }, &items[index]);
                         out.busy += t.elapsed();
                         out.executed += 1;
                         out.results.push((index, r));
@@ -154,7 +220,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        // join() only fails if a worker died outside the per-task shield
+        // (a scheduler bug). Collect the failure instead of asserting so
+        // the surviving workers' results still reach the caller.
+        handles.into_iter().map(|h| h.join()).collect()
     });
 
     let mut stats = PoolStats {
@@ -163,19 +232,39 @@ where
         executed: vec![0; jobs],
         busy: vec![Duration::ZERO; jobs],
         wall: Duration::ZERO,
+        panics: 0,
     };
-    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<Result<R>>> = (0..items.len()).map(|_| None).collect();
+    let mut worker_loss: Option<String> = None;
     for (w, out) in outputs.into_iter().enumerate() {
-        stats.steals += out.steals;
-        stats.executed[w] = out.executed;
-        stats.busy[w] = out.busy;
-        pairs.extend(out.results);
+        match out {
+            Ok(out) => {
+                stats.steals += out.steals;
+                stats.executed[w] = out.executed;
+                stats.busy[w] = out.busy;
+                for (i, r) in out.results {
+                    slots[i] = Some(r);
+                }
+            }
+            Err(payload) => {
+                worker_loss = Some(panic_message(payload));
+            }
+        }
     }
-    assert_eq!(pairs.len(), items.len(), "pool executed every item exactly once");
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    let results = pairs.into_iter().map(|(_, r)| r).collect();
+    // Items lost to a dead worker (or never scheduled because its range
+    // died with it) degrade to error entries rather than a process abort.
+    let loss = worker_loss.unwrap_or_else(|| "pool worker died".to_owned());
+    let results: Vec<Result<R>> = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err(Error::WorkerPanic { message: loss.clone() })))
+        .collect();
+    stats.panics = count_panics(&results);
     stats.wall = t0.elapsed();
     (results, stats)
+}
+
+fn count_panics<R>(results: &[Result<R>]) -> u64 {
+    results.iter().filter(|r| matches!(r, Err(Error::WorkerPanic { .. }))).count() as u64
 }
 
 /// Rob the victim with the most remaining work: take one index now and
@@ -281,5 +370,91 @@ mod tests {
         });
         assert_eq!(stats.executed.len(), 5);
         assert_eq!(stats.busy.len(), 5);
+    }
+
+    #[test]
+    fn one_panicking_task_in_eight_leaves_seven_results() {
+        // The regression the `join().expect` rewrite exists for: a batch
+        // of 8 with one poisoned item yields 7 results + 1 error, in
+        // order, on every jobs setting.
+        let items: Vec<u64> = (0..8).collect();
+        for jobs in [1, 2, 4, 8] {
+            let (out, stats) = scoped_map_isolated(jobs, &items, |_, &x| {
+                if x == 3 {
+                    panic!("poisoned item {x}");
+                }
+                Ok(x * 10)
+            });
+            assert_eq!(out.len(), 8, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    match r {
+                        Err(Error::WorkerPanic { message }) => {
+                            assert!(message.contains("poisoned item 3"), "{message}")
+                        }
+                        other => panic!("jobs={jobs}: expected a panic entry, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 10), "jobs={jobs}");
+                }
+            }
+            assert_eq!(stats.panics, 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_is_usable_after_a_panicking_batch() {
+        let items: Vec<u64> = (0..8).collect();
+        let (_, _) = scoped_map_isolated(4, &items, |_, &x| {
+            if x % 2 == 0 {
+                panic!("even");
+            }
+            Ok(x)
+        });
+        // A fresh batch on the same thread works normally.
+        let (out, stats) = scoped_map(4, &items, |_, &x| x + 1);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn fallible_tasks_return_their_errors_in_place() {
+        let items: Vec<u32> = (0..6).collect();
+        let (out, stats) = scoped_map_isolated(3, &items, |_, &x| {
+            if x == 5 {
+                Err(Error::InvalidPattern("bad".into()))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(out[5], Err(Error::InvalidPattern("bad".into())));
+        assert_eq!(out[..5].iter().filter(|r| r.is_ok()).count(), 5);
+        assert_eq!(stats.panics, 0, "plain errors are not panics");
+    }
+
+    #[test]
+    fn infallible_wrapper_reraises_task_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            scoped_map(2, &[1u32, 2, 3], |_, &x| {
+                if x == 2 {
+                    panic!("kaboom");
+                }
+                x
+            })
+        });
+        let message = panic_message(caught.unwrap_err());
+        assert!(message.contains("kaboom"), "{message}");
+    }
+
+    #[test]
+    fn pool_task_failpoint_injects_an_error_entry() {
+        // Thread-scoped arming + jobs=1 (inline on this thread) keeps the
+        // shared "pool.task" name deterministic under parallel tests.
+        let _fp = crate::failpoint::arm_for_thread("pool.task", crate::failpoint::Action::Err, 2);
+        let items: Vec<u32> = (0..4).collect();
+        let (out, _) = scoped_map_isolated(1, &items, |_, &x| Ok(x));
+        let errors: Vec<_> = out.iter().filter(|r| r.is_err()).collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(out[1], Err(Error::Injected { point: "pool.task".into() }));
     }
 }

@@ -11,10 +11,11 @@
 
 use crate::constraint::Constraint;
 use crate::set::ConstraintSet;
-use tpq_base::{Error, Result, TypeInterner};
+use tpq_base::{failpoint, Error, Result, TypeInterner};
 
 /// Parse a constraint file, interning type names into `types`.
 pub fn parse_constraints(input: &str, types: &mut TypeInterner) -> Result<ConstraintSet> {
+    failpoint::hit("parse.constraints")?;
     let mut set = ConstraintSet::new();
     for (lineno, raw) in input.lines().enumerate() {
         let line = match raw.find('#') {
@@ -112,5 +113,47 @@ mod tests {
         assert!(parse_constraints("a ->", &mut tys).is_err());
         assert!(parse_constraints("a ~ ", &mut tys).is_err());
         assert!(parse_constraints("3a ~ b", &mut tys).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        // Robustness battery: adversarial lines (operator soup, stray
+        // unicode, embedded NULs, comment edge cases) must all come back
+        // as ConstraintParse errors with a line number — never a panic or
+        // a slicing error.
+        let cases = [
+            "->",
+            "->>",
+            "~",
+            "a -> -> b",
+            "a ->> -> b",
+            "-> a -> b",
+            "a b",
+            "a <- b",
+            "a → b", // non-ASCII arrow
+            "\u{0}a -> b",
+            "a -> b\u{0}",
+            "# comment\n~\n",
+            "a#b -> c", // comment starts mid-token, leaving "a"
+            "a ~ b ~ c",
+        ];
+        for case in cases {
+            let mut tys = TypeInterner::new();
+            let got = parse_constraints(case, &mut tys);
+            let err = got.expect_err(&format!("{case:?} must fail"));
+            match err {
+                Error::ConstraintParse { line, .. } => assert!(line >= 1, "{case:?}"),
+                other => panic!("{case:?}: expected ConstraintParse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_constraints_failpoint_injects_an_error() {
+        let _fp = failpoint::arm_for_thread("parse.constraints", failpoint::Action::Err, 1);
+        let mut tys = TypeInterner::new();
+        let err = parse_constraints("a -> b", &mut tys).unwrap_err();
+        assert_eq!(err, Error::Injected { point: "parse.constraints".into() });
+        assert!(parse_constraints("a -> b", &mut tys).is_ok(), "one-shot");
     }
 }

@@ -15,10 +15,11 @@
 //! input under the constraints. ACIM is a "clever implementation" of the
 //! optimal strategy `A·M·R` of Lemma 5.4.
 
-use crate::chase::{augment, present_types};
-use crate::cim::cim_in_place;
+use crate::chase::{augment_guarded, present_types};
+use crate::cim::cim_in_place_guarded;
 use crate::stats::MinimizeStats;
 use std::time::Instant;
+use tpq_base::{Guard, Result};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::TreePattern;
 
@@ -50,16 +51,29 @@ pub fn acim_closed(
     closed: &ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> TreePattern {
+    acim_closed_guarded(q, closed, stats, &Guard::unlimited())
+        .expect("unlimited guard cannot trip and no failpoint is armed")
+}
+
+/// [`acim_closed`] under a [`Guard`]: threaded through augmentation and
+/// the CIM phase. The input is never mutated — a tripped guard returns
+/// [`Err`] and the caller's pattern is untouched.
+pub fn acim_closed_guarded(
+    q: &TreePattern,
+    closed: &ConstraintSet,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<TreePattern> {
     let _span = tpq_obs::span!("acim");
     let t0 = Instant::now();
     let mut work = q.clone();
     let allowed = present_types(&work);
-    augment(&mut work, closed, &allowed, stats);
-    cim_in_place(&mut work, stats);
+    augment_guarded(&mut work, closed, &allowed, stats, guard)?;
+    cim_in_place_guarded(&mut work, stats, guard)?;
     work.strip_temporaries();
     let (compacted, _) = work.compact();
     stats.total_time += t0.elapsed();
-    compacted
+    Ok(compacted)
 }
 
 #[cfg(test)]

@@ -18,9 +18,16 @@
 //! not depend on the worker count, because keys are assigned before the
 //! fan-out and each unique pattern is minimized exactly once.
 //!
+//! The batch is **fault-isolated**: every task runs behind the pool's
+//! panic shield, so one pattern that panics (or trips a [`Guard`] limit
+//! in [`minimize_batch_guarded`](BatchMinimizer::minimize_batch_guarded))
+//! becomes an error entry in its own slot while the remaining patterns
+//! complete normally — the process never aborts.
+//!
 //! Observability (when the `tpq-obs` layer is enabled): counters
-//! `batch.cache.hit`, `batch.cache.miss`, `batch.steal` and per-worker
-//! latency histograms `batch.worker.N` (see `docs/OBSERVABILITY.md`).
+//! `batch.cache.hit`, `batch.cache.miss`, `batch.steal`, `pool.panic` and
+//! per-worker latency histograms `batch.worker.N` (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! ```
 //! use tpq_base::TypeInterner;
@@ -42,12 +49,12 @@
 //! ```
 
 use crate::pipeline::{MinimizeOutcome, Strategy};
-use crate::session::minimize_closed;
+use crate::session::minimize_closed_guarded;
 use crate::stats::MinimizeStats;
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
-use tpq_base::pool::{scoped_map, PoolStats};
-use tpq_base::FxHashMap;
+use tpq_base::pool::{scoped_map_isolated, PoolStats};
+use tpq_base::{FxHashMap, Guard, Result};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::{CanonicalKey, TreePattern};
 
@@ -111,6 +118,12 @@ pub struct BatchStats {
     pub wall_time: Duration,
     /// Algorithm counters summed over every minimization actually run.
     pub minimize: MinimizeStats,
+    /// Queries that ended in an error entry (budget trips, injected
+    /// faults, captured panics). Always 0 through the infallible
+    /// [`BatchMinimizer::minimize_batch`] path.
+    pub failed: usize,
+    /// Worker panics captured by the pool's per-task shield.
+    pub panics: u64,
 }
 
 /// Result of [`BatchMinimizer::minimize_batch`]: one minimized pattern per
@@ -119,6 +132,18 @@ pub struct BatchStats {
 pub struct BatchOutcome {
     /// Minimized (compacted) patterns, parallel to the input slice.
     pub patterns: Vec<TreePattern>,
+    /// Batch-level measurements.
+    pub stats: BatchStats,
+}
+
+/// Result of [`BatchMinimizer::minimize_batch_guarded`]: one `Result` per
+/// input query, in input order. A query whose minimization tripped the
+/// guard, hit an armed failpoint or panicked carries its error in place;
+/// the other slots still hold their minimized patterns.
+#[derive(Debug, Clone)]
+pub struct GuardedBatchOutcome {
+    /// Per-query results, parallel to the input slice.
+    pub results: Vec<Result<TreePattern>>,
     /// Batch-level measurements.
     pub stats: BatchStats,
 }
@@ -166,15 +191,24 @@ impl BatchMinimizer {
     /// the pool; useful for mixed single/batch callers that want the memo
     /// behavior everywhere).
     pub fn minimize(&self, q: &TreePattern) -> TreePattern {
+        self.minimize_guarded(q, &Guard::unlimited())
+            .expect("unlimited guard cannot trip and no failpoint is armed")
+    }
+
+    /// [`BatchMinimizer::minimize`] under a [`Guard`]. A cache hit is
+    /// served without spending any of the guard's budget; on a miss the
+    /// whole minimization pipeline runs guarded and only a successful
+    /// result is memoized — a tripped guard leaves the cache unchanged.
+    pub fn minimize_guarded(&self, q: &TreePattern, guard: &Guard) -> Result<TreePattern> {
         let key = q.canonical_key();
         if let Some(hit) = self.cache.read().expect("batch cache poisoned").get(&key) {
             tpq_obs::incr("batch.cache.hit", 1);
-            return hit.clone();
+            return Ok(hit.clone());
         }
         tpq_obs::incr("batch.cache.miss", 1);
-        let out = minimize_closed(q, &self.closed, self.strategy);
+        let out = minimize_closed_guarded(q, &self.closed, self.strategy, guard)?;
         self.cache.write().expect("batch cache poisoned").insert(key, out.pattern.clone());
-        out.pattern
+        Ok(out.pattern)
     }
 
     /// Minimize every query in `queries` on up to `jobs` worker threads.
@@ -183,7 +217,45 @@ impl BatchMinimizer {
     /// `jobs` value: the sequential key pass fixes which patterns are
     /// computed before any thread runs, so thread scheduling cannot leak
     /// into the output.
+    ///
+    /// This infallible path panics on the calling thread if a task fails
+    /// — which, with no guard and no armed failpoint, only happens when a
+    /// minimization itself panics. Callers that want per-query isolation
+    /// use [`minimize_batch_guarded`](BatchMinimizer::minimize_batch_guarded).
     pub fn minimize_batch(&self, queries: &[TreePattern], jobs: usize) -> BatchOutcome {
+        let run = self.minimize_batch_guarded(queries, jobs, &Guard::unlimited());
+        let patterns = run
+            .results
+            .into_iter()
+            .map(|r| match r {
+                Ok(p) => p,
+                Err(e) => panic!("batch task failed: {e}"),
+            })
+            .collect();
+        BatchOutcome { patterns, stats: run.stats }
+    }
+
+    /// [`BatchMinimizer::minimize_batch`] with resource governance and
+    /// per-query fault isolation.
+    ///
+    /// The guard is shared by every worker: a wall-clock deadline or a
+    /// cooperative [`cancel`](Guard::cancel) bounds the *whole batch*, and
+    /// a step budget is one pooled allowance drawn on by all queries.
+    /// Queries answered from the memo cache (including in-batch
+    /// duplicates) cost nothing and succeed even after the guard trips.
+    ///
+    /// Each unique pattern fans out as an isolated task: a budget trip, an
+    /// injected failpoint or a panic inside one minimization lands as the
+    /// `Err` of that query's slot (duplicates of it share the error) while
+    /// every other query completes normally. Only successful results are
+    /// memoized. Captured panics bump the `pool.panic` counter; budget
+    /// trips bump `guard.timeout` / `guard.budget` / `guard.cancel`.
+    pub fn minimize_batch_guarded(
+        &self,
+        queries: &[TreePattern],
+        jobs: usize,
+        guard: &Guard,
+    ) -> GuardedBatchOutcome {
         let _span = tpq_obs::span!("batch");
         let t0 = Instant::now();
 
@@ -217,37 +289,46 @@ impl BatchMinimizer {
         tpq_obs::incr("batch.cache.hit", hits);
         tpq_obs::incr("batch.cache.miss", misses);
 
-        // Fan the unique patterns out over the pool.
-        let (outcomes, pool): (Vec<MinimizeOutcome>, PoolStats) =
-            scoped_map(jobs, &unique, |ctx, q| {
+        // Fan the unique patterns out over the pool. Each task is
+        // isolated: a panic or guard trip stays in its own result slot.
+        let (outcomes, pool): (Vec<Result<MinimizeOutcome>>, PoolStats) =
+            scoped_map_isolated(jobs, &unique, |ctx, q| {
                 let t = Instant::now();
-                let out = minimize_closed(q, &self.closed, self.strategy);
+                let out = minimize_closed_guarded(q, &self.closed, self.strategy, guard)?;
                 tpq_obs::record_duration(worker_span(ctx.worker), t.elapsed());
-                out
+                Ok(out)
             });
         tpq_obs::incr("batch.steal", pool.steals);
+        tpq_obs::incr("pool.panic", pool.panics);
 
-        // Memoize for the next batch.
+        // Memoize for the next batch — successful results only, so a
+        // tripped guard never poisons the cache with a partial answer.
         {
             let mut cache = self.cache.write().expect("batch cache poisoned");
             for (key, out) in keys.into_iter().zip(&outcomes) {
-                cache.insert(key, out.pattern.clone());
+                if let Ok(out) = out {
+                    cache.insert(key, out.pattern.clone());
+                }
             }
         }
 
         let mut minimize = MinimizeStats::default();
-        for out in &outcomes {
+        for out in outcomes.iter().flatten() {
             minimize.merge(out.stats);
         }
-        let patterns = plan
+        let results: Vec<Result<TreePattern>> = plan
             .into_iter()
             .map(|p| match p {
-                Plan::Cached(pattern) => pattern,
-                Plan::Computed(slot) => outcomes[slot].pattern.clone(),
+                Plan::Cached(pattern) => Ok(pattern),
+                Plan::Computed(slot) => match &outcomes[slot] {
+                    Ok(out) => Ok(out.pattern.clone()),
+                    Err(e) => Err(e.clone()),
+                },
             })
             .collect();
-        BatchOutcome {
-            patterns,
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        GuardedBatchOutcome {
+            results,
             stats: BatchStats {
                 queries: queries.len(),
                 unique: unique.len(),
@@ -258,6 +339,8 @@ impl BatchMinimizer {
                 executed_per_worker: pool.executed,
                 wall_time: t0.elapsed(),
                 minimize,
+                failed,
+                panics: pool.panics,
             },
         }
     }
@@ -267,7 +350,7 @@ impl BatchMinimizer {
 mod tests {
     use super::*;
     use crate::session::Minimizer;
-    use tpq_base::TypeInterner;
+    use tpq_base::{failpoint, Error, TypeInterner};
     use tpq_constraints::parse_constraints;
     use tpq_pattern::{isomorphic, parse_pattern};
 
@@ -375,6 +458,88 @@ mod tests {
         assert!(out.patterns.is_empty());
         assert_eq!(out.stats.unique, 0);
         assert_eq!(out.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cancelled_guard_fails_uncached_queries_but_serves_warm_hits() {
+        let (engine, queries, _) = setup();
+        let warm = engine.minimize(&queries[0]);
+        let guard = Guard::cancellable();
+        guard.cancel();
+        let out = engine.minimize_batch_guarded(&queries, 2, &guard);
+        assert_eq!(out.results.len(), queries.len());
+        // Slot 0 and its exact repeat in slot 4 come out of the memo
+        // cache, untouched by the dead guard.
+        assert_eq!(out.results[0].as_ref().unwrap(), &warm);
+        assert_eq!(out.results[4].as_ref().unwrap(), &warm);
+        for i in [1, 2, 3] {
+            let err = out.results[i].as_ref().unwrap_err();
+            assert!(err.is_budget(), "slot {i}: {err}");
+        }
+        assert_eq!(out.stats.failed, 3);
+        // Failures were not memoized.
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_yields_per_query_deadline_errors() {
+        let (engine, queries, _) = setup();
+        let guard = Guard::with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        let out = engine.minimize_batch_guarded(&queries, 2, &guard);
+        for (i, r) in out.results.iter().enumerate() {
+            assert!(
+                matches!(
+                    r,
+                    Err(Error::Budget { resource: tpq_base::BudgetResource::Deadline, .. })
+                ),
+                "slot {i}: {r:?}"
+            );
+        }
+        // The in-batch duplicate shares its representative's error.
+        assert_eq!(out.results[0], out.results[4]);
+        assert_eq!(out.stats.failed, 5);
+        assert_eq!(out.stats.unique, 4);
+        assert_eq!(engine.cache_len(), 0, "nothing memoized from a dead batch");
+    }
+
+    #[test]
+    fn injected_task_panic_stays_in_its_slot() {
+        let mut tys = TypeInterner::new();
+        let ics = parse_constraints("a -> b", &mut tys).unwrap();
+        let engine = BatchMinimizer::new(&ics);
+        let queries: Vec<TreePattern> = ["a*[/b]", "b*[/c]", "c*[/d]"]
+            .iter()
+            .map(|s| parse_pattern(s, &mut tys).unwrap())
+            .collect();
+        // jobs=1 keeps the fan-out inline on this thread, so the
+        // thread-scoped arming is deterministic under parallel tests.
+        let _fp = failpoint::arm_for_thread("pool.task", failpoint::Action::Panic, 2);
+        let out = engine.minimize_batch_guarded(&queries, 1, &Guard::unlimited());
+        assert!(out.results[0].is_ok());
+        assert!(out.results[2].is_ok(), "tasks after the panic still complete");
+        match &out.results[1] {
+            Err(Error::WorkerPanic { message }) => {
+                assert!(message.contains("pool.task"), "{message}")
+            }
+            other => panic!("expected a captured panic, got {other:?}"),
+        }
+        assert_eq!(out.stats.panics, 1);
+        assert_eq!(out.stats.failed, 1);
+        // The poisoned slot was not memoized; the survivors were.
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn guarded_single_query_serves_cache_hits_past_a_dead_guard() {
+        let (engine, queries, _) = setup();
+        let guard = Guard::cancellable();
+        guard.cancel();
+        assert!(engine.minimize_guarded(&queries[0], &guard).is_err());
+        assert_eq!(engine.cache_len(), 0, "the failure was not memoized");
+        let warm = engine.minimize(&queries[0]);
+        // A cache hit costs no budget, so even the dead guard serves it.
+        assert_eq!(engine.minimize_guarded(&queries[0], &guard).unwrap(), warm);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use crate::info::{InfoContent, Obligation, ObligationKind};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
+use tpq_base::{Guard, Result};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::{NodeId, TreePattern};
 
@@ -77,19 +78,35 @@ pub fn cdm_in_place(
     closed: &ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> usize {
+    cdm_in_place_guarded(q, closed, stats, &Guard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// [`cdm_in_place`] under a [`Guard`]: checked at each fixpoint-sweep
+/// head and spent once per post-order frame. On a trip `q` is left
+/// partially pruned but still equivalent under the constraints (every
+/// removal applied was individually justified by a Figure 6 rule);
+/// callers wanting all-or-nothing semantics work on a clone.
+pub fn cdm_in_place_guarded(
+    q: &mut TreePattern,
+    closed: &ConstraintSet,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<usize> {
     let _span = tpq_obs::span!("cdm");
     let mut total = 0;
     loop {
+        guard.check()?;
         let removed_before = total;
         let root = q.root();
-        let _ = process(q, closed, root, &mut total);
+        let _ = process(q, closed, root, &mut total, guard)?;
         stats.cdm_removed += total - removed_before;
         tpq_obs::incr("cdm_removed", (total - removed_before) as u64);
         if total == removed_before {
             break;
         }
     }
-    total
+    Ok(total)
 }
 
 /// Post-order: minimize the whole tree below `start` (inclusive),
@@ -100,7 +117,8 @@ fn process(
     closed: &ConstraintSet,
     start: NodeId,
     removed: &mut usize,
-) -> InfoContent {
+    guard: &Guard,
+) -> Result<InfoContent> {
     struct Frame {
         node: NodeId,
         children: Vec<NodeId>,
@@ -123,6 +141,7 @@ fn process(
         if top.next < top.children.len() {
             let c = top.children[top.next];
             top.next += 1;
+            guard.spend(1)?;
             let f = frame(q, c);
             stack.push(f);
             continue;
@@ -130,7 +149,7 @@ fn process(
         let done = stack.pop().expect("just peeked");
         let info = minimize_at(q, closed, done.node, done.infos, removed);
         match stack.is_empty() {
-            true => return info,
+            true => return Ok(info),
             false => returned = Some(info),
         }
     }

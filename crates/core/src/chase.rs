@@ -9,7 +9,7 @@
 //! stripped at the end.
 
 use crate::stats::MinimizeStats;
-use tpq_base::{FxHashSet, TypeId};
+use tpq_base::{failpoint, FxHashSet, Guard, Result, TypeId};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
@@ -62,12 +62,35 @@ pub fn augment(
     allowed_rhs: &FxHashSet<TypeId>,
     stats: &mut MinimizeStats,
 ) -> usize {
+    augment_guarded(q, closed, allowed_rhs, stats, &Guard::unlimited())
+        .expect("unlimited guard cannot trip and no failpoint is armed")
+}
+
+/// [`augment`] under a [`Guard`]: spends one step per (node, type) pair
+/// chased and passes the `chase.step` failpoint on each. A tripped guard
+/// (or injected fault) aborts mid-augmentation with [`Err`], leaving `q`
+/// partially augmented but structurally valid — every temp added is
+/// IC-implied, so the partial pattern is still equivalent to the input
+/// under the constraints. Callers wanting all-or-nothing semantics work
+/// on a clone (as [`acim_incremental_closed_guarded`] and
+/// [`crate::acim::acim_closed_guarded`] do).
+///
+/// [`acim_incremental_closed_guarded`]: crate::incremental::acim_incremental_closed_guarded
+pub fn augment_guarded(
+    q: &mut TreePattern,
+    closed: &ConstraintSet,
+    allowed_rhs: &FxHashSet<TypeId>,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<usize> {
     let _span = tpq_obs::span!("acim.augment");
     let originals: Vec<NodeId> = q.alive_ids().filter(|&v| !q.node(v).temporary).collect();
     // Phase 1: co-occurrence types. One pass suffices on a closed set.
     for &v in &originals {
         let types: Vec<TypeId> = q.node(v).types.iter().collect();
         for t in types {
+            failpoint::hit("chase.step")?;
+            guard.spend(1)?;
             for &u in closed.cooccurrences_of(t) {
                 if q.node_mut(v).types.insert(u) {
                     stats.augment_types_added += 1;
@@ -78,6 +101,7 @@ pub fn augment(
     // Phase 2: temporary children.
     let mut added = 0usize;
     for &v in &originals {
+        guard.check()?;
         let types: Vec<TypeId> = q.node(v).types.iter().collect();
         let mut have: FxHashSet<(EdgeKind, TypeId)> = q
             .node(v)
@@ -87,6 +111,8 @@ pub fn augment(
             .map(|&c| (q.node(c).edge, q.node(c).primary))
             .collect();
         for &t in &types {
+            failpoint::hit("chase.step")?;
+            guard.spend(1)?;
             for &u in closed.required_children_of(t) {
                 if allowed_rhs.contains(&u) && have.insert((EdgeKind::Child, u)) {
                     let temp = q.add_temp_child(v, EdgeKind::Child, u);
@@ -96,6 +122,8 @@ pub fn augment(
             }
         }
         for &t in &types {
+            failpoint::hit("chase.step")?;
+            guard.spend(1)?;
             for &u in closed.required_descendants_of(t) {
                 if allowed_rhs.contains(&u)
                     && !have.contains(&(EdgeKind::Child, u))
@@ -110,7 +138,7 @@ pub fn augment(
     }
     stats.augment_nodes_added += added;
     tpq_obs::incr("augment_nodes_added", added as u64);
-    added
+    Ok(added)
 }
 
 /// Give a freshly added temp the co-occurrence closure of its type (one

@@ -17,10 +17,10 @@
 //!   mapping targets, which is exactly how ACIM exploits them.
 
 use crate::mapping::original_children;
-use crate::redundant::redundant_leaf_with_stats;
+use crate::redundant::{redundant_leaf_guarded, redundant_leaf_with_stats};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
-use tpq_base::FxHashSet;
+use tpq_base::{FxHashSet, Guard, Result};
 use tpq_pattern::{NodeId, TreePattern};
 
 /// Minimize `q` without constraints; returns the compacted minimal query.
@@ -30,18 +30,43 @@ pub fn cim(q: &TreePattern) -> TreePattern {
 
 /// [`cim`] with statistics collection.
 pub fn cim_with_stats(q: &TreePattern, stats: &mut MinimizeStats) -> TreePattern {
+    cim_with_stats_guarded(q, stats, &Guard::unlimited()).expect("unlimited guard cannot trip")
+}
+
+/// [`cim_with_stats`] under a [`Guard`]. The input is never mutated: a
+/// tripped guard returns [`Err`] and the caller's pattern is untouched.
+pub fn cim_with_stats_guarded(
+    q: &TreePattern,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<TreePattern> {
     let t0 = Instant::now();
     let mut work = q.clone();
-    cim_in_place(&mut work, stats);
+    cim_in_place_guarded(&mut work, stats, guard)?;
     let (compacted, _) = work.compact();
     stats.total_time += t0.elapsed();
-    compacted
+    Ok(compacted)
 }
 
 /// Run the MEO loop on `q` in place (no compaction). Returns the removed
 /// node ids, in removal order — an elimination ordering witnessing the
 /// minimization.
 pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeId> {
+    cim_in_place_guarded(q, stats, &Guard::unlimited()).expect("unlimited guard cannot trip")
+}
+
+/// [`cim_in_place`] under a [`Guard`]: the guard is checked at every loop
+/// head and threaded through each redundancy test. On a tripped guard `q`
+/// is left in a **valid but partially minimized** state — every removal
+/// already applied was individually proven redundant, so `q` is still
+/// equivalent to the input; callers that must not observe partial progress
+/// should work on a clone (as [`crate::session::minimize_closed_guarded`]
+/// does).
+pub fn cim_in_place_guarded(
+    q: &mut TreePattern,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<Vec<NodeId>> {
     let _span = tpq_obs::span!("cim");
     let tests = tpq_obs::counter("redundancy_tests");
     let removals = tpq_obs::counter("cim_removed");
@@ -49,6 +74,7 @@ pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeI
     let mut removed = Vec::new();
     let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
     loop {
+        guard.check()?;
         let candidates: Vec<NodeId> = q_leaves(q)
             .into_iter()
             .filter(|&l| is_candidate(q, l) && !non_redundant.contains(&l))
@@ -61,11 +87,12 @@ pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeI
             if !q.is_alive(l) {
                 continue;
             }
+            guard.spend(1)?;
             stats.redundancy_tests += 1;
             if obs_on {
                 tests.add(1);
             }
-            if redundant_leaf_with_stats(q, l, stats) {
+            if redundant_leaf_guarded(q, l, stats, guard)? {
                 remove_q_leaf(q, l);
                 removed.push(l);
                 stats.cim_removed += 1;
@@ -81,7 +108,7 @@ pub fn cim_in_place(q: &mut TreePattern, stats: &mut MinimizeStats) -> Vec<NodeI
             break;
         }
     }
-    removed
+    Ok(removed)
 }
 
 /// Original nodes with no alive original children — the elimination

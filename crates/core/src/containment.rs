@@ -14,8 +14,8 @@
 //! pattern, so the recursion terminates; memoization keeps the whole test
 //! polynomial.
 
-use crate::mapping::{has_homomorphism, PatIndex};
-use tpq_base::{FxHashMap, TypeId, TypeSet};
+use crate::mapping::{has_homomorphism, has_homomorphism_guarded, PatIndex};
+use tpq_base::{FxHashMap, Guard, Result, TypeId, TypeSet};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
@@ -24,9 +24,19 @@ pub fn contains(q1: &TreePattern, q2: &TreePattern) -> bool {
     has_homomorphism(q2, q1)
 }
 
+/// [`contains`] under a [`Guard`].
+pub fn contains_guarded(q1: &TreePattern, q2: &TreePattern, guard: &Guard) -> Result<bool> {
+    has_homomorphism_guarded(q2, q1, guard)
+}
+
 /// `q1 ≡ q2`: two-way containment.
 pub fn equivalent(q1: &TreePattern, q2: &TreePattern) -> bool {
     contains(q1, q2) && contains(q2, q1)
+}
+
+/// [`equivalent`] under a [`Guard`].
+pub fn equivalent_guarded(q1: &TreePattern, q2: &TreePattern, guard: &Guard) -> Result<bool> {
+    Ok(contains_guarded(q1, q2, guard)? && contains_guarded(q2, q1, guard)?)
 }
 
 /// `q1 ⊆_Σ q2`: containment over databases satisfying `ics`.
@@ -34,13 +44,39 @@ pub fn equivalent(q1: &TreePattern, q2: &TreePattern) -> bool {
 /// `ics` need not be closed; the closure is computed internally.
 pub fn contains_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -> bool {
     let closed = ics.closure();
-    ContainmentUnder::new(q1, q2, &closed).check()
+    ContainmentUnder::new(q1, q2, &closed)
+        .check(&Guard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// [`contains_under`] under a [`Guard`]: the candidate-table build and
+/// guarantee derivations spend steps; a tripped guard aborts with
+/// [`Err`] (the inputs are read-only).
+pub fn contains_under_guarded(
+    q1: &TreePattern,
+    q2: &TreePattern,
+    ics: &ConstraintSet,
+    guard: &Guard,
+) -> Result<bool> {
+    let closed = ics.closure();
+    ContainmentUnder::new(q1, q2, &closed).check(guard)
 }
 
 /// `q1 ≡_Σ q2`: two-way containment under `ics`.
 pub fn equivalent_under(q1: &TreePattern, q2: &TreePattern, ics: &ConstraintSet) -> bool {
+    equivalent_under_guarded(q1, q2, ics, &Guard::unlimited()).expect("unlimited guard cannot trip")
+}
+
+/// [`equivalent_under`] under a [`Guard`].
+pub fn equivalent_under_guarded(
+    q1: &TreePattern,
+    q2: &TreePattern,
+    ics: &ConstraintSet,
+    guard: &Guard,
+) -> Result<bool> {
     let closed = ics.closure();
-    ContainmentUnder::new(q1, q2, &closed).check() && ContainmentUnder::new(q2, q1, &closed).check()
+    Ok(ContainmentUnder::new(q1, q2, &closed).check(guard)?
+        && ContainmentUnder::new(q2, q1, &closed).check(guard)?)
 }
 
 struct ContainmentUnder<'a> {
@@ -78,20 +114,27 @@ impl<'a> ContainmentUnder<'a> {
 
     /// Is the q2 subtree rooted at `w`, reached over an edge of kind
     /// `edge`, guaranteed below every database node of type `basis`?
-    fn guaranteed(&mut self, basis: TypeId, w: NodeId, edge: EdgeKind) -> bool {
+    fn guaranteed(
+        &mut self,
+        basis: TypeId,
+        w: NodeId,
+        edge: EdgeKind,
+        guard: &Guard,
+    ) -> Result<bool> {
         if self.q2.node(w).output {
             // The output node must map to the image of q1's output node,
             // never to IC-implied structure.
-            return false;
+            return Ok(false);
         }
         if !self.q2.node(w).conditions.is_empty() {
             // ICs guarantee existence by type only; they say nothing about
             // attribute values, so a conditioned node cannot be discharged.
-            return false;
+            return Ok(false);
         }
         if let Some(&hit) = self.memo.get(&(basis, w, edge)) {
-            return hit;
+            return Ok(hit);
         }
+        guard.spend(1)?;
         let need = self.q2.node(w).types.clone();
         let witnesses: Vec<TypeId> = match edge {
             EdgeKind::Child => self.closed.required_children_of(basis).to_vec(),
@@ -106,7 +149,7 @@ impl<'a> ContainmentUnder<'a> {
             }
             for &x in &children {
                 let xe = self.q2.node(x).edge;
-                if !self.guaranteed(s, x, xe) {
+                if !self.guaranteed(s, x, xe, guard)? {
                     continue 'witness;
                 }
             }
@@ -114,7 +157,7 @@ impl<'a> ContainmentUnder<'a> {
             break;
         }
         self.memo.insert((basis, w, edge), ok);
-        ok
+        Ok(ok)
     }
 
     /// Can the q2 child `w` of a node mapped to `u` be discharged by a
@@ -126,12 +169,17 @@ impl<'a> ContainmentUnder<'a> {
     /// (e.g. `Section ->> Paragraph` guarantees a `Paragraph` below
     /// `Article*` through the `Section` descendant), so every such node's
     /// types are tried as anchors.
-    fn discharged(&mut self, u: NodeId, w: NodeId) -> bool {
+    fn discharged(&mut self, u: NodeId, w: NodeId, guard: &Guard) -> Result<bool> {
         let edge = self.q2.node(w).edge;
         match edge {
             EdgeKind::Child => {
                 let basis: Vec<TypeId> = self.q1.node(u).types.iter().collect();
-                basis.into_iter().any(|t| self.guaranteed(t, w, EdgeKind::Child))
+                for t in basis {
+                    if self.guaranteed(t, w, EdgeKind::Child, guard)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
             }
             EdgeKind::Descendant => {
                 let anchors: Vec<TypeId> = self
@@ -140,17 +188,23 @@ impl<'a> ContainmentUnder<'a> {
                     .filter(|&z| z == u || self.q1_index.is_proper_ancestor(u, z))
                     .flat_map(|z| self.q1.node(z).types.iter().collect::<Vec<_>>())
                     .collect();
-                anchors.into_iter().any(|t| self.guaranteed(t, w, EdgeKind::Descendant))
+                for t in anchors {
+                    if self.guaranteed(t, w, EdgeKind::Descendant, guard)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
             }
         }
     }
 
-    fn check(&mut self) -> bool {
+    fn check(&mut self, guard: &Guard) -> Result<bool> {
         // Candidate sets for a homomorphism q2 → q1, with IC-aware node
         // compatibility and guarantee discharge during pruning.
         let q1_alive: Vec<NodeId> = self.q1.alive_ids().collect();
         let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); self.q2.arena_len()];
         for v in self.q2.alive_ids() {
+            guard.spend(q1_alive.len() as u64)?;
             cand[v.index()] = q1_alive
                 .iter()
                 .copied()
@@ -170,6 +224,7 @@ impl<'a> ContainmentUnder<'a> {
                 .collect();
         }
         for v in self.q2.post_order() {
+            guard.check()?;
             let children: Vec<NodeId> =
                 self.q2.node(v).children.iter().copied().filter(|&c| self.q2.is_alive(c)).collect();
             if children.is_empty() {
@@ -178,6 +233,7 @@ impl<'a> ContainmentUnder<'a> {
             let current = std::mem::take(&mut cand[v.index()]);
             let mut kept = Vec::with_capacity(current.len());
             'outer: for u in current {
+                guard.spend(children.len() as u64)?;
                 for &w in &children {
                     let has_image = match self.q2.node(w).edge {
                         EdgeKind::Child => cand[w.index()].iter().any(|&u2| {
@@ -188,7 +244,7 @@ impl<'a> ContainmentUnder<'a> {
                             .iter()
                             .any(|&u2| self.q1_index.is_proper_ancestor(u, u2)),
                     };
-                    if !has_image && !self.discharged(u, w) {
+                    if !has_image && !self.discharged(u, w, guard)? {
                         continue 'outer;
                     }
                 }
@@ -196,7 +252,7 @@ impl<'a> ContainmentUnder<'a> {
             }
             cand[v.index()] = kept;
         }
-        !cand[self.q2.root().index()].is_empty()
+        Ok(!cand[self.q2.root().index()].is_empty())
     }
 }
 

@@ -30,7 +30,7 @@
 use crate::mapping::{original_children, prune_node, pruned_candidates, PatIndex};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
-use tpq_base::{FxHashMap, FxHashSet};
+use tpq_base::{FxHashMap, FxHashSet, Guard, Result};
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
 /// Incremental minimization engine over one (possibly augmented) pattern.
@@ -48,10 +48,17 @@ impl CimEngine {
     /// Build the engine: ancestor/descendant index plus the globally
     /// pruned images table (timed into `stats.tables_time`).
     pub fn new(q: TreePattern, stats: &mut MinimizeStats) -> Self {
+        Self::new_guarded(q, stats, &Guard::unlimited()).expect("unlimited guard cannot trip")
+    }
+
+    /// [`CimEngine::new`] under a [`Guard`]: table construction spends one
+    /// step per candidate considered, so a small budget or deadline trips
+    /// before the `O(n · maxImage)` build completes.
+    pub fn new_guarded(q: TreePattern, stats: &mut MinimizeStats, guard: &Guard) -> Result<Self> {
         let _span = tpq_obs::span!("acim.tables");
         let t0 = Instant::now();
         let index = PatIndex::build(&q);
-        let base = pruned_candidates(&q, &q, &index, None);
+        let base = pruned_candidates(&q, &q, &index, None, guard)?;
         let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); q.arena_len()];
         for (w, set) in base.iter().enumerate() {
             for &u in set {
@@ -59,7 +66,7 @@ impl CimEngine {
             }
         }
         stats.tables_time += t0.elapsed();
-        CimEngine { q, index, base, rev }
+        Ok(CimEngine { q, index, base, rev })
     }
 
     /// Borrow the current pattern.
@@ -87,7 +94,16 @@ impl CimEngine {
     ///
     /// The pre/post index stays valid: deleting leaves never changes the
     /// relative order of surviving nodes.
-    fn apply_removal(&mut self, l: NodeId, dead_temps: &[NodeId], stats: &mut MinimizeStats) {
+    /// A tripped guard leaves the tables stale; the pattern itself stays
+    /// valid (the removal was already proven redundant), but the engine
+    /// must be discarded — `run_guarded` propagates the error out.
+    fn apply_removal(
+        &mut self,
+        l: NodeId,
+        dead_temps: &[NodeId],
+        stats: &mut MinimizeStats,
+        guard: &Guard,
+    ) -> Result<()> {
         let _span = tpq_obs::span!("acim.tables");
         let t0 = Instant::now();
         let ancestors: Vec<NodeId> = self.q.ancestors(l).collect();
@@ -114,6 +130,7 @@ impl CimEngine {
             self.base[d.index()].clear();
         }
         while let Some(v) = worklist.pop() {
+            guard.check()?;
             if !self.q.is_alive(v) || self.q.node(v).temporary || anc_set.contains(&v) {
                 // Ancestors get a full recompute below.
                 continue;
@@ -127,6 +144,7 @@ impl CimEngine {
         // Step 2: ancestors of l, bottom-up, recomputed from scratch.
         let targets: Vec<NodeId> = self.q.alive_ids().collect();
         for &v in &ancestors {
+            guard.spend(targets.len() as u64)?;
             let mut set: Vec<NodeId> = targets
                 .iter()
                 .copied()
@@ -140,6 +158,7 @@ impl CimEngine {
             }
         }
         stats.tables_time += t0.elapsed();
+        Ok(())
     }
 
     /// Does the single-child structural check pass for candidate `u` of
@@ -190,12 +209,22 @@ impl CimEngine {
 
     /// Run the MEO loop to completion. Returns removed node ids in order.
     pub fn run(&mut self, stats: &mut MinimizeStats) -> Vec<NodeId> {
+        self.run_guarded(stats, &Guard::unlimited()).expect("unlimited guard cannot trip")
+    }
+
+    /// [`CimEngine::run`] under a [`Guard`]: checked at every MEO loop
+    /// head, spent per redundancy test and per table-maintenance step. On
+    /// a trip the engine's pattern is valid but partially minimized (every
+    /// applied removal was proven redundant) — callers wanting
+    /// all-or-nothing semantics should discard the engine.
+    pub fn run_guarded(&mut self, stats: &mut MinimizeStats, guard: &Guard) -> Result<Vec<NodeId>> {
         let tests = tpq_obs::counter("redundancy_tests");
         let removals = tpq_obs::counter("cim_removed");
         let obs_on = tpq_obs::enabled();
         let mut removed = Vec::new();
         let mut non_redundant: FxHashSet<NodeId> = FxHashSet::default();
         loop {
+            guard.check()?;
             let candidates: Vec<NodeId> = self
                 .q
                 .alive_ids()
@@ -215,6 +244,7 @@ impl CimEngine {
                 if !self.q.is_alive(l) {
                     continue;
                 }
+                guard.spend(1)?;
                 stats.redundancy_tests += 1;
                 if obs_on {
                     tests.add(1);
@@ -235,7 +265,7 @@ impl CimEngine {
                         self.q.remove_subtree(t).expect("temp subtree");
                     }
                     self.q.remove_leaf(l).expect("leaf");
-                    self.apply_removal(l, &temps, stats);
+                    self.apply_removal(l, &temps, stats, guard)?;
                     removed.push(l);
                     stats.cim_removed += 1;
                     if obs_on {
@@ -250,7 +280,7 @@ impl CimEngine {
                 break;
             }
         }
-        removed
+        Ok(removed)
     }
 }
 
@@ -276,18 +306,32 @@ pub fn acim_incremental_closed(
     closed: &tpq_constraints::ConstraintSet,
     stats: &mut MinimizeStats,
 ) -> TreePattern {
+    acim_incremental_closed_guarded(q, closed, stats, &Guard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// [`acim_incremental_closed`] under a [`Guard`]: the guard is threaded
+/// through augmentation (chase steps), engine construction and the MEO
+/// loop. The input pattern is never mutated — a tripped guard returns
+/// [`Err`] and the caller's pattern is untouched.
+pub fn acim_incremental_closed_guarded(
+    q: &TreePattern,
+    closed: &tpq_constraints::ConstraintSet,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<TreePattern> {
     let _span = tpq_obs::span!("acim");
     let t0 = Instant::now();
     let mut work = q.clone();
     let allowed = crate::chase::present_types(&work);
-    crate::chase::augment(&mut work, closed, &allowed, stats);
-    let mut engine = CimEngine::new(work, stats);
-    engine.run(stats);
+    crate::chase::augment_guarded(&mut work, closed, &allowed, stats, guard)?;
+    let mut engine = CimEngine::new_guarded(work, stats, guard)?;
+    engine.run_guarded(stats, guard)?;
     let mut out = engine.into_pattern();
     out.strip_temporaries();
     let (compacted, _) = out.compact();
     stats.total_time += t0.elapsed();
-    compacted
+    Ok(compacted)
 }
 
 #[cfg(test)]

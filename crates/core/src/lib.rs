@@ -64,18 +64,24 @@ pub mod redundant;
 pub mod session;
 pub mod stats;
 
-pub use acim::{acim, acim_closed, acim_with_stats};
-pub use batch::{BatchMinimizer, BatchOutcome, BatchStats};
-pub use cdm::{cdm, cdm_closed, cdm_in_place, cdm_with_stats};
-pub use chase::{augment, chase};
-pub use cim::{cim, cim_in_place, cim_with_order, cim_with_stats};
-pub use containment::{contains, contains_under, equivalent, equivalent_under};
+pub use acim::{acim, acim_closed, acim_closed_guarded, acim_with_stats};
+pub use batch::{BatchMinimizer, BatchOutcome, BatchStats, GuardedBatchOutcome};
+pub use cdm::{cdm, cdm_closed, cdm_in_place, cdm_in_place_guarded, cdm_with_stats};
+pub use chase::{augment, augment_guarded, chase};
+pub use cim::{
+    cim, cim_in_place, cim_in_place_guarded, cim_with_order, cim_with_stats, cim_with_stats_guarded,
+};
+pub use containment::{
+    contains, contains_guarded, contains_under, contains_under_guarded, equivalent,
+    equivalent_guarded, equivalent_under, equivalent_under_guarded,
+};
 pub use incremental::{
-    acim_incremental_closed, cim_incremental, cim_incremental_with_stats, CimEngine,
+    acim_incremental_closed, acim_incremental_closed_guarded, cim_incremental,
+    cim_incremental_with_stats, CimEngine,
 };
 pub use local::locally_redundant_leaves;
-pub use mapping::{has_homomorphism, has_homomorphism_naive};
-pub use pipeline::{minimize, minimize_with, MinimizeOutcome, Strategy};
-pub use redundant::redundant_leaf;
-pub use session::{is_minimal, minimize_closed, Minimizer};
+pub use mapping::{has_homomorphism, has_homomorphism_guarded, has_homomorphism_naive};
+pub use pipeline::{minimize, minimize_with, minimize_with_guarded, MinimizeOutcome, Strategy};
+pub use redundant::{redundant_leaf, redundant_leaf_guarded};
+pub use session::{is_minimal, minimize_closed, minimize_closed_guarded, Minimizer};
 pub use stats::MinimizeStats;

@@ -24,7 +24,7 @@
 //! [`has_homomorphism_naive`] is an exponential backtracking reference used
 //! to cross-validate it in tests and ablation benches.
 
-use tpq_base::FxHashMap;
+use tpq_base::{FxHashMap, Guard, Result};
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
 /// Pre/post-order index over the alive nodes of a pattern, giving O(1)
@@ -119,18 +119,25 @@ pub(crate) fn original_children(q: &TreePattern, v: NodeId) -> Vec<NodeId> {
 /// `exclude` optionally bans one specific pair `(v, u)` from the initial
 /// candidates — the redundant-leaf test (Figure 3) initializes
 /// `images(l)` without `l` itself.
+///
+/// This is the hot `O(n · maxImage)` table construction, so it is where
+/// the [`Guard`] spends most of its steps: one step per candidate
+/// considered. A tripped guard aborts mid-table with [`Err`]; callers
+/// discard the partial table.
 pub(crate) fn pruned_candidates(
     from: &TreePattern,
     to: &TreePattern,
     to_index: &PatIndex,
     exclude: Option<(NodeId, NodeId)>,
-) -> Vec<Vec<NodeId>> {
+    guard: &Guard,
+) -> Result<Vec<Vec<NodeId>>> {
     let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); from.arena_len()];
     let to_alive: Vec<NodeId> = to.alive_ids().collect();
     for v in from.alive_ids() {
         if from.node(v).temporary {
             continue;
         }
+        guard.spend(to_alive.len() as u64)?;
         let mut list: Vec<NodeId> =
             to_alive.iter().copied().filter(|&u| node_compatible(from, v, to, u)).collect();
         if let Some((ev, eu)) = exclude {
@@ -142,10 +149,11 @@ pub(crate) fn pruned_candidates(
     }
     for v in from.post_order() {
         if !from.node(v).temporary {
+            guard.spend(cand[v.index()].len() as u64 + 1)?;
             prune_node(from, to, to_index, v, &mut cand);
         }
     }
-    cand
+    Ok(cand)
 }
 
 /// Re-prune the candidate set of a single node `v` against its
@@ -188,9 +196,19 @@ pub(crate) fn prune_node(
 
 /// Does a containment mapping `from → to` exist?
 pub fn has_homomorphism(from: &TreePattern, to: &TreePattern) -> bool {
+    has_homomorphism_guarded(from, to, &Guard::unlimited()).expect("unlimited guard cannot trip")
+}
+
+/// [`has_homomorphism`] under a [`Guard`]: the candidate-table build
+/// spends one step per candidate considered.
+pub fn has_homomorphism_guarded(
+    from: &TreePattern,
+    to: &TreePattern,
+    guard: &Guard,
+) -> Result<bool> {
     let to_index = PatIndex::build(to);
-    let cand = pruned_candidates(from, to, &to_index, None);
-    !cand[from.root().index()].is_empty()
+    let cand = pruned_candidates(from, to, &to_index, None, guard)?;
+    Ok(!cand[from.root().index()].is_empty())
 }
 
 /// Find a containment mapping `from → to`, if any, as a node map.
@@ -202,7 +220,8 @@ pub fn find_homomorphism(
     to: &TreePattern,
 ) -> Option<FxHashMap<NodeId, NodeId>> {
     let to_index = PatIndex::build(to);
-    let cand = pruned_candidates(from, to, &to_index, None);
+    let cand = pruned_candidates(from, to, &to_index, None, &Guard::unlimited())
+        .expect("unlimited guard cannot trip");
     let root_img = *cand[from.root().index()].first()?;
     let mut map = FxHashMap::default();
     map.insert(from.root(), root_img);

@@ -3,6 +3,7 @@
 
 use crate::stats::MinimizeStats;
 use std::sync::{Arc, Mutex, OnceLock};
+use tpq_base::{Guard, Result};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::TreePattern;
 
@@ -48,6 +49,18 @@ pub fn minimize(q: &TreePattern, ics: &ConstraintSet) -> MinimizeOutcome {
 /// which also skip the set-equality probe.
 pub fn minimize_with(q: &TreePattern, ics: &ConstraintSet, strategy: Strategy) -> MinimizeOutcome {
     crate::session::minimize_closed(q, &cached_closure(ics), strategy)
+}
+
+/// [`minimize_with`] under a [`Guard`]: same closure caching, but the
+/// run is subject to the guard's deadline / step budget / cancellation
+/// and returns [`Err`] (with the input untouched) when it trips.
+pub fn minimize_with_guarded(
+    q: &TreePattern,
+    ics: &ConstraintSet,
+    strategy: Strategy,
+    guard: &Guard,
+) -> Result<MinimizeOutcome> {
+    crate::session::minimize_closed_guarded(q, &cached_closure(ics), strategy, guard)
 }
 
 /// Entries kept in the process-wide closure cache. Sets are compared by

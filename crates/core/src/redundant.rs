@@ -17,6 +17,7 @@
 use crate::mapping::{node_compatible, original_children, prune_node, PatIndex};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
+use tpq_base::{Guard, Result};
 use tpq_pattern::{NodeId, TreePattern};
 
 /// Is the alive leaf `l` of `q` redundant?
@@ -37,6 +38,19 @@ pub fn redundant_leaf(q: &TreePattern, l: NodeId) -> bool {
 /// [`redundant_leaf`] with table-construction time accounting (Figure 7(b)
 /// separates "tables time" from total minimization time).
 pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut MinimizeStats) -> bool {
+    redundant_leaf_guarded(q, l, stats, &Guard::unlimited()).expect("unlimited guard cannot trip")
+}
+
+/// [`redundant_leaf_with_stats`] under a [`Guard`]: spends one step per
+/// candidate image considered during table construction and one per
+/// ancestor pruned on the walk up. A tripped guard aborts the test with
+/// [`Err`] — the query is untouched (the test is read-only).
+pub fn redundant_leaf_guarded(
+    q: &TreePattern,
+    l: NodeId,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<bool> {
     debug_assert!(
         q.is_alive(l) && !q.node(l).temporary && original_children(q, l).is_empty(),
         "l must be an alive original leaf"
@@ -55,6 +69,7 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
     let originals: Vec<NodeId> = q.alive_ids().filter(|&v| !q.node(v).temporary).collect();
     let mut images: Vec<Vec<NodeId>> = vec![Vec::new(); q.arena_len()];
     for &v in &originals {
+        guard.spend(targets.len() as u64)?;
         images[v.index()] = targets
             .iter()
             .copied()
@@ -66,7 +81,7 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
 
     // If no candidate exists for l at all, it cannot move anywhere.
     if images[l.index()].is_empty() {
-        return false;
+        return Ok(false);
     }
 
     // --- Walk up from l, minimizing images on demand (Figure 3). ---
@@ -81,18 +96,19 @@ pub fn redundant_leaf_with_stats(q: &TreePattern, l: NodeId, stats: &mut Minimiz
         }
     }
     for v in q.ancestors(l) {
+        guard.check()?;
         minimize_images(q, &index, v, &mut images, &mut marked);
         if images[v.index()].is_empty() {
-            return false;
+            return Ok(false);
         }
         if images[v.index()].contains(&v) {
-            return true;
+            return Ok(true);
         }
     }
     // Unreachable in theory (at the root one of the two tests above fires:
     // any endomorphism fixes the root, so a non-empty pruned images(root)
     // contains the root); kept as a safe fallback.
-    !images[q.root().index()].is_empty()
+    Ok(!images[q.root().index()].is_empty())
 }
 
 /// `minimize-images` of Figure 3: ensure every descendant's images are

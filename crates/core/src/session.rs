@@ -22,13 +22,14 @@
 //! assert!(!mini.is_minimal(&q));
 //! ```
 
-use crate::cdm::cdm_in_place;
-use crate::cim::cim_with_stats;
+use crate::cdm::cdm_in_place_guarded;
+use crate::cim::cim_with_stats_guarded;
 use crate::containment;
-use crate::incremental::acim_incremental_closed;
+use crate::incremental::acim_incremental_closed_guarded;
 use crate::pipeline::{MinimizeOutcome, Strategy};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
+use tpq_base::{BudgetResource, Error, Guard, Result};
 use tpq_constraints::ConstraintSet;
 use tpq_pattern::{isomorphic, TreePattern};
 
@@ -75,6 +76,13 @@ impl Minimizer {
         minimize_closed(q, &self.closed, self.strategy)
     }
 
+    /// Minimize one query under a [`Guard`] (deadline, step budget,
+    /// cooperative cancellation). A tripped guard returns a
+    /// [`Error::Budget`] error and leaves the input untouched.
+    pub fn minimize_guarded(&self, q: &TreePattern, guard: &Guard) -> Result<MinimizeOutcome> {
+        minimize_closed_guarded(q, &self.closed, self.strategy, guard)
+    }
+
     /// `q1 ⊆ q2` under the session's constraints.
     pub fn contains(&self, q1: &TreePattern, q2: &TreePattern) -> bool {
         containment::contains_under(q1, q2, &self.closed)
@@ -83,6 +91,16 @@ impl Minimizer {
     /// `q1 ≡ q2` under the session's constraints.
     pub fn equivalent(&self, q1: &TreePattern, q2: &TreePattern) -> bool {
         containment::equivalent_under(q1, q2, &self.closed)
+    }
+
+    /// [`Minimizer::equivalent`] under a [`Guard`].
+    pub fn equivalent_guarded(
+        &self,
+        q1: &TreePattern,
+        q2: &TreePattern,
+        guard: &Guard,
+    ) -> Result<bool> {
+        containment::equivalent_under_guarded(q1, q2, &self.closed, guard)
     }
 
     /// Is `q` already minimal under the session's constraints? (True iff
@@ -103,26 +121,59 @@ pub fn minimize_closed(
     closed: &ConstraintSet,
     strategy: Strategy,
 ) -> MinimizeOutcome {
+    minimize_closed_guarded(q, closed, strategy, &Guard::unlimited())
+        .expect("unlimited guard cannot trip and no failpoint is armed")
+}
+
+/// [`minimize_closed`] under a [`Guard`]: the guard is threaded through
+/// every strategy (redundancy tests, table builds, chase steps, CDM
+/// sweeps). On a tripped guard the input is untouched — all strategies
+/// work on internal clones — and the error reports which resource ran
+/// out. Budget trips also bump the `guard.timeout` / `guard.budget` /
+/// `guard.cancel` observability counters.
+pub fn minimize_closed_guarded(
+    q: &TreePattern,
+    closed: &ConstraintSet,
+    strategy: Strategy,
+    guard: &Guard,
+) -> Result<MinimizeOutcome> {
     let _span = tpq_obs::span!("minimize");
     let mut stats = MinimizeStats::default();
     let t0 = Instant::now();
-    let pattern = match strategy {
-        Strategy::CimOnly => cim_with_stats(q, &mut stats),
-        Strategy::AcimOnly => acim_incremental_closed(q, closed, &mut stats),
-        Strategy::CdmOnly => {
-            let mut work = q.clone();
-            cdm_in_place(&mut work, closed, &mut stats);
-            work.compact().0
-        }
-        Strategy::CdmThenAcim => {
-            let mut work = q.clone();
-            cdm_in_place(&mut work, closed, &mut stats);
-            let (prefiltered, _) = work.compact();
-            acim_incremental_closed(&prefiltered, closed, &mut stats)
-        }
+    let mut run = || -> Result<TreePattern> {
+        Ok(match strategy {
+            Strategy::CimOnly => cim_with_stats_guarded(q, &mut stats, guard)?,
+            Strategy::AcimOnly => acim_incremental_closed_guarded(q, closed, &mut stats, guard)?,
+            Strategy::CdmOnly => {
+                let mut work = q.clone();
+                cdm_in_place_guarded(&mut work, closed, &mut stats, guard)?;
+                work.compact().0
+            }
+            Strategy::CdmThenAcim => {
+                let mut work = q.clone();
+                cdm_in_place_guarded(&mut work, closed, &mut stats, guard)?;
+                let (prefiltered, _) = work.compact();
+                acim_incremental_closed_guarded(&prefiltered, closed, &mut stats, guard)?
+            }
+        })
     };
+    let pattern = run().inspect_err(note_budget_trip)?;
     stats.total_time = t0.elapsed();
-    MinimizeOutcome { pattern, stats }
+    Ok(MinimizeOutcome { pattern, stats })
+}
+
+/// Record a budget trip on the observability counters (the base crate
+/// cannot depend on `tpq-obs`, so the counters are bumped where the
+/// errors surface).
+pub(crate) fn note_budget_trip(e: &Error) {
+    if let Error::Budget { resource, .. } = e {
+        let name = match resource {
+            BudgetResource::Deadline => "guard.timeout",
+            BudgetResource::Steps => "guard.budget",
+            BudgetResource::Cancelled => "guard.cancel",
+        };
+        tpq_obs::incr(name, 1);
+    }
 }
 
 /// Is `q` minimal in the absence of constraints? (Theorem 4.1.)

@@ -21,4 +21,4 @@ pub mod xml;
 pub use document::{DataNode, DataNodeId, Document, Forest};
 pub use generate::{generate_document, DocumentSpec};
 pub use index::DocIndex;
-pub use xml::{parse_xml, write_xml};
+pub use xml::{parse_xml, write_xml, MAX_XML_DEPTH};

@@ -18,13 +18,22 @@
 //! ```
 
 use crate::document::{DataNodeId, Document};
-use tpq_base::{Error, Result, TypeInterner};
+use tpq_base::{failpoint, Error, Result, TypeInterner};
+
+/// Maximum open-element nesting. The parse loop is iterative, so the call
+/// stack is never at risk; this bounds the explicit stack (and the node
+/// arena growth) against adversarial `<x><x><x>…` streams while staying
+/// well above any realistic document (and above the 100k-deep documents
+/// the tests exercise).
+pub const MAX_XML_DEPTH: usize = 1 << 18;
 
 /// Parse a document from the XML subset, interning type names into `types`.
 ///
 /// The parser is a flat loop over tags with an explicit open-element
-/// stack, so document depth is limited by memory, not the call stack.
+/// stack, so document depth is limited by [`MAX_XML_DEPTH`], not the call
+/// stack.
 pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
+    failpoint::hit("parse.xml")?;
     let mut p = XmlParser { input: input.as_bytes(), pos: 0 };
     p.skip_misc();
     // Root start tag.
@@ -70,6 +79,9 @@ pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
                     doc.set_attr(me, a, v);
                 }
                 if !selfclosing {
+                    if open.len() >= MAX_XML_DEPTH {
+                        return Err(p.err("element nesting too deep"));
+                    }
                     open.push((name, me));
                 }
             } else {
@@ -429,5 +441,28 @@ mod tests {
         }
         let (d, _) = parse(&s);
         assert_eq!(d.len(), depth + 1);
+    }
+
+    #[test]
+    fn absurd_nesting_is_rejected_not_oom() {
+        // One level past the cap: the parser must error cleanly instead of
+        // growing the arena without bound.
+        let depth = MAX_XML_DEPTH + 1;
+        let mut s = String::with_capacity(depth * 3 + 4);
+        for _ in 0..depth {
+            s.push_str("<x>");
+        }
+        let mut tys = TypeInterner::new();
+        let err = parse_xml(&s, &mut tys).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn parse_xml_failpoint_injects_an_error() {
+        let _fp = failpoint::arm_for_thread("parse.xml", failpoint::Action::Err, 1);
+        let mut tys = TypeInterner::new();
+        let err = parse_xml("<a/>", &mut tys).unwrap_err();
+        assert_eq!(err, Error::Injected { point: "parse.xml".into() });
+        assert!(parse_xml("<a/>", &mut tys).is_ok(), "one-shot");
     }
 }

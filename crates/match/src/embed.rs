@@ -11,7 +11,7 @@
 //! `feasible(v)` — the data nodes that participate in at least one *full*
 //! embedding. The answer set is `feasible(output)`.
 
-use tpq_base::FxHashSet;
+use tpq_base::{failpoint, FxHashSet, Guard, Result};
 use tpq_data::{DataNodeId, DocIndex, Document};
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
@@ -144,6 +144,16 @@ pub struct Matcher<'a> {
 impl<'a> Matcher<'a> {
     /// Build candidate and feasibility tables for `pattern` on `doc`.
     pub fn new(pattern: &'a TreePattern, doc: &'a Document) -> Self {
+        Self::new_guarded(pattern, doc, &Guard::unlimited())
+            .expect("unlimited guard cannot trip and no failpoint is armed")
+    }
+
+    /// [`Matcher::new`] under a [`Guard`]: the bottom-up candidate pass
+    /// spends one step per candidate examined and the top-down pass one
+    /// per feasibility probe, so a deadline or budget trips mid-build on
+    /// large documents. Passes the `match.build` failpoint once on entry.
+    pub fn new_guarded(pattern: &'a TreePattern, doc: &'a Document, guard: &Guard) -> Result<Self> {
+        failpoint::hit("match.build")?;
         let _span = tpq_obs::span!("match.build");
         let index = {
             let _s = tpq_obs::span!("match.index");
@@ -175,6 +185,7 @@ impl<'a> Matcher<'a> {
                     })
                     .collect()
             };
+            guard.spend(list.len() as u64 + 1)?;
             let children: Vec<NodeId> =
                 node.children.iter().copied().filter(|&c| pattern.is_alive(c)).collect();
             if !children.is_empty() {
@@ -207,6 +218,7 @@ impl<'a> Matcher<'a> {
                 if !pattern.is_alive(w) {
                     continue;
                 }
+                guard.spend(cand[w.index()].len() as u64 + 1)?;
                 let edge = pattern.node(w).edge;
                 let filtered: Vec<DataNodeId> = cand[w.index()]
                     .iter()
@@ -219,7 +231,7 @@ impl<'a> Matcher<'a> {
                 feasible[w.index()] = filtered;
             }
         }
-        Matcher { pattern, doc, index, cand, feasible }
+        Ok(Matcher { pattern, doc, index, cand, feasible })
     }
 
     /// Does at least one embedding exist?

@@ -23,7 +23,10 @@ pub mod embed;
 pub mod naive;
 
 pub use embed::{answer_set, answer_set_forest, count_embeddings, matches_anywhere, Matcher};
-pub use naive::{answer_set_naive, count_embeddings_naive};
+pub use naive::{
+    answer_set_naive, answer_set_naive_guarded, count_embeddings_naive,
+    count_embeddings_naive_guarded,
+};
 
 /// Do two patterns produce the same answer set on `doc`? (Empirical
 /// equivalence on one database; used by property tests against the

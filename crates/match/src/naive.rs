@@ -5,86 +5,119 @@
 //! [`crate::embed`] in tests and to serve as the baseline in the ablation
 //! benches.
 
-use tpq_base::FxHashSet;
+use tpq_base::{FxHashSet, Guard, Result};
 use tpq_data::{DataNodeId, DocIndex, Document};
 use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
 /// The answer set of `pattern` on `doc`, by exhaustive enumeration.
 pub fn answer_set_naive(pattern: &TreePattern, doc: &Document) -> Vec<DataNodeId> {
+    answer_set_naive_guarded(pattern, doc, &Guard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// [`answer_set_naive`] under a [`Guard`]. The backtracker is exponential
+/// in the worst case, so this is the variant to use anywhere the input is
+/// not trusted to be tiny: one step is spent per (pattern node, data
+/// node) binding attempt.
+pub fn answer_set_naive_guarded(
+    pattern: &TreePattern,
+    doc: &Document,
+    guard: &Guard,
+) -> Result<Vec<DataNodeId>> {
     let mut answers: FxHashSet<DataNodeId> = FxHashSet::default();
-    enumerate(pattern, doc, &mut |binding| {
+    enumerate(pattern, doc, guard, &mut |binding| {
         // Every node is bound when `visit` fires; an unbound output would
         // mean a corrupted traversal, so skip it rather than panic.
         if let Some(out) = binding[pattern.output().index()] {
             answers.insert(out);
         }
-    });
+    })?;
     let mut out: Vec<DataNodeId> = answers.into_iter().collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// The number of embeddings of `pattern` into `doc`, by exhaustive
 /// enumeration.
 pub fn count_embeddings_naive(pattern: &TreePattern, doc: &Document) -> u64 {
+    count_embeddings_naive_guarded(pattern, doc, &Guard::unlimited())
+        .expect("unlimited guard cannot trip")
+}
+
+/// [`count_embeddings_naive`] under a [`Guard`] (see
+/// [`answer_set_naive_guarded`] for the spend model).
+pub fn count_embeddings_naive_guarded(
+    pattern: &TreePattern,
+    doc: &Document,
+    guard: &Guard,
+) -> Result<u64> {
     let mut count = 0u64;
-    enumerate(pattern, doc, &mut |_| count += 1);
-    count
+    enumerate(pattern, doc, guard, &mut |_| count += 1)?;
+    Ok(count)
 }
 
 fn enumerate<F: FnMut(&[Option<DataNodeId>])>(
     pattern: &TreePattern,
     doc: &Document,
+    guard: &Guard,
     visit: &mut F,
-) {
+) -> Result<()> {
     let index = DocIndex::build(doc);
     let order: Vec<NodeId> = pattern.pre_order();
     let mut binding: Vec<Option<DataNodeId>> = vec![None; pattern.arena_len()];
+    // Read-only state shared by every recursion level.
+    struct Ctx<'a> {
+        pattern: &'a TreePattern,
+        doc: &'a Document,
+        index: &'a DocIndex,
+        order: &'a [NodeId],
+        guard: &'a Guard,
+    }
     fn rec<F: FnMut(&[Option<DataNodeId>])>(
-        pattern: &TreePattern,
-        doc: &Document,
-        index: &DocIndex,
-        order: &[NodeId],
+        ctx: &Ctx<'_>,
         i: usize,
         binding: &mut Vec<Option<DataNodeId>>,
         visit: &mut F,
-    ) {
-        if i == order.len() {
+    ) -> Result<()> {
+        if i == ctx.order.len() {
             visit(binding);
-            return;
+            return Ok(());
         }
-        let v = order[i];
-        let node = pattern.node(v);
+        let v = ctx.order[i];
+        let node = ctx.pattern.node(v);
         // Pre-order binds parents before children; if that invariant were
         // ever broken, produce no embeddings instead of panicking.
         let parent_img = match node.parent {
             None => None,
             Some(p) => match binding[p.index()] {
                 Some(img) => Some(img),
-                None => return,
+                None => return Ok(()),
             },
         };
-        for u in doc.ids() {
-            if !doc.node(u).types.is_superset(&node.types)
-                || !tpq_pattern::condition::satisfied_by(&node.conditions, &doc.node(u).attrs)
+        for u in ctx.doc.ids() {
+            ctx.guard.spend(1)?;
+            if !ctx.doc.node(u).types.is_superset(&node.types)
+                || !tpq_pattern::condition::satisfied_by(&node.conditions, &ctx.doc.node(u).attrs)
             {
                 continue;
             }
             if let Some(pu) = parent_img {
                 let ok = match node.edge {
-                    EdgeKind::Child => index.is_parent(pu, u),
-                    EdgeKind::Descendant => index.is_proper_ancestor(pu, u),
+                    EdgeKind::Child => ctx.index.is_parent(pu, u),
+                    EdgeKind::Descendant => ctx.index.is_proper_ancestor(pu, u),
                 };
                 if !ok {
                     continue;
                 }
             }
             binding[v.index()] = Some(u);
-            rec(pattern, doc, index, order, i + 1, binding, visit);
+            rec(ctx, i + 1, binding, visit)?;
             binding[v.index()] = None;
         }
+        Ok(())
     }
-    rec(pattern, doc, &index, &order, 0, &mut binding, visit);
+    let ctx = Ctx { pattern, doc, index: &index, order: &order, guard };
+    rec(&ctx, 0, &mut binding, visit)
 }
 
 #[cfg(test)]

@@ -26,6 +26,6 @@ pub mod xpath;
 pub use condition::{entails, satisfiable, satisfied_by, Condition};
 pub use iso::{canonical_form, isomorphic, CanonicalKey};
 pub use node::{EdgeKind, NodeId, PatternNode};
-pub use parse::parse_pattern;
+pub use parse::{parse_pattern, MAX_BRACKET_DEPTH};
 pub use pattern::TreePattern;
 pub use xpath::parse_xpath;

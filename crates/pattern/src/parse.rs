@@ -25,11 +25,20 @@
 use crate::node::EdgeKind;
 use crate::pattern::TreePattern;
 use crate::NodeId;
-use tpq_base::{Error, Result, TypeInterner};
+use tpq_base::{failpoint, Error, Result, TypeInterner};
+
+/// Maximum `[...]` nesting depth. The spine is parsed iteratively, so
+/// only bracket nesting recurses; this bound keeps adversarial inputs
+/// (`a[/a[/a[...`) from overflowing the stack while staying far above
+/// anything a realistic query generator emits. Each level costs a few
+/// sizable parser frames, so the cap must fit comfortably inside the
+/// 2 MiB stacks spawned threads get by default.
+pub const MAX_BRACKET_DEPTH: usize = 256;
 
 /// Parse `input` into a [`TreePattern`], interning type names into `types`.
 pub fn parse_pattern(input: &str, types: &mut TypeInterner) -> Result<TreePattern> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, types, star: None };
+    failpoint::hit("parse.pattern")?;
+    let mut p = Parser { input: input.as_bytes(), pos: 0, types, star: None, depth: 0 };
     p.skip_ws();
     // A leading separator before the root is tolerated and ignored, so both
     // `/a/b` and `a/b` parse.
@@ -51,6 +60,8 @@ struct Parser<'a> {
     pos: usize,
     types: &'a mut TypeInterner,
     star: Option<NodeId>,
+    /// Current bracket nesting depth, bounded by [`MAX_BRACKET_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -139,7 +150,7 @@ impl Parser<'_> {
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+            let text = String::from_utf8_lossy(&self.input[start..self.pos]);
             let n: i64 =
                 text.parse().map_err(|_| self.err("expected an integer or quoted string value"))?;
             Value::Int(n)
@@ -239,7 +250,12 @@ impl Parser<'_> {
             let edge = self
                 .try_separator()
                 .ok_or_else(|| self.err("branch must start with '/' or '//'"))?;
+            if self.depth >= MAX_BRACKET_DEPTH {
+                return Err(self.err("bracket nesting too deep"));
+            }
+            self.depth += 1;
             let (p, _) = self.parse_node(Some((pattern, me, edge)))?;
+            self.depth -= 1;
             pattern = p;
             self.skip_ws();
             if !self.eat(b']') {
@@ -393,6 +409,44 @@ mod tests {
         let (p, _) = parse("a//a//a");
         let ids: Vec<_> = p.alive_ids().map(|id| p.node(id).primary).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn deep_bracket_nesting_is_rejected_not_overflowed() {
+        // Bracket nesting recurses, so it is depth-limited: an adversarial
+        // input must come back as a parse error, never a stack overflow.
+        let deep = 4 * MAX_BRACKET_DEPTH;
+        let mut s = String::from("a");
+        for _ in 0..deep {
+            s.push_str("[/a");
+        }
+        s.push_str(&"]".repeat(deep));
+        let mut tys = TypeInterner::new();
+        let err = parse_pattern(&s, &mut tys).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+        // Nesting up to half the limit parses fine.
+        let ok_depth = MAX_BRACKET_DEPTH / 2;
+        let mut s = String::from("a");
+        for _ in 0..ok_depth {
+            s.push_str("[/a");
+        }
+        s.push_str(&"]".repeat(ok_depth));
+        let p = parse_pattern(&s, &mut tys).unwrap();
+        assert_eq!(p.size(), ok_depth + 1);
+    }
+
+    #[test]
+    fn parse_pattern_failpoint_injects_an_error() {
+        let _fp = tpq_base::failpoint::arm_for_thread(
+            "parse.pattern",
+            tpq_base::failpoint::Action::Err,
+            1,
+        );
+        let mut tys = TypeInterner::new();
+        let err = parse_pattern("a/b", &mut tys).unwrap_err();
+        assert_eq!(err, Error::Injected { point: "parse.pattern".into() });
+        // One-shot: the next parse succeeds.
+        assert!(parse_pattern("a/b", &mut tys).is_ok());
     }
 
     #[test]

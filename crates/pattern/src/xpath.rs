@@ -23,13 +23,15 @@
 
 use crate::condition::Condition;
 use crate::node::EdgeKind;
+use crate::parse::MAX_BRACKET_DEPTH;
 use crate::pattern::TreePattern;
 use crate::NodeId;
-use tpq_base::{Cmp, Error, Result, TypeInterner, Value};
+use tpq_base::{failpoint, Cmp, Error, Result, TypeInterner, Value};
 
 /// Parse an XPath expression into a tree pattern.
 pub fn parse_xpath(input: &str, types: &mut TypeInterner) -> Result<TreePattern> {
-    let mut p = XPathParser { input: input.as_bytes(), pos: 0, types };
+    failpoint::hit("parse.xpath")?;
+    let mut p = XPathParser { input: input.as_bytes(), pos: 0, types, depth: 0 };
     p.skip_ws();
     let axis = p.leading_axis();
     let _ = axis; // leading axis is irrelevant: patterns float
@@ -58,6 +60,10 @@ struct XPathParser<'a> {
     input: &'a [u8],
     pos: usize,
     types: &'a mut TypeInterner,
+    /// Predicate nesting depth, bounded by [`MAX_BRACKET_DEPTH`]. The
+    /// main path and relative paths are consumed iteratively; only
+    /// `[...]` predicates recurse (`parse_step` ↔ `parse_relative_path`).
+    depth: usize,
 }
 
 impl XPathParser<'_> {
@@ -153,7 +159,12 @@ impl XPathParser<'_> {
                 let cond = self.parse_attr_comparison()?;
                 pattern.node_mut(me).conditions.push(cond);
             } else {
+                if self.depth >= MAX_BRACKET_DEPTH {
+                    return Err(self.err("predicate nesting too deep"));
+                }
+                self.depth += 1;
                 pattern = self.parse_relative_path(pattern, me)?;
+                self.depth -= 1;
             }
             self.skip_ws();
             if !self.eat(b']') {
@@ -346,5 +357,26 @@ mod tests {
     #[test]
     fn whitespace_tolerated() {
         same("  a [ b ] [ .//c ] / d ", "a[/b][//c]/d*");
+    }
+
+    #[test]
+    fn deep_predicate_nesting_is_rejected_not_overflowed() {
+        let deep = 4 * MAX_BRACKET_DEPTH;
+        let mut s = String::from("a");
+        for _ in 0..deep {
+            s.push_str("[a");
+        }
+        s.push_str(&"]".repeat(deep));
+        let mut tys = TypeInterner::new();
+        let err = parse_xpath(&s, &mut tys).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+        // A long *relative path* inside one predicate is iterative and
+        // stays fine at any length.
+        let mut s = String::from("a[b");
+        for _ in 0..50_000 {
+            s.push_str("/b");
+        }
+        s.push(']');
+        assert!(parse_xpath(&s, &mut tys).is_ok());
     }
 }

@@ -4,6 +4,7 @@
 //! tpq minimize --query 'Book*[/Title][/Publisher]' --ic 'Book -> Publisher' --stats
 //! tpq minimize --xpath '//Book[Title][.//LastName]' --schema schema.txt --tree
 //! tpq minimize --batch queries.txt --constraints ics.txt --jobs 4
+//! tpq minimize --batch queries.txt --deadline-ms 250 --budget 5000000
 //! tpq --trace minimize 'Dept*[//DBProject]//Manager//DBProject'
 //! tpq --metrics-json out.json minimize 'a*[/b][/b/c]'
 //! tpq match    --query 'Dept*//Manager' --doc org.xml
@@ -23,10 +24,20 @@
 //! * `--trace` — print a flame-style span/counter report to stderr;
 //! * `--metrics-json <path>` — write the span/counter/latency report as
 //!   JSON (see `docs/OBSERVABILITY.md` for the schema).
+//!
+//! Resource governance (`minimize` only; see `docs/ROBUSTNESS.md`):
+//!
+//! * `--deadline-ms <n>` — wall-clock deadline for the minimization (the
+//!   whole batch in `--batch` mode);
+//! * `--budget <n>` — step budget (pooled across batch workers).
+//!
+//! A tripped limit exits with code 1 and a `budget error: …` message; in
+//! batch mode queries that finished in time still print their results,
+//! with `# error: …` placeholder lines holding the failed slots.
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
-use tpq::core::{minimize_with, Strategy};
+use tpq::core::{minimize_with_guarded, Strategy};
 use tpq::prelude::*;
 
 fn main() -> ExitCode {
@@ -235,6 +246,25 @@ fn read_batch_queries(path: &str, types: &mut TypeInterner) -> Result2<Vec<TreeP
     Ok(queries)
 }
 
+/// Build a [`Guard`] from `--deadline-ms` / `--budget`; with neither flag
+/// the guard is unlimited and minimization takes the free fast path.
+fn parse_guard(opts: &Opts) -> Result2<Guard> {
+    let mut builder = Guard::builder();
+    if let Some(ms) = opts.get("deadline-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("--deadline-ms needs a non-negative integer, got '{ms}'"))?;
+        builder = builder.deadline_ms(ms);
+    }
+    if let Some(steps) = opts.get("budget") {
+        let steps = steps
+            .parse::<u64>()
+            .map_err(|_| format!("--budget needs a non-negative integer, got '{steps}'"))?;
+        builder = builder.budget(steps);
+    }
+    Ok(builder.build())
+}
+
 fn constraint_line(c: &Constraint, types: &TypeInterner) -> String {
     let op = match c {
         Constraint::RequiredChild(..) => "->",
@@ -267,25 +297,38 @@ fn cmd_minimize(args: &[String]) -> Result2<()> {
                 _ => return Err(format!("--jobs needs a positive integer, got '{n}'")),
             },
         };
+        let guard = parse_guard(&opts)?;
         let queries = read_batch_queries(path, &mut types)?;
         let ics = gather_constraints(&opts, &mut types)?;
         let engine = tpq::core::BatchMinimizer::with_strategy(&ics, strategy);
-        let out = engine.minimize_batch(&queries, jobs);
-        for m in &out.patterns {
-            println!("{}", to_dsl(m, &types));
+        let out = engine.minimize_batch_guarded(&queries, jobs, &guard);
+        // One stdout line per input query, in input order: failed slots
+        // print a commented placeholder so the output stays parallel.
+        for r in &out.results {
+            match r {
+                Ok(m) => println!("{}", to_dsl(m, &types)),
+                Err(e) => println!("# error: {e}"),
+            }
         }
         if opts.flag("stats") {
             let s = &out.stats;
             eprintln!(
-                "{} queries ({} unique) | cache {} hit / {} miss | {} workers, {} steals | {:?}",
-                s.queries, s.unique, s.cache_hits, s.cache_misses, s.workers, s.steals, s.wall_time,
+                "{} queries ({} unique) | cache {} hit / {} miss | {} workers, {} steals | {} failed | {:?}",
+                s.queries, s.unique, s.cache_hits, s.cache_misses, s.workers, s.steals, s.failed, s.wall_time,
             );
+        }
+        if out.stats.failed > 0 {
+            return Err(format!(
+                "{} of {} queries failed (see '# error' lines above)",
+                out.stats.failed, out.stats.queries
+            ));
         }
         return Ok(());
     }
+    let guard = parse_guard(&opts)?;
     let query = parse_query(&opts, &mut types)?;
     let ics = gather_constraints(&opts, &mut types)?;
-    let out = minimize_with(&query, &ics, strategy);
+    let out = minimize_with_guarded(&query, &ics, strategy, &guard).map_err(|e| e.to_string())?;
     println!("{}", to_dsl(&out.pattern, &types));
     if opts.flag("tree") {
         eprintln!("\n{}", to_tree_string(&out.pattern, &types));

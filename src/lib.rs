@@ -38,7 +38,9 @@ pub use tpq_pattern as pattern;
 /// Single-import convenience: the types and functions nearly every user
 /// needs.
 pub mod prelude {
-    pub use tpq_base::{Cmp, Error, Result, TypeId, TypeInterner, TypeSet, Value};
+    pub use tpq_base::{
+        Cmp, Error, Guard, GuardBuilder, Result, TypeId, TypeInterner, TypeSet, Value,
+    };
     pub use tpq_constraints::{parse_constraints, Constraint, ConstraintSet, Schema};
     pub use tpq_core::{
         acim, cdm, cim, contains, contains_under, equivalent, equivalent_under, minimize,

@@ -153,3 +153,99 @@ fn minimize_batch_mode_shares_one_session() {
     let lines: Vec<&str> = text.trim().lines().collect();
     assert_eq!(lines, vec!["Book*/Title", "Book*", "Shelf*//Book"]);
 }
+
+/// A heavy spine query: quadratic table builds make it far slower than a
+/// 1 ms deadline on any machine.
+fn pathological_query(nodes: usize) -> String {
+    let mut s = String::from("a*");
+    for i in 0..nodes {
+        s.push_str(if i % 2 == 0 { "//b" } else { "/a" });
+    }
+    s
+}
+
+#[test]
+fn minimize_deadline_exceeded_exits_cleanly() {
+    let out = tpq(&["minimize", "--query", &pathological_query(3000), "--deadline-ms", "1"]);
+    assert!(!out.status.success(), "a 1 ms deadline must trip");
+    let err = stderr(&out);
+    assert!(err.contains("budget error"), "{err}");
+    assert!(err.contains("deadline"), "{err}");
+}
+
+#[test]
+fn minimize_budget_exhausted_exits_cleanly() {
+    let out = tpq(&["minimize", "--query", "a*[/b][/c]", "--budget", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("step budget"), "{}", stderr(&out));
+}
+
+#[test]
+fn batch_deadline_reports_per_query_errors_and_exit_one() {
+    let queries = temp_file(
+        "slow-queries.txt",
+        &format!("{}\n{}\n", pathological_query(3000), pathological_query(2500)),
+    );
+    let out =
+        tpq(&["minimize", "--batch", queries.to_str().unwrap(), "--deadline-ms", "1", "--stats"]);
+    assert!(!out.status.success(), "timed-out batch must exit nonzero");
+    let text = stdout(&out);
+    // One stdout line per query, each a clean commented error.
+    assert_eq!(text.trim().lines().count(), 2, "{text}");
+    for line in text.trim().lines() {
+        assert!(line.starts_with("# error:"), "{line}");
+        assert!(line.contains("budget error"), "{line}");
+    }
+    let err = stderr(&out);
+    assert!(err.contains("2 failed"), "{err}");
+    assert!(err.contains("2 of 2 queries failed"), "{err}");
+}
+
+#[test]
+fn generous_limits_do_not_disturb_results() {
+    let out = tpq(&[
+        "minimize",
+        "--query",
+        "Book*[/Title][/Publisher]",
+        "--ic",
+        "Book -> Publisher",
+        "--deadline-ms",
+        "60000",
+        "--budget",
+        "100000000",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "Book*/Title");
+}
+
+#[test]
+fn failpoint_env_injects_a_deterministic_fault() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tpq"))
+        .args(["minimize", "--query", "a*[/b]"])
+        .env("TPQ_FAILPOINT", "parse.pattern=err")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("injected fault at failpoint 'parse.pattern'"),
+        "{}",
+        stderr(&out)
+    );
+    // Bad specs are ignored (fail-open), and an unrelated name is inert.
+    let out = Command::new(env!("CARGO_BIN_EXE_tpq"))
+        .args(["minimize", "--query", "a*[/b]"])
+        .env("TPQ_FAILPOINT", "chase.step=panic@999999")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_governance_flags_are_rejected() {
+    let out = tpq(&["minimize", "--query", "a*", "--deadline-ms", "soon"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--deadline-ms"), "{}", stderr(&out));
+    let out = tpq(&["minimize", "--query", "a*", "--budget", "-3"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--budget"), "{}", stderr(&out));
+}
