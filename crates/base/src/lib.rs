@@ -13,8 +13,9 @@
 //!   (see DESIGN.md §5);
 //! * [`Json`] — a small self-contained JSON model for serialisation;
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests;
-//! * [`pool`] — a scoped work-stealing thread pool for batch fan-out,
-//!   with per-task panic isolation;
+//! * [`pool`] — a scoped work-stealing thread pool for batch fan-out and a
+//!   persistent [`TaskPool`] for services, both with per-task panic
+//!   isolation;
 //! * [`Guard`] — deadlines, step budgets and cooperative cancellation
 //!   for the expensive algorithms (see `docs/ROBUSTNESS.md`);
 //! * [`failpoint`] — deterministic fault injection (`TPQ_FAILPOINT`);
@@ -36,6 +37,7 @@ pub use guard::{Guard, GuardBuilder};
 pub use hash::{FxBuildHasher, FxHasher};
 pub use interner::{TypeId, TypeInterner};
 pub use json::{Json, JsonError};
+pub use pool::TaskPool;
 pub use rng::SmallRng;
 pub use typeset::TypeSet;
 pub use value::{Cmp, Value};

@@ -1,4 +1,5 @@
-//! A minimal scoped work-stealing thread pool.
+//! Thread pools: a scoped work-stealing batch pool and a persistent
+//! [`TaskPool`] for services.
 //!
 //! Built on `std::thread::scope` only — the workspace builds offline with
 //! no external dependencies. The unit of work is an *index range* over a
@@ -18,6 +19,10 @@
 //! keeps the old calling convention and re-raises the first task failure
 //! on the calling thread.
 //!
+//! For workloads that outlive any single batch — the `tpq-serve` request
+//! loop — [`TaskPool`] keeps a fixed set of workers alive and executes
+//! one fallible job at a time per worker, with the same panic isolation.
+//!
 //! ```
 //! let (squares, stats) = tpq_base::pool::scoped_map(4, &[1u64, 2, 3, 4, 5], |ctx, &x| {
 //!     assert!(ctx.worker < 4);
@@ -30,7 +35,8 @@
 use crate::error::{Error, Result};
 use crate::failpoint;
 use std::panic::AssertUnwindSafe;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a unit of work ran: handed to the mapped closure so callers can
@@ -299,6 +305,149 @@ fn steal(queues: &[Mutex<Range>], thief: usize) -> Option<usize> {
     }
 }
 
+// ------------------------------------------------------------ TaskPool
+
+/// A boxed unit of work queued on a [`TaskPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool for long-running services.
+///
+/// [`scoped_map`] fans one batch out and tears its threads down; a server
+/// needs threads that outlive any single request. A [`TaskPool`] spawns
+/// its workers once and feeds them jobs over a channel; [`TaskPool::run`]
+/// submits a fallible closure, blocks the calling thread until a worker
+/// has executed it, and returns its result. Every job runs behind the
+/// same `pool.task` failpoint and `catch_unwind` shield as the scoped
+/// pool, so one panicking job becomes an [`Error::WorkerPanic`] for its
+/// caller while the worker thread — and every other in-flight job —
+/// carries on.
+///
+/// [`TaskPool::shutdown`] (also invoked on drop) closes the queue and
+/// joins the workers; jobs already queued are drained first, so a
+/// graceful server shutdown never abandons an accepted request.
+///
+/// ```
+/// let pool = tpq_base::pool::TaskPool::new(2);
+/// let nine = pool.run(|| Ok(3 * 3)).unwrap();
+/// assert_eq!(nine, 9);
+/// let boom: tpq_base::Result<()> = pool.run(|| panic!("bad input"));
+/// assert!(boom.is_err(), "panic captured, pool still alive");
+/// assert_eq!(pool.run(|| Ok(1 + 1)).unwrap(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TaskPool {
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    executed: Arc<AtomicU64>,
+    size: usize,
+}
+
+impl TaskPool {
+    /// Spawn a pool of `jobs.max(1)` worker threads, idle until fed.
+    pub fn new(jobs: usize) -> TaskPool {
+        let size = jobs.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|w| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("tpq-pool-{w}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing, so
+                        // workers execute concurrently.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break, // poisoned: a worker died mid-recv
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed and drained
+                        }
+                    })
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        TaskPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+            executed: Arc::new(AtomicU64::new(0)),
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Jobs completed so far, across all workers.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` on a pool worker and block until it finishes.
+    ///
+    /// `f` runs behind the `pool.task` failpoint and a panic shield: a
+    /// panic (injected or genuine) comes back as [`Error::WorkerPanic`].
+    /// After [`shutdown`](TaskPool::shutdown) the queue is closed and
+    /// `run` fails fast with [`Error::WorkerPanic`] instead of blocking.
+    pub fn run<R, F>(&self, f: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> Result<R> + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let executed = Arc::clone(&self.executed);
+        let job: Job = Box::new(move || {
+            let result = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                failpoint::hit("pool.task")?;
+                f()
+            })) {
+                Ok(result) => result,
+                Err(payload) => Err(Error::WorkerPanic { message: panic_message(payload) }),
+            };
+            executed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(result); // caller may have given up; that's fine
+        });
+        {
+            let sender = self.sender.lock().expect("task pool sender poisoned");
+            match sender.as_ref() {
+                Some(sender) => sender.send(job).map_err(|_| Error::WorkerPanic {
+                    message: "task pool workers are gone".to_owned(),
+                })?,
+                None => {
+                    return Err(Error::WorkerPanic { message: "task pool is shut down".to_owned() })
+                }
+            }
+        }
+        rx.recv().unwrap_or_else(|_| {
+            Err(Error::WorkerPanic { message: "task pool worker lost".to_owned() })
+        })
+    }
+
+    /// Close the queue and join every worker. Jobs already queued are
+    /// executed before the workers exit (mpsc delivers buffered messages
+    /// after the sender drops); jobs submitted afterwards fail fast.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        drop(self.sender.lock().expect("task pool sender poisoned").take());
+        let workers =
+            std::mem::take(&mut *self.workers.lock().expect("task pool workers poisoned"));
+        for handle in workers {
+            // A worker that somehow died outside the shield has nothing
+            // left to clean up; ignore its panic payload.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +593,55 @@ mod tests {
         });
         let message = panic_message(caught.unwrap_err());
         assert!(message.contains("kaboom"), "{message}");
+    }
+
+    #[test]
+    fn task_pool_runs_jobs_and_reports_progress() {
+        let pool = TaskPool::new(3);
+        assert_eq!(pool.size(), 3);
+        let results: Vec<u64> = (0..20u64).map(|x| pool.run(move || Ok(x * x)).unwrap()).collect();
+        assert_eq!(results, (0..20u64).map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(pool.executed(), 20);
+    }
+
+    #[test]
+    fn task_pool_executes_concurrently() {
+        // Two jobs that each wait for the other prove that at least two
+        // workers run at once (a serial pool would deadlock; the test
+        // would then time out rather than hang forever thanks to the
+        // barrier's generous use from both sides).
+        let pool = Arc::new(TaskPool::new(2));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (b1, b2) = (Arc::clone(&barrier), Arc::clone(&barrier));
+        let p2 = Arc::clone(&pool);
+        let helper = std::thread::spawn(move || p2.run(move || Ok(b2.wait().is_leader())));
+        let first = pool.run(move || Ok(b1.wait().is_leader())).unwrap();
+        let second = helper.join().unwrap().unwrap();
+        assert_ne!(first, second, "exactly one barrier waiter is the leader");
+    }
+
+    #[test]
+    fn task_pool_isolates_panics() {
+        let pool = TaskPool::new(1);
+        let boom: Result<()> = pool.run(|| panic!("poisoned request"));
+        match boom {
+            Err(Error::WorkerPanic { message }) => {
+                assert!(message.contains("poisoned"), "{message}")
+            }
+            other => panic!("expected a captured panic, got {other:?}"),
+        }
+        // The worker survives its job's panic.
+        assert_eq!(pool.run(|| Ok(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn task_pool_rejects_jobs_after_shutdown() {
+        let pool = TaskPool::new(2);
+        assert_eq!(pool.run(|| Ok(1)).unwrap(), 1);
+        pool.shutdown();
+        let late: Result<u32> = pool.run(|| Ok(2));
+        assert!(matches!(late, Err(Error::WorkerPanic { .. })), "{late:?}");
+        pool.shutdown(); // idempotent
     }
 
     #[test]

@@ -51,7 +51,7 @@
 use crate::pipeline::{MinimizeOutcome, Strategy};
 use crate::session::minimize_closed_guarded;
 use crate::stats::MinimizeStats;
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 use tpq_base::pool::{scoped_map_isolated, PoolStats};
 use tpq_base::{FxHashMap, Guard, Result};
@@ -155,6 +155,19 @@ enum Plan {
     Computed(usize),
 }
 
+/// Result of [`BatchMinimizer::minimize_cached_guarded`]: the minimized
+/// pattern plus where it came from.
+#[derive(Debug, Clone)]
+pub struct CachedOutcome {
+    /// The minimized (compacted) query.
+    pub pattern: TreePattern,
+    /// Whether the memo cache answered without running the pipeline.
+    pub cache_hit: bool,
+    /// Algorithm counters of the run (all zero on a cache hit — the
+    /// cached answer cost nothing).
+    pub stats: MinimizeStats,
+}
+
 impl BatchMinimizer {
     /// Build from a (not necessarily closed) constraint set with the
     /// default strategy. The quadratic closure is computed once, here.
@@ -200,15 +213,27 @@ impl BatchMinimizer {
     /// whole minimization pipeline runs guarded and only a successful
     /// result is memoized — a tripped guard leaves the cache unchanged.
     pub fn minimize_guarded(&self, q: &TreePattern, guard: &Guard) -> Result<TreePattern> {
+        Ok(self.minimize_cached_guarded(q, guard)?.pattern)
+    }
+
+    /// [`BatchMinimizer::minimize_guarded`], reporting cache provenance
+    /// and per-run statistics — the entry point `tpq-serve` uses to
+    /// answer one request and tell the client whether the memo cache
+    /// already knew the pattern.
+    pub fn minimize_cached_guarded(&self, q: &TreePattern, guard: &Guard) -> Result<CachedOutcome> {
         let key = q.canonical_key();
         if let Some(hit) = self.cache.read().expect("batch cache poisoned").get(&key) {
             tpq_obs::incr("batch.cache.hit", 1);
-            return Ok(hit.clone());
+            return Ok(CachedOutcome {
+                pattern: hit.clone(),
+                cache_hit: true,
+                stats: MinimizeStats::default(),
+            });
         }
         tpq_obs::incr("batch.cache.miss", 1);
         let out = minimize_closed_guarded(q, &self.closed, self.strategy, guard)?;
         self.cache.write().expect("batch cache poisoned").insert(key, out.pattern.clone());
-        Ok(out.pattern)
+        Ok(CachedOutcome { pattern: out.pattern, cache_hit: false, stats: out.stats })
     }
 
     /// Minimize every query in `queries` on up to `jobs` worker threads.
@@ -344,6 +369,70 @@ impl BatchMinimizer {
             },
         }
     }
+}
+
+/// Engines kept in the process-wide [`shared_engine`] cache. Constraint
+/// sets are compared by value, so the probe is `O(|ics|)` — noise next to
+/// the quadratic closure and the per-engine memo cache it preserves.
+const ENGINE_CACHE_CAPACITY: usize = 8;
+
+/// Cache entries: the original (unclosed) set and strategy, paired with
+/// the shared engine built from them.
+type EngineCache = Vec<((ConstraintSet, Strategy), Arc<BatchMinimizer>)>;
+
+/// A process-wide [`BatchMinimizer`] for `(ics, strategy)`, built on first
+/// use and shared by every later caller with the same key (a small
+/// process-wide LRU).
+///
+/// This is how `tpq-serve` gives every connection one canonical-pattern
+/// memo cache and one constraint closure per constraint set: request
+/// handlers call `shared_engine` instead of constructing engines, so a
+/// pattern minimized on one connection is a cache hit on all of them.
+/// The `engine.cache.hit` / `engine.recomputed` counters report reuse.
+///
+/// **Interner discipline:** engines memoize by [`TreePattern::canonical_key`],
+/// which is built from [`TypeId`](tpq_base::TypeId)s. All queries handed to
+/// one shared engine must therefore come from one [`TypeInterner`](tpq_base::TypeInterner)
+/// (`tpq-serve` maintains a process-wide one) — mixing interners can map
+/// different names to the same ids and serve one query's answer to another.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tpq_base::{Guard, TypeInterner};
+/// use tpq_constraints::parse_constraints;
+/// use tpq_core::{shared_engine, Strategy};
+/// use tpq_pattern::parse_pattern;
+///
+/// let mut tys = TypeInterner::new(); // ONE interner for everything below
+/// let ics = parse_constraints("Recipe -> Ingredient", &mut tys).unwrap();
+/// let engine = shared_engine(&ics, Strategy::default());
+/// // A second lookup with an equal key returns the very same engine.
+/// assert!(Arc::ptr_eq(&engine, &shared_engine(&ics, Strategy::default())));
+///
+/// let q = parse_pattern("Recipe*[/Ingredient][/Step]", &mut tys).unwrap();
+/// let first = engine.minimize_cached_guarded(&q, &Guard::unlimited()).unwrap();
+/// let again = engine.minimize_cached_guarded(&q, &Guard::unlimited()).unwrap();
+/// assert!(!first.cache_hit);
+/// assert!(again.cache_hit, "second identical query is a memo hit");
+/// assert_eq!(first.pattern.size(), 2); // /Ingredient is implied by the IC
+/// ```
+pub fn shared_engine(ics: &ConstraintSet, strategy: Strategy) -> Arc<BatchMinimizer> {
+    static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut entries = cache.lock().expect("engine cache poisoned");
+    if let Some(pos) = entries.iter().position(|((set, strat), _)| *strat == strategy && set == ics)
+    {
+        let hit = entries.remove(pos);
+        let engine = Arc::clone(&hit.1);
+        entries.insert(0, hit); // move to front (LRU)
+        tpq_obs::incr("engine.cache.hit", 1);
+        return engine;
+    }
+    let engine = Arc::new(BatchMinimizer::with_strategy(ics, strategy));
+    tpq_obs::incr("engine.recomputed", 1);
+    entries.insert(0, ((ics.clone(), strategy), Arc::clone(&engine)));
+    entries.truncate(ENGINE_CACHE_CAPACITY);
+    engine
 }
 
 #[cfg(test)]
@@ -540,6 +629,39 @@ mod tests {
         let warm = engine.minimize(&queries[0]);
         // A cache hit costs no budget, so even the dead guard serves it.
         assert_eq!(engine.minimize_guarded(&queries[0], &guard).unwrap(), warm);
+    }
+
+    #[test]
+    fn cached_outcome_reports_provenance() {
+        let (engine, queries, _) = setup();
+        let guard = Guard::unlimited();
+        let cold = engine.minimize_cached_guarded(&queries[0], &guard).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.stats.redundancy_tests > 0 || cold.stats.total_removed() > 0);
+        let warm = engine.minimize_cached_guarded(&queries[0], &guard).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.pattern, cold.pattern);
+        assert_eq!(warm.stats.total_removed(), 0, "hits report zero work");
+    }
+
+    #[test]
+    fn shared_engine_reuses_one_engine_per_key() {
+        let mut tys = TypeInterner::new();
+        let ics = parse_constraints("Zebra -> Stripe", &mut tys).unwrap();
+        let a = shared_engine(&ics, Strategy::CdmThenAcim);
+        let b = shared_engine(&ics, Strategy::CdmThenAcim);
+        assert!(Arc::ptr_eq(&a, &b), "same set + strategy share an engine");
+        let c = shared_engine(&ics, Strategy::CimOnly);
+        assert!(!Arc::ptr_eq(&a, &c), "strategy is part of the key");
+        // The shared engine's memo cache persists across lookups.
+        let q = parse_pattern("Zebra*[/Stripe][/Tail]", &mut tys).unwrap();
+        let first = a.minimize_cached_guarded(&q, &Guard::unlimited()).unwrap();
+        assert!(!first.cache_hit);
+        let again = shared_engine(&ics, Strategy::CdmThenAcim)
+            .minimize_cached_guarded(&q, &Guard::unlimited())
+            .unwrap();
+        assert!(again.cache_hit, "memo survives via the engine cache");
+        assert_eq!(again.pattern, first.pattern);
     }
 
     #[test]

@@ -49,6 +49,8 @@
 //! assert_eq!(out.pattern.size(), 3); // Figure 2(e): Articles/Article*//Section
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod acim;
 pub mod batch;
 pub mod cdm;
@@ -65,7 +67,9 @@ pub mod session;
 pub mod stats;
 
 pub use acim::{acim, acim_closed, acim_closed_guarded, acim_with_stats};
-pub use batch::{BatchMinimizer, BatchOutcome, BatchStats, GuardedBatchOutcome};
+pub use batch::{
+    shared_engine, BatchMinimizer, BatchOutcome, BatchStats, CachedOutcome, GuardedBatchOutcome,
+};
 pub use cdm::{cdm, cdm_closed, cdm_in_place, cdm_in_place_guarded, cdm_with_stats};
 pub use chase::{augment, augment_guarded, chase};
 pub use cim::{

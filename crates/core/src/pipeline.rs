@@ -22,6 +22,23 @@ pub enum Strategy {
     CdmThenAcim,
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parse the CLI / serve-protocol spelling of a strategy: `full`
+    /// (or the empty string) for the default pipeline, `cim`, `acim`,
+    /// `cdm` for the individual algorithms.
+    fn from_str(s: &str) -> std::result::Result<Strategy, String> {
+        match s {
+            "" | "full" => Ok(Strategy::CdmThenAcim),
+            "cim" => Ok(Strategy::CimOnly),
+            "acim" => Ok(Strategy::AcimOnly),
+            "cdm" => Ok(Strategy::CdmOnly),
+            other => Err(format!("unknown strategy '{other}' (expected full, cim, acim or cdm)")),
+        }
+    }
+}
+
 /// Result of a minimization run.
 #[derive(Debug, Clone)]
 pub struct MinimizeOutcome {
@@ -34,6 +51,20 @@ pub struct MinimizeOutcome {
 /// Minimize `q` under `ics` with the default strategy
 /// ([`Strategy::CdmThenAcim`]). Pass an empty set for pure
 /// constraint-independent minimization.
+///
+/// ```
+/// use tpq_base::TypeInterner;
+/// use tpq_constraints::parse_constraints;
+/// use tpq_core::minimize;
+/// use tpq_pattern::parse_pattern;
+///
+/// let mut tys = TypeInterner::new();
+/// let q = parse_pattern("Book*[/Title][/Publisher]", &mut tys).unwrap();
+/// let ics = parse_constraints("Book -> Publisher", &mut tys).unwrap();
+/// let out = minimize(&q, &ics);
+/// assert_eq!(out.pattern.size(), 2); // the implied /Publisher branch folds
+/// assert_eq!(out.stats.total_removed(), 1);
+/// ```
 pub fn minimize(q: &TreePattern, ics: &ConstraintSet) -> MinimizeOutcome {
     minimize_with(q, ics, Strategy::default())
 }

@@ -19,6 +19,8 @@
 //! Matching cost grows with pattern size — which is the whole motivation
 //! for minimization; the ablation benches quantify it.
 
+#![warn(missing_docs)]
+
 pub mod embed;
 pub mod naive;
 

@@ -24,6 +24,11 @@
 //! Sinks: [`report`] returns a [`Report`] that renders as a flame-style
 //! text tree ([`Report::to_text`]) or JSON ([`Report::to_json`]); see
 //! `docs/OBSERVABILITY.md` for naming conventions and the JSON schema.
+//! The `tpq serve` service keeps the layer enabled for its whole lifetime
+//! and embeds [`report`]'s JSON in every `STATS` response, so a running
+//! server can be scraped over its own protocol (counters under `serve.*`,
+//! request/connection latency histograms under `serve.request` and
+//! `serve.conn`).
 
 mod histogram;
 mod registry;

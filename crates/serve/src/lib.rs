@@ -1,0 +1,64 @@
+//! `tpq-serve` — a long-running tree-pattern-query minimization service.
+//!
+//! This crate turns the one-shot minimization pipeline of [`tpq_core`]
+//! into a resident server: a threaded TCP listener speaking a
+//! newline-delimited JSON protocol (one request line in, one response
+//! line out; see [`proto`]), multiplexing every connection onto a shared
+//! [`TaskPool`](tpq_base::TaskPool) of minimization workers.
+//!
+//! Because minimal tree pattern queries are unique up to isomorphism
+//! (Theorem 5.1 of *Minimization of Tree Pattern Queries*), answers are
+//! memoizable: the server routes all requests with the same constraint
+//! set and strategy to one process-wide [`BatchMinimizer`] engine
+//! ([`tpq_core::shared_engine`]), so a hot query is answered from the
+//! canonical-pattern cache without re-running the chase.
+//!
+//! Robustness properties, each covered by an integration test:
+//!
+//! * a worker panic while minimizing one request answers *that* request
+//!   with `{"error":{"kind":"panic",…}}` and affects nothing else;
+//! * per-request deadlines and step budgets ([`tpq_base::Guard`]) trip as
+//!   `kind: "budget"` errors, again per-request;
+//! * oversized or malformed lines are answered with `bad-request`;
+//! * shutdown (SIGTERM / ctrl-c / the `SHUTDOWN` verb /
+//!   [`ServeHandle::shutdown`]) stops accepting, drains in-flight
+//!   requests, and joins the pool.
+//!
+//! # Example
+//!
+//! Start a server on an ephemeral port and round-trip one request:
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use tpq_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.handle();
+//! let thread = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut conn = std::net::TcpStream::connect(addr).unwrap();
+//! writeln!(conn, r#"{{"query": "Book*[/Title][/Publisher]", "constraints": "Book -> Publisher"}}"#)
+//!     .unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert!(line.contains("\"minimized\""));
+//!
+//! handle.shutdown();
+//! let summary = thread.join().unwrap();
+//! assert_eq!(summary.requests_ok, 1);
+//! ```
+//!
+//! [`BatchMinimizer`]: tpq_core::BatchMinimizer
+
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+pub use proto::{ProtoError, Request, Syntax, DEFAULT_MAX_LINE_BYTES};
+pub use server::{global_types, ServeConfig, ServeHandle, ServeSummary, Server};

@@ -1,0 +1,488 @@
+//! The threaded TCP server: accept loop, connection handlers, shutdown.
+//!
+//! One thread per connection handles framing and socket I/O; the actual
+//! minimization work is funneled through a fixed-size
+//! [`tpq_base::pool::TaskPool`], so `--jobs` bounds CPU
+//! concurrency independently of `--max-conns` (socket concurrency).
+//! Engines come from [`tpq_core::shared_engine`], so every connection
+//! shares one constraint closure and one canonical-pattern memo cache
+//! per constraint set, and all queries are interned through one
+//! process-wide [`TypeInterner`] (see [`global_types`]).
+//!
+//! Shutdown is cooperative: [`ServeHandle::shutdown`] (or a SIGTERM /
+//! ctrl-c when signal handling is installed, or the `SHUTDOWN` protocol
+//! verb) makes the accept loop stop taking connections; handlers finish
+//! the request they are on, answer it, and close; [`Server::run`] then
+//! waits for the active-connection count to drain (bounded by
+//! [`ServeConfig::drain_ms`]) before joining the worker pool.
+
+use crate::proto::{success_response, ProtoError, Request, Syntax, DEFAULT_MAX_LINE_BYTES};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use tpq_base::pool::TaskPool;
+use tpq_base::{Guard, Json, TypeInterner};
+use tpq_constraints::parse_constraints;
+use tpq_core::{shared_engine, Strategy};
+use tpq_pattern::print::to_dsl;
+use tpq_pattern::{parse_pattern, parse_xpath};
+
+/// How often blocked loops (accept, idle reads, drain) re-check the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Read timeout on connection sockets; bounds how long an idle
+/// connection takes to notice a server shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Server tunables. `Default` gives a loopback development server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Minimization worker threads (`0` = available parallelism).
+    pub jobs: usize,
+    /// Maximum simultaneous connections; excess connections receive one
+    /// `overloaded` error line and are closed.
+    pub max_conns: usize,
+    /// Server-wide per-request wall-clock deadline (ms). A request's own
+    /// `deadline_ms` may tighten but never exceed it.
+    pub deadline_ms: Option<u64>,
+    /// Server-wide per-request step budget; same capping rule.
+    pub budget: Option<u64>,
+    /// Strategy for requests that do not name one.
+    pub strategy: Strategy,
+    /// Upper bound on one request line, in bytes.
+    pub max_line_bytes: usize,
+    /// How long [`Server::run`] waits for in-flight connections to finish
+    /// after shutdown is requested, in milliseconds.
+    pub drain_ms: u64,
+    /// Install SIGINT/SIGTERM handlers that trigger graceful shutdown
+    /// (the `tpq serve` CLI sets this; tests drive shutdown explicitly).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            jobs: 0,
+            max_conns: 64,
+            deadline_ms: None,
+            budget: None,
+            strategy: Strategy::default(),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            drain_ms: 5_000,
+            handle_signals: false,
+        }
+    }
+}
+
+/// What one server lifetime did; returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the `max_conns` limit.
+    pub refused: u64,
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests answered with an error response.
+    pub requests_failed: u64,
+}
+
+/// Shared mutable server state: counters, the worker pool, config.
+struct ServerState {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    pool: TaskPool,
+    config: ServeConfig,
+    started: Instant,
+}
+
+impl ServerState {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+            || (self.config.handle_signals && crate::signal::triggered())
+    }
+}
+
+/// A clonable handle that can observe and stop a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServeHandle {
+    /// Request graceful shutdown: stop accepting, drain in-flight work.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Has shutdown been requested (by any route)?
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown_requested()
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.state.active.load(Ordering::Acquire)
+    }
+}
+
+/// The process-wide [`TypeInterner`] behind every request the serve layer
+/// parses. One interner for the whole process keeps [`TypeId`]s globally
+/// consistent, which is what makes sharing canonical-key memo caches
+/// across connections (and across [`Server`] instances in tests) sound.
+///
+/// [`TypeId`]: tpq_base::TypeId
+pub fn global_types() -> &'static Mutex<TypeInterner> {
+    static TYPES: OnceLock<Mutex<TypeInterner>> = OnceLock::new();
+    TYPES.get_or_init(|| Mutex::new(TypeInterner::new()))
+}
+
+/// Lock the global interner, recovering from a poisoned lock (the
+/// interner is append-only, so a panic mid-intern leaves it usable).
+fn lock_types() -> std::sync::MutexGuard<'static, TypeInterner> {
+    global_types().lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A bound, not-yet-running minimization server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listen socket and spawn the worker pool. Also enables the
+    /// `tpq-obs` layer so the `STATS` verb has data to report.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let jobs = if config.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.jobs
+        };
+        tpq_obs::set_enabled(true);
+        if config.handle_signals {
+            crate::signal::install();
+        }
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                accepted: AtomicU64::new(0),
+                refused: AtomicU64::new(0),
+                requests_ok: AtomicU64::new(0),
+                requests_failed: AtomicU64::new(0),
+                pool: TaskPool::new(jobs),
+                config,
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for observing and stopping this server from other threads.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Serve until shutdown is requested, then drain and return totals.
+    ///
+    /// Connections are handled on dedicated threads; minimization work
+    /// runs on the shared worker pool. Returns after in-flight
+    /// connections finish (bounded by [`ServeConfig::drain_ms`]).
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        self.listener.set_nonblocking(true)?;
+        while !self.state.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    if state.active.load(Ordering::Acquire) >= state.config.max_conns {
+                        refuse_connection(&state, stream);
+                        continue;
+                    }
+                    state.active.fetch_add(1, Ordering::AcqRel);
+                    state.accepted.fetch_add(1, Ordering::Relaxed);
+                    tpq_obs::incr("serve.conn.accepted", 1);
+                    std::thread::spawn(move || {
+                        let _active = ActiveGuard(&state);
+                        handle_connection(&state, stream);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Refuse new connections from here on; drain the in-flight ones.
+        drop(self.listener);
+        let drain_deadline = Instant::now() + Duration::from_millis(self.state.config.drain_ms);
+        while self.state.active.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.pool.shutdown();
+        Ok(ServeSummary {
+            accepted: self.state.accepted.load(Ordering::Relaxed),
+            refused: self.state.refused.load(Ordering::Relaxed),
+            requests_ok: self.state.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.state.requests_failed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Decrements the active-connection count when the handler exits, even
+/// if it panics.
+struct ActiveGuard<'a>(&'a ServerState);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Tell an over-limit client why it is being dropped.
+fn refuse_connection(state: &ServerState, mut stream: TcpStream) {
+    state.refused.fetch_add(1, Ordering::Relaxed);
+    tpq_obs::incr("serve.conn.refused", 1);
+    let error = ProtoError::overloaded(format!(
+        "connection limit of {} reached, try again later",
+        state.config.max_conns
+    ));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{}", error.to_json());
+}
+
+/// What the dispatcher wants done with the connection after a line.
+enum Flow {
+    /// Send this response and keep reading.
+    Respond(Json),
+    /// Blank line: nothing to send.
+    Skip,
+    /// Send this response, then trigger graceful server shutdown.
+    Shutdown(Json),
+}
+
+/// Serve one connection: split the byte stream into lines, dispatch each,
+/// write one response line per request.
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let t_conn = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Process every complete line already buffered.
+        while let Some(newline) = buffer.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buffer.drain(..=newline).collect();
+            let Ok(text) = std::str::from_utf8(&line[..line.len() - 1]) else {
+                let e = ProtoError::bad_request("request line is not valid UTF-8");
+                let _ = writeln!(stream, "{}", e.to_json());
+                break 'conn;
+            };
+            match dispatch(state, text.trim()) {
+                Flow::Skip => {}
+                Flow::Respond(json) => {
+                    if writeln!(stream, "{json}").is_err() {
+                        break 'conn;
+                    }
+                }
+                Flow::Shutdown(json) => {
+                    let _ = writeln!(stream, "{json}");
+                    state.shutdown.store(true, Ordering::Release);
+                    break 'conn;
+                }
+            }
+            if state.shutdown_requested() {
+                break 'conn; // drained: answered the in-flight line, refuse the rest
+            }
+        }
+        // Refuse to buffer a line past the cap — framing is gone, close.
+        if buffer.len() > state.config.max_line_bytes {
+            let e = ProtoError::bad_request(format!(
+                "request line exceeds {} bytes",
+                state.config.max_line_bytes
+            ));
+            let _ = writeln!(stream, "{}", e.to_json());
+            state.requests_failed.fetch_add(1, Ordering::Relaxed);
+            tpq_obs::incr("serve.request.error", 1);
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.shutdown_requested() && buffer.is_empty() {
+                    break; // idle connection during drain
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    tpq_obs::record_duration("serve.conn", t_conn.elapsed());
+}
+
+/// Route one trimmed request line.
+fn dispatch(state: &ServerState, line: &str) -> Flow {
+    if line.is_empty() {
+        return Flow::Skip;
+    }
+    match line {
+        "PING" => Flow::Respond(Json::object(vec![("ok", Json::Bool(true))])),
+        "STATS" => Flow::Respond(stats_json(state)),
+        "SHUTDOWN" => {
+            tpq_obs::incr("serve.shutdown", 1);
+            Flow::Shutdown(Json::object(vec![
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+            ]))
+        }
+        _ if !line.starts_with('{') => Flow::Respond(
+            ProtoError::bad_request(format!(
+                "unknown verb '{}' (expected PING, STATS, SHUTDOWN or a JSON object)",
+                line.chars().take(32).collect::<String>()
+            ))
+            .to_json(),
+        ),
+        _ => Flow::Respond(handle_request(state, line)),
+    }
+}
+
+/// The `STATS` verb: server totals plus the whole tpq-obs registry.
+fn stats_json(state: &ServerState) -> Json {
+    Json::object(vec![
+        ("uptime_ms", Json::Int(state.started.elapsed().as_millis() as i64)),
+        (
+            "connections",
+            Json::object(vec![
+                ("active", Json::Int(state.active.load(Ordering::Acquire) as i64)),
+                ("accepted", Json::Int(state.accepted.load(Ordering::Relaxed) as i64)),
+                ("refused", Json::Int(state.refused.load(Ordering::Relaxed) as i64)),
+            ]),
+        ),
+        (
+            "requests",
+            Json::object(vec![
+                ("ok", Json::Int(state.requests_ok.load(Ordering::Relaxed) as i64)),
+                ("error", Json::Int(state.requests_failed.load(Ordering::Relaxed) as i64)),
+            ]),
+        ),
+        (
+            "pool",
+            Json::object(vec![
+                ("workers", Json::Int(state.pool.size() as i64)),
+                ("executed", Json::Int(state.pool.executed() as i64)),
+            ]),
+        ),
+        ("obs", tpq_obs::report().to_json()),
+    ])
+}
+
+/// The effective per-request limit for one resource: the tighter of the
+/// request's ask and the server's ceiling.
+fn effective_limit(requested: Option<u64>, ceiling: Option<u64>) -> Option<u64> {
+    match (requested, ceiling) {
+        (Some(r), Some(c)) => Some(r.min(c)),
+        (r, c) => r.or(c),
+    }
+}
+
+/// Answer one minimization request line.
+fn handle_request(state: &ServerState, line: &str) -> Json {
+    let t0 = Instant::now();
+    let result = minimize_request(state, line, t0);
+    tpq_obs::record_duration("serve.request", t0.elapsed());
+    match result {
+        Ok(json) => {
+            state.requests_ok.fetch_add(1, Ordering::Relaxed);
+            tpq_obs::incr("serve.request.ok", 1);
+            json
+        }
+        Err(e) => {
+            state.requests_failed.fetch_add(1, Ordering::Relaxed);
+            tpq_obs::incr("serve.request.error", 1);
+            e.to_json()
+        }
+    }
+}
+
+/// Parse, guard and minimize one request on the worker pool.
+fn minimize_request(state: &ServerState, line: &str, t0: Instant) -> Result<Json, ProtoError> {
+    let req = Request::parse(line)?;
+    // Parse constraints before the query, under the process-wide
+    // interner, so equal constraint text always produces equal
+    // constraint sets (the shared-engine and memo-cache key).
+    let (query, ics) = {
+        let mut types = lock_types();
+        let ics = parse_constraints(&req.constraints, &mut types)
+            .map_err(|e| ProtoError::from_error(&e))?;
+        let query = match req.syntax {
+            Syntax::Dsl => parse_pattern(&req.query, &mut types),
+            Syntax::Xpath => parse_xpath(&req.query, &mut types),
+        }
+        .map_err(|e| ProtoError::from_error(&e))?;
+        (query, ics)
+    };
+    let strategy = req.strategy.unwrap_or(state.config.strategy);
+    let guard = {
+        let mut builder = Guard::builder();
+        if let Some(ms) = effective_limit(req.deadline_ms, state.config.deadline_ms) {
+            builder = builder.deadline_ms(ms);
+        }
+        if let Some(steps) = effective_limit(req.budget, state.config.budget) {
+            builder = builder.budget(steps);
+        }
+        builder.build()
+    };
+    let engine = shared_engine(&ics, strategy);
+    let input_nodes = query.size();
+    let out = state
+        .pool
+        .run(move || engine.minimize_cached_guarded(&query, &guard))
+        .map_err(|e| ProtoError::from_error(&e))?;
+    let minimized = to_dsl(&out.pattern, &lock_types());
+    Ok(success_response(
+        minimized,
+        input_nodes,
+        out.pattern.size(),
+        out.cache_hit,
+        &out.stats,
+        t0.elapsed(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_limit_takes_the_tighter_bound() {
+        assert_eq!(effective_limit(None, None), None);
+        assert_eq!(effective_limit(Some(5), None), Some(5));
+        assert_eq!(effective_limit(None, Some(7)), Some(7));
+        assert_eq!(effective_limit(Some(5), Some(7)), Some(5));
+        assert_eq!(effective_limit(Some(9), Some(7)), Some(7), "server ceiling wins");
+    }
+
+    #[test]
+    fn default_config_is_a_loopback_dev_server() {
+        let c = ServeConfig::default();
+        assert!(c.addr.starts_with("127.0.0.1"));
+        assert!(!c.handle_signals);
+        assert_eq!(c.max_line_bytes, DEFAULT_MAX_LINE_BYTES);
+    }
+}

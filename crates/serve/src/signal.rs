@@ -1,0 +1,65 @@
+//! Graceful-shutdown signals (SIGINT / SIGTERM) without a libc crate.
+//!
+//! `std` already links the platform C library, so on Unix we declare the
+//! two symbols we need ourselves. The handler only performs an atomic
+//! store (the short list of async-signal-safe operations), and the serve
+//! accept loop polls the flag. On non-Unix platforms installation is a
+//! no-op and shutdown is driven by [`ServeHandle::shutdown`] or the
+//! `SHUTDOWN` protocol verb.
+//!
+//! [`ServeHandle::shutdown`]: crate::ServeHandle::shutdown
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Has a shutdown signal been delivered since [`install`] was called?
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Acquire)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent; no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+        let _ = triggered(); // flag is readable after installation
+    }
+}

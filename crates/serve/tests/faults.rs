@@ -1,0 +1,77 @@
+//! Fault-injection tests for the serve layer.
+//!
+//! Kept in their own test binary (own process): failpoints arm
+//! process-wide, and the hit comes from a pool worker thread, so
+//! thread-scoped arming cannot be used and parallel tests in the same
+//! process would race. One test function keeps the sequence
+//! deterministic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use tpq_base::failpoint::{self, Action};
+use tpq_serve::{ServeConfig, Server};
+
+fn round_trip(conn: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(conn.get_mut(), "{line}").expect("write");
+    let mut response = String::new();
+    conn.read_line(&mut response).expect("read");
+    response.trim_end().to_owned()
+}
+
+fn error_kind_of(response: &str) -> String {
+    tpq_base::Json::parse(response)
+        .ok()
+        .and_then(|j| j.get("error")?.get("kind")?.as_str().map(str::to_owned))
+        .unwrap_or_else(|| panic!("no error kind in {response}"))
+}
+
+/// One poisoned request must answer with a typed error while every other
+/// request — on the same connection, on others, before and after — is
+/// served normally, and the server must still drain cleanly.
+#[test]
+fn injected_worker_faults_poison_one_request_only() {
+    let server =
+        Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), jobs: 2, ..ServeConfig::default() })
+            .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("run"));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut conn = BufReader::new(stream);
+
+    // Baseline: the query works.
+    let ok = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
+    assert!(ok.contains("\"minimized\""), "{ok}");
+
+    // Case 1: the worker minimizing the next request panics.
+    let _fp = failpoint::arm("pool.task", Action::Panic, 1);
+    let poisoned = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
+    assert_eq!(error_kind_of(&poisoned), "panic", "{poisoned}");
+    assert!(poisoned.contains("injected panic"), "{poisoned}");
+
+    // The same connection keeps working, as does a fresh one.
+    let after = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
+    assert!(after.contains("\"minimized\""), "{after}");
+    let stream2 = TcpStream::connect(addr).unwrap();
+    stream2.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut conn2 = BufReader::new(stream2);
+    let other = round_trip(&mut conn2, r#"{"query": "Fault2*[/FC]"}"#);
+    assert!(other.contains("\"minimized\""), "{other}");
+
+    // Case 2: the worker reports an injected error instead of panicking.
+    let _fp = failpoint::arm("pool.task", Action::Err, 1);
+    let injected = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
+    assert_eq!(error_kind_of(&injected), "injected", "{injected}");
+    let recovered = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
+    assert!(recovered.contains("\"minimized\""), "{recovered}");
+
+    drop(conn);
+    drop(conn2);
+    handle.shutdown();
+    let summary = thread.join().unwrap();
+    assert_eq!(summary.requests_ok, 4);
+    assert_eq!(summary.requests_failed, 2);
+}

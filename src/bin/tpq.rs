@@ -11,6 +11,7 @@
 //! tpq check    --q1 'a*[/b]' --q2 'a*' --ic 'a -> b'
 //! tpq closure  --constraints ics.txt
 //! tpq repair   --doc org.xml --constraints ics.txt
+//! tpq serve    --addr 127.0.0.1:7878 --jobs 4 --max-conns 64 --deadline-ms 1000
 //! ```
 //!
 //! Patterns are given in the DSL by default; `--xpath` switches the query
@@ -34,6 +35,12 @@
 //! A tripped limit exits with code 1 and a `budget error: …` message; in
 //! batch mode queries that finished in time still print their results,
 //! with `# error: …` placeholder lines holding the failed slots.
+//!
+//! `tpq serve` runs the minimization service from `tpq-serve`: it prints
+//! `listening on <addr>` once bound, answers newline-delimited JSON
+//! requests until SIGTERM / ctrl-c / a `SHUTDOWN` verb, then drains
+//! in-flight work and prints a summary. `--deadline-ms` / `--budget` act
+//! as per-request ceilings rather than whole-process limits.
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
@@ -59,7 +66,7 @@ fn main() -> ExitCode {
         tpq::obs::set_enabled(true);
     }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|match|check|closure|repair> [options]");
+        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|match|check|closure|repair|serve> [options]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -68,8 +75,9 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "closure" => cmd_closure(rest),
         "repair" => cmd_repair(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
-            println!("subcommands: minimize, match, check, closure, repair");
+            println!("subcommands: minimize, match, check, closure, repair, serve");
             println!("global flags: --trace, --metrics-json <path>");
             Ok(())
         }
@@ -277,13 +285,7 @@ fn constraint_line(c: &Constraint, types: &TypeInterner) -> String {
 fn cmd_minimize(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &["tree", "stats"])?;
     let mut types = TypeInterner::new();
-    let strategy = match opts.get("strategy") {
-        None | Some("full") => Strategy::CdmThenAcim,
-        Some("cim") => Strategy::CimOnly,
-        Some("acim") => Strategy::AcimOnly,
-        Some("cdm") => Strategy::CdmOnly,
-        Some(other) => return Err(format!("unknown strategy '{other}'")),
-    };
+    let strategy = opts.get("strategy").unwrap_or_default().parse::<Strategy>()?;
     // Batch mode: one query per line from a file (or every `.txt` file in
     // a directory), minimized by the parallel batch engine: the constraint
     // closure is computed once, isomorphic queries are minimized once via
@@ -409,6 +411,69 @@ fn cmd_closure(args: &[String]) -> Result2<()> {
     if !closed.is_finitely_satisfiable() {
         eprintln!("warning: the closure contains a required-descendant cycle; no finite tree satisfies it");
     }
+    Ok(())
+}
+
+/// `tpq serve`: run the long-running minimization service until a
+/// shutdown signal (SIGTERM / ctrl-c) or a `SHUTDOWN` protocol verb.
+fn cmd_serve(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &[])?;
+    opts.no_positionals()?;
+    let mut config =
+        tpq::serve::ServeConfig { handle_signals: true, ..tpq::serve::ServeConfig::default() };
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(jobs) = opts.get("jobs") {
+        config.jobs = jobs
+            .parse::<usize>()
+            .map_err(|_| format!("--jobs needs a non-negative integer, got '{jobs}'"))?;
+    }
+    if let Some(n) = opts.get("max-conns") {
+        config.max_conns = match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--max-conns needs a positive integer, got '{n}'")),
+        };
+    }
+    if let Some(ms) = opts.get("deadline-ms") {
+        config.deadline_ms = Some(
+            ms.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms needs a non-negative integer, got '{ms}'"))?,
+        );
+    }
+    if let Some(steps) = opts.get("budget") {
+        config.budget = Some(
+            steps
+                .parse::<u64>()
+                .map_err(|_| format!("--budget needs a non-negative integer, got '{steps}'"))?,
+        );
+    }
+    if let Some(bytes) = opts.get("max-line-bytes") {
+        config.max_line_bytes = match bytes.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => return Err(format!("--max-line-bytes needs an integer >= 2, got '{bytes}'")),
+        };
+    }
+    if let Some(ms) = opts.get("drain-ms") {
+        config.drain_ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("--drain-ms needs a non-negative integer, got '{ms}'"))?;
+    }
+    if let Some(strategy) = opts.get("strategy") {
+        config.strategy = strategy.parse::<Strategy>()?;
+    }
+    let server = tpq::serve::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Announce the bound address on a flushed line so wrappers (tests, CI
+    // smoke scripts) can pick up the port chosen for `--addr host:0`.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.run().map_err(|e| format!("serve failed: {e}"))?;
+    eprintln!(
+        "serve: {} connections ({} refused), {} requests ok, {} failed",
+        summary.accepted, summary.refused, summary.requests_ok, summary.requests_failed
+    );
     Ok(())
 }
 

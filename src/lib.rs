@@ -12,7 +12,9 @@
 //! * [`core`] — containment mappings and the CIM / ACIM / CDM algorithms;
 //! * [`matching`] — pattern evaluation against documents;
 //! * [`obs`] — spans, counters and latency histograms over all of the
-//!   above (disabled unless requested; see `docs/OBSERVABILITY.md`).
+//!   above (disabled unless requested; see `docs/OBSERVABILITY.md`);
+//! * [`serve`] — the long-running minimization service behind
+//!   `tpq serve` (see `docs/ARCHITECTURE.md` for when to use it).
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,7 @@ pub use tpq_data as data;
 pub use tpq_match as matching;
 pub use tpq_obs as obs;
 pub use tpq_pattern as pattern;
+pub use tpq_serve as serve;
 
 /// Single-import convenience: the types and functions nearly every user
 /// needs.

@@ -241,6 +241,58 @@ fn failpoint_env_injects_a_deterministic_fault() {
 }
 
 #[test]
+fn serve_round_trips_requests_and_shuts_down_cleanly() {
+    use std::io::{BufRead as _, BufReader, Read as _};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tpq"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    // The first stdout line announces the bound address.
+    let mut child_stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_stdout.read_line(&mut banner).unwrap();
+    let addr = banner.trim().strip_prefix("listening on ").unwrap_or_else(|| {
+        panic!("unexpected banner {banner:?}");
+    });
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect to serve");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    let mut conn = BufReader::new(stream);
+    let mut round_trip = |line: &str| -> String {
+        writeln!(conn.get_mut(), "{line}").unwrap();
+        let mut response = String::new();
+        conn.read_line(&mut response).unwrap();
+        response.trim_end().to_owned()
+    };
+    let response =
+        round_trip(r#"{"query": "Book*[/Title][/Publisher]", "constraints": "Book -> Publisher"}"#);
+    assert!(response.contains(r#""minimized":"Book*/Title""#), "{response}");
+    let stats = round_trip("STATS");
+    assert!(stats.contains("\"uptime_ms\""), "{stats}");
+    let ack = round_trip("SHUTDOWN");
+    assert!(ack.contains("\"draining\":true"), "{ack}");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve should exit 0 after SHUTDOWN");
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
+    assert!(err.contains("1 connections"), "{err}");
+    assert!(err.contains("1 requests ok"), "{err}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = tpq(&["serve", "--max-conns", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--max-conns"), "{}", stderr(&out));
+    let out = tpq(&["serve", "--addr", "definitely-not-an-address"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot bind"), "{}", stderr(&out));
+}
+
+#[test]
 fn bad_governance_flags_are_rejected() {
     let out = tpq(&["minimize", "--query", "a*", "--deadline-ms", "soon"]);
     assert!(!out.status.success());
