@@ -316,8 +316,13 @@ impl BatchMinimizer {
 
         // Fan the unique patterns out over the pool. Each task is
         // isolated: a panic or guard trip stays in its own result slot.
+        // Trace identity is thread-local: capture the caller's id and
+        // re-establish it on whichever worker runs each task, so events
+        // emitted inside the pool keep the request's attribution.
+        let trace = tpq_obs::current_trace();
         let (outcomes, pool): (Vec<Result<MinimizeOutcome>>, PoolStats) =
             scoped_map_isolated(jobs, &unique, |ctx, q| {
+                let _trace = tpq_obs::trace_scope(trace);
                 let t = Instant::now();
                 let out = minimize_closed_guarded(q, &self.closed, self.strategy, guard)?;
                 tpq_obs::record_duration(worker_span(ctx.worker), t.elapsed());

@@ -173,10 +173,25 @@ fn minimize_at(
             if o.constrained || l == q.output() || q.node(l).temporary {
                 return None;
             }
-            removable(q.node(v).primary, o, i, &obligations, closed).then_some((i, l))
+            removable(q.node(v).primary, o, i, &obligations, closed).map(|why| (l, why))
         });
         match target {
-            Some((_, l)) => {
+            Some((l, why)) => {
+                if tpq_obs::enabled() {
+                    use tpq_obs::FieldValue::{Str, U64};
+                    let mut fields = vec![
+                        ("node", U64(l.0 as u64)),
+                        ("at", U64(v.0 as u64)),
+                        ("rule", U64(why.rule as u64)),
+                        ("lhs", U64(why.lhs.0 as u64)),
+                        ("op", Str(why.op)),
+                        ("rhs", U64(why.rhs.0 as u64)),
+                    ];
+                    if let Some(w) = why.witness {
+                        fields.push(("witness_ty", U64(w.0 as u64)));
+                    }
+                    tpq_obs::event("cdm.prune", &fields);
+                }
                 q.remove_leaf(l).expect("plain obligation sources are removable leaves");
                 child_infos.retain(|&(c, _)| c != l);
                 *removed += 1;
@@ -202,15 +217,28 @@ fn gather(q: &TreePattern, v: NodeId, child_infos: &[(NodeId, InfoContent)]) -> 
     scratch.obligations
 }
 
+/// Why a plain obligation is locally redundant: the Figure 6 rule number
+/// and the closed-set constraint `lhs op rhs` that fired, with the
+/// witnessing obligation's type for the sibling rules (3 and 4). Feeds
+/// the `cdm.prune` decision event and, through it, `tpq explain`.
+struct CdmReason {
+    rule: u8,
+    lhs: tpq_base::TypeId,
+    op: &'static str,
+    rhs: tpq_base::TypeId,
+    witness: Option<tpq_base::TypeId>,
+}
+
 /// Figure 6 / the four conditions: is the plain obligation `target`
-/// (at a node of type `t_v`) redundant?
+/// (at a node of type `t_v`) redundant? `Some` carries the rule that
+/// justified it.
 fn removable(
     t_v: tpq_base::TypeId,
     target: &Obligation,
     target_idx: usize,
     obligations: &[Obligation],
     closed: &ConstraintSet,
-) -> bool {
+) -> Option<CdmReason> {
     let t2 = target.ty;
     // Value-based conditions (Section 7): ICs guarantee existence by type
     // only, so IC-based removals need a condition-free target, and a
@@ -223,26 +251,46 @@ fn removable(
         ObligationKind::Ancestor => {
             // Condition 2: the node's own type requires a t2 descendant.
             if unconditioned && closed.has_required_descendant(t_v, t2) {
-                return true;
+                return Some(CdmReason { rule: 2, lhs: t_v, op: "->>", rhs: t2, witness: None });
             }
             // Condition 4: any other descendant witnesses it.
-            obligations.iter().enumerate().any(|(i, o1)| {
-                i != target_idx
-                    && (closed.has_required_descendant(o1.ty, t2) && unconditioned
-                        || closed.has_cooccurrence(o1.ty, t2) && witness_ok(o1))
+            obligations.iter().enumerate().find_map(|(i, o1)| {
+                if i == target_idx {
+                    return None;
+                }
+                if closed.has_required_descendant(o1.ty, t2) && unconditioned {
+                    Some(CdmReason {
+                        rule: 4,
+                        lhs: o1.ty,
+                        op: "->>",
+                        rhs: t2,
+                        witness: Some(o1.ty),
+                    })
+                } else if closed.has_cooccurrence(o1.ty, t2) && witness_ok(o1) {
+                    Some(CdmReason { rule: 4, lhs: o1.ty, op: "~", rhs: t2, witness: Some(o1.ty) })
+                } else {
+                    None
+                }
             })
         }
         ObligationKind::Parent => {
             // Condition 1: the node's own type requires a t2 child.
             if unconditioned && closed.has_required_child(t_v, t2) {
-                return true;
+                return Some(CdmReason { rule: 1, lhs: t_v, op: "->", rhs: t2, witness: None });
             }
             // Condition 3: a sibling c-child co-occurs with t2.
-            obligations.iter().enumerate().any(|(i, o1)| {
-                i != target_idx
+            obligations.iter().enumerate().find_map(|(i, o1)| {
+                (i != target_idx
                     && o1.kind == ObligationKind::Parent
                     && closed.has_cooccurrence(o1.ty, t2)
-                    && witness_ok(o1)
+                    && witness_ok(o1))
+                .then_some(CdmReason {
+                    rule: 3,
+                    lhs: o1.ty,
+                    op: "~",
+                    rhs: t2,
+                    witness: Some(o1.ty),
+                })
             })
         }
     }

@@ -84,6 +84,8 @@ pub fn augment_guarded(
     guard: &Guard,
 ) -> Result<usize> {
     let _span = tpq_obs::span!("acim.augment");
+    let obs_on = tpq_obs::enabled();
+    use tpq_obs::FieldValue::{Str, U64};
     let originals: Vec<NodeId> = q.alive_ids().filter(|&v| !q.node(v).temporary).collect();
     // Phase 1: co-occurrence types. One pass suffices on a closed set.
     for &v in &originals {
@@ -94,6 +96,17 @@ pub fn augment_guarded(
             for &u in closed.cooccurrences_of(t) {
                 if q.node_mut(v).types.insert(u) {
                     stats.augment_types_added += 1;
+                    if obs_on {
+                        tpq_obs::event(
+                            "chase.apply",
+                            &[
+                                ("node", U64(v.0 as u64)),
+                                ("lhs", U64(t.0 as u64)),
+                                ("op", Str("~")),
+                                ("rhs", U64(u.0 as u64)),
+                            ],
+                        );
+                    }
                 }
             }
         }
@@ -118,6 +131,18 @@ pub fn augment_guarded(
                     let temp = q.add_temp_child(v, EdgeKind::Child, u);
                     expand_temp_types(q, temp, closed);
                     added += 1;
+                    if obs_on {
+                        tpq_obs::event(
+                            "chase.apply",
+                            &[
+                                ("node", U64(v.0 as u64)),
+                                ("lhs", U64(t.0 as u64)),
+                                ("op", Str("->")),
+                                ("rhs", U64(u.0 as u64)),
+                                ("temp", U64(temp.0 as u64)),
+                            ],
+                        );
+                    }
                 }
             }
         }
@@ -132,6 +157,18 @@ pub fn augment_guarded(
                     let temp = q.add_temp_child(v, EdgeKind::Descendant, u);
                     expand_temp_types(q, temp, closed);
                     added += 1;
+                    if obs_on {
+                        tpq_obs::event(
+                            "chase.apply",
+                            &[
+                                ("node", U64(v.0 as u64)),
+                                ("lhs", U64(t.0 as u64)),
+                                ("op", Str("->>")),
+                                ("rhs", U64(u.0 as u64)),
+                                ("temp", U64(temp.0 as u64)),
+                            ],
+                        );
+                    }
                 }
             }
         }

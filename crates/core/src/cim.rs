@@ -17,7 +17,7 @@
 //!   mapping targets, which is exactly how ACIM exploits them.
 
 use crate::mapping::original_children;
-use crate::redundant::{redundant_leaf_guarded, redundant_leaf_with_stats};
+use crate::redundant::{redundant_leaf_with_stats, redundant_leaf_witness_guarded};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
 use tpq_base::{FxHashSet, Guard, Result};
@@ -92,7 +92,14 @@ pub fn cim_in_place_guarded(
             if obs_on {
                 tests.add(1);
             }
-            if redundant_leaf_guarded(q, l, stats, guard)? {
+            if let Some(witness) = redundant_leaf_witness_guarded(q, l, stats, guard)? {
+                if obs_on {
+                    use tpq_obs::FieldValue::U64;
+                    tpq_obs::event(
+                        "cim.prune",
+                        &[("node", U64(l.0 as u64)), ("witness", U64(witness.0 as u64))],
+                    );
+                }
                 remove_q_leaf(q, l);
                 removed.push(l);
                 stats.cim_removed += 1;

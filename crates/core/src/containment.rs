@@ -26,7 +26,24 @@ pub fn contains(q1: &TreePattern, q2: &TreePattern) -> bool {
 
 /// [`contains`] under a [`Guard`].
 pub fn contains_guarded(q1: &TreePattern, q2: &TreePattern, guard: &Guard) -> Result<bool> {
-    has_homomorphism_guarded(q2, q1, guard)
+    let held = has_homomorphism_guarded(q2, q1, guard)?;
+    record_check("plain", q1, q2, held);
+    Ok(held)
+}
+
+/// Emit the `containment.check` decision event (no-op when the
+/// observability layer is disabled — one relaxed load).
+fn record_check(kind: &'static str, q1: &TreePattern, q2: &TreePattern, held: bool) {
+    use tpq_obs::FieldValue::{Str, U64};
+    tpq_obs::event(
+        "containment.check",
+        &[
+            ("kind", Str(kind)),
+            ("q1_nodes", U64(q1.size() as u64)),
+            ("q2_nodes", U64(q2.size() as u64)),
+            ("holds", U64(held as u64)),
+        ],
+    );
 }
 
 /// `q1 ≡ q2`: two-way containment.
@@ -59,7 +76,9 @@ pub fn contains_under_guarded(
     guard: &Guard,
 ) -> Result<bool> {
     let closed = ics.closure();
-    ContainmentUnder::new(q1, q2, &closed).check(guard)
+    let held = ContainmentUnder::new(q1, q2, &closed).check(guard)?;
+    record_check("under", q1, q2, held);
+    Ok(held)
 }
 
 /// `q1 ≡_Σ q2`: two-way containment under `ics`.

@@ -66,6 +66,14 @@ impl CimEngine {
             }
         }
         stats.tables_time += t0.elapsed();
+        if tpq_obs::enabled() {
+            use tpq_obs::FieldValue::U64;
+            let candidates: u64 = base.iter().map(|s| s.len() as u64).sum();
+            tpq_obs::event(
+                "acim.table",
+                &[("nodes", U64(q.arena_len() as u64)), ("candidates", U64(candidates))],
+            );
+        }
         Ok(CimEngine { q, index, base, rev })
     }
 
@@ -177,16 +185,27 @@ impl CimEngine {
     /// Figure 3 redundancy test via the overlay walk. `l` must be an
     /// original leaf (no original children), not the root or output node.
     pub fn test_leaf(&self, l: NodeId) -> bool {
+        self.test_leaf_witness(l).is_some()
+    }
+
+    /// [`CimEngine::test_leaf`], additionally returning the node `l` maps
+    /// onto under one witnessing endomorphism (`None` = not redundant).
+    /// The witness may be a temporary node — `tpq explain` resolves those
+    /// back to the chase step that created them.
+    pub fn test_leaf_witness(&self, l: NodeId) -> Option<NodeId> {
         let _span = tpq_obs::span!("acim.scan");
         debug_assert!(original_children(&self.q, l).is_empty());
         let mut overlay: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
         let start: Vec<NodeId> = self.base[l.index()].iter().copied().filter(|&u| u != l).collect();
         if start.is_empty() {
-            return false;
+            return None;
         }
         overlay.insert(l, start);
-        let mut path_child = l;
+        // The ancestor chain walked so far, leaf first — the spine the
+        // witness extraction descends.
+        let mut path = vec![l];
         for v in self.q.ancestors(l) {
+            let path_child = *path.last().expect("path starts at l");
             let child_set = overlay[&path_child].clone();
             let newset: Vec<NodeId> = self.base[v.index()]
                 .iter()
@@ -194,17 +213,48 @@ impl CimEngine {
                 .filter(|&u| self.child_check(path_child, &child_set, u))
                 .collect();
             if newset.is_empty() {
-                return false;
+                return None;
             }
             if newset.contains(&v) {
-                return true;
+                return Some(self.descend_overlay(&path, v, &overlay));
             }
             overlay.insert(v, newset);
-            path_child = v;
+            path.push(v);
         }
         // The root was reached without an early exit; its overlay set is
         // non-empty, which (endomorphisms fix the root) means redundant.
-        true
+        let root = path.pop().expect("the walk visited the root");
+        let top = overlay[&root][0];
+        Some(self.descend_overlay(&path, top, &overlay))
+    }
+
+    /// Extract `l`'s image by walking the overlay spine back down from the
+    /// node that mapped to `top`, greedily choosing edge-compatible
+    /// candidates. Sound because every overlay candidate came from `base`
+    /// (so its whole subtree is certified) and every surviving parent
+    /// candidate passed [`CimEngine::child_check`] against the child's
+    /// overlay set — the same predicate used here to pick the child image.
+    fn descend_overlay(
+        &self,
+        below: &[NodeId],
+        top: NodeId,
+        overlay: &FxHashMap<NodeId, Vec<NodeId>>,
+    ) -> NodeId {
+        let mut image = top;
+        for &p in below.iter().rev() {
+            image = overlay[&p]
+                .iter()
+                .copied()
+                .find(|&u| match self.q.node(p).edge {
+                    EdgeKind::Child => {
+                        self.q.node(u).edge == EdgeKind::Child
+                            && self.q.node(u).parent == Some(image)
+                    }
+                    EdgeKind::Descendant => self.index.is_proper_ancestor(image, u),
+                })
+                .expect("surviving image has an edge-compatible candidate in the overlay");
+        }
+        image
     }
 
     /// Run the MEO loop to completion. Returns removed node ids in order.
@@ -249,7 +299,14 @@ impl CimEngine {
                 if obs_on {
                     tests.add(1);
                 }
-                if self.test_leaf(l) {
+                if let Some(witness) = self.test_leaf_witness(l) {
+                    if obs_on {
+                        use tpq_obs::FieldValue::U64;
+                        tpq_obs::event(
+                            "cim.prune",
+                            &[("node", U64(l.0 as u64)), ("witness", U64(witness.0 as u64))],
+                        );
+                    }
                     // Remove l and its temporary children, then maintain
                     // the tables incrementally.
                     let temps: Vec<NodeId> = self

@@ -57,6 +57,7 @@ pub mod cdm;
 pub mod chase;
 pub mod cim;
 pub mod containment;
+pub mod explain;
 pub mod incremental;
 pub mod info;
 pub mod local;
@@ -79,6 +80,7 @@ pub use containment::{
     contains, contains_guarded, contains_under, contains_under_guarded, equivalent,
     equivalent_guarded, equivalent_under, equivalent_under_guarded,
 };
+pub use explain::{explain, explain_guarded, ChaseFact, Deletion, Explanation, Reason};
 pub use incremental::{
     acim_incremental_closed, acim_incremental_closed_guarded, cim_incremental,
     cim_incremental_with_stats, CimEngine,

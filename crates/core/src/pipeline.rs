@@ -204,9 +204,12 @@ mod tests {
 
     #[test]
     fn repeated_one_shot_calls_reuse_the_closure() {
-        // Counters only move while the obs layer is enabled; other tests
-        // may add further hits concurrently, so assert on the delta floor.
+        // Counters only move while the obs layer is enabled. reset()
+        // isolates this assertion from whatever ran before it in the
+        // binary; other tests may still add hits concurrently, so the
+        // assertion is a floor, not an equality.
         tpq_obs::set_enabled(true);
+        tpq_obs::reset();
         let (q, ics, _) =
             setup("Book*[/Title][/Publisher][//LastName]", "Book -> Publisher\nBook ->> LastName");
         let hits_before = tpq_obs::report().counter("closure.cache.hit");

@@ -18,7 +18,7 @@ use crate::mapping::{node_compatible, original_children, prune_node, PatIndex};
 use crate::stats::MinimizeStats;
 use std::time::Instant;
 use tpq_base::{Guard, Result};
-use tpq_pattern::{NodeId, TreePattern};
+use tpq_pattern::{EdgeKind, NodeId, TreePattern};
 
 /// Is the alive leaf `l` of `q` redundant?
 ///
@@ -51,6 +51,20 @@ pub fn redundant_leaf_guarded(
     stats: &mut MinimizeStats,
     guard: &Guard,
 ) -> Result<bool> {
+    redundant_leaf_witness_guarded(q, l, stats, guard).map(|w| w.is_some())
+}
+
+/// [`redundant_leaf_guarded`], additionally returning the node `l` maps
+/// onto under one witnessing endomorphism (`None` = not redundant). The
+/// witness may be a *temporary* node: that is exactly how ACIM's
+/// IC-implied temps justify removals, and `tpq explain` resolves such a
+/// witness back to the chase step that created it.
+pub fn redundant_leaf_witness_guarded(
+    q: &TreePattern,
+    l: NodeId,
+    stats: &mut MinimizeStats,
+    guard: &Guard,
+) -> Result<Option<NodeId>> {
     debug_assert!(
         q.is_alive(l) && !q.node(l).temporary && original_children(q, l).is_empty(),
         "l must be an alive original leaf"
@@ -81,7 +95,7 @@ pub fn redundant_leaf_guarded(
 
     // If no candidate exists for l at all, it cannot move anywhere.
     if images[l.index()].is_empty() {
-        return Ok(false);
+        return Ok(None);
     }
 
     // --- Walk up from l, minimizing images on demand (Figure 3). ---
@@ -95,20 +109,57 @@ pub fn redundant_leaf_guarded(
             marked[v.index()] = true;
         }
     }
+    // The chain below the current ancestor, for witness extraction.
+    let mut below = vec![l];
     for v in q.ancestors(l) {
         guard.check()?;
         minimize_images(q, &index, v, &mut images, &mut marked);
         if images[v.index()].is_empty() {
-            return Ok(false);
+            return Ok(None);
         }
         if images[v.index()].contains(&v) {
-            return Ok(true);
+            return Ok(Some(descend_witness(q, &index, &below, v, &images)));
         }
+        below.push(v);
     }
     // Unreachable in theory (at the root one of the two tests above fires:
     // any endomorphism fixes the root, so a non-empty pruned images(root)
     // contains the root); kept as a safe fallback.
-    Ok(!images[q.root().index()].is_empty())
+    below.pop(); // the root, whose image is chosen directly
+    match images[q.root().index()].first().copied() {
+        Some(top) => Ok(Some(descend_witness(q, &index, &below, top, &images))),
+        None => Ok(None),
+    }
+}
+
+/// Extract `l`'s image under one witnessing endomorphism by walking the
+/// ancestor chain back down from the node that mapped to `top`, greedily
+/// choosing edge-compatible candidates. `below` is the chain
+/// `[l, a1, …, ak]` strictly below that node, leaf first. The greedy
+/// choice is sound by `prune_node`'s invariant: a surviving parent image
+/// has an edge-compatible candidate in every child's pruned set, and each
+/// such candidate certifies its whole subtree.
+fn descend_witness(
+    q: &TreePattern,
+    index: &PatIndex,
+    below: &[NodeId],
+    top: NodeId,
+    images: &[Vec<NodeId>],
+) -> NodeId {
+    let mut image = top;
+    for &p in below.iter().rev() {
+        image = images[p.index()]
+            .iter()
+            .copied()
+            .find(|&u| match q.node(p).edge {
+                EdgeKind::Child => {
+                    q.node(u).edge == EdgeKind::Child && q.node(u).parent == Some(image)
+                }
+                EdgeKind::Descendant => index.is_proper_ancestor(image, u),
+            })
+            .expect("surviving parent image has an edge-compatible child candidate");
+    }
+    image
 }
 
 /// `minimize-images` of Figure 3: ensure every descendant's images are

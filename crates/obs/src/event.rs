@@ -1,0 +1,198 @@
+//! Structured decision events and per-request trace identity.
+//!
+//! An [`Event`] is one discrete fact about a run — "the chase applied
+//! `Section ->> Paragraph` at node 4", "CIM pruned node 2 with witness
+//! node 7" — as opposed to the aggregate spans and counters the rest of
+//! the crate keeps. Events carry a monotonic timestamp (nanoseconds since
+//! the registry was first touched), the emitting thread's current *trace
+//! id*, a static name and a small list of static-keyed fields.
+//!
+//! Trace ids are plain `u64`s; `0` means "no trace". A scope is
+//! established with [`trace_scope`] (RAII, thread-local) and read back
+//! with [`current_trace`]; `tpq serve` mints one per request with
+//! [`fresh_trace_id`] and re-establishes it on the worker thread that
+//! executes the request, so every event (and span-close event) on the
+//! request's path carries the request's id. `tpq explain` does the same
+//! for one in-process minimization and then drains the ring filtered by
+//! its own id.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tpq_base::Json;
+
+/// One field value: events deal only in integers and static strings so
+/// emitting one never formats or allocates per field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer (node ids, type ids, sizes, nanoseconds).
+    U64(u64),
+    /// A static string (operators, rule names).
+    Str(&'static str),
+}
+
+impl FieldValue {
+    fn to_json(self) -> Json {
+        match self {
+            FieldValue::U64(n) => Json::Int(n as i64),
+            FieldValue::Str(s) => Json::Str(s.to_owned()),
+        }
+    }
+}
+
+/// One structured decision event, as drained from the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order (gap-free counter; gaps in a drained batch
+    /// mean events were overwritten or dropped).
+    pub seq: u64,
+    /// Nanoseconds since the registry was first touched (monotonic).
+    pub t_ns: u64,
+    /// Trace id active on the emitting thread; `0` = none.
+    pub trace: u64,
+    /// Event name (`chase.apply`, `cim.prune`, `cdm.prune`, …).
+    pub name: &'static str,
+    /// Static-keyed fields, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Look up an integer field by key.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(FieldValue::U64(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Look up a string field by key.
+    pub fn str_field(&self, key: &str) -> Option<&'static str> {
+        match self.field(key) {
+            Some(FieldValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// One-object JSON rendering (schema in `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        let fields = self.fields.iter().map(|&(k, v)| (k, v.to_json())).collect::<Vec<_>>();
+        Json::object(vec![
+            ("seq", Json::Int(self.seq as i64)),
+            ("t_ns", Json::Int(self.t_ns as i64)),
+            ("trace", if self.trace == 0 { Json::Null } else { Json::Str(trace_hex(self.trace)) }),
+            ("name", Json::Str(self.name.to_owned())),
+            ("fields", Json::object(fields)),
+        ])
+    }
+}
+
+/// Render a batch of events as JSON lines (one compact object per line).
+pub fn events_to_json_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Canonical 16-hex-digit rendering of a trace id.
+pub fn trace_hex(trace: u64) -> String {
+    format!("{trace:016x}")
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace id active on this thread (`0` = none).
+#[inline]
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard from [`trace_scope`]; restores the previous trace id on drop.
+#[must_use = "a trace scope covers the scope it is alive in; bind it to a variable"]
+pub struct TraceScope {
+    prev: u64,
+}
+
+/// Make `trace` the current trace id for this thread until the returned
+/// guard drops (scopes nest; the previous id is restored). Crossing a
+/// thread boundary — a pool worker, a scoped spawn — does *not* carry the
+/// id over: capture [`current_trace`] before the hop and re-establish a
+/// scope on the other side.
+pub fn trace_scope(trace: u64) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|cell| cell.replace(trace));
+    TraceScope { prev }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|cell| cell.set(self.prev));
+    }
+}
+
+/// Mint a process-unique, non-zero trace id.
+pub fn fresh_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace(), 0);
+        let outer = trace_scope(7);
+        assert_eq!(current_trace(), 7);
+        {
+            let _inner = trace_scope(9);
+            assert_eq!(current_trace(), 9);
+        }
+        assert_eq!(current_trace(), 7);
+        drop(outer);
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn fresh_ids_are_distinct_and_nonzero() {
+        let a = fresh_trace_id();
+        let b = fresh_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event {
+            seq: 3,
+            t_ns: 125,
+            trace: 0xab,
+            name: "cim.prune",
+            fields: vec![("node", FieldValue::U64(2)), ("op", FieldValue::Str("->"))],
+        };
+        let json = e.to_json();
+        assert_eq!(json.get("seq").and_then(Json::as_i64), Some(3));
+        assert_eq!(json.get("trace").and_then(Json::as_str), Some("00000000000000ab"));
+        let fields = json.get("fields").unwrap();
+        assert_eq!(fields.get("node").and_then(Json::as_i64), Some(2));
+        assert_eq!(fields.get("op").and_then(Json::as_str), Some("->"));
+        assert_eq!(e.u64_field("node"), Some(2));
+        assert_eq!(e.str_field("op"), Some("->"));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn untraced_event_renders_null_trace() {
+        let e = Event { seq: 0, t_ns: 0, trace: 0, name: "x", fields: vec![] };
+        assert!(matches!(e.to_json().get("trace"), Some(Json::Null)));
+        assert_eq!(events_to_json_lines(&[e]).lines().count(), 1);
+    }
+}

@@ -109,6 +109,20 @@ impl Histogram {
         bucket_bound(BUCKETS - 1)
     }
 
+    /// Occupied buckets as `(upper bound in ns, count)`, ascending. Feeds
+    /// the Prometheus exposition, which needs the raw bucket layout rather
+    /// than point quantiles.
+    pub(crate) fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bound(idx), n))
+            })
+            .collect()
+    }
+
     /// Reset to empty.
     pub fn clear(&self) {
         for c in &self.counts {
@@ -201,6 +215,49 @@ mod tests {
         assert!((930..=1130).contains(&p99), "p99 = {p99}");
         assert!(h.quantile(1.0) >= 1000);
         assert_eq!(h.quantile(0.0), h.quantile(1e-9), "q=0 clamps to first sample");
+    }
+
+    #[test]
+    fn quantiles_of_a_single_sample_pin_its_bucket_bound() {
+        // Quantiles never interpolate: every q maps to some bucket's upper
+        // bound. With one sample, every quantile is that sample's bound.
+        let h = Histogram::default();
+        h.record(100);
+        let bound = bucket_bound(bucket_of(100));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), bound, "q={q}");
+        }
+        assert!((100..=100 + 100 / 8).contains(&bound));
+    }
+
+    #[test]
+    fn quantiles_of_a_two_bucket_distribution_switch_at_the_median() {
+        let h = Histogram::default();
+        h.record(10); // exact bucket: bound 10
+        h.record(1000);
+        let high = bucket_bound(bucket_of(1000));
+        // rank = ceil(q·2) clamped to [1,2]: q ≤ 0.5 selects the low
+        // sample's bucket, anything above selects the high one.
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.51), high);
+        assert_eq!(h.quantile(0.95), high);
+        assert_eq!(h.quantile(0.99), high);
+        assert_eq!(h.quantile(1.0), high);
+    }
+
+    #[test]
+    fn nonzero_buckets_expose_the_occupied_layout() {
+        let h = Histogram::default();
+        h.record(10);
+        h.record(10);
+        h.record(1000);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (10, 2));
+        assert_eq!(buckets[1].1, 1);
+        assert!(buckets[1].0 >= 1000);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds ascend");
     }
 
     #[test]

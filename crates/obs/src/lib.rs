@@ -9,6 +9,11 @@
 //! * **Counters** — named atomic `u64`s ([`counter`] / [`incr`]).
 //! * **Histograms** — every span feeds a log-scale latency histogram;
 //!   reports surface p50/p95/p99.
+//! * **Events** — discrete decision records ([`event`]) in a bounded
+//!   non-blocking ring, drained with [`drain_events`]; each carries the
+//!   emitting thread's trace id ([`trace_scope`] / [`current_trace`]),
+//!   which `tpq serve` mints per request and `tpq explain` uses to
+//!   reconstruct why each node was pruned.
 //!
 //! The whole layer is **disabled by default**: every entry point starts
 //! with one relaxed atomic load and bails, so instrumented hot paths cost
@@ -30,12 +35,20 @@
 //! request/connection latency histograms under `serve.request` and
 //! `serve.conn`).
 
+mod event;
 mod histogram;
+mod prom;
 mod registry;
 mod report;
+mod ring;
 mod span;
 
+pub use event::{
+    current_trace, events_to_json_lines, fresh_trace_id, trace_hex, trace_scope, Event, FieldValue,
+    TraceScope,
+};
 pub use histogram::Histogram;
+pub use prom::prometheus_name;
 pub use registry::{Counter, EdgeStat, SpanStat};
 pub use report::Report;
 pub use span::{span, SpanGuard};
@@ -88,14 +101,48 @@ pub fn record_duration(name: &'static str, elapsed: Duration) {
     }
 }
 
+/// Emit a structured [`Event`] into the process-global ring, if enabled.
+/// Field keys and string values are `&'static str`, so the disabled path
+/// is one relaxed load and the enabled path allocates only the field
+/// vector. The emitting thread's [`current_trace`] id is attached.
+#[inline]
+pub fn event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    let registry = Registry::global();
+    if registry.enabled.load(Ordering::Relaxed) {
+        registry.record_event(name, event::current_trace(), fields.to_vec());
+    }
+}
+
+/// Take every buffered event (oldest first), emptying the ring. The ring
+/// is process-global and bounded: concurrent emitters keep writing while
+/// a drain runs, and old events are overwritten once it wraps.
+pub fn drain_events() -> Vec<Event> {
+    Registry::global().drain_events()
+}
+
+/// Events lost to write-time slot contention since the last [`reset`]
+/// (overwrites of old events when the ring wraps are not counted).
+pub fn events_dropped() -> u64 {
+    Registry::global().events_dropped()
+}
+
 /// Snapshot everything recorded so far.
 pub fn report() -> Report {
     Report::new(Registry::global().snapshot())
 }
 
+/// Render the current registry state as Prometheus text exposition,
+/// appending the caller's gauge readings (name, value). Counters map to
+/// `tpq_*_total`, span histograms to `tpq_*_seconds`; see
+/// [`prometheus_name`] for the name mangling.
+pub fn prometheus(gauges: &[(&str, f64)]) -> String {
+    report().to_prometheus(gauges)
+}
+
 /// Clear all recorded data (counters zero in place so cached handles stay
-/// live). Enabled state and filter are preserved. Meant for benches and
-/// tests that need per-run isolation.
+/// live, histograms and span aggregates empty, the event ring discards
+/// its contents). Enabled state and filter are preserved. Meant for
+/// benches and tests that need per-run isolation.
 pub fn reset() {
     Registry::global().reset();
 }

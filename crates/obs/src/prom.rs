@@ -1,0 +1,143 @@
+//! Prometheus text exposition of a registry snapshot.
+//!
+//! Mapping rules (also tabulated in `docs/OBSERVABILITY.md`):
+//!
+//! * every metric is prefixed `tpq_`; dots and dashes in the internal
+//!   name become underscores (`serve.request.ok` → `tpq_serve_request_ok`);
+//! * counters gain the conventional `_total` suffix and `# TYPE … counter`;
+//! * per-span latency histograms are exported in seconds as
+//!   `tpq_<name>_seconds` with cumulative `_bucket{le="…"}` lines, `_sum`
+//!   and `_count` (`# TYPE … histogram`);
+//! * caller-supplied gauges (`serve.inflight`, `serve.uptime_seconds`)
+//!   are emitted as-is with `# TYPE … gauge`.
+//!
+//! The suffix scheme keeps names collision-free: a counter and a
+//! histogram may share an internal name and still export distinctly.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// `serve.request.ok` → `tpq_serve_request_ok`. Any character outside
+/// Prometheus' `[a-zA-Z0-9_:]` set maps to `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("tpq_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `snapshot` (plus caller-supplied gauges) as Prometheus text
+/// exposition. Lines are sorted by metric name within each class so the
+/// output is deterministic; the caller owns any framing terminator.
+pub(crate) fn render(snapshot: &Snapshot, gauges: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+
+    let mut gauges: Vec<_> = gauges.to_vec();
+    gauges.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, value) in gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(value));
+    }
+
+    let mut counters: Vec<_> = snapshot.counters.clone();
+    counters.sort();
+    for (name, value) in counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total {value}");
+    }
+
+    let mut histograms: Vec<_> = snapshot.histograms.iter().collect();
+    histograms.sort_by_key(|(n, _)| *n);
+    for (name, h) in histograms {
+        if h.count() == 0 {
+            continue;
+        }
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name}_seconds histogram");
+        let mut cumulative = 0u64;
+        for (bound_ns, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let le = fmt_f64(bound_ns as f64 / 1e9);
+            let _ = writeln!(out, "{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_seconds_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{name}_seconds_sum {}", fmt_f64(h.sum() as f64 / 1e9));
+        let _ = writeln!(out, "{name}_seconds_count {}", h.count());
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use std::sync::Arc;
+
+    #[test]
+    fn name_mapping_replaces_dots_and_dashes() {
+        assert_eq!(prometheus_name("serve.request.ok"), "tpq_serve_request_ok");
+        assert_eq!(prometheus_name("bad-request"), "tpq_bad_request");
+        assert_eq!(prometheus_name("a:b"), "tpq_a:b");
+    }
+
+    #[test]
+    fn exposition_is_well_formed_and_duplicate_free() {
+        let h = Arc::new(Histogram::default());
+        h.record(100);
+        h.record(2_000_000);
+        let snapshot = Snapshot {
+            counters: vec![("serve.request.ok", 3), ("serve.request", 5)],
+            spans: vec![],
+            edges: vec![],
+            histograms: vec![("serve.request", Arc::clone(&h)), ("empty", Default::default())],
+        };
+        let text = render(&snapshot, &[("serve.inflight", 2.0), ("serve.uptime_seconds", 1.5)]);
+
+        // Every # TYPE names a distinct metric.
+        let mut typed: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let before = typed.len();
+        typed.sort_unstable();
+        typed.dedup();
+        assert_eq!(typed.len(), before, "duplicate metric names in exposition");
+
+        assert!(text.contains("# TYPE tpq_serve_inflight gauge"));
+        assert!(text.contains("tpq_serve_inflight 2.0"));
+        assert!(text.contains("tpq_serve_request_ok_total 3"));
+        // Counter/histogram name collision resolved by suffixes.
+        assert!(text.contains("tpq_serve_request_total 5"));
+        assert!(text.contains("# TYPE tpq_serve_request_seconds histogram"));
+        assert!(text.contains("tpq_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tpq_serve_request_seconds_count 2"));
+        assert!(!text.contains("tpq_empty"), "empty histograms are omitted");
+
+        // Bucket counts are cumulative and end at the total.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("tpq_serve_request_seconds_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "buckets not cumulative: {buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 2);
+    }
+}

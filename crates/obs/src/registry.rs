@@ -6,11 +6,13 @@
 //! `Mutex`es that are only taken on lookup, registration, reset and
 //! reporting.
 
+use crate::event::{Event, FieldValue};
 use crate::histogram::Histogram;
+use crate::ring::{EventRing, DEFAULT_CAPACITY};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,6 +63,9 @@ pub(crate) struct Registry {
     histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
     spans: Mutex<HashMap<&'static str, SpanStat>>,
     edges: Mutex<HashMap<(Option<&'static str>, &'static str), EdgeStat>>,
+    events: EventRing,
+    /// Origin of event timestamps (the registry's first touch).
+    epoch: Instant,
 }
 
 impl Registry {
@@ -77,6 +82,8 @@ impl Registry {
                 histograms: Mutex::new(HashMap::new()),
                 spans: Mutex::new(HashMap::new()),
                 edges: Mutex::new(HashMap::new()),
+                events: EventRing::new(DEFAULT_CAPACITY),
+                epoch: Instant::now(),
             }
         })
     }
@@ -120,6 +127,25 @@ impl Registry {
         self.histogram(name).record(total_ns);
     }
 
+    /// Publish one event into the ring (`seq` is assigned by the ring).
+    pub(crate) fn record_event(
+        &self,
+        name: &'static str,
+        trace: u64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.push(Event { seq: 0, t_ns, trace, name, fields });
+    }
+
+    pub(crate) fn drain_events(&self) -> Vec<Event> {
+        self.events.drain()
+    }
+
+    pub(crate) fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
     pub(crate) fn set_filter(&self, prefixes: Vec<String>) {
         *self.filter.lock().expect("filter poisoned") = prefixes;
     }
@@ -135,6 +161,7 @@ impl Registry {
         }
         self.spans.lock().expect("span map poisoned").clear();
         self.edges.lock().expect("edge map poisoned").clear();
+        self.events.clear();
     }
 
     pub(crate) fn snapshot(&self) -> Snapshot {

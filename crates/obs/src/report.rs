@@ -114,7 +114,7 @@ impl Report {
         let mut counters: Vec<_> = self.snapshot.counters.clone();
         counters.sort();
         if counters.iter().any(|(_, v)| *v > 0) {
-            let _ = writeln!(out, "\ncounters");
+            let _ = writeln!(out, "\ncounters (cumulative since process start)");
             for (name, value) in counters {
                 if value > 0 {
                     let _ = writeln!(out, "  {name:<40} {value:>10}");
@@ -202,7 +202,16 @@ impl Report {
             ("spans", Json::Array(spans)),
             ("edges", Json::Array(edges)),
             ("counters", Json::Array(counters)),
+            // Counters (and spans) are never windowed: values accumulate
+            // from process start until an explicit `reset()`.
+            ("counters_note", Json::Str("cumulative since process start".to_owned())),
         ])
+    }
+
+    /// Prometheus text exposition of this snapshot, with caller-supplied
+    /// gauge readings appended. See [`crate::prometheus`].
+    pub fn to_prometheus(&self, gauges: &[(&str, f64)]) -> String {
+        crate::prom::render(&self.snapshot, gauges)
     }
 }
 
@@ -216,5 +225,42 @@ fn fmt_ns(ns: u64) -> String {
         format!("{:.2}ms", ns / 1e6)
     } else {
         format!("{:.2}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_json_escapes_quotes_and_backslashes_in_names() {
+        let name: &'static str = "weird\"name\\with.quotes";
+        let snapshot = Snapshot {
+            counters: vec![(name, 2)],
+            spans: vec![(name, SpanStat { count: 1, total_ns: 5, self_ns: 5 })],
+            edges: vec![((None, name), EdgeStat { count: 1, total_ns: 5 })],
+            histograms: vec![],
+        };
+        let text = Report::new(snapshot).to_json().to_string_compact();
+        assert!(text.contains(r#"weird\"name\\with.quotes"#), "raw text: {text}");
+        // The authoritative check: the serialized report re-parses and the
+        // names round-trip unmangled.
+        let parsed = Json::parse(&text).expect("escaped report must re-parse");
+        let Some(Json::Array(spans)) = parsed.get("spans") else { panic!("spans array") };
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some(name));
+        let Some(Json::Array(counters)) = parsed.get("counters") else { panic!("counters array") };
+        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some(name));
+        let Some(Json::Array(edges)) = parsed.get("edges") else { panic!("edges array") };
+        assert_eq!(edges[0].get("child").and_then(Json::as_str), Some(name));
+    }
+
+    #[test]
+    fn sinks_state_that_counters_are_cumulative() {
+        let snapshot =
+            Snapshot { counters: vec![("c", 1)], spans: vec![], edges: vec![], histograms: vec![] };
+        let report = Report::new(snapshot);
+        assert!(report.to_text().contains("cumulative since process start"));
+        let note = report.to_json().get("counters_note").and_then(Json::as_str).map(str::to_owned);
+        assert_eq!(note.as_deref(), Some("cumulative since process start"));
     }
 }

@@ -1,0 +1,152 @@
+//! A bounded, non-blocking ring buffer for [`Event`]s.
+//!
+//! Writers claim a global sequence number with one `fetch_add`, then try
+//! to take the per-slot lock for `seq % capacity`. The lock is only ever
+//! *tried* — a writer that loses the race (the slot is mid-write or
+//! mid-drain) drops its event and bumps a drop counter instead of
+//! blocking, so emission from hot paths can never stall on a reader.
+//! Older events are silently overwritten once the ring wraps: the ring
+//! answers "what happened recently", not "everything that happened" —
+//! the aggregate counters and histograms carry the lossless totals.
+//!
+//! [`drain`](EventRing::drain) empties every slot and returns the
+//! surviving events sorted by sequence number.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity (events), enough to hold the full decision trail
+/// of any realistic single minimization.
+pub(crate) const DEFAULT_CAPACITY: usize = 4096;
+
+pub(crate) struct EventRing {
+    slots: Vec<Mutex<Option<Event>>>,
+    /// Next sequence number to assign.
+    head: AtomicU64,
+    /// Events discarded because their slot was contended at write time
+    /// (overwrites of old events are not counted; they are the point).
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event ring needs at least one slot");
+        EventRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish one event (its `seq` is assigned here). Never blocks.
+    pub(crate) fn push(&self, mut event: Event) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => *guard = Some(event),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Take every buffered event, oldest first.
+    pub(crate) fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.try_lock() {
+                if let Some(event) = guard.take() {
+                    out.push(event);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Events lost to write-time contention so far.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all buffered events and zero the drop counter. The
+    /// sequence counter keeps running so post-clear events still sort
+    /// after pre-clear ones a reader may have kept.
+    pub(crate) fn clear(&self) {
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.try_lock() {
+                *guard = None;
+            }
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str) -> Event {
+        Event { seq: 0, t_ns: 0, trace: 0, name, fields: Vec::new() }
+    }
+
+    #[test]
+    fn drain_returns_events_in_emission_order() {
+        let ring = EventRing::new(8);
+        ring.push(ev("a"));
+        ring.push(ev("b"));
+        ring.push(ev("c"));
+        let drained = ring.drain();
+        assert_eq!(drained.iter().map(|e| e.name).collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), [0, 1, 2]);
+        assert!(ring.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn wrapping_overwrites_oldest() {
+        let ring = EventRing::new(4);
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            ring.push(ev(name));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.iter().map(|e| e.name).collect::<Vec<_>>(), ["c", "d", "e", "f"]);
+        assert_eq!(ring.dropped(), 0, "overwrites are not drops");
+    }
+
+    #[test]
+    fn clear_discards_and_keeps_sequencing() {
+        let ring = EventRing::new(4);
+        ring.push(ev("a"));
+        ring.clear();
+        assert!(ring.drain().is_empty());
+        ring.push(ev("b"));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, 1, "sequence numbers survive clear");
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_when_the_ring_is_big_enough() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::new(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        ring.push(ev("w"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len() as u64 + ring.dropped(), 400);
+        // Slots are uncontended once writers finish, so nothing is lost.
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -74,6 +74,20 @@ impl Drop for SpanGuard {
         });
         let self_time = elapsed.saturating_sub(child_time);
         Registry::global().record_span(self.name, parent, elapsed, self_time);
+        // Attribute the span to the active request, if any: a per-request
+        // latency breakdown falls out of the event ring without touching
+        // the (request-agnostic) aggregates above.
+        let trace = crate::event::current_trace();
+        if trace != 0 {
+            Registry::global().record_event(
+                "span",
+                trace,
+                vec![
+                    ("span", crate::FieldValue::Str(self.name)),
+                    ("ns", crate::FieldValue::U64(elapsed.as_nanos() as u64)),
+                ],
+            );
+        }
     }
 }
 

@@ -1,0 +1,130 @@
+//! Integration tests for the structured-event layer: the global ring,
+//! trace scoping, span attribution and the Prometheus sink.
+//!
+//! The registry (and its event ring) is process-global, so tests that
+//! touch it serialize on one mutex and start from a clean slate.
+
+use std::sync::{Mutex, MutexGuard};
+use tpq_base::Json;
+use tpq_obs::FieldValue::{Str, U64};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn fresh() {
+    tpq_obs::set_enabled(true);
+    tpq_obs::set_filter(Vec::new());
+    tpq_obs::reset();
+}
+
+#[test]
+fn events_carry_the_active_trace_id() {
+    let _guard = serial();
+    fresh();
+    let trace = tpq_obs::fresh_trace_id();
+    {
+        let _scope = tpq_obs::trace_scope(trace);
+        tpq_obs::event("test.traced", &[("node", U64(4)), ("op", Str("->"))]);
+    }
+    tpq_obs::event("test.untraced", &[]);
+    let events = tpq_obs::drain_events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].name, "test.traced");
+    assert_eq!(events[0].trace, trace);
+    assert_eq!(events[0].u64_field("node"), Some(4));
+    assert_eq!(events[0].str_field("op"), Some("->"));
+    assert_eq!(events[1].trace, 0);
+    assert!(events[0].seq < events[1].seq, "seq preserves emission order");
+}
+
+#[test]
+fn disabled_layer_records_no_events() {
+    let _guard = serial();
+    fresh();
+    tpq_obs::set_enabled(false);
+    tpq_obs::event("test.invisible", &[("k", U64(1))]);
+    tpq_obs::set_enabled(true);
+    assert!(tpq_obs::drain_events().is_empty());
+}
+
+#[test]
+fn reset_clears_the_event_ring() {
+    let _guard = serial();
+    fresh();
+    tpq_obs::event("test.doomed", &[]);
+    tpq_obs::reset();
+    assert!(tpq_obs::drain_events().is_empty());
+    assert_eq!(tpq_obs::events_dropped(), 0);
+}
+
+#[test]
+fn spans_emit_close_events_only_under_a_trace() {
+    let _guard = serial();
+    fresh();
+    {
+        let _s = tpq_obs::span!("test.anon_span");
+    }
+    let trace = tpq_obs::fresh_trace_id();
+    {
+        let _scope = tpq_obs::trace_scope(trace);
+        let _s = tpq_obs::span!("test.traced_span");
+    }
+    let events = tpq_obs::drain_events();
+    let spans: Vec<_> = events.iter().filter(|e| e.name == "span").collect();
+    assert_eq!(spans.len(), 1, "only the traced span lands in the ring: {events:?}");
+    assert_eq!(spans[0].trace, trace);
+    assert_eq!(spans[0].str_field("span"), Some("test.traced_span"));
+    assert!(spans[0].u64_field("ns").is_some());
+}
+
+#[test]
+fn events_render_as_json_lines() {
+    let _guard = serial();
+    fresh();
+    let trace = tpq_obs::fresh_trace_id();
+    let _scope = tpq_obs::trace_scope(trace);
+    tpq_obs::event("test.jsonl", &[("value", U64(11))]);
+    let lines = tpq_obs::events_to_json_lines(&tpq_obs::drain_events());
+    let parsed = Json::parse(lines.trim()).expect("each line is one JSON object");
+    assert_eq!(parsed.get("name").and_then(Json::as_str), Some("test.jsonl"));
+    assert_eq!(parsed.get("trace").and_then(Json::as_str).map(String::from).as_deref(), {
+        Some(tpq_obs::trace_hex(trace)).as_deref()
+    });
+    assert_eq!(parsed.get("fields").and_then(|f| f.get("value")).and_then(Json::as_i64), Some(11));
+}
+
+#[test]
+fn trace_ids_do_not_leak_across_threads() {
+    let _guard = serial();
+    fresh();
+    let _scope = tpq_obs::trace_scope(tpq_obs::fresh_trace_id());
+    let seen = std::thread::spawn(tpq_obs::current_trace).join().unwrap();
+    assert_eq!(seen, 0, "trace scope is thread-local; propagation is explicit");
+}
+
+#[test]
+fn prometheus_snapshot_covers_counters_histograms_and_gauges() {
+    let _guard = serial();
+    fresh();
+    tpq_obs::incr("test.prom.hits", 3);
+    tpq_obs::record_duration("test.prom.lat", std::time::Duration::from_micros(50));
+    let text = tpq_obs::prometheus(&[("test.prom.inflight", 1.0)]);
+    assert!(text.contains("# TYPE tpq_test_prom_hits_total counter"), "{text}");
+    assert!(text.contains("tpq_test_prom_hits_total 3"), "{text}");
+    assert!(text.contains("# TYPE tpq_test_prom_lat_seconds histogram"), "{text}");
+    assert!(text.contains("tpq_test_prom_lat_seconds_count 1"), "{text}");
+    assert!(text.contains("tpq_test_prom_inflight 1.0"), "{text}");
+    // Well-formed: every non-comment line is `name{labels}? value`.
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (name, value) = (parts.next().unwrap(), parts.next().unwrap());
+        assert!(parts.next().is_none(), "unexpected extra column: {line}");
+        assert!(name.starts_with("tpq_"), "unprefixed metric: {line}");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+    }
+}

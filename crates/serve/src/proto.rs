@@ -1,10 +1,14 @@
 //! The wire protocol: newline-delimited JSON requests and responses.
 //!
 //! One request per line, one response line per request, in order. A
-//! request is either a JSON object or one of three bare verbs:
+//! request is either a JSON object or one of four bare verbs:
 //!
 //! * `PING` — liveness probe, answered with `{"ok":true}`;
-//! * `STATS` — server + observability snapshot as one JSON object;
+//! * `STATS` — server + observability snapshot as one JSON object
+//!   (counters are cumulative since process start);
+//! * `METRICS` — the same snapshot in Prometheus text exposition format.
+//!   The one multi-line response in the protocol: it ends with a `# EOF`
+//!   line, after which normal line framing resumes;
 //! * `SHUTDOWN` — acknowledge, then drain the server gracefully.
 //!
 //! A minimization request:
@@ -19,14 +23,18 @@
 //! limits). Unknown fields are rejected so client typos surface as
 //! errors instead of silently ignored options.
 //!
-//! A successful response:
+//! A successful response (the server appends a per-request `trace` id —
+//! 16 hex digits — to every minimization response; quote it when
+//! correlating with the slow-query log or drained decision events):
 //!
 //! ```json
 //! {"minimized": "Book*/Title", "stats": {"input_nodes": 3, "output_nodes": 2,
-//!  "cache_hit": false, "micros": 41.0, "cim_removed": 1, "cdm_removed": 0}}
+//!  "cache_hit": false, "micros": 41.0, "cim_removed": 1, "cdm_removed": 0},
+//!  "trace": "000000000000002a"}
 //! ```
 //!
-//! A failure (always a single line, always this shape):
+//! A failure (always a single line, always this shape plus the same
+//! appended `trace` field):
 //!
 //! ```json
 //! {"error": {"kind": "parse", "message": "pattern parse error at byte 3: …"}}

@@ -62,6 +62,13 @@ pub struct ServeConfig {
     /// Install SIGINT/SIGTERM handlers that trigger graceful shutdown
     /// (the `tpq serve` CLI sets this; tests drive shutdown explicitly).
     pub handle_signals: bool,
+    /// Slow-query threshold in milliseconds: a request taking at least
+    /// this long is logged with its trace id and per-phase breakdown.
+    /// `None` disables the slow-query log.
+    pub slow_ms: Option<u64>,
+    /// Where the slow-query log goes: a file path (appended, created if
+    /// missing) or `None` for stderr.
+    pub slow_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +83,8 @@ impl Default for ServeConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             drain_ms: 5_000,
             handle_signals: false,
+            slow_ms: None,
+            slow_log: None,
         }
     }
 }
@@ -97,6 +106,8 @@ pub struct ServeSummary {
 struct ServerState {
     shutdown: AtomicBool,
     active: AtomicUsize,
+    /// Requests currently being processed (the `serve.inflight` gauge).
+    inflight: AtomicUsize,
     accepted: AtomicU64,
     refused: AtomicU64,
     requests_ok: AtomicU64,
@@ -104,6 +115,8 @@ struct ServerState {
     pool: TaskPool,
     config: ServeConfig,
     started: Instant,
+    /// Open slow-query log file (`None` = log to stderr).
+    slow_log: Option<Mutex<std::fs::File>>,
 }
 
 impl ServerState {
@@ -173,11 +186,18 @@ impl Server {
         if config.handle_signals {
             crate::signal::install();
         }
+        let slow_log = match &config.slow_log {
+            Some(path) => {
+                Some(Mutex::new(std::fs::OpenOptions::new().create(true).append(true).open(path)?))
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
                 accepted: AtomicU64::new(0),
                 refused: AtomicU64::new(0),
                 requests_ok: AtomicU64::new(0),
@@ -185,6 +205,7 @@ impl Server {
                 pool: TaskPool::new(jobs),
                 config,
                 started: Instant::now(),
+                slow_log,
             }),
         })
     }
@@ -269,6 +290,10 @@ fn refuse_connection(state: &ServerState, mut stream: TcpStream) {
 enum Flow {
     /// Send this response and keep reading.
     Respond(Json),
+    /// Send this pre-rendered multi-line text verbatim (the `METRICS`
+    /// exposition) and keep reading. The text carries its own `# EOF`
+    /// terminator line so clients can re-frame the stream.
+    Raw(String),
     /// Blank line: nothing to send.
     Skip,
     /// Send this response, then trigger graceful server shutdown.
@@ -297,6 +322,11 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
                 Flow::Skip => {}
                 Flow::Respond(json) => {
                     if writeln!(stream, "{json}").is_err() {
+                        break 'conn;
+                    }
+                }
+                Flow::Raw(text) => {
+                    if stream.write_all(text.as_bytes()).is_err() {
                         break 'conn;
                     }
                 }
@@ -344,6 +374,7 @@ fn dispatch(state: &ServerState, line: &str) -> Flow {
     match line {
         "PING" => Flow::Respond(Json::object(vec![("ok", Json::Bool(true))])),
         "STATS" => Flow::Respond(stats_json(state)),
+        "METRICS" => Flow::Raw(metrics_text(state)),
         "SHUTDOWN" => {
             tpq_obs::incr("serve.shutdown", 1);
             Flow::Shutdown(Json::object(vec![
@@ -353,13 +384,26 @@ fn dispatch(state: &ServerState, line: &str) -> Flow {
         }
         _ if !line.starts_with('{') => Flow::Respond(
             ProtoError::bad_request(format!(
-                "unknown verb '{}' (expected PING, STATS, SHUTDOWN or a JSON object)",
+                "unknown verb '{}' (expected PING, STATS, METRICS, SHUTDOWN or a JSON object)",
                 line.chars().take(32).collect::<String>()
             ))
             .to_json(),
         ),
         _ => Flow::Respond(handle_request(state, line)),
     }
+}
+
+/// The `METRICS` verb: the whole tpq-obs registry plus the server gauges
+/// in Prometheus text exposition format, terminated by a `# EOF` line so
+/// clients of the line-framed protocol know where the exposition ends.
+fn metrics_text(state: &ServerState) -> String {
+    let gauges = [
+        ("serve.inflight", state.inflight.load(Ordering::Acquire) as f64),
+        ("serve.uptime_seconds", state.started.elapsed().as_secs_f64()),
+    ];
+    let mut text = tpq_obs::prometheus(&gauges);
+    text.push_str("# EOF\n");
+    text
 }
 
 /// The `STATS` verb: server totals plus the whole tpq-obs registry.
@@ -379,6 +423,7 @@ fn stats_json(state: &ServerState) -> Json {
             Json::object(vec![
                 ("ok", Json::Int(state.requests_ok.load(Ordering::Relaxed) as i64)),
                 ("error", Json::Int(state.requests_failed.load(Ordering::Relaxed) as i64)),
+                ("inflight", Json::Int(state.inflight.load(Ordering::Acquire) as i64)),
             ]),
         ),
         (
@@ -401,12 +446,39 @@ fn effective_limit(requested: Option<u64>, ceiling: Option<u64>) -> Option<u64> 
     }
 }
 
-/// Answer one minimization request line.
+/// Per-phase wall-clock breakdown of one request, for the slow-query log.
+#[derive(Debug, Default, Clone, Copy)]
+struct Phases {
+    parse: Duration,
+    minimize: Duration,
+    render: Duration,
+}
+
+/// Decrements the in-flight request gauge when the request finishes,
+/// even if the handler panics.
+struct InflightGuard<'a>(&'a ServerState);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Answer one minimization request line. Mints the request's trace id
+/// (echoed back as the `trace` response field), tracks the in-flight
+/// gauge, and feeds the slow-query log.
 fn handle_request(state: &ServerState, line: &str) -> Json {
     let t0 = Instant::now();
-    let result = minimize_request(state, line, t0);
-    tpq_obs::record_duration("serve.request", t0.elapsed());
-    match result {
+    state.inflight.fetch_add(1, Ordering::AcqRel);
+    let _inflight = InflightGuard(state);
+    let trace = tpq_obs::fresh_trace_id();
+    let _scope = tpq_obs::trace_scope(trace);
+    let mut phases = Phases::default();
+    let result = minimize_request(state, line, t0, &mut phases);
+    let elapsed = t0.elapsed();
+    tpq_obs::record_duration("serve.request", elapsed);
+    maybe_log_slow(state, line, trace, elapsed, &phases);
+    let json = match result {
         Ok(json) => {
             state.requests_ok.fetch_add(1, Ordering::Relaxed);
             tpq_obs::incr("serve.request.ok", 1);
@@ -417,11 +489,67 @@ fn handle_request(state: &ServerState, line: &str) -> Json {
             tpq_obs::incr("serve.request.error", 1);
             e.to_json()
         }
+    };
+    with_trace(json, trace)
+}
+
+/// Append the request's trace id to a response object (success and error
+/// responses alike), leaving the established inner shapes untouched.
+fn with_trace(json: Json, trace: u64) -> Json {
+    match json {
+        Json::Object(mut members) => {
+            members.push(("trace".to_owned(), Json::Str(tpq_obs::trace_hex(trace))));
+            Json::Object(members)
+        }
+        other => other,
     }
 }
 
-/// Parse, guard and minimize one request on the worker pool.
-fn minimize_request(state: &ServerState, line: &str, t0: Instant) -> Result<Json, ProtoError> {
+/// Write one slow-query log line when the request crossed the configured
+/// threshold: trace id, total latency, per-phase breakdown and the
+/// (truncated) request line, as one JSON object per line.
+fn maybe_log_slow(state: &ServerState, line: &str, trace: u64, elapsed: Duration, phases: &Phases) {
+    let Some(slow_ms) = state.config.slow_ms else {
+        return;
+    };
+    if elapsed.as_millis() < u128::from(slow_ms) {
+        return;
+    }
+    tpq_obs::incr("serve.request.slow", 1);
+    const MAX_LOGGED_QUERY: usize = 512;
+    let truncated: String = line.chars().take(MAX_LOGGED_QUERY).collect();
+    let entry = Json::object(vec![
+        ("trace", Json::Str(tpq_obs::trace_hex(trace))),
+        ("elapsed_ms", Json::Float(elapsed.as_secs_f64() * 1e3)),
+        (
+            "phases_us",
+            Json::object(vec![
+                ("parse", Json::Float(phases.parse.as_secs_f64() * 1e6)),
+                ("minimize", Json::Float(phases.minimize.as_secs_f64() * 1e6)),
+                ("render", Json::Float(phases.render.as_secs_f64() * 1e6)),
+            ]),
+        ),
+        ("request", Json::Str(truncated)),
+    ])
+    .to_string_compact();
+    match &state.slow_log {
+        Some(file) => {
+            let mut file = file.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let _ = writeln!(file, "{entry}");
+        }
+        None => eprintln!("tpq-serve slow query: {entry}"),
+    }
+}
+
+/// Parse, guard and minimize one request on the worker pool, recording
+/// the per-phase breakdown into `phases`.
+fn minimize_request(
+    state: &ServerState,
+    line: &str,
+    t0: Instant,
+    phases: &mut Phases,
+) -> Result<Json, ProtoError> {
+    let t_parse = Instant::now();
     let req = Request::parse(line)?;
     // Parse constraints before the query, under the process-wide
     // interner, so equal constraint text always produces equal
@@ -437,6 +565,7 @@ fn minimize_request(state: &ServerState, line: &str, t0: Instant) -> Result<Json
         .map_err(|e| ProtoError::from_error(&e))?;
         (query, ics)
     };
+    phases.parse = t_parse.elapsed();
     let strategy = req.strategy.unwrap_or(state.config.strategy);
     let guard = {
         let mut builder = Guard::builder();
@@ -450,11 +579,21 @@ fn minimize_request(state: &ServerState, line: &str, t0: Instant) -> Result<Json
     };
     let engine = shared_engine(&ics, strategy);
     let input_nodes = query.size();
+    // Trace identity is thread-local: carry the request's id onto
+    // whichever pool worker executes the minimization.
+    let trace = tpq_obs::current_trace();
+    let t_min = Instant::now();
     let out = state
         .pool
-        .run(move || engine.minimize_cached_guarded(&query, &guard))
+        .run(move || {
+            let _scope = tpq_obs::trace_scope(trace);
+            engine.minimize_cached_guarded(&query, &guard)
+        })
         .map_err(|e| ProtoError::from_error(&e))?;
+    phases.minimize = t_min.elapsed();
+    let t_render = Instant::now();
     let minimized = to_dsl(&out.pattern, &lock_types());
+    phases.render = t_render.elapsed();
     Ok(success_response(
         minimized,
         input_nodes,

@@ -367,3 +367,141 @@ fn handle_shutdown_reports_summary_totals() {
     assert_eq!(summary.requests_ok, 1);
     assert_eq!(summary.requests_failed, 1);
 }
+
+/// Pull the appended `"trace"` field out of a raw response line.
+fn trace_of(response: &str) -> String {
+    let json = tpq_base::Json::parse(response).expect("response JSON");
+    json.get("trace")
+        .and_then(tpq_base::Json::as_str)
+        .unwrap_or_else(|| panic!("no 'trace' in {response}"))
+        .to_owned()
+}
+
+/// Send `METRICS` and read the multi-line exposition up to its `# EOF`
+/// terminator (exclusive).
+fn scrape_metrics(conn: &mut BufReader<TcpStream>) -> Vec<String> {
+    writeln!(conn.get_mut(), "METRICS").expect("write");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("read metrics line");
+        let line = line.trim_end().to_owned();
+        if line == "# EOF" {
+            return lines;
+        }
+        lines.push(line);
+    }
+}
+
+#[test]
+fn metrics_verb_returns_wellformed_prometheus_exposition() {
+    let (addr, handle, thread) = start(ServeConfig::default());
+    let mut conn = connect(addr);
+    // Generate some traffic so counters and histograms are non-empty.
+    round_trip(&mut conn, r#"{"query": "MetricsCase*[/MA][/MB]"}"#);
+    let lines = scrape_metrics(&mut conn);
+    assert!(!lines.is_empty());
+    let mut declared = Vec::new();
+    for line in &lines {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("metric name").to_owned();
+            let kind = parts.next().expect("metric kind");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+            declared.push(name);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        // Sample lines: `name[{labels}] value`, names under the tpq_ prefix.
+        assert!(line.starts_with("tpq_"), "unprefixed sample: {line}");
+        let value = line.rsplit(' ').next().expect("sample value");
+        assert!(value.parse::<f64>().is_ok() || value == "+Inf", "unparseable value in {line}");
+    }
+    assert!(!declared.is_empty(), "no # TYPE headers in the exposition");
+    let mut sorted = declared.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), declared.len(), "duplicate metric names: {declared:?}");
+    assert!(declared.iter().any(|n| n == "tpq_serve_inflight"));
+    assert!(declared.iter().any(|n| n == "tpq_serve_uptime_seconds"));
+    assert!(declared.iter().any(|n| n == "tpq_serve_request_ok_total"));
+    // Line framing resumes after # EOF: the connection is still usable.
+    assert_eq!(round_trip(&mut conn, "PING"), r#"{"ok":true}"#);
+    drop(conn);
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn responses_carry_distinct_per_request_trace_ids() {
+    let (addr, handle, thread) = start(ServeConfig::default());
+    let mut conn = connect(addr);
+    let first = trace_of(&round_trip(&mut conn, r#"{"query": "TraceCase*[/TA]"}"#));
+    let second = trace_of(&round_trip(&mut conn, r#"{"query": "TraceCase*[/TB]"}"#));
+    for trace in [&first, &second] {
+        assert_eq!(trace.len(), 16, "trace is 16 hex digits: {trace}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{trace}");
+    }
+    assert_ne!(first, second, "each request gets its own trace id");
+    // Error responses carry a trace too, outside the stable error object.
+    let error = round_trip(&mut conn, r#"{"query": "((("}"#);
+    assert_eq!(error_kind_of(&error), "parse");
+    assert_eq!(trace_of(&error).len(), 16);
+    drop(conn);
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn slow_query_log_records_trace_and_phase_breakdown() {
+    let path = std::env::temp_dir().join(format!(
+        "tpq-serve-slow-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let (addr, handle, thread) = start(ServeConfig {
+        slow_ms: Some(0), // every request is "slow"
+        slow_log: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    let mut conn = connect(addr);
+    let response = round_trip(
+        &mut conn,
+        r#"{"query": "SlowCase*[/LA][/LB]", "constraints": "SlowCase -> LA"}"#,
+    );
+    let trace = trace_of(&response);
+    drop(conn);
+    handle.shutdown();
+    thread.join().unwrap();
+    let log = std::fs::read_to_string(&path).expect("slow log file");
+    let entry = log
+        .lines()
+        .find(|l| l.contains(&trace))
+        .unwrap_or_else(|| panic!("no slow-log line for trace {trace} in {log:?}"));
+    let json = tpq_base::Json::parse(entry).expect("slow-log line is JSON");
+    assert_eq!(json.get("trace").and_then(tpq_base::Json::as_str), Some(trace.as_str()));
+    assert!(json.get("elapsed_ms").and_then(tpq_base::Json::as_f64).is_some());
+    let phases = json.get("phases_us").expect("phases_us");
+    for phase in ["parse", "minimize", "render"] {
+        assert!(phases.get(phase).and_then(tpq_base::Json::as_f64).is_some(), "{phase}");
+    }
+    assert!(json.get("request").and_then(tpq_base::Json::as_str).unwrap().contains("SlowCase"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn request_counters_survive_a_registry_reset() {
+    // reset() isolates counter assertions from whatever ran earlier in
+    // this binary; servers in other tests may still add counts
+    // concurrently, so the assertion is a floor.
+    tpq_obs::reset();
+    let (addr, handle, thread) = start(ServeConfig::default());
+    let mut conn = connect(addr);
+    round_trip(&mut conn, r#"{"query": "ResetCase*[/RA]"}"#);
+    let report = tpq_obs::report();
+    assert!(report.counter("serve.request.ok") >= 1);
+    drop(conn);
+    handle.shutdown();
+    thread.join().unwrap();
+}

@@ -7,11 +7,13 @@
 //! tpq minimize --batch queries.txt --deadline-ms 250 --budget 5000000
 //! tpq --trace minimize 'Dept*[//DBProject]//Manager//DBProject'
 //! tpq --metrics-json out.json minimize 'a*[/b][/b/c]'
+//! tpq explain  'Articles[/Article//Paragraph]/Article*//Section//Paragraph' --ic 'Section ->> Paragraph'
 //! tpq match    --query 'Dept*//Manager' --doc org.xml
 //! tpq check    --q1 'a*[/b]' --q2 'a*' --ic 'a -> b'
 //! tpq closure  --constraints ics.txt
 //! tpq repair   --doc org.xml --constraints ics.txt
 //! tpq serve    --addr 127.0.0.1:7878 --jobs 4 --max-conns 64 --deadline-ms 1000
+//! tpq serve    --addr 127.0.0.1:7878 --slow-ms 50 --slow-log slow.jsonl
 //! ```
 //!
 //! Patterns are given in the DSL by default; `--xpath` switches the query
@@ -36,11 +38,19 @@
 //! batch mode queries that finished in time still print their results,
 //! with `# error: …` placeholder lines holding the failed slots.
 //!
+//! `tpq explain` minimizes one query like `minimize` and then prints, per
+//! deleted node, the Figure 6 CDM rule or the endomorphism witness that
+//! justified the deletion (IC-implied witnesses are resolved back to the
+//! chase fact that created them). `--events` additionally dumps the raw
+//! decision-event stream to stderr as JSON lines.
+//!
 //! `tpq serve` runs the minimization service from `tpq-serve`: it prints
 //! `listening on <addr>` once bound, answers newline-delimited JSON
 //! requests until SIGTERM / ctrl-c / a `SHUTDOWN` verb, then drains
 //! in-flight work and prints a summary. `--deadline-ms` / `--budget` act
-//! as per-request ceilings rather than whole-process limits.
+//! as per-request ceilings rather than whole-process limits. `--slow-ms
+//! <n>` logs requests at or above `n` milliseconds (trace id plus
+//! per-phase breakdown) to stderr, or to `--slow-log <path>` when given.
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
@@ -66,18 +76,19 @@ fn main() -> ExitCode {
         tpq::obs::set_enabled(true);
     }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|match|check|closure|repair|serve> [options]");
+        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|explain|match|check|closure|repair|serve> [options]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
         "minimize" => cmd_minimize(rest),
+        "explain" => cmd_explain(rest),
         "match" => cmd_match(rest),
         "check" => cmd_check(rest),
         "closure" => cmd_closure(rest),
         "repair" => cmd_repair(rest),
         "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
-            println!("subcommands: minimize, match, check, closure, repair, serve");
+            println!("subcommands: minimize, explain, match, check, closure, repair, serve");
             println!("global flags: --trace, --metrics-json <path>");
             Ok(())
         }
@@ -351,6 +362,76 @@ fn cmd_minimize(args: &[String]) -> Result2<()> {
     Ok(())
 }
 
+/// `tpq explain`: minimize once with decision-event capture on and print,
+/// for every deleted node, the constraint-closure fact or homomorphism
+/// witness that justified the deletion.
+fn cmd_explain(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &["events"])?;
+    let mut types = TypeInterner::new();
+    let strategy = opts.get("strategy").unwrap_or_default().parse::<Strategy>()?;
+    let guard = parse_guard(&opts)?;
+    let query = parse_query(&opts, &mut types)?;
+    let ics = gather_constraints(&opts, &mut types)?;
+    let ex =
+        tpq::core::explain_guarded(&query, &ics, strategy, &guard).map_err(|e| e.to_string())?;
+    println!("{}", to_dsl(&ex.minimized, &types));
+    println!(
+        "{} nodes -> {} ({} deleted) | trace {}",
+        query.size(),
+        ex.minimized.size(),
+        ex.deletions.len(),
+        tpq::obs::trace_hex(ex.trace),
+    );
+    for d in &ex.deletions {
+        println!("  - {}", deletion_line(d, &query, &types));
+    }
+    if opts.flag("events") {
+        eprint!("{}", tpq::obs::events_to_json_lines(&ex.events));
+    }
+    Ok(())
+}
+
+/// One human-readable justification line for a deleted node.
+fn deletion_line(d: &tpq::core::Deletion, q: &TreePattern, types: &TypeInterner) -> String {
+    use tpq::core::Reason;
+    let name = types.name(d.ty);
+    let fact_line = |fact: &tpq::core::ChaseFact| {
+        format!("{} {} {}", types.name(fact.lhs), fact.op, types.name(fact.rhs))
+    };
+    match &d.reason {
+        Reason::Cdm { rule, at, fact, witness_ty } => {
+            let mut line = format!(
+                "{name} (node {}): CDM rule {rule} at {} (node {}): {}",
+                d.node.0,
+                types.name(q.node(*at).primary),
+                at.0,
+                fact_line(fact),
+            );
+            if let Some(w) = witness_ty {
+                let role = if *rule == 3 { "sibling" } else { "descendant" };
+                line.push_str(&format!(", witnessed by a co-occurring {} {role}", types.name(*w)));
+            }
+            line
+        }
+        Reason::Cim { witness, witness_ty, via } => match via {
+            Some(fact) => format!(
+                "{name} (node {}): CIM folds it onto the IC-implied {} under {} (node {}), chase: {}",
+                d.node.0,
+                types.name(*witness_ty),
+                types.name(q.node(fact.at).primary),
+                fact.at.0,
+                fact_line(fact),
+            ),
+            None => format!(
+                "{name} (node {}): CIM folds it onto {} (node {})",
+                d.node.0,
+                types.name(*witness_ty),
+                witness.0,
+            ),
+        },
+    }
+}
+
 fn cmd_match(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &["count"])?;
     let mut types = TypeInterner::new();
@@ -461,6 +542,18 @@ fn cmd_serve(args: &[String]) -> Result2<()> {
     }
     if let Some(strategy) = opts.get("strategy") {
         config.strategy = strategy.parse::<Strategy>()?;
+    }
+    if let Some(ms) = opts.get("slow-ms") {
+        config.slow_ms = Some(
+            ms.parse::<u64>()
+                .map_err(|_| format!("--slow-ms needs a non-negative integer, got '{ms}'"))?,
+        );
+    }
+    if let Some(path) = opts.get("slow-log") {
+        if config.slow_ms.is_none() {
+            return Err("--slow-log needs --slow-ms to set the threshold".into());
+        }
+        config.slow_log = Some(path.into());
     }
     let server = tpq::serve::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;

@@ -301,3 +301,53 @@ fn bad_governance_flags_are_rejected() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--budget"), "{}", stderr(&out));
 }
+
+#[test]
+fn explain_names_a_constraint_or_witness_per_deleted_node() {
+    // The Figure 2 ACIM example: three deletions, each justified.
+    let out = tpq(&[
+        "explain",
+        "Articles[/Article//Paragraph]/Article*//Section//Paragraph",
+        "--ic",
+        "Section ->> Paragraph",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("Articles/Article*//Section"));
+    let summary = lines.next().expect("summary line");
+    assert!(summary.contains("3 deleted"), "{summary}");
+    assert!(summary.contains("trace "), "{summary}");
+    let deletions: Vec<&str> = lines.filter(|l| l.trim_start().starts_with("- ")).collect();
+    assert_eq!(deletions.len(), 3, "{text}");
+    for line in &deletions {
+        assert!(
+            line.contains("Section ->> Paragraph") || line.contains("folds it onto"),
+            "deletion line lacks a constraint or witness: {line}"
+        );
+    }
+    assert!(text.contains("CDM rule 2"), "{text}");
+    assert!(text.contains("IC-implied Paragraph"), "{text}");
+}
+
+#[test]
+fn explain_dumps_decision_events_as_json_lines() {
+    let out = tpq(&["explain", "Dept*[//DBProject]//Manager//DBProject", "--events"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let events = stderr(&out);
+    let prune = events
+        .lines()
+        .find(|l| l.contains("cim.prune"))
+        .unwrap_or_else(|| panic!("no cim.prune event in {events:?}"));
+    let json = tpq::base::Json::parse(prune).expect("event line is JSON");
+    assert!(json.get("trace").and_then(tpq::base::Json::as_str).is_some());
+    let fields = json.get("fields").expect("fields");
+    assert!(fields.get("witness").is_some());
+}
+
+#[test]
+fn serve_slow_log_flag_requires_a_threshold() {
+    let out = tpq(&["serve", "--slow-log", "slow.jsonl"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--slow-ms"), "{}", stderr(&out));
+}
