@@ -1,0 +1,116 @@
+//! Diff two benchmark-trajectory directories and fail on regressions —
+//! the CI perf gate.
+//!
+//! ```text
+//! cargo run -p tpq-bench --bin compare -- <baseline-dir> <candidate-dir>
+//! cargo run -p tpq-bench --bin compare -- . out --threshold 50
+//! cargo run -p tpq-bench --bin compare -- . out --panel-threshold serve-latency=80
+//! ```
+//!
+//! Both directories are scanned for `BENCH_*.json` files (the format the
+//! `experiments` binary writes with `--out-dir`). Every panel present in
+//! the baseline must still exist in the candidate and every matched point
+//! — keyed by `(series, x)` — must stay within the noise threshold
+//! (default ±20%, `--threshold` takes percent). Micros points under
+//! `--abs-floor-us` (default 20) never regress: sub-floor timings are
+//! scheduler noise. A markdown report is printed to stdout.
+//!
+//! Exit codes: `0` no regressions, `1` regressions or missing panels,
+//! `2` usage or schema errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+use tpq_bench::compare::{compare, Thresholds};
+use tpq_bench::trajectory::load_dir;
+
+fn main() -> ExitCode {
+    let mut th = Thresholds::default();
+    let mut dirs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => th.default_rel = pct / 100.0,
+                _ => return usage("--threshold needs a positive percent"),
+            },
+            "--abs-floor-us" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(us) if us >= 0.0 => th.abs_floor_us = us,
+                _ => return usage("--abs-floor-us needs a non-negative number"),
+            },
+            "--panel-threshold" => {
+                let Some(spec) = args.next() else {
+                    return usage("--panel-threshold needs <panel>=<percent>");
+                };
+                let Some((panel, pct)) = spec.split_once('=') else {
+                    return usage("--panel-threshold needs <panel>=<percent>");
+                };
+                match pct.parse::<f64>() {
+                    Ok(pct) if pct > 0.0 => th.per_panel.push((panel.to_owned(), pct / 100.0)),
+                    _ => return usage("--panel-threshold percent must be positive"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: compare <baseline-dir> <candidate-dir> [--threshold PCT] \
+                     [--abs-floor-us US] [--panel-threshold <panel>=<PCT>]..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag '{other}'"));
+            }
+            dir => dirs.push(dir.to_owned()),
+        }
+    }
+    let [baseline_dir, candidate_dir] = dirs.as_slice() else {
+        return usage("expected exactly <baseline-dir> and <candidate-dir>");
+    };
+    let baseline = match load_dir(Path::new(baseline_dir)) {
+        Ok(t) => t,
+        Err(e) => return schema_error(&e),
+    };
+    let candidate = match load_dir(Path::new(candidate_dir)) {
+        Ok(t) => t,
+        Err(e) => return schema_error(&e),
+    };
+    if baseline.is_empty() {
+        return schema_error(&format!("no BENCH_*.json files in {baseline_dir}"));
+    }
+    // Warn when the two runs used different grids — the comparison still
+    // works (points match by key) but the provenance difference matters.
+    for base in &baseline {
+        if let Some(cand) = candidate.iter().find(|c| c.panel.id == base.panel.id) {
+            if base.quick != cand.quick {
+                eprintln!(
+                    "warning: {}: baseline quick={} vs candidate quick={} — grids differ",
+                    base.panel.id, base.quick, cand.quick
+                );
+            }
+        }
+    }
+    let report = compare(&baseline, &candidate, &th);
+    print!("{}", report.to_markdown());
+    eprintln!(
+        "compare: {} improved, {} regressed, {} unchanged, {} new, {} missing",
+        report.count(tpq_bench::compare::PanelStatus::Improved),
+        report.count(tpq_bench::compare::PanelStatus::Regressed),
+        report.count(tpq_bench::compare::PanelStatus::Unchanged),
+        report.count(tpq_bench::compare::PanelStatus::New),
+        report.count(tpq_bench::compare::PanelStatus::Missing),
+    );
+    if report.has_failures() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn schema_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

@@ -1,11 +1,21 @@
-//! Regenerate the paper's evaluation figures as text tables / JSON.
+//! Regenerate the paper's evaluation figures as text tables / JSON /
+//! persisted benchmark trajectories.
 //!
 //! ```text
 //! cargo run --release -p tpq-bench --bin experiments            # all panels
 //! cargo run --release -p tpq-bench --bin experiments -- fig8a   # one panel
 //! cargo run --release -p tpq-bench --bin experiments -- --json all > series.json
 //! cargo run --release -p tpq-bench --bin experiments -- --metrics-dir out fig7b
+//! cargo run --release -p tpq-bench --bin experiments -- --quick --seed 42 --out-dir .
 //! ```
+//!
+//! With `--out-dir <dir>`, every measured panel is also written as a
+//! schema-versioned trajectory file `<dir>/BENCH_<panel>.json` (git rev,
+//! date, iterations, seed and quick flag alongside the points) — the
+//! format `tpq-bench compare` diffs and the CI perf gate checks. `--quick`
+//! shrinks the grids for CI; `--panels a,b,c` is an alternative spelling
+//! of the positional panel list; `--seed` seeds the sampled workloads
+//! (the serve replay mix).
 //!
 //! With `--metrics-dir <dir>`, every panel run is captured by the `tpq-obs`
 //! layer and its span/counter report is written to `<dir>/<panel>.metrics.json`
@@ -14,17 +24,43 @@
 //! building the images/ancestor tables — the paper's Figure 7(b) quantity.
 
 use std::process::ExitCode;
-use tpq_bench::experiments;
+use tpq_bench::experiments::{self, ExpConfig};
+use tpq_bench::trajectory::Trajectory;
 use tpq_bench::Panel;
+
+/// One panel group's runner, dispatched by name.
+type PanelRunner = Box<dyn Fn(&ExpConfig) -> Vec<Panel>>;
+
+const PANEL_NAMES: [&str; 12] = [
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig8b-fanout",
+    "fig9a",
+    "fig9b",
+    "ablate",
+    "batch",
+    "batch-speedup",
+    "cache",
+    "serve-latency",
+];
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut metrics_dir: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut cfg = ExpConfig::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--quick" => {
+                let seed = cfg.seed;
+                cfg = ExpConfig::quick();
+                cfg.seed = seed;
+            }
             "--metrics-dir" => match args.next() {
                 Some(dir) => metrics_dir = Some(dir),
                 None => {
@@ -32,10 +68,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--out-dir" => match args.next() {
+                Some(dir) => out_dir = Some(dir),
+                None => {
+                    eprintln!("--out-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => {
+                    eprintln!("--seed needs an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--panels" => match args.next() {
+                Some(list) => wanted.extend(list.split(',').map(|s| s.trim().to_owned())),
+                None => {
+                    eprintln!("--panels needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--json] [--metrics-dir <dir>] \
-                     [fig7a fig7b fig8a fig8b fig8b-fanout fig9a fig9b ablate batch | all]"
+                    "usage: experiments [--json] [--quick] [--seed N] [--out-dir <dir>] \
+                     [--metrics-dir <dir>] [--panels a,b,c] [{} | all]",
+                    PANEL_NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
             }
@@ -43,42 +101,69 @@ fn main() -> ExitCode {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = [
-            "fig7a",
-            "fig7b",
-            "fig8a",
-            "fig8b",
-            "fig8b-fanout",
-            "fig9a",
-            "fig9b",
-            "ablate",
-            "batch",
-        ]
-        .map(str::to_owned)
-        .to_vec();
+        // `batch` already measures and emits the derived speedup panel;
+        // listing both would measure the batch twice.
+        wanted = PANEL_NAMES
+            .iter()
+            .filter(|n| **n != "batch-speedup")
+            .map(|s| (*s).to_owned())
+            .collect();
     }
     let mut panels: Vec<Panel> = Vec::new();
     for w in &wanted {
-        let run: fn() -> Vec<Panel> = match w.as_str() {
-            "fig7a" => || vec![experiments::fig7a()],
-            "fig7b" => || vec![experiments::fig7b()],
-            "fig8a" => || vec![experiments::fig8a()],
-            "fig8b" => || vec![experiments::fig8b()],
-            "fig8b-fanout" => || vec![experiments::fig8b_fanout()],
-            "fig9a" => || vec![experiments::fig9a()],
-            "fig9b" => || vec![experiments::fig9b()],
-            "ablate" => experiments::ablations,
-            "batch" => || vec![experiments::batch()],
+        let run: PanelRunner = match w.as_str() {
+            "fig7a" => Box::new(|c| vec![experiments::fig7a(c)]),
+            "fig7b" => Box::new(|c| vec![experiments::fig7b(c)]),
+            "fig8a" => Box::new(|c| vec![experiments::fig8a(c)]),
+            "fig8b" => Box::new(|c| vec![experiments::fig8b(c)]),
+            "fig8b-fanout" => Box::new(|c| vec![experiments::fig8b_fanout(c)]),
+            "fig9a" => Box::new(|c| vec![experiments::fig9a(c)]),
+            "fig9b" => Box::new(|c| vec![experiments::fig9b(c)]),
+            "ablate" => Box::new(experiments::ablations),
+            "batch" => Box::new(|c| {
+                let (timing, speedup) = experiments::batch_with_speedup(c);
+                vec![timing, speedup]
+            }),
+            // `batch` already emits the derived speedup panel; asking for
+            // it alone still measures the batch (the speedup is derived
+            // from those timings) but returns only the ratio panel.
+            "batch-speedup" => Box::new(|c| vec![experiments::batch_with_speedup(c).1]),
+            "cache" => Box::new(|c| vec![experiments::cache(c)]),
+            "serve-latency" => Box::new(|c| vec![tpq_bench::serve_panel::serve_latency(c)]),
             other => {
                 eprintln!("unknown panel '{other}' (try --help)");
                 return ExitCode::FAILURE;
             }
         };
-        match run_captured(w, metrics_dir.as_deref(), run) {
+        match run_captured(w, metrics_dir.as_deref(), &cfg, run.as_ref()) {
             Ok(mut group) => panels.append(&mut group),
             Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Asking for `batch` and `batch-speedup` together must not duplicate
+    // the derived panel.
+    panels.dedup_by(|a, b| a.id == b.id);
+    if !experiments::check_unique_ids(&panels) {
+        eprintln!("error: duplicate panel ids in the run");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for panel in &panels {
+            let trajectory = Trajectory::new(panel.clone(), &cfg);
+            match trajectory.write_to(dir) {
+                Ok(path) => eprintln!("{}: trajectory written to {}", panel.id, path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", trajectory.file_name());
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
@@ -90,14 +175,15 @@ fn main() -> ExitCode {
 fn run_captured(
     name: &str,
     metrics_dir: Option<&str>,
-    run: fn() -> Vec<Panel>,
+    cfg: &ExpConfig,
+    run: &dyn Fn(&ExpConfig) -> Vec<Panel>,
 ) -> Result<Vec<Panel>, String> {
     let Some(dir) = metrics_dir else {
-        return Ok(run());
+        return Ok(run(cfg));
     };
     tpq_obs::set_enabled(true);
     tpq_obs::reset();
-    let panels = run();
+    let panels = run(cfg);
     let report = tpq_obs::report();
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     let path = format!("{dir}/{name}.metrics.json");

@@ -1,11 +1,16 @@
 //! One function per figure panel of the paper's Section 6, returning
-//! measured [`Panel`]s. The `experiments` binary prints them; the
-//! Criterion benches measure the same workloads.
+//! measured [`Panel`]s. The `experiments` binary prints them and persists
+//! them as `BENCH_<panel>.json` trajectories; the Criterion benches
+//! measure the same workloads.
 //!
 //! Absolute numbers differ from the paper's 2001 hardware; the
 //! reproduction target is the *shape* of each curve (see EXPERIMENTS.md).
+//! Every panel takes an [`ExpConfig`]: `--quick` shrinks the measurement
+//! grids (same workload families, fewer points and iterations) so the CI
+//! perf gate finishes in seconds and compares like-for-like against
+//! quick-generated baselines.
 
-use crate::{median_micros, Panel, Point, Series};
+use crate::{measure_micros, Panel, Point, Series, UNIT_PERCENT, UNIT_RATIO};
 use tpq_base::FxHashSet;
 use tpq_core::{
     acim_closed, acim_incremental_closed, cdm_closed, cim, minimize_with, MinimizeStats, Strategy,
@@ -16,16 +21,51 @@ use tpq_workload::{
     RedundancySpec,
 };
 
-/// Iterations per measured point (median is reported).
+/// Iterations per measured point in a full run (median is reported).
 const ITERS: usize = 7;
 
+/// Measurement configuration shared by every panel.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Timing iterations per measured point (after one warmup).
+    pub iters: usize,
+    /// Reduced grids for CI and smoke runs.
+    pub quick: bool,
+    /// Seed for the panels that sample workloads (the serve replay mix).
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> ExpConfig {
+        ExpConfig { iters: ITERS, quick: false, seed: 0 }
+    }
+}
+
+impl ExpConfig {
+    /// The reduced-grid configuration used by CI and the self-test.
+    pub fn quick() -> ExpConfig {
+        ExpConfig { iters: 3, quick: true, seed: 0 }
+    }
+
+    /// Pick the full or quick x-grid.
+    fn grid(&self, full: &[u64], quick: &[u64]) -> Vec<u64> {
+        if self.quick {
+            quick.to_vec()
+        } else {
+            full.to_vec()
+        }
+    }
+}
+
 /// Figure 7(a): ACIM time as a function of `RedDegree × RedNodes` for a
-/// 101-node query, at 0 / 50 / 100 / 150 relevant constraints.
-pub fn fig7a() -> Panel {
+/// 101-node query, at several relevant-constraint counts.
+pub fn fig7a(cfg: &ExpConfig) -> Panel {
     let degree = 2;
-    let xs: Vec<u64> = (1..=9).map(|i| i * 10).collect();
+    let full: Vec<u64> = (1..=9).map(|i| i * 10).collect();
+    let xs = cfg.grid(&full, &[10, 40, 90]);
+    let ks: Vec<usize> = if cfg.quick { vec![0, 100] } else { vec![0, 50, 100, 150] };
     let mut series = Vec::new();
-    for k in [0usize, 50, 100, 150] {
+    for k in ks {
         let mut points = Vec::new();
         for &x in &xs {
             let red = (x as usize) / degree;
@@ -35,12 +75,12 @@ pub fn fig7a() -> Panel {
                 degree,
             });
             let ics = relevant_constraints(&q, k).closure();
-            let (micros, out) = median_micros(ITERS, || {
+            let (m, out) = measure_micros(cfg.iters, || {
                 let mut stats = MinimizeStats::default();
                 acim_incremental_closed(&q.pattern, &ics, &mut stats)
             });
             assert_eq!(out.size(), q.expected_minimal_size);
-            points.push(Point { x, micros, aux_micros: None });
+            points.push(Point::timed(x, m));
         }
         series.push(Series { label: format!("{k}Constraints"), points });
     }
@@ -48,6 +88,7 @@ pub fn fig7a() -> Panel {
         id: "fig7a".into(),
         title: "ACIM: varying redundancy and constraints (101-node query)".into(),
         x_label: "RedDeg*RedN".into(),
+        unit: crate::UNIT_MICROS.into(),
         series,
     }
 }
@@ -55,9 +96,10 @@ pub fn fig7a() -> Panel {
 /// Figure 7(b): total ACIM time vs time spent building the images and
 /// ancestor/descendant tables, on a 101-node chain where the bottom `r`
 /// nodes are IC-redundant.
-pub fn fig7b() -> Panel {
+pub fn fig7b(cfg: &ExpConfig) -> Panel {
     let chain = ic_chain_query(101);
-    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let full: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let xs = cfg.grid(&full, &[10, 50, 100]);
     let mut total = Vec::new();
     let mut tables = Vec::new();
     for &x in &xs {
@@ -75,9 +117,9 @@ pub fn fig7b() -> Panel {
             keep.into_iter().collect::<tpq_constraints::ConstraintSet>().closure();
         // Sample total and tables time from the SAME runs so the ratio is
         // meaningful, then take per-metric medians.
-        let mut totals = Vec::with_capacity(ITERS);
-        let mut tabs = Vec::with_capacity(ITERS);
-        for i in 0..=ITERS {
+        let mut totals = Vec::with_capacity(cfg.iters);
+        let mut tabs = Vec::with_capacity(cfg.iters);
+        for i in 0..=cfg.iters {
             let mut stats = MinimizeStats::default();
             let out = acim_incremental_closed(&chain.pattern, &ics, &mut stats);
             assert_eq!(out.size(), 101 - x as usize);
@@ -87,17 +129,18 @@ pub fn fig7b() -> Panel {
                 tabs.push(stats.tables_time.as_secs_f64() * 1e6);
             }
         }
-        totals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        tabs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let micros = totals[totals.len() / 2];
-        let tables_us = tabs[tabs.len() / 2];
-        total.push(Point { x, micros, aux_micros: Some(tables_us) });
-        tables.push(Point { x, micros: tables_us, aux_micros: None });
+        let total_m = crate::Measurement::from_samples(&totals);
+        let tables_m = crate::Measurement::from_samples(&tabs);
+        let mut total_pt = Point::timed(x, total_m);
+        total_pt.aux_micros = Some(tables_m.median);
+        total.push(total_pt);
+        tables.push(Point::timed(x, tables_m));
     }
     Panel {
         id: "fig7b".into(),
         title: "ACIM: total time vs images/ancestor table time (101-node chain)".into(),
         x_label: "RedNodes".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "TotalTime".into(), points: total },
             Series { label: "TablesTime".into(), points: tables },
@@ -109,10 +152,11 @@ pub fn fig7b() -> Panel {
 /// repository (127-node c-edge chain; `->>` constraints are relevant —
 /// they mention query types — but trigger no local rule on c-edges, as in
 /// the paper every check is a hash probe).
-pub fn fig8a() -> Panel {
+pub fn fig8a(cfg: &ExpConfig) -> Panel {
     let chain = ic_chain_query(127);
+    let step = if cfg.quick { 50 } else { 10 };
     let mut points = Vec::new();
-    for k in (0..=150).step_by(10) {
+    for k in (0..=150).step_by(step) {
         // Relevant `->>` constraints over non-adjacent chain types.
         let mut ics = tpq_constraints::ConstraintSet::new();
         let mut produced = 0;
@@ -129,25 +173,27 @@ pub fn fig8a() -> Panel {
             }
         }
         let closed = ics.closure();
-        let (micros, out) = median_micros(ITERS, || {
+        let (m, out) = measure_micros(cfg.iters, || {
             let mut stats = MinimizeStats::default();
             cdm_closed(&chain.pattern, &closed, &mut stats)
         });
         assert_eq!(out.size(), 127, "no local redundancy on a c-edge chain");
-        points.push(Point { x: k as u64, micros, aux_micros: None });
+        points.push(Point::timed(k as u64, m));
     }
     Panel {
         id: "fig8a".into(),
         title: "CDM: time vs number of constraints (127-node query)".into(),
         x_label: "Constraints".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![Series { label: "CDMconstant".into(), points }],
     }
 }
 
 /// Figure 8(b): CDM time vs query size for right-deep, bushy and wider
 /// fanout shapes (all edges IC-redundant; only the root survives).
-pub fn fig8b() -> Panel {
-    let xs: Vec<u64> = (1..=14).map(|i| i * 10).collect();
+pub fn fig8b(cfg: &ExpConfig) -> Panel {
+    let full: Vec<u64> = (1..=14).map(|i| i * 10).collect();
+    let xs = cfg.grid(&full, &[10, 70, 140]);
     let shapes = [("RightDeep", 1usize), ("Bushy", 2), ("VaryingFanout", 4)];
     let mut series = Vec::new();
     for (label, fanout) in shapes {
@@ -155,12 +201,12 @@ pub fn fig8b() -> Panel {
         for &x in &xs {
             let q = shaped_ic_query(x as usize, fanout);
             let closed = q.constraints.closure();
-            let (micros, out) = median_micros(ITERS, || {
+            let (m, out) = measure_micros(cfg.iters, || {
                 let mut stats = MinimizeStats::default();
                 cdm_closed(&q.pattern, &closed, &mut stats)
             });
             assert_eq!(out.size(), 1);
-            points.push(Point { x, micros, aux_micros: None });
+            points.push(Point::timed(x, m));
         }
         series.push(Series { label: label.into(), points });
     }
@@ -168,6 +214,7 @@ pub fn fig8b() -> Panel {
         id: "fig8b".into(),
         title: "CDM: time vs query size and shape (all edges redundant)".into(),
         x_label: "QuerySize".into(),
+        unit: crate::UNIT_MICROS.into(),
         series,
     }
 }
@@ -175,52 +222,57 @@ pub fn fig8b() -> Panel {
 /// Companion to Figure 8(b)'s discussion: CDM time vs node fanout at a
 /// fixed query size (the paper: "CDM behaves in a quadratic fashion with
 /// respect to the node fanout").
-pub fn fig8b_fanout() -> Panel {
+pub fn fig8b_fanout(cfg: &ExpConfig) -> Panel {
     let n = 121;
+    let full: Vec<u64> = (1..=12).collect();
+    let fanouts = cfg.grid(&full, &[2, 6, 12]);
     let mut points = Vec::new();
-    for fanout in 1..=12u64 {
+    for &fanout in &fanouts {
         let q = shaped_ic_query(n, fanout as usize);
         let closed = q.constraints.closure();
-        let (micros, out) = median_micros(ITERS, || {
+        let (m, out) = measure_micros(cfg.iters, || {
             let mut stats = MinimizeStats::default();
             cdm_closed(&q.pattern, &closed, &mut stats)
         });
         assert_eq!(out.size(), 1);
-        points.push(Point { x: fanout, micros, aux_micros: None });
+        points.push(Point::timed(fanout, m));
     }
     Panel {
         id: "fig8b-fanout".into(),
         title: format!("CDM: time vs fanout ({n}-node query)"),
         x_label: "Fanout".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![Series { label: "VaryingFanout".into(), points }],
     }
 }
 
 /// Figure 9(a): ACIM vs CDM on queries where both remove the same nodes.
-pub fn fig9a() -> Panel {
-    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+pub fn fig9a(cfg: &ExpConfig) -> Panel {
+    let full: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let xs = cfg.grid(&full, &[10, 50, 100]);
     let mut acim_pts = Vec::new();
     let mut cdm_pts = Vec::new();
     for &x in &xs {
         let q = ic_chain_query(x as usize);
         let closed = q.constraints.closure();
-        let (a_us, a_out) = median_micros(ITERS, || {
+        let (a_m, a_out) = measure_micros(cfg.iters, || {
             let mut stats = MinimizeStats::default();
             acim_incremental_closed(&q.pattern, &closed, &mut stats)
         });
-        let (c_us, c_out) = median_micros(ITERS, || {
+        let (c_m, c_out) = measure_micros(cfg.iters, || {
             let mut stats = MinimizeStats::default();
             cdm_closed(&q.pattern, &closed, &mut stats)
         });
         assert_eq!(a_out.size(), 1);
         assert_eq!(c_out.size(), 1, "CDM removes the same set here");
-        acim_pts.push(Point { x, micros: a_us, aux_micros: None });
-        cdm_pts.push(Point { x, micros: c_us, aux_micros: None });
+        acim_pts.push(Point::timed(x, a_m));
+        cdm_pts.push(Point::timed(x, c_m));
     }
     Panel {
         id: "fig9a".into(),
         title: "ACIM vs CDM removing the same nodes, varying query size".into(),
         x_label: "QuerySize".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "ACIM".into(), points: acim_pts },
             Series { label: "CDM".into(), points: cdm_pts },
@@ -230,27 +282,30 @@ pub fn fig9a() -> Panel {
 
 /// Figure 9(b): direct ACIM vs CDM-prefilter-then-ACIM on queries where
 /// CDM removes half of what ACIM can.
-pub fn fig9b() -> Panel {
-    let xs: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+pub fn fig9b(cfg: &ExpConfig) -> Panel {
+    let full: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+    let xs = cfg.grid(&full, &[10, 50, 100]);
     let mut direct_pts = Vec::new();
     let mut combined_pts = Vec::new();
     for &x in &xs {
         let k = ((x as usize).saturating_sub(1) / 3).max(1);
         let q = prefilter_query(k);
-        let (d_us, d_out) =
-            median_micros(ITERS, || minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly));
-        let (c_us, c_out) = median_micros(ITERS, || {
+        let (d_m, d_out) = measure_micros(cfg.iters, || {
+            minimize_with(&q.pattern, &q.constraints, Strategy::AcimOnly)
+        });
+        let (c_m, c_out) = measure_micros(cfg.iters, || {
             minimize_with(&q.pattern, &q.constraints, Strategy::CdmThenAcim)
         });
         assert_eq!(d_out.pattern.size(), q.pattern.size() - q.acim_removable);
         assert_eq!(c_out.pattern.size(), d_out.pattern.size());
-        direct_pts.push(Point { x, micros: d_us, aux_micros: None });
-        combined_pts.push(Point { x, micros: c_us, aux_micros: None });
+        direct_pts.push(Point::timed(x, d_m));
+        combined_pts.push(Point::timed(x, c_m));
     }
     Panel {
         id: "fig9b".into(),
         title: "ACIM alone vs CDM as a pre-filter (CDM removes half)".into(),
         x_label: "QuerySize".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "ACIM".into(), points: direct_pts },
             Series { label: "CDMACIM".into(), points: combined_pts },
@@ -258,25 +313,23 @@ pub fn fig9b() -> Panel {
     }
 }
 
-/// Parallel batch minimization over the Figure 7(a) workload family: 500
-/// queries (125 distinct specs, each appearing 4×) minimized by
-/// [`tpq_core::BatchMinimizer`] at increasing worker counts. The `Cold`
-/// series starts from an empty memo cache each run (in-batch duplicates
-/// still fold, so 125 minimizations serve 500 queries); the `Warm` series
-/// re-runs the same batch on the warmed engine, where every query is a
-/// cache hit. Speedup at `--jobs N` is `Cold(x=1) / Cold(x=N)` — on a
-/// multi-core host it tracks the worker count until the key pass and
-/// memory bandwidth dominate.
-pub fn batch() -> Panel {
+/// Parallel batch minimization over the Figure 7(a) workload family,
+/// minimized by [`tpq_core::BatchMinimizer`] at increasing worker counts,
+/// plus the derived speedup-vs-jobs panel. The `Cold` series starts from
+/// an empty memo cache each run (in-batch duplicates still fold); the
+/// `Warm` series re-runs the same batch on the warmed engine, where every
+/// query is a cache hit. Speedup at `--jobs N` is `Cold(x=1) / Cold(x=N)`.
+pub fn batch_with_speedup(cfg: &ExpConfig) -> (Panel, Panel) {
     // Degree starts at 2: with a degree-1 witness the shared `tF0 ->> tX`
     // constraint makes the lone witness leaf itself removable, which would
     // put the generator's expected size off by one for that slice.
-    let specs: Vec<RedundancySpec> = (2..=6)
+    let (degrees, reds) = if cfg.quick { (2..=3u32, 1..=10usize) } else { (2..=6u32, 1..=25usize) };
+    let specs: Vec<RedundancySpec> = degrees
         .flat_map(|degree| {
-            (1..=25).map(move |red| RedundancySpec {
+            reds.clone().map(move |red| RedundancySpec {
                 total_nodes: 33,
                 redundant_nodes: red,
-                degree,
+                degree: degree as usize,
             })
         })
         .collect();
@@ -294,10 +347,11 @@ pub fn batch() -> Panel {
     let most_fillers =
         generated.iter().max_by_key(|g| g.filler_types.len()).expect("non-empty family");
     let ics = relevant_constraints(most_fillers, 20);
+    let jobs_grid: &[u64] = if cfg.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let mut cold = Vec::new();
     let mut warm = Vec::new();
-    for jobs in [1u64, 2, 4, 8] {
-        let (cold_us, outcome) = median_micros(3, || {
+    for &jobs in jobs_grid {
+        let (cold_m, outcome) = measure_micros(3, || {
             let engine = tpq_core::BatchMinimizer::new(&ics);
             engine.minimize_batch(&queries, jobs as usize)
         });
@@ -307,13 +361,15 @@ pub fn batch() -> Panel {
         assert_eq!(outcome.stats.unique, generated.len(), "duplicates must fold");
         let warm_engine = tpq_core::BatchMinimizer::new(&ics);
         warm_engine.minimize_batch(&queries, jobs as usize); // prime the cache
-        let (warm_us, warm_out) =
-            median_micros(3, || warm_engine.minimize_batch(&queries, jobs as usize));
+        let (warm_m, warm_out) =
+            measure_micros(3, || warm_engine.minimize_batch(&queries, jobs as usize));
         assert_eq!(warm_out.stats.cache_misses, 0, "warmed engine must serve all hits");
-        cold.push(Point { x: jobs, micros: cold_us, aux_micros: None });
-        warm.push(Point { x: jobs, micros: warm_us, aux_micros: None });
+        cold.push(Point::timed(jobs, cold_m));
+        warm.push(Point::timed(jobs, warm_m));
     }
     let base = cold[0].micros;
+    let speedup_pts: Vec<Point> =
+        cold.iter().map(|p| Point::flat(p.x, base / p.micros.max(1.0))).collect();
     for p in &cold {
         eprintln!(
             "batch: jobs={} cold {:.0}us ({:.2}x vs jobs=1)",
@@ -322,52 +378,162 @@ pub fn batch() -> Panel {
             base / p.micros.max(1.0)
         );
     }
-    Panel {
+    let timing = Panel {
         id: "batch".into(),
-        title: "parallel batch minimization: 500 Figure-7 queries, cold vs warm cache".into(),
+        title: "parallel batch minimization: Figure-7 queries, cold vs warm cache".into(),
         x_label: "Jobs".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "ColdCache".into(), points: cold },
             Series { label: "WarmCache".into(), points: warm },
+        ],
+    };
+    let speedup = Panel {
+        id: "batch-speedup".into(),
+        title: "batch minimization speedup over one worker (cold cache)".into(),
+        x_label: "Jobs".into(),
+        unit: UNIT_RATIO.into(),
+        series: vec![Series { label: "ColdSpeedup".into(), points: speedup_pts }],
+    };
+    (timing, speedup)
+}
+
+/// The batch timing panel alone (kept for callers that don't want the
+/// derived speedup panel).
+pub fn batch(cfg: &ExpConfig) -> Panel {
+    batch_with_speedup(cfg).0
+}
+
+/// Observed hit rates of the three caches on the serve path — the batch
+/// memo (canonical-pattern results), the process-wide closure LRU and the
+/// shared-engine LRU — over repeated rounds of the same workload. Round 1
+/// is cold; later rounds should converge to 100%. Rates are computed from
+/// `tpq-obs` counter deltas around each round, so the panel measures the
+/// same counters Prometheus exports.
+pub fn cache(cfg: &ExpConfig) -> Panel {
+    let was_enabled = tpq_obs::enabled();
+    tpq_obs::set_enabled(true);
+    // A small Figure-7 family with duplicates: 4 copies of each of 10
+    // distinct queries, all sharing one constraint set.
+    let pool = if cfg.quick { 6 } else { 10 };
+    let generated: Vec<_> = (0..pool)
+        .map(|i| {
+            redundancy_query(&RedundancySpec {
+                total_nodes: 17,
+                redundant_nodes: 2 + (i % 8),
+                degree: 2,
+            })
+        })
+        .collect();
+    let mut queries: Vec<TreePattern> = Vec::new();
+    for _ in 0..4 {
+        queries.extend(generated.iter().map(|g| g.pattern.clone()));
+    }
+    let widest = generated.iter().max_by_key(|g| g.filler_types.len()).expect("non-empty family");
+    let ics = relevant_constraints(widest, 8);
+
+    let batch_hit = tpq_obs::counter("batch.cache.hit");
+    let batch_miss = tpq_obs::counter("batch.cache.miss");
+    let closure_hit = tpq_obs::counter("closure.cache.hit");
+    let closure_miss = tpq_obs::counter("closure.recomputed");
+    let engine_hit = tpq_obs::counter("engine.cache.hit");
+    let engine_miss = tpq_obs::counter("engine.recomputed");
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        }
+    };
+
+    let engine = tpq_core::BatchMinimizer::new(&ics);
+    let mut memo_pts = Vec::new();
+    let mut closure_pts = Vec::new();
+    let mut engine_pts = Vec::new();
+    for round in 1..=3u64 {
+        let before = (
+            (batch_hit.get(), batch_miss.get()),
+            (closure_hit.get(), closure_miss.get()),
+            (engine_hit.get(), engine_miss.get()),
+        );
+        // Drive all three caches the way the serve path does: resolve the
+        // shared engine for the constraint set (engine LRU), take the
+        // constraint closure via the pipeline (closure LRU), and minimize
+        // the batch on the per-engine memo.
+        let _shared = tpq_core::shared_engine(&ics, Strategy::default());
+        let _ = minimize_with(&generated[0].pattern, &ics, Strategy::default());
+        let outcome = engine.minimize_batch(&queries, 2);
+        assert_eq!(outcome.patterns.len(), queries.len());
+        memo_pts.push(Point::flat(
+            round,
+            rate(batch_hit.get() - before.0 .0, batch_miss.get() - before.0 .1),
+        ));
+        closure_pts.push(Point::flat(
+            round,
+            rate(closure_hit.get() - before.1 .0, closure_miss.get() - before.1 .1),
+        ));
+        engine_pts.push(Point::flat(
+            round,
+            rate(engine_hit.get() - before.2 .0, engine_miss.get() - before.2 .1),
+        ));
+    }
+    tpq_obs::set_enabled(was_enabled);
+    Panel {
+        id: "cache".into(),
+        title: "cache hit rates per round: batch memo, closure LRU, engine LRU".into(),
+        x_label: "Round".into(),
+        unit: UNIT_PERCENT.into(),
+        series: vec![
+            Series { label: "BatchMemo".into(), points: memo_pts },
+            Series { label: "ClosureLru".into(), points: closure_pts },
+            Series { label: "EngineLru".into(), points: engine_pts },
         ],
     }
 }
 
 /// Ablations of the design choices called out in DESIGN.md §3.
-pub fn ablations() -> Vec<Panel> {
-    vec![ablate_containment(), ablate_cim_cache(), ablate_incremental(), ablate_matching()]
+pub fn ablations(cfg: &ExpConfig) -> Vec<Panel> {
+    vec![
+        ablate_containment(cfg),
+        ablate_cim_cache(cfg),
+        ablate_incremental(cfg),
+        ablate_matching(cfg),
+    ]
 }
 
 /// Rebuild-per-test ACIM (the literal Figure 3 loop) vs the incremental
 /// engine (Section 6.1: persistent hash-table images, rebuilt only on
 /// removal).
-fn ablate_incremental() -> Panel {
+fn ablate_incremental(cfg: &ExpConfig) -> Panel {
+    let xs = cfg.grid(&[10, 30, 50, 70, 90], &[10, 50, 90]);
     let mut rebuilding = Vec::new();
     let mut incremental = Vec::new();
-    for x in [10u64, 30, 50, 70, 90] {
+    for &x in &xs {
         let q = redundancy_query(&RedundancySpec {
             total_nodes: 101,
             redundant_nodes: x as usize / 2,
             degree: 2,
         });
         let closed = relevant_constraints(&q, 50).closure();
-        let (r_us, r_out) = median_micros(3, || {
+        let (r_m, r_out) = measure_micros(3, || {
             let mut stats = MinimizeStats::default();
             acim_closed(&q.pattern, &closed, &mut stats)
         });
-        let (i_us, i_out) = median_micros(ITERS, || {
+        let (i_m, i_out) = measure_micros(cfg.iters, || {
             let mut stats = MinimizeStats::default();
             acim_incremental_closed(&q.pattern, &closed, &mut stats)
         });
         assert_eq!(r_out.size(), q.expected_minimal_size);
         assert_eq!(i_out.size(), q.expected_minimal_size);
-        rebuilding.push(Point { x, micros: r_us, aux_micros: None });
-        incremental.push(Point { x, micros: i_us, aux_micros: None });
+        rebuilding.push(Point::timed(x, r_m));
+        incremental.push(Point::timed(x, i_m));
     }
     Panel {
         id: "ablate-incremental".into(),
         title: "ACIM: rebuild-per-test vs maintained images tables (101-node query)".into(),
         x_label: "RedDeg*RedN".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "RebuildPerTest".into(), points: rebuilding },
             Series { label: "Incremental".into(), points: incremental },
@@ -380,13 +546,14 @@ fn ablate_incremental() -> Panel {
 /// into a longer chain whose required tail type is missing — the naive
 /// search enumerates every descending assignment before failing, while
 /// pruning rejects in polynomial time.
-fn ablate_containment() -> Panel {
+fn ablate_containment(cfg: &ExpConfig) -> Panel {
     let mut tys = tpq_base::TypeInterner::new();
     let a = tys.intern("a");
     let c = tys.intern("c");
     let mut pruned = Vec::new();
     let mut naive = Vec::new();
-    for k in [4u64, 5, 6, 7, 8] {
+    let ks = cfg.grid(&[4, 5, 6, 7, 8], &[4, 6, 8]);
+    for &k in &ks {
         // from: a //a //… //a //c   (k a-nodes then a c)
         let mut from = TreePattern::new(a);
         let mut cur = from.root();
@@ -400,16 +567,17 @@ fn ablate_containment() -> Panel {
         for _ in 1..2 * k {
             cur = to.add_child(cur, tpq_pattern::EdgeKind::Descendant, a);
         }
-        let (p_us, r1) = median_micros(ITERS, || tpq_core::has_homomorphism(&from, &to));
-        let (n_us, r2) = median_micros(3, || tpq_core::has_homomorphism_naive(&from, &to));
+        let (p_m, r1) = measure_micros(cfg.iters, || tpq_core::has_homomorphism(&from, &to));
+        let (n_m, r2) = measure_micros(3, || tpq_core::has_homomorphism_naive(&from, &to));
         assert!(!r1 && !r2);
-        pruned.push(Point { x: k, micros: p_us, aux_micros: None });
-        naive.push(Point { x: k, micros: n_us, aux_micros: None });
+        pruned.push(Point::timed(k, p_m));
+        naive.push(Point::timed(k, n_m));
     }
     Panel {
         id: "ablate-containment".into(),
         title: "containment: images pruning vs backtracking (no-match chains)".into(),
         x_label: "ChainLen".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "Pruning".into(), points: pruned },
             Series { label: "Backtracking".into(), points: naive },
@@ -422,11 +590,12 @@ fn ablate_containment() -> Panel {
 /// every round. The workload maximizes rounds: a duplicated deep chain
 /// (one leaf removable per round → `depth` rounds) plus many
 /// non-redundant leaves that the naive loop re-tests each round.
-fn ablate_cim_cache() -> Panel {
+fn ablate_cim_cache(cfg: &ExpConfig) -> Panel {
     let mut tys = tpq_base::TypeInterner::new();
     let mut cached = Vec::new();
     let mut uncached = Vec::new();
-    for depth in [5u64, 10, 15, 20] {
+    let depths = cfg.grid(&[5, 10, 15, 20], &[5, 15]);
+    for &depth in &depths {
         let root_ty = tys.intern("root");
         let chain_ty = tys.intern("link");
         let mut q = TreePattern::new(root_ty);
@@ -443,17 +612,18 @@ fn ablate_cim_cache() -> Panel {
                 cur = q.add_child(cur, tpq_pattern::EdgeKind::Descendant, chain_ty);
             }
         }
-        let (c_us, c_out) = median_micros(ITERS, || cim(&q));
-        let (u_us, u_out) = median_micros(3, || cim_no_cache(&q));
+        let (c_m, c_out) = measure_micros(cfg.iters, || cim(&q));
+        let (u_m, u_out) = measure_micros(3, || cim_no_cache(&q));
         assert_eq!(c_out.size(), u_out.size());
         assert_eq!(c_out.size(), 31 + depth as usize);
-        cached.push(Point { x: depth, micros: c_us, aux_micros: None });
-        uncached.push(Point { x: depth, micros: u_us, aux_micros: None });
+        cached.push(Point::timed(depth, c_m));
+        uncached.push(Point::timed(depth, u_m));
     }
     Panel {
         id: "ablate-cim-cache".into(),
         title: "CIM: non-redundant caching (enhancement 1) on vs off".into(),
         x_label: "ChainDepth".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "Cached".into(), points: cached },
             Series { label: "RetestAll".into(), points: uncached },
@@ -483,7 +653,7 @@ fn cim_no_cache(q: &TreePattern) -> TreePattern {
 
 /// Why minimize at all: embedding-set evaluation cost before vs after
 /// minimization on a synthetic department database.
-fn ablate_matching() -> Panel {
+fn ablate_matching(cfg: &ExpConfig) -> Panel {
     let mut tys = tpq_base::TypeInterner::new();
     let full =
         tpq_pattern::parse_pattern("Dept*[//Proj][//Proj][//Mgr//Proj][//Mgr//Proj]", &mut tys)
@@ -491,18 +661,20 @@ fn ablate_matching() -> Panel {
     let minimal = cim(&full);
     let mut before = Vec::new();
     let mut after = Vec::new();
-    for x in [50u64, 100, 200, 400] {
+    let xs = cfg.grid(&[50, 100, 200, 400], &[50, 200]);
+    for &x in &xs {
         let doc = department_doc(x as usize, &mut tys);
-        let (f_us, fa) = median_micros(ITERS, || tpq_match::answer_set(&full, &doc));
-        let (m_us, ma) = median_micros(ITERS, || tpq_match::answer_set(&minimal, &doc));
+        let (f_m, fa) = measure_micros(cfg.iters, || tpq_match::answer_set(&full, &doc));
+        let (m_m, ma) = measure_micros(cfg.iters, || tpq_match::answer_set(&minimal, &doc));
         assert_eq!(fa.len(), ma.len());
-        before.push(Point { x, micros: f_us, aux_micros: None });
-        after.push(Point { x, micros: m_us, aux_micros: None });
+        before.push(Point::timed(x, f_m));
+        after.push(Point::timed(x, m_m));
     }
     Panel {
         id: "ablate-matching".into(),
         title: "matching cost: original vs minimized pattern".into(),
         x_label: "DocNodes".into(),
+        unit: crate::UNIT_MICROS.into(),
         series: vec![
             Series { label: "Original".into(), points: before },
             Series { label: "Minimized".into(), points: after },
@@ -529,18 +701,33 @@ fn department_doc(n: usize, tys: &mut tpq_base::TypeInterner) -> tpq_data::Docum
     doc
 }
 
-/// All standard panels, in figure order.
-pub fn all_panels() -> Vec<Panel> {
-    let mut v = vec![fig7a(), fig7b(), fig8a(), fig8b(), fig8b_fanout(), fig9a(), fig9b()];
-    v.extend(ablations());
-    v.push(batch());
+/// All standard panels, in figure order. Includes the derived
+/// observability panels (cache hit rates, batch speedup, serve latency
+/// quantiles) after the paper figures and ablations.
+pub fn all_panels(cfg: &ExpConfig) -> Vec<Panel> {
+    let mut v = vec![
+        fig7a(cfg),
+        fig7b(cfg),
+        fig8a(cfg),
+        fig8b(cfg),
+        fig8b_fanout(cfg),
+        fig9a(cfg),
+        fig9b(cfg),
+    ];
+    v.extend(ablations(cfg));
+    let (timing, speedup) = batch_with_speedup(cfg);
+    v.push(timing);
+    v.push(speedup);
+    v.push(cache(cfg));
+    v.push(crate::serve_panel::serve_latency(cfg));
     v
 }
 
 /// Panels needed to validate correctness quickly (reduced grids) — used
 /// by the harness self-test.
 pub fn smoke() -> Vec<Panel> {
-    vec![fig9a(), fig8a()]
+    let cfg = ExpConfig::quick();
+    vec![fig9a(&cfg), fig8a(&cfg)]
 }
 
 /// Keep a type-level guarantee that the panel ids are unique.
@@ -556,24 +743,49 @@ mod tests {
     #[test]
     fn panel_ids_unique_and_series_non_empty() {
         // Use the cheap panels to keep test time low.
-        let panels = vec![fig9a(), fig9b()];
+        let cfg = ExpConfig::quick();
+        let panels = vec![fig9a(&cfg), fig9b(&cfg)];
         assert!(check_unique_ids(&panels));
         for p in &panels {
             assert!(!p.series.is_empty());
             for s in &p.series {
                 assert!(!s.points.is_empty());
+                for pt in &s.points {
+                    assert!(pt.min_micros <= pt.micros && pt.micros <= pt.max_micros);
+                }
             }
         }
     }
 
     #[test]
     fn fig9a_cdm_is_faster_than_acim_at_scale() {
-        let p = fig9a();
+        let p = fig9a(&ExpConfig::quick());
         let acim_last = p.series[0].points.last().unwrap().micros;
         let cdm_last = p.series[1].points.last().unwrap().micros;
         assert!(
             cdm_last < acim_last,
             "CDM ({cdm_last}us) should beat ACIM ({acim_last}us) at size 100"
         );
+    }
+
+    #[test]
+    fn cache_panel_converges_to_full_hit_rates() {
+        let p = cache(&ExpConfig::quick());
+        assert_eq!(p.unit, UNIT_PERCENT);
+        assert_eq!(p.series.len(), 3);
+        for s in &p.series {
+            let last = s.points.last().unwrap();
+            assert!(
+                last.micros > 99.0,
+                "{} should be all hits by round 3, got {:.1}%",
+                s.label,
+                last.micros
+            );
+        }
+        // The batch memo's first round serves 3 of every 4 duplicates from
+        // the in-batch fold, so even round 1 has hits — but fewer than a
+        // warmed round.
+        let memo = &p.series[0];
+        assert!(memo.points[0].micros < memo.points[2].micros);
     }
 }

@@ -1,0 +1,146 @@
+//! The serve-latency panel: boot a real `tpq serve` [`tpq_serve::Server`]
+//! on a loopback port, replay a Zipf-skewed request mix
+//! ([`tpq_workload::zipf_request_mix`]) at increasing client concurrency,
+//! and report request-latency quantiles.
+//!
+//! Per-request round-trip times are recorded into the same log-scale
+//! [`tpq_obs::Histogram`] the server feeds from `serve.request`, and the
+//! p50/p95/p99 series are extracted with [`tpq_obs::Histogram::quantile`]
+//! — so the panel's numbers quantize exactly like the METRICS exposition
+//! and the STATS report do. Recording client-side (instead of scraping
+//! the server's own `serve.request` histogram) keeps concurrency levels
+//! independent: the server histogram is cumulative across the whole
+//! process, which would smear level 1's latencies into level 4's.
+
+use crate::{experiments::ExpConfig, Panel, Point, Series};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+use tpq_base::Json;
+use tpq_obs::Histogram;
+use tpq_serve::{ServeConfig, Server};
+use tpq_workload::{zipf_request_mix, MixSpec};
+
+/// Client threads per concurrency level.
+const LEVELS: [u64; 3] = [1, 2, 4];
+
+/// Serve-latency quantiles vs client concurrency, measured against a live
+/// loopback server replaying a Zipf(1.0) mix of Figure-7 queries.
+pub fn serve_latency(cfg: &ExpConfig) -> Panel {
+    let mix = zipf_request_mix(&MixSpec {
+        pool: if cfg.quick { 8 } else { 24 },
+        requests: if cfg.quick { 120 } else { 400 },
+        skew: 1.0,
+        seed: cfg.seed,
+    });
+    // Pre-render the request lines once; every client sends a slice.
+    let lines: Vec<String> = mix
+        .queries
+        .iter()
+        .map(|q| {
+            Json::object(vec![
+                ("query", Json::Str(q.clone())),
+                ("constraints", Json::Str(mix.constraints.clone())),
+            ])
+            .to_string_compact()
+        })
+        .collect();
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 2,
+        max_conns: 32,
+        handle_signals: false,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback serve port");
+    let addr = server.local_addr().expect("bound server has an address");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut p50 = Vec::new();
+    let mut p95 = Vec::new();
+    let mut p99 = Vec::new();
+    for &level in &LEVELS {
+        let hist = Arc::new(Histogram::default());
+        let chunk = lines.len().div_ceil(level as usize);
+        std::thread::scope(|scope| {
+            for slice in lines.chunks(chunk) {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to bench server");
+                    // One write syscall per request and no Nagle batching:
+                    // otherwise loopback request-response pays the classic
+                    // ~40ms Nagle/delayed-ACK stall per round trip.
+                    stream.set_nodelay(true).expect("set TCP_NODELAY");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                    let mut writer = stream;
+                    let mut response = String::new();
+                    // One unmeasured warmup round trip: the first request
+                    // on a fresh connection pays the server's accept-poll
+                    // latency (tens of ms), which is connection setup, not
+                    // request service time.
+                    writer.write_all(b"PING\n").expect("send warmup ping");
+                    reader.read_line(&mut response).expect("read warmup pong");
+                    for line in slice {
+                        let framed = format!("{line}\n");
+                        let t0 = Instant::now();
+                        writer.write_all(framed.as_bytes()).expect("send request");
+                        response.clear();
+                        reader.read_line(&mut response).expect("read response");
+                        hist.record(t0.elapsed().as_micros() as u64);
+                        let json = Json::parse(&response).expect("response is JSON");
+                        assert!(
+                            json.get("error").is_none(),
+                            "server rejected a mix request: {response}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(hist.count(), lines.len() as u64, "every request must be measured");
+        p50.push(Point::flat(level, hist.quantile(0.50) as f64));
+        p95.push(Point::flat(level, hist.quantile(0.95) as f64));
+        p99.push(Point::flat(level, hist.quantile(0.99) as f64));
+    }
+
+    handle.shutdown();
+    let summary = server_thread.join().expect("server thread").expect("server run");
+    assert!(summary.requests_ok >= (lines.len() * LEVELS.len()) as u64);
+
+    Panel {
+        id: "serve-latency".into(),
+        title: "tpq serve: request latency quantiles vs client concurrency (zipf mix)".into(),
+        x_label: "Clients".into(),
+        unit: crate::UNIT_MICROS.into(),
+        series: vec![
+            Series { label: "p50".into(), points: p50 },
+            Series { label: "p95".into(), points: p95 },
+            Series { label: "p99".into(), points: p99 },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_panel_measures_all_levels() {
+        let p = serve_latency(&ExpConfig::quick());
+        assert_eq!(p.id, "serve-latency");
+        assert_eq!(p.series.len(), 3);
+        for s in &p.series {
+            assert_eq!(s.points.len(), LEVELS.len());
+            for pt in &s.points {
+                assert!(pt.micros > 0.0, "{} at {} clients measured 0us", s.label, pt.x);
+            }
+        }
+        // Quantiles from one histogram are ordered: p50 <= p95 <= p99.
+        for i in 0..LEVELS.len() {
+            assert!(p.series[0].points[i].micros <= p.series[1].points[i].micros);
+            assert!(p.series[1].points[i].micros <= p.series[2].points[i].micros);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Persisted benchmark trajectories: one schema-versioned JSON file per
+//! panel (`BENCH_<panel>.json`), committed at the repo root so every PR
+//! carries its own perf history and the `compare` binary can diff any two
+//! revisions' numbers point-by-point.
+//!
+//! A trajectory records *how* the numbers were produced (git revision,
+//! date, iteration count, seed, quick flag) alongside the measured
+//! [`Panel`], so a reader can tell a full-grid run from a CI quick run
+//! and never compares across grids by accident.
+
+use crate::{experiments::ExpConfig, Panel};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+use tpq_base::Json;
+
+/// Version of the on-disk trajectory shape. Bump on breaking changes;
+/// [`Trajectory::from_json`] rejects files from other versions so the
+/// compare gate fails loudly instead of misreading old files.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One panel's persisted measurement run.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// On-disk schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: i64,
+    /// `git rev-parse --short HEAD` at measurement time (`"unknown"`
+    /// outside a git checkout).
+    pub git_rev: String,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Timing iterations per point.
+    pub iters: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether the reduced quick grids were used.
+    pub quick: bool,
+    /// The measured panel.
+    pub panel: Panel,
+}
+
+impl Trajectory {
+    /// Wrap a measured panel with the current provenance.
+    pub fn new(panel: Panel, cfg: &ExpConfig) -> Trajectory {
+        Trajectory {
+            schema_version: SCHEMA_VERSION,
+            git_rev: git_rev(),
+            date: utc_date(),
+            iters: cfg.iters,
+            seed: cfg.seed,
+            quick: cfg.quick,
+            panel,
+        }
+    }
+
+    /// Canonical file name for this trajectory: `BENCH_<panel-id>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.panel.id)
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Int(self.schema_version)),
+            ("git_rev", Json::Str(self.git_rev.clone())),
+            ("date", Json::Str(self.date.clone())),
+            ("iters", Json::Int(self.iters as i64)),
+            ("seed", Json::Int(self.seed as i64)),
+            ("quick", Json::Bool(self.quick)),
+            ("panel", self.panel.to_json()),
+        ])
+    }
+
+    /// Parse the [`Trajectory::to_json`] form, rejecting other schema
+    /// versions.
+    pub fn from_json(json: &Json) -> Result<Trajectory, String> {
+        let schema_version = json
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| "trajectory is missing integer 'schema_version'".to_owned())?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "trajectory schema version {schema_version} is not the supported {SCHEMA_VERSION}"
+            ));
+        }
+        let panel = Panel::from_json(
+            json.get("panel").ok_or_else(|| "trajectory is missing 'panel'".to_owned())?,
+        )?;
+        Ok(Trajectory {
+            schema_version,
+            git_rev: json.get("git_rev").and_then(Json::as_str).unwrap_or("unknown").to_owned(),
+            date: json.get("date").and_then(Json::as_str).unwrap_or("").to_owned(),
+            iters: json.get("iters").and_then(Json::as_i64).unwrap_or(0) as usize,
+            seed: json.get("seed").and_then(Json::as_i64).unwrap_or(0) as u64,
+            quick: json.get("quick").and_then(Json::as_bool).unwrap_or(false),
+            panel,
+        })
+    }
+
+    /// Write `BENCH_<panel>.json` under `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, format!("{}\n", self.to_json().to_string_pretty()))?;
+        Ok(path)
+    }
+
+    /// Load one trajectory file.
+    pub fn load(path: &Path) -> Result<Trajectory, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json =
+            Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        Trajectory::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Load every `BENCH_*.json` in `dir`, sorted by panel id. Unreadable or
+/// wrong-schema files are errors — the perf gate must not silently skip
+/// panels.
+pub fn load_dir(dir: &Path) -> Result<Vec<Trajectory>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(Trajectory::load(&entry.path())?);
+        }
+    }
+    out.sort_by(|a, b| a.panel.id.cmp(&b.panel.id));
+    Ok(out)
+}
+
+/// Short git revision of the working tree, or `"unknown"`.
+pub fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// time crates: days-since-epoch to civil date via the standard
+/// era-decomposition algorithm).
+pub fn utc_date() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Convert days since 1970-01-01 to a (year, month, day) civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Series};
+
+    fn demo_panel() -> Panel {
+        Panel {
+            id: "demo".into(),
+            title: "demo".into(),
+            x_label: "x".into(),
+            unit: crate::UNIT_MICROS.into(),
+            series: vec![Series {
+                label: "S".into(),
+                points: vec![Point::flat(1, 10.0), Point::flat(2, 20.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_names_its_file() {
+        let t = Trajectory::new(demo_panel(), &ExpConfig::quick());
+        assert_eq!(t.file_name(), "BENCH_demo.json");
+        let parsed = Trajectory::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.panel.id, "demo");
+        assert_eq!(parsed.iters, 3);
+        assert!(parsed.quick);
+        assert_eq!(parsed.panel.series[0].points[1].micros, 20.0);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut json = Trajectory::new(demo_panel(), &ExpConfig::default()).to_json();
+        if let Json::Object(members) = &mut json {
+            for (k, v) in members.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::Int(99);
+                }
+            }
+        }
+        let err = Trajectory::from_json(&json).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn civil_date_handles_epochs_and_leap_years() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(365), (1971, 1, 1));
+        // 2000-02-29 is day 11016.
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29));
+        // 2026-08-08 is day 20_673.
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+        let date = utc_date();
+        assert_eq!(date.len(), 10);
+        assert_eq!(date.as_bytes()[4], b'-');
+    }
+
+    #[test]
+    fn load_dir_reads_only_bench_files() {
+        let dir = std::env::temp_dir().join(format!("tpq-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Trajectory::new(demo_panel(), &ExpConfig::quick());
+        t.write_to(&dir).unwrap();
+        std::fs::write(dir.join("notes.json"), "{}").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].panel.id, "demo");
+        // A corrupt BENCH file is a hard error, not a skip.
+        std::fs::write(dir.join("BENCH_bad.json"), "not json").unwrap();
+        assert!(load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

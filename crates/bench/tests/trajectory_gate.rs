@@ -1,0 +1,102 @@
+//! End-to-end test of the perf gate's file path: write trajectories the
+//! way `experiments --out-dir` does, load both directories back the way
+//! `compare` does, and check the gate's verdicts on a self-compare and on
+//! a synthetic regression.
+
+use std::path::PathBuf;
+use tpq_bench::compare::{compare, PanelStatus, Thresholds};
+use tpq_bench::experiments::ExpConfig;
+use tpq_bench::trajectory::{load_dir, Trajectory, SCHEMA_VERSION};
+use tpq_bench::{Panel, Point, Series, UNIT_MICROS, UNIT_PERCENT};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpq-gate-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn panel(id: &str, unit: &str, values: &[(u64, f64)]) -> Panel {
+    Panel {
+        id: id.into(),
+        title: format!("{id} test panel"),
+        x_label: "x".into(),
+        unit: unit.into(),
+        series: vec![Series {
+            label: "main".into(),
+            points: values.iter().map(|&(x, v)| Point::flat(x, v)).collect(),
+        }],
+    }
+}
+
+#[test]
+fn self_compare_of_written_trajectories_passes() {
+    let dir = scratch("self");
+    let cfg = ExpConfig::quick();
+    for p in [
+        panel("fig7a", UNIT_MICROS, &[(10, 150.0), (20, 400.0)]),
+        panel("cache", UNIT_PERCENT, &[(1, 75.0), (2, 100.0)]),
+    ] {
+        Trajectory::new(p, &cfg).write_to(&dir).unwrap();
+    }
+    let loaded = load_dir(&dir).unwrap();
+    assert_eq!(loaded.len(), 2);
+    assert!(loaded.iter().all(|t| t.schema_version == SCHEMA_VERSION && t.quick));
+    // The directory listing is sorted by panel id regardless of FS order.
+    assert_eq!(loaded[0].panel.id, "cache");
+
+    let report = compare(&loaded, &loaded, &Thresholds::default());
+    assert!(!report.has_failures(), "self-compare must pass the gate");
+    assert_eq!(report.count(PanelStatus::Unchanged), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn synthetic_regression_fails_the_gate() {
+    let base_dir = scratch("base");
+    let cand_dir = scratch("cand");
+    let cfg = ExpConfig::quick();
+    Trajectory::new(panel("fig9a", UNIT_MICROS, &[(10, 200.0), (20, 800.0)]), &cfg)
+        .write_to(&base_dir)
+        .unwrap();
+    // Candidate: 3x slowdown at x=20, plus the fig9a file is accompanied
+    // by a brand-new panel (which alone must NOT fail the gate).
+    Trajectory::new(panel("fig9a", UNIT_MICROS, &[(10, 210.0), (20, 2400.0)]), &cfg)
+        .write_to(&cand_dir)
+        .unwrap();
+    Trajectory::new(panel("serve-latency", UNIT_MICROS, &[(1, 900.0)]), &cfg)
+        .write_to(&cand_dir)
+        .unwrap();
+
+    let baseline = load_dir(&base_dir).unwrap();
+    let candidate = load_dir(&cand_dir).unwrap();
+    let report = compare(&baseline, &candidate, &Thresholds::default());
+    assert!(report.has_failures());
+    assert_eq!(report.count(PanelStatus::Regressed), 1);
+    assert_eq!(report.count(PanelStatus::New), 1);
+    let md = report.to_markdown();
+    assert!(md.contains("fig9a") && md.contains("regressed"), "{md}");
+    assert!(md.contains("+200.0%"), "worst point is the 3x slowdown: {md}");
+
+    // The same slowdown passes under a loose per-panel override — the CI
+    // quick gate's escape hatch for noisy panels.
+    let loose = Thresholds { per_panel: vec![("fig9a".to_owned(), 3.0)], ..Thresholds::default() };
+    assert!(!compare(&baseline, &candidate, &loose).has_failures());
+
+    std::fs::remove_dir_all(&base_dir).unwrap();
+    std::fs::remove_dir_all(&cand_dir).unwrap();
+}
+
+#[test]
+fn missing_candidate_panel_fails_even_when_others_improve() {
+    let cfg = ExpConfig::quick();
+    let baseline = vec![
+        Trajectory::new(panel("a", UNIT_MICROS, &[(1, 1000.0)]), &cfg),
+        Trajectory::new(panel("b", UNIT_MICROS, &[(1, 1000.0)]), &cfg),
+    ];
+    let candidate = vec![Trajectory::new(panel("a", UNIT_MICROS, &[(1, 400.0)]), &cfg)];
+    let report = compare(&baseline, &candidate, &Thresholds::default());
+    assert_eq!(report.count(PanelStatus::Improved), 1);
+    assert_eq!(report.count(PanelStatus::Missing), 1);
+    assert!(report.has_failures(), "a vanished panel fails the gate");
+}

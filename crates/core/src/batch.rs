@@ -126,6 +126,44 @@ pub struct BatchStats {
     pub panics: u64,
 }
 
+impl BatchStats {
+    /// Fraction of queries answered from the memo cache, in `[0, 1]`
+    /// (0 on an empty batch).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Machine-readable snapshot of the batch run, consumed by the bench
+    /// harness's persisted trajectories and the CLI's `--stats` output.
+    pub fn to_json(&self) -> tpq_base::Json {
+        use tpq_base::Json;
+        Json::object(vec![
+            ("queries", Json::Int(self.queries as i64)),
+            ("unique", Json::Int(self.unique as i64)),
+            ("cache_hits", Json::Int(self.cache_hits as i64)),
+            ("cache_misses", Json::Int(self.cache_misses as i64)),
+            ("cache_hit_rate", Json::Float(self.cache_hit_rate())),
+            ("steals", Json::Int(self.steals as i64)),
+            ("workers", Json::Int(self.workers as i64)),
+            (
+                "executed_per_worker",
+                Json::Array(
+                    self.executed_per_worker.iter().map(|&n| Json::Int(n as i64)).collect(),
+                ),
+            ),
+            ("wall_micros", Json::Float(self.wall_time.as_secs_f64() * 1e6)),
+            ("failed", Json::Int(self.failed as i64)),
+            ("panics", Json::Int(self.panics as i64)),
+            ("minimize", self.minimize.to_json()),
+        ])
+    }
+}
+
 /// Result of [`BatchMinimizer::minimize_batch`]: one minimized pattern per
 /// input query, in input order.
 #[derive(Debug, Clone)]
@@ -552,6 +590,25 @@ mod tests {
         assert!(out.patterns.is_empty());
         assert_eq!(out.stats.unique, 0);
         assert_eq!(out.stats.cache_hits, 0);
+        assert_eq!(out.stats.cache_hit_rate(), 0.0, "empty batch has no rate");
+    }
+
+    #[test]
+    fn batch_stats_serialize_machine_readably() {
+        use tpq_base::Json;
+        let (engine, queries, _) = setup();
+        let out = engine.minimize_batch(&queries, 2);
+        let json = out.stats.to_json();
+        assert_eq!(json.get("queries").and_then(Json::as_i64), Some(5));
+        assert_eq!(json.get("unique").and_then(Json::as_i64), Some(4));
+        assert_eq!(json.get("cache_hits").and_then(Json::as_i64), Some(1));
+        let rate = json.get("cache_hit_rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 0.2).abs() < 1e-9, "1 hit of 5 → 0.2, got {rate}");
+        assert!(json.get("wall_micros").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(json.get("minimize").is_some(), "embeds the MinimizeStats record");
+        // The snapshot round-trips through the JSON writer and parser.
+        let text = json.to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap(), json);
     }
 
     #[test]

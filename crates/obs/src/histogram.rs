@@ -261,6 +261,33 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_at_exact_bucket_boundaries() {
+        // Samples sitting exactly on octave boundaries (8, 16, 32 are the
+        // first sub-bucket of their octave, and exact bucket bounds at
+        // 3 mantissa bits) must come back verbatim from every quantile
+        // that selects them: p0 picks the first sample, p50 the middle,
+        // p100 the last, with no off-by-one into a neighboring bucket.
+        let h = Histogram::default();
+        for v in [8u64, 16, 32] {
+            h.record(v);
+        }
+        let bound = |v: u64| bucket_bound(bucket_of(v));
+        assert_eq!(h.quantile(0.0), bound(8), "p0 selects the smallest sample's bucket");
+        assert_eq!(h.quantile(0.5), bound(16), "p50 selects the middle sample's bucket");
+        assert_eq!(h.quantile(1.0), bound(32), "p100 selects the largest sample's bucket");
+        // 8 opens its octave and is its bucket's own upper bound.
+        assert_eq!(bound(8), 8);
+        // Values 0..8 are exact buckets: quantiles of exact values are exact.
+        let exact = Histogram::default();
+        for v in 0..8u64 {
+            exact.record(v);
+        }
+        assert_eq!(exact.quantile(0.0), 0);
+        assert_eq!(exact.quantile(0.5), 3, "rank ceil(0.5*8)=4 → 4th sample, value 3");
+        assert_eq!(exact.quantile(1.0), 7);
+    }
+
+    #[test]
     fn empty_histogram_is_zero() {
         let h = Histogram::default();
         assert_eq!(h.count(), 0);

@@ -62,6 +62,11 @@ pub(crate) fn render(snapshot: &Snapshot, gauges: &[(&str, f64)]) -> String {
         let _ = writeln!(out, "{name}_total {value}");
     }
 
+    // Event-ring losses are always exported, even at zero: silent event
+    // loss is exactly what this counter exists to make visible.
+    let _ = writeln!(out, "# TYPE tpq_events_dropped_total counter");
+    let _ = writeln!(out, "tpq_events_dropped_total {}", snapshot.events_dropped);
+
     let mut histograms: Vec<_> = snapshot.histograms.iter().collect();
     histograms.sort_by_key(|(n, _)| *n);
     for (name, h) in histograms {
@@ -107,6 +112,7 @@ mod tests {
             spans: vec![],
             edges: vec![],
             histograms: vec![("serve.request", Arc::clone(&h)), ("empty", Default::default())],
+            events_dropped: 7,
         };
         let text = render(&snapshot, &[("serve.inflight", 2.0), ("serve.uptime_seconds", 1.5)]);
 
@@ -124,6 +130,8 @@ mod tests {
         assert!(text.contains("# TYPE tpq_serve_inflight gauge"));
         assert!(text.contains("tpq_serve_inflight 2.0"));
         assert!(text.contains("tpq_serve_request_ok_total 3"));
+        assert!(text.contains("# TYPE tpq_events_dropped_total counter"));
+        assert!(text.contains("tpq_events_dropped_total 7"));
         // Counter/histogram name collision resolved by suffixes.
         assert!(text.contains("tpq_serve_request_total 5"));
         assert!(text.contains("# TYPE tpq_serve_request_seconds histogram"));

@@ -193,7 +193,7 @@ impl Registry {
             .iter()
             .map(|(&key, &stat)| (key, stat))
             .collect();
-        Snapshot { counters, spans, edges, histograms }
+        Snapshot { counters, spans, edges, histograms, events_dropped: self.events.dropped() }
     }
 }
 
@@ -208,6 +208,9 @@ pub struct Snapshot {
     pub edges: Vec<((Option<&'static str>, &'static str), EdgeStat)>,
     /// Latency histograms by span name.
     pub histograms: Vec<(&'static str, Arc<Histogram>)>,
+    /// Events lost to write-time ring contention since the last reset.
+    /// Surfaced so silent event loss is visible in every sink.
+    pub events_dropped: u64,
 }
 
 fn is_on(var: Option<&str>) -> bool {

@@ -31,6 +31,29 @@ impl Report {
         self.snapshot.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
     }
 
+    /// Events lost to write-time ring contention at snapshot time.
+    pub fn events_dropped(&self) -> u64 {
+        self.snapshot.events_dropped
+    }
+
+    /// The value at quantile `q` (in `[0, 1]`, nanoseconds) of the named
+    /// span's latency histogram; `None` when the span never completed.
+    /// This is the bridge the bench harness uses to turn a live registry
+    /// into persisted latency panels (p50/p95/p99 of `serve.request`).
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        self.histogram(name).map(|h| h.quantile(q))
+    }
+
+    /// Number of samples in the named span's latency histogram.
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        self.histogram(name).map(|h| h.count())
+    }
+
+    /// The named latency histogram, if it holds at least one sample.
+    fn histogram(&self, name: &str) -> Option<&Arc<crate::Histogram>> {
+        self.snapshot.histograms.iter().find(|(n, h)| *n == name && h.count() > 0).map(|(_, h)| h)
+    }
+
     /// Stats of the nesting edge `parent → child` (`None` parent = root).
     pub fn edge(&self, parent: Option<&str>, child: &str) -> Option<EdgeStat> {
         self.snapshot
@@ -205,6 +228,7 @@ impl Report {
             // Counters (and spans) are never windowed: values accumulate
             // from process start until an explicit `reset()`.
             ("counters_note", Json::Str("cumulative since process start".to_owned())),
+            ("events_dropped", Json::Int(self.snapshot.events_dropped as i64)),
         ])
     }
 
@@ -240,6 +264,7 @@ mod tests {
             spans: vec![(name, SpanStat { count: 1, total_ns: 5, self_ns: 5 })],
             edges: vec![((None, name), EdgeStat { count: 1, total_ns: 5 })],
             histograms: vec![],
+            events_dropped: 0,
         };
         let text = Report::new(snapshot).to_json().to_string_compact();
         assert!(text.contains(r#"weird\"name\\with.quotes"#), "raw text: {text}");
@@ -256,11 +281,40 @@ mod tests {
 
     #[test]
     fn sinks_state_that_counters_are_cumulative() {
-        let snapshot =
-            Snapshot { counters: vec![("c", 1)], spans: vec![], edges: vec![], histograms: vec![] };
+        let snapshot = Snapshot {
+            counters: vec![("c", 1)],
+            spans: vec![],
+            edges: vec![],
+            histograms: vec![],
+            events_dropped: 0,
+        };
         let report = Report::new(snapshot);
         assert!(report.to_text().contains("cumulative since process start"));
         let note = report.to_json().get("counters_note").and_then(Json::as_str).map(str::to_owned);
         assert_eq!(note.as_deref(), Some("cumulative since process start"));
+    }
+
+    #[test]
+    fn report_exposes_event_drops_and_histogram_quantiles() {
+        let h = Arc::new(crate::Histogram::default());
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        let snapshot = Snapshot {
+            counters: vec![],
+            spans: vec![],
+            edges: vec![],
+            histograms: vec![("serve.request", Arc::clone(&h)), ("idle", Default::default())],
+            events_dropped: 3,
+        };
+        let report = Report::new(snapshot);
+        assert_eq!(report.events_dropped(), 3);
+        assert_eq!(report.to_json().get("events_dropped").and_then(Json::as_i64), Some(3));
+        assert_eq!(report.histogram_count("serve.request"), Some(4));
+        let p50 = report.histogram_quantile("serve.request", 0.5).unwrap();
+        assert!((200..=225).contains(&p50), "p50 = {p50}");
+        assert!(report.histogram_quantile("serve.request", 1.0).unwrap() >= 800);
+        assert_eq!(report.histogram_quantile("idle", 0.5), None, "empty histogram is absent");
+        assert_eq!(report.histogram_quantile("nope", 0.5), None);
     }
 }

@@ -433,6 +433,9 @@ fn stats_json(state: &ServerState) -> Json {
                 ("executed", Json::Int(state.pool.executed() as i64)),
             ]),
         ),
+        // Event-ring losses, surfaced top-level (and inside the obs
+        // report) so clients notice silent event loss without digging.
+        ("events_dropped", Json::Int(tpq_obs::events_dropped() as i64)),
         ("obs", tpq_obs::report().to_json()),
     ])
 }

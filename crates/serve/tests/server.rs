@@ -323,6 +323,10 @@ fn stats_verb_reports_server_and_observability_state() {
     assert!(requests.get("ok").and_then(tpq_base::Json::as_i64).unwrap() >= 1);
     let pool = json.get("pool").expect("pool");
     assert!(pool.get("workers").and_then(tpq_base::Json::as_i64).unwrap() >= 1);
+    assert!(
+        json.get("events_dropped").and_then(tpq_base::Json::as_i64).is_some(),
+        "STATS must report event-ring losses"
+    );
     assert!(json.get("obs").is_some(), "STATS must embed the obs registry");
     assert!(response.contains("serve.request"), "obs registry lists serve counters");
     drop(conn);

@@ -19,12 +19,14 @@
 //! satisfiable) constraint sets for the property-based test suites.
 
 pub mod constraints;
+pub mod mix;
 pub mod prefilter;
 pub mod random;
 pub mod redundancy;
 pub mod shapes;
 
 pub use constraints::irrelevant_constraints;
+pub use mix::{zipf_request_mix, MixSpec, RequestMix, Zipf};
 pub use prefilter::{prefilter_query, PrefilterQuery};
 pub use random::{random_constraints, random_pattern, ConstraintSpec, PatternSpec};
 pub use redundancy::{redundancy_query, relevant_constraints, RedundancyQuery, RedundancySpec};

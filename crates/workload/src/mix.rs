@@ -1,0 +1,201 @@
+//! Zipf-distributed request mixes for replaying realistic traffic
+//! against `tpq serve`.
+//!
+//! Query-optimizer traffic is heavily skewed: a handful of generated
+//! patterns account for most requests (which is what makes the serve
+//! layer's canonical-pattern memo cache pay off). This module builds a
+//! deterministic replay script for that shape: a pool of *distinct*
+//! Figure-7 queries rendered to DSL text, sampled under a Zipf
+//! distribution, all sharing one constraint text (one schema, many
+//! queries — the paper's Section 1 deployment).
+//!
+//! Everything is seeded and text-based, so the bench harness can pipe
+//! the same byte stream at a server across runs and machines.
+
+use crate::redundancy::{redundancy_query, relevant_constraints, RedundancySpec};
+use tpq_base::SmallRng;
+use tpq_constraints::Constraint;
+use tpq_pattern::print::to_dsl;
+
+/// A deterministic Zipf(s) sampler over ranks `0..n` (rank 0 is the most
+/// popular). Sampling is an inverse-CDF binary search over precomputed
+/// cumulative weights `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with skew `s` (`s = 0` is uniform;
+    /// `s = 1` is the classic harmonic skew).
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard the binary search against floating-point shortfall.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&w| w < unit).min(self.cdf.len() - 1)
+    }
+}
+
+/// Parameters for [`zipf_request_mix`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixSpec {
+    /// Distinct queries in the pool.
+    pub pool: usize,
+    /// Requests to draw from the pool.
+    pub requests: usize,
+    /// Zipf skew (`1.0` is the classic heavy-hitter mix).
+    pub skew: f64,
+    /// RNG seed for the draw order.
+    pub seed: u64,
+}
+
+impl Default for MixSpec {
+    fn default() -> MixSpec {
+        MixSpec { pool: 24, requests: 400, skew: 1.0, seed: 0 }
+    }
+}
+
+/// A replayable request mix: DSL query texts (one per request, drawn
+/// Zipf-skewed from a pool of [`MixSpec::pool`] distinct queries) plus
+/// the one constraint text every request shares.
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    /// One DSL query per request, in replay order.
+    pub queries: Vec<String>,
+    /// The shared constraint text (`parse_constraints` syntax).
+    pub constraints: String,
+    /// How often each pool rank was drawn (diagnostics; sums to
+    /// `queries.len()`).
+    pub draws_per_rank: Vec<u64>,
+}
+
+/// Build a deterministic Zipf-skewed request mix over a pool of distinct
+/// Figure-7 redundancy queries. All pool entries intern `tR`, `tX` and
+/// the filler types in the same order, so one constraint text is valid —
+/// and means the same thing — for every query in the mix.
+pub fn zipf_request_mix(spec: &MixSpec) -> RequestMix {
+    assert!(spec.pool > 0 && spec.requests > 0, "mix needs a pool and requests");
+    // Pool entry i: 17-node query, i mod 8 planted redundant leaves (so
+    // entries differ structurally, not just by renaming), degree 2.
+    let generated: Vec<_> = (0..spec.pool)
+        .map(|i| {
+            redundancy_query(&RedundancySpec {
+                total_nodes: 17,
+                redundant_nodes: 2 + (i % 8),
+                degree: 2,
+            })
+        })
+        .collect();
+    let pool: Vec<String> = generated.iter().map(|g| to_dsl(&g.pattern, &g.types)).collect();
+    // Constraints over the family's shared type names, rendered from the
+    // generator with the most filler types so every name resolves.
+    let widest = generated.iter().max_by_key(|g| g.filler_types.len()).expect("non-empty pool");
+    let ics = relevant_constraints(widest, 8);
+    let mut lines: Vec<String> = ics
+        .iter()
+        .map(|c| {
+            let (a, op, b) = match c {
+                Constraint::RequiredChild(a, b) => (a, "->", b),
+                Constraint::RequiredDescendant(a, b) => (a, "->>", b),
+                Constraint::CoOccurrence(a, b) => (a, "~", b),
+            };
+            format!("{} {} {}", widest.types.name(a), op, widest.types.name(b))
+        })
+        .collect();
+    lines.sort();
+    let constraints = lines.join("\n");
+
+    let zipf = Zipf::new(spec.pool, spec.skew);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut draws_per_rank = vec![0u64; spec.pool];
+    let queries = (0..spec.requests)
+        .map(|_| {
+            let rank = zipf.sample(&mut rng);
+            draws_per_rank[rank] += 1;
+            pool[rank].clone()
+        })
+        .collect();
+    RequestMix { queries, constraints, draws_per_rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let zipf = Zipf::new(16, 1.0);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let draws_a: Vec<usize> = (0..500).map(|_| zipf.sample(&mut a)).collect();
+        let draws_b: Vec<usize> = (0..500).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same draw sequence");
+        let top = draws_a.iter().filter(|&&r| r == 0).count();
+        let tail = draws_a.iter().filter(|&&r| r == 15).count();
+        assert!(top > 5 * tail.max(1), "rank 0 ({top}) must dominate rank 15 ({tail})");
+        assert!(draws_a.iter().all(|&r| r < 16));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (rank, &n) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&n), "rank {rank} drawn {n} times");
+        }
+    }
+
+    #[test]
+    fn mix_is_replayable_and_parseable() {
+        let spec = MixSpec { pool: 6, requests: 60, skew: 1.0, seed: 42 };
+        let mix = zipf_request_mix(&spec);
+        assert_eq!(mix.queries.len(), 60);
+        assert_eq!(mix.draws_per_rank.iter().sum::<u64>(), 60);
+        assert_eq!(zipf_request_mix(&spec).queries, mix.queries, "seeded replay is exact");
+        // Every request and the shared constraints parse back under one
+        // fresh interner — the contract the serve replay relies on.
+        let mut tys = tpq_base::TypeInterner::new();
+        let ics = tpq_constraints::parse_constraints(&mix.constraints, &mut tys).unwrap();
+        assert!(!ics.is_empty());
+        for q in &mix.queries {
+            tpq_pattern::parse_pattern(q, &mut tys).unwrap();
+        }
+        // The pool really is distinct queries, not one repeated text.
+        let mut uniq: Vec<&String> = mix.queries.iter().collect();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 1, "zipf mix draws from multiple distinct queries");
+    }
+}
