@@ -31,7 +31,7 @@ use tpq_bench::Panel;
 /// One panel group's runner, dispatched by name.
 type PanelRunner = Box<dyn Fn(&ExpConfig) -> Vec<Panel>>;
 
-const PANEL_NAMES: [&str; 12] = [
+const PANEL_NAMES: [&str; 14] = [
     "fig7a",
     "fig7b",
     "fig8a",
@@ -44,6 +44,8 @@ const PANEL_NAMES: [&str; 12] = [
     "batch-speedup",
     "cache",
     "serve-latency",
+    "match-throughput",
+    "minimize-then-match",
 ];
 
 fn main() -> ExitCode {
@@ -130,6 +132,10 @@ fn main() -> ExitCode {
             "batch-speedup" => Box::new(|c| vec![experiments::batch_with_speedup(c).1]),
             "cache" => Box::new(|c| vec![experiments::cache(c)]),
             "serve-latency" => Box::new(|c| vec![tpq_bench::serve_panel::serve_latency(c)]),
+            "match-throughput" => Box::new(|c| vec![tpq_bench::match_panel::match_throughput(c)]),
+            "minimize-then-match" => {
+                Box::new(|c| vec![tpq_bench::match_panel::minimize_then_match(c)])
+            }
             other => {
                 eprintln!("unknown panel '{other}' (try --help)");
                 return ExitCode::FAILURE;

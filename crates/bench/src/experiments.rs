@@ -48,7 +48,7 @@ impl ExpConfig {
     }
 
     /// Pick the full or quick x-grid.
-    fn grid(&self, full: &[u64], quick: &[u64]) -> Vec<u64> {
+    pub(crate) fn grid(&self, full: &[u64], quick: &[u64]) -> Vec<u64> {
         if self.quick {
             quick.to_vec()
         } else {
@@ -720,6 +720,8 @@ pub fn all_panels(cfg: &ExpConfig) -> Vec<Panel> {
     v.push(speedup);
     v.push(cache(cfg));
     v.push(crate::serve_panel::serve_latency(cfg));
+    v.push(crate::match_panel::match_throughput(cfg));
+    v.push(crate::match_panel::minimize_then_match(cfg));
     v
 }
 

@@ -11,6 +11,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod match_panel;
 pub mod serve_panel;
 pub mod trajectory;
 
@@ -160,6 +161,8 @@ pub const UNIT_MICROS: &str = "us";
 pub const UNIT_PERCENT: &str = "percent";
 /// Unit of a speedup panel (dimensionless, ×).
 pub const UNIT_RATIO: &str = "ratio";
+/// Unit of a throughput panel (document nodes matched per second).
+pub const UNIT_THROUGHPUT: &str = "nodes_per_sec";
 
 /// A whole figure panel.
 #[derive(Debug, Clone)]
@@ -171,7 +174,8 @@ pub struct Panel {
     /// Axis label for x.
     pub x_label: String,
     /// What the point values measure: [`UNIT_MICROS`] (lower is better),
-    /// [`UNIT_PERCENT`] or [`UNIT_RATIO`] (higher is better).
+    /// [`UNIT_PERCENT`], [`UNIT_RATIO`] or [`UNIT_THROUGHPUT`] (higher is
+    /// better).
     pub unit: String,
     /// The curves.
     pub series: Vec<Series>,
@@ -179,9 +183,10 @@ pub struct Panel {
 
 impl Panel {
     /// Whether smaller point values are better for this panel's unit
-    /// (true for wall times, false for hit rates and speedups).
+    /// (true for wall times, false for hit rates, speedups and
+    /// throughputs).
     pub fn lower_is_better(&self) -> bool {
-        self.unit != UNIT_PERCENT && self.unit != UNIT_RATIO
+        self.unit != UNIT_PERCENT && self.unit != UNIT_RATIO && self.unit != UNIT_THROUGHPUT
     }
 
     /// JSON form.

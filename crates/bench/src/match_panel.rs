@@ -1,0 +1,169 @@
+//! Matching panels: engine throughput on streamed documents, and the
+//! end-to-end payoff of minimizing before matching.
+//!
+//! These are the data-side companions to the minimization figures: the
+//! paper minimizes queries *because* matching cost grows with pattern
+//! size, and these panels measure that matching side directly.
+//!
+//! The naive backtracking enumerator is deliberately absent from the
+//! throughput panel: its embedding count (and hence its runtime) is
+//! exponential in the pattern size, so it cannot be run on the
+//! multi-thousand-node documents the other engines sweep (see
+//! EXPERIMENTS.md).
+
+use crate::experiments::ExpConfig;
+use crate::{measure_micros, Panel, Point, Series, UNIT_MICROS, UNIT_THROUGHPUT};
+use std::io::BufReader;
+use tpq_core::{minimize_with, Strategy};
+use tpq_data::{generate_document, parse_xml_reader, stream_xml_to, DocumentSpec, XmlStreamSpec};
+use tpq_workload::{redundancy_query, relevant_constraints, RedundancySpec};
+
+/// Matching throughput (document nodes per second, higher is better) of
+/// the twig join vs the embed matcher over streamed-from-disk documents of
+/// growing size. Each measured run is one-shot — index build included —
+/// because that is what `tpq match` and the serve path pay.
+pub fn match_throughput(cfg: &ExpConfig) -> Panel {
+    let xs = cfg.grid(&[10_000, 40_000, 120_000], &[2_000, 8_000]);
+    let mut twig_pts = Vec::new();
+    let mut embed_pts = Vec::new();
+    for &x in &xs {
+        let spec = XmlStreamSpec { nodes: x as usize, seed: cfg.seed, ..XmlStreamSpec::default() };
+        // Round-trip through a real file: the generator streams XML to
+        // disk and the chunked reader ingests it, so the panel also
+        // covers the pipeline a multi-hundred-MB document would take.
+        let path = std::env::temp_dir()
+            .join(format!("tpq-match-throughput-{}-{x}.xml", std::process::id()));
+        let mut types = tpq_base::TypeInterner::new();
+        let doc = (|| -> std::io::Result<_> {
+            let file = std::fs::File::create(&path)?;
+            stream_xml_to(&spec, file)?;
+            let reader = BufReader::new(std::fs::File::open(&path)?);
+            Ok(parse_xml_reader(reader, &mut types).expect("generator emits valid XML"))
+        })()
+        .expect("temp dir is writable");
+        let _ = std::fs::remove_file(&path);
+        // A three-level twig over the generator's densest types.
+        let query = tpq_pattern::parse_pattern("t0*[//t1]//t2", &mut types).unwrap();
+        let (twig_m, twig_ans) =
+            measure_micros(cfg.iters, || tpq_match::answer_set_twig(&query, &doc));
+        let (embed_m, embed_ans) =
+            measure_micros(cfg.iters, || tpq_match::answer_set(&query, &doc));
+        assert_eq!(twig_ans, embed_ans, "engines disagree at {x} nodes");
+        twig_pts.push(throughput_point(x, twig_m));
+        embed_pts.push(throughput_point(x, embed_m));
+    }
+    Panel {
+        id: "match-throughput".into(),
+        title: "matching throughput on streamed documents: twig join vs embed".into(),
+        x_label: "DocNodes".into(),
+        unit: UNIT_THROUGHPUT.into(),
+        series: vec![
+            Series { label: "Twig".into(), points: twig_pts },
+            Series { label: "Embed".into(), points: embed_pts },
+        ],
+    }
+}
+
+/// Convert a wall-time measurement over a document of `nodes` nodes into
+/// nodes/second, keeping the sample spread (fastest run → max throughput).
+fn throughput_point(nodes: u64, m: crate::Measurement) -> Point {
+    let thru = |us: f64| nodes as f64 / (us.max(1e-3) / 1e6);
+    Point {
+        x: nodes,
+        micros: thru(m.median),
+        min_micros: thru(m.max),
+        max_micros: thru(m.min),
+        aux_micros: None,
+    }
+}
+
+/// End-to-end latency of answering a Figure-7 redundancy query: matching
+/// the raw query as-is, matching its pre-minimized form, and the full
+/// minimize-then-match pipeline. The gap between `Raw` and
+/// `MinimizeThenMatch` is the payoff the paper argues for — minimization
+/// cost is tiny next to the matching it saves.
+pub fn minimize_then_match(cfg: &ExpConfig) -> Panel {
+    let xs = cfg.grid(&[4, 8, 12, 16], &[4, 12]);
+    let doc_nodes = if cfg.quick { 1_500 } else { 6_000 };
+    let mut raw_pts = Vec::new();
+    let mut min_pts = Vec::new();
+    let mut pipe_pts = Vec::new();
+    for &x in &xs {
+        let q = redundancy_query(&RedundancySpec {
+            total_nodes: 33,
+            redundant_nodes: x as usize,
+            degree: 2,
+        });
+        let ics = relevant_constraints(&q, 8);
+        let minimized = minimize_with(&q.pattern, &ics, Strategy::default()).pattern;
+        assert_eq!(minimized.size(), q.expected_minimal_size);
+        // The generator's interner ids cover exactly the query's types, so
+        // a document drawn over that universe matches non-trivially.
+        let doc = generate_document(&DocumentSpec {
+            nodes: doc_nodes,
+            num_types: q.types.len(),
+            seed: cfg.seed,
+            ..DocumentSpec::default()
+        });
+        let (raw_m, raw_ans) =
+            measure_micros(cfg.iters, || tpq_match::answer_set_twig(&q.pattern, &doc));
+        let (min_m, min_ans) =
+            measure_micros(cfg.iters, || tpq_match::answer_set_twig(&minimized, &doc));
+        // ICs hold vacuously relevant here — minimization must not change
+        // the answers on any document the raw/minimized pair agrees on.
+        assert_eq!(raw_ans, min_ans, "minimized query changed the answer set at x={x}");
+        let (pipe_m, _) = measure_micros(cfg.iters, || {
+            let m = minimize_with(&q.pattern, &ics, Strategy::default()).pattern;
+            tpq_match::answer_set_twig(&m, &doc)
+        });
+        raw_pts.push(Point::timed(x, raw_m));
+        min_pts.push(Point::timed(x, min_m));
+        pipe_pts.push(Point::timed(x, pipe_m));
+    }
+    Panel {
+        id: "minimize-then-match".into(),
+        title: "Figure-7 queries end-to-end: raw match vs minimize-then-match".into(),
+        x_label: "RedNodes".into(),
+        unit: UNIT_MICROS.into(),
+        series: vec![
+            Series { label: "Raw".into(), points: raw_pts },
+            Series { label: "Minimized".into(), points: min_pts },
+            Series { label: "MinimizeThenMatch".into(), points: pipe_pts },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_panel_is_higher_is_better_and_engines_scale() {
+        let p = match_throughput(&ExpConfig::quick());
+        assert_eq!(p.unit, UNIT_THROUGHPUT);
+        assert!(!p.lower_is_better(), "throughput wants higher values");
+        assert_eq!(p.series.len(), 2);
+        for s in &p.series {
+            for pt in &s.points {
+                assert!(pt.micros > 0.0, "{}: zero throughput", s.label);
+                assert!(pt.min_micros <= pt.micros && pt.micros <= pt.max_micros);
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_matching_beats_raw_at_max_redundancy() {
+        let p = minimize_then_match(&ExpConfig::quick());
+        assert_eq!(p.series.len(), 3);
+        // The robust claim is Minimized < Raw (pattern is ~half the size);
+        // the full pipeline additionally pays minimization, which at quick
+        // scale is comparable to the matching it saves, so it is only
+        // reported, not asserted against.
+        let raw = p.series[0].points.last().unwrap().micros;
+        let min = p.series[1].points.last().unwrap().micros;
+        assert!(
+            min < raw,
+            "matching the minimized query ({min:.0}us) should beat raw ({raw:.0}us)"
+        );
+    }
+}

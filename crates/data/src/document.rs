@@ -46,7 +46,11 @@ impl DataNode {
 
 /// A single rooted data tree. Unlike patterns, documents are append-only —
 /// repairs (making a document satisfy constraints) only add nodes or types.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// There is deliberately no `Default` impl: a zero-node document has no
+/// root, so every accessor would panic. Construct via [`Document::new`]
+/// (or the parsers/generators), all of which yield a rooted tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<DataNode>,
 }
@@ -195,10 +199,18 @@ impl Document {
 
 /// A forest of documents — the paper's database model ("information is
 /// represented as a forest of trees").
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Forest {
     /// The member trees.
     pub trees: Vec<Document>,
+}
+
+/// An empty forest is fine (unlike an empty [`Document`]), so `Forest`
+/// keeps a `Default` — manual, since `Document` no longer derives one.
+impl Default for Forest {
+    fn default() -> Self {
+        Forest { trees: Vec::new() }
+    }
 }
 
 impl Forest {
@@ -271,6 +283,29 @@ mod tests {
         f.push(d);
         assert_eq!(f.trees.len(), 2);
         assert_eq!(f.total_nodes(), 8);
+    }
+
+    #[test]
+    fn every_public_constructor_yields_a_valid_rooted_document() {
+        // `Document` has no `Default` (a zero-node doc would panic in
+        // `root()`/`node()`); each remaining way to obtain one must give a
+        // tree whose root is immediately usable.
+        let d = Document::new(TypeId(7));
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+        assert_eq!(d.node(d.root()).primary, TypeId(7));
+        d.validate().unwrap();
+
+        let mut grown = Document::new(TypeId(0));
+        grown.add_child(grown.root(), TypeId(1));
+        grown.validate().unwrap();
+
+        let f = Forest::default();
+        assert!(f.trees.is_empty());
+        let f = Forest::new();
+        assert_eq!(f.total_nodes(), 0);
+        let f = Forest::single(d.clone());
+        f.trees.iter().for_each(|t| t.validate().unwrap());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! trees" database. The crate also provides:
 //!
 //! * an XML-subset parser and writer ([`xml`]) so examples and tests can be
-//!   written as readable markup;
+//!   written as readable markup, plus a chunked streaming reader/writer
+//!   pair for documents that should never exist as one `String`;
 //! * a pre/post/level node index ([`index`]) giving O(1) ancestorship tests
 //!   and per-type node lists — the data-side analogue of the paper's
 //!   hash-table ancestor/descendant and images tables;
@@ -19,6 +20,6 @@ pub mod index;
 pub mod xml;
 
 pub use document::{DataNode, DataNodeId, Document, Forest};
-pub use generate::{generate_document, DocumentSpec};
+pub use generate::{generate_document, stream_xml_to, DocumentSpec, XmlStreamSpec};
 pub use index::DocIndex;
-pub use xml::{parse_xml, write_xml, MAX_XML_DEPTH};
+pub use xml::{parse_xml, parse_xml_reader, write_xml, write_xml_to, MAX_XML_DEPTH};

@@ -1,11 +1,17 @@
 //! A deliberately small XML subset, sufficient for writing documents in
-//! examples and tests as readable markup.
+//! examples and tests as readable markup — plus a chunked streaming parser
+//! for documents too large to hold as one `String`.
 //!
 //! Supported: start/end tags, self-closing tags, an optional `also`
 //! attribute listing extra node types (comma- or space-separated), comments
-//! (`<!-- ... -->`) and inter-element text (ignored — tree patterns are
-//! structure-only). Not supported: namespaces, entities, CDATA, processing
-//! instructions.
+//! (`<!-- ... -->`), inter-element text (ignored — tree patterns are
+//! structure-only), and character/entity references inside attribute values
+//! (`&amp; &lt; &gt; &quot; &apos; &#NN; &#xHH;`). Not supported:
+//! namespaces, CDATA, processing instructions, references in text content.
+//!
+//! Attribute values that look like integers parse as [`Value::Int`]; the
+//! writer keeps `Value::Str("5")` distinguishable by emitting its first
+//! character as a character reference (`&#53;5` stays a string on reparse).
 //!
 //! ```
 //! use tpq_base::TypeInterner;
@@ -18,7 +24,7 @@
 //! ```
 
 use crate::document::{DataNodeId, Document};
-use tpq_base::{failpoint, Error, Result, TypeInterner};
+use tpq_base::{failpoint, Error, Result, TypeId, TypeInterner, Value};
 
 /// Maximum open-element nesting. The parse loop is iterative, so the call
 /// stack is never at risk; this bounds the explicit stack (and the node
@@ -34,77 +40,297 @@ pub const MAX_XML_DEPTH: usize = 1 << 18;
 /// stack.
 pub fn parse_xml(input: &str, types: &mut TypeInterner) -> Result<Document> {
     failpoint::hit("parse.xml")?;
-    let mut p = XmlParser { input: input.as_bytes(), pos: 0 };
-    p.skip_misc();
-    // Root start tag.
-    let (root_name, root_extra, root_attrs, root_selfclosing) = p.parse_start_tag(types)?;
-    let mut doc = Document::new(types.intern(&root_name));
-    for t in root_extra {
-        doc.add_type(doc.root(), t);
-    }
-    for (a, v) in root_attrs {
-        doc.set_attr(doc.root(), a, v);
-    }
-    if !root_selfclosing {
-        // Stack of (open element name, node id). The `while let` keeps the
-        // "stack is non-empty inside the loop" invariant structural, so a
-        // malformed document can only produce an `Err`, never a panic.
-        let mut open: Vec<(String, DataNodeId)> = vec![(root_name, doc.root())];
-        while let Some(parent) = open.last().map(|(_, id)| *id) {
-            p.skip_misc();
-            if p.starts_with("</") {
-                p.pos += 2;
-                let end_name = p.parse_name()?;
-                match open.pop() {
-                    Some((want, _)) if end_name == want => {}
-                    Some((want, _)) => {
-                        return Err(p.err(&format!(
-                            "mismatched end tag </{end_name}> (expected </{want}>)"
-                        )))
-                    }
-                    None => return Err(p.err(&format!("unmatched end tag </{end_name}>"))),
-                }
-                p.skip_ws();
-                if p.peek() != Some(b'>') {
-                    return Err(p.err("expected '>' closing end tag"));
-                }
-                p.pos += 1;
-            } else if p.peek() == Some(b'<') {
-                let (name, extra, attrs, selfclosing) = p.parse_start_tag(types)?;
-                let me = doc.add_child(parent, types.intern(&name));
-                for t in extra {
-                    doc.add_type(me, t);
-                }
-                for (a, v) in attrs {
-                    doc.set_attr(me, a, v);
-                }
-                if !selfclosing {
-                    if open.len() >= MAX_XML_DEPTH {
-                        return Err(p.err("element nesting too deep"));
-                    }
-                    open.push((name, me));
-                }
-            } else {
-                return Err(p.err("unexpected end of input inside element"));
-            }
+    let mut p = XmlParser { input: input.as_bytes(), pos: 0, base: 0 };
+    let mut b = TreeBuilder::new();
+    loop {
+        p.skip_misc();
+        if p.peek().is_none() {
+            break;
+        }
+        // After skip_misc the cursor sits on '<' (text content is skipped).
+        let at = p.base + p.pos;
+        if b.done() {
+            return Err(Error::XmlParse {
+                offset: at,
+                message: "trailing content after the root element".into(),
+            });
+        }
+        if p.starts_with("</") {
+            let name = p.parse_end_tag()?;
+            b.end_tag(&name).map_err(|message| Error::XmlParse { offset: at, message })?;
+        } else {
+            let (name, extra, attrs, selfclosing) = p.parse_start_tag(types)?;
+            b.start_tag(name, extra, attrs, selfclosing, types)
+                .map_err(|message| Error::XmlParse { offset: at, message })?;
         }
     }
-    p.skip_misc();
-    if p.pos != p.input.len() {
-        return Err(p.err("trailing content after the root element"));
-    }
+    let doc = b.finish().map_err(|m| p.err(&m))?;
     doc.validate()?;
     Ok(doc)
+}
+
+/// Chunk size for [`parse_xml_reader`]. One refill per ~64KB of input keeps
+/// syscall overhead negligible while the window stays cache-friendly.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Parse a document from a byte stream without materializing the input as
+/// one `String`.
+///
+/// The reader is pulled in 64 KiB chunks into a sliding
+/// window; inter-element text and comments are discarded as they stream
+/// past, and only the bytes of the tag currently being parsed are retained.
+/// Tag-level parsing, entity decoding and tree building are shared with
+/// [`parse_xml`], so the two accept the same language and report the same
+/// absolute byte offsets in errors. Peak memory is the document arena plus
+/// O(longest tag) of buffered input.
+pub fn parse_xml_reader<R: std::io::Read>(reader: R, types: &mut TypeInterner) -> Result<Document> {
+    failpoint::hit("parse.xml")?;
+    let mut src = ChunkedSource::new(reader);
+    let mut b = TreeBuilder::new();
+    loop {
+        if !src.skip_misc_to_tag()? {
+            break; // clean EOF between elements
+        }
+        let at = src.absolute_pos();
+        if b.done() {
+            return Err(Error::XmlParse {
+                offset: at,
+                message: "trailing content after the root element".into(),
+            });
+        }
+        let tag_end = src.find_tag_end()?;
+        // Parse the complete tag in place; `base` makes reported offsets
+        // absolute within the stream.
+        let mut p = XmlParser { input: &src.buf[..tag_end], pos: src.start, base: src.consumed };
+        if p.starts_with("</") {
+            let name = p.parse_end_tag()?;
+            b.end_tag(&name).map_err(|message| Error::XmlParse { offset: at, message })?;
+        } else {
+            let (name, extra, attrs, selfclosing) = p.parse_start_tag(types)?;
+            b.start_tag(name, extra, attrs, selfclosing, types)
+                .map_err(|message| Error::XmlParse { offset: at, message })?;
+        }
+        src.start = tag_end;
+    }
+    let doc =
+        b.finish().map_err(|message| Error::XmlParse { offset: src.absolute_pos(), message })?;
+    doc.validate()?;
+    Ok(doc)
+}
+
+/// Sliding input window over an [`std::io::Read`], tracking how many bytes
+/// were discarded before the window so error offsets stay absolute.
+struct ChunkedSource<R> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Consumed prefix within `buf`.
+    start: usize,
+    /// Bytes discarded before `buf[0]`.
+    consumed: usize,
+    eof: bool,
+}
+
+impl<R: std::io::Read> ChunkedSource<R> {
+    fn new(reader: R) -> Self {
+        ChunkedSource {
+            reader,
+            buf: Vec::with_capacity(READ_CHUNK),
+            start: 0,
+            consumed: 0,
+            eof: false,
+        }
+    }
+
+    fn absolute_pos(&self) -> usize {
+        self.consumed + self.start
+    }
+
+    /// Read one more chunk; sets `eof` when the reader is exhausted.
+    fn fill(&mut self) -> Result<()> {
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + READ_CHUNK, 0);
+        let n = self.reader.read(&mut self.buf[old_len..]).map_err(|e| Error::XmlParse {
+            offset: self.consumed + self.buf.len().min(old_len),
+            message: format!("read error: {e}"),
+        })?;
+        self.buf.truncate(old_len + n);
+        if n == 0 {
+            self.eof = true;
+        }
+        Ok(())
+    }
+
+    /// Drop the consumed prefix once it is large enough to matter.
+    fn compact(&mut self) {
+        if self.start >= READ_CHUNK {
+            self.consumed += self.start;
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Skip text and comments until the window starts with a tag. Returns
+    /// `false` on clean EOF (trailing text/comments are discarded, matching
+    /// the slice parser).
+    fn skip_misc_to_tag(&mut self) -> Result<bool> {
+        loop {
+            self.compact();
+            // Need up to 4 bytes to tell `<!--` from a tag start.
+            while self.buf.len() - self.start < 4 && !self.eof {
+                self.fill()?;
+            }
+            let window = &self.buf[self.start..];
+            if window.is_empty() {
+                return Ok(false);
+            }
+            if window[0] != b'<' {
+                // Text content: discard up to the next '<' (or everything).
+                match window.iter().position(|&b| b == b'<') {
+                    Some(i) => self.start += i,
+                    None => {
+                        self.start = self.buf.len();
+                        if self.eof {
+                            return Ok(false);
+                        }
+                    }
+                }
+                continue;
+            }
+            if window.starts_with(b"<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Skip a comment the window is positioned at. An unterminated comment
+    /// swallows the rest of the input, matching the slice parser.
+    fn skip_comment(&mut self) -> Result<()> {
+        let mut from = self.start + 4;
+        loop {
+            if let Some(end) = find(&self.buf, from, b"-->") {
+                self.start = end + 3;
+                return Ok(());
+            }
+            if self.eof {
+                self.start = self.buf.len();
+                return Ok(());
+            }
+            // Re-scan only the tail that could still hold a split "-->".
+            from = self.buf.len().saturating_sub(2).max(self.start + 4);
+            self.fill()?;
+        }
+    }
+
+    /// With the window at '<', find the end of the tag: the index one past
+    /// its '>' (quote-aware, so '>' inside an attribute value doesn't
+    /// terminate the tag).
+    fn find_tag_end(&mut self) -> Result<usize> {
+        let mut i = self.start + 1;
+        let mut in_quote = false;
+        loop {
+            while i < self.buf.len() {
+                match self.buf[i] {
+                    b'"' => in_quote = !in_quote,
+                    b'>' if !in_quote => return Ok(i + 1),
+                    _ => {}
+                }
+                i += 1;
+            }
+            if self.eof {
+                return Err(Error::XmlParse {
+                    offset: self.consumed + self.buf.len(),
+                    message: "unexpected end of input inside tag".into(),
+                });
+            }
+            self.fill()?;
+        }
+    }
+}
+
+/// Incremental tree construction shared by the slice and streaming parsers:
+/// an open-element stack with the depth limit and the root/trailing-content
+/// state machine. Methods return plain messages; callers attach offsets.
+struct TreeBuilder {
+    doc: Option<Document>,
+    open: Vec<(String, DataNodeId)>,
+}
+
+impl TreeBuilder {
+    fn new() -> Self {
+        TreeBuilder { doc: None, open: Vec::new() }
+    }
+
+    /// Whether the root element has been fully closed.
+    fn done(&self) -> bool {
+        self.doc.is_some() && self.open.is_empty()
+    }
+
+    fn start_tag(
+        &mut self,
+        name: String,
+        extra: Vec<TypeId>,
+        attrs: Vec<(TypeId, Value)>,
+        selfclosing: bool,
+        types: &mut TypeInterner,
+    ) -> std::result::Result<(), String> {
+        let id = match &mut self.doc {
+            None => {
+                self.doc = Some(Document::new(types.intern(&name)));
+                DataNodeId(0)
+            }
+            Some(doc) => match self.open.last() {
+                Some(&(_, parent)) => doc.add_child(parent, types.intern(&name)),
+                None => return Err("trailing content after the root element".into()),
+            },
+        };
+        let doc = self.doc.as_mut().expect("doc exists after start_tag");
+        for t in extra {
+            doc.add_type(id, t);
+        }
+        for (a, v) in attrs {
+            doc.set_attr(id, a, v);
+        }
+        if !selfclosing {
+            if self.open.len() >= MAX_XML_DEPTH {
+                return Err("element nesting too deep".into());
+            }
+            self.open.push((name, id));
+        }
+        Ok(())
+    }
+
+    fn end_tag(&mut self, name: &str) -> std::result::Result<(), String> {
+        match self.open.pop() {
+            Some((want, _)) if want == name => Ok(()),
+            Some((want, _)) => Err(format!("mismatched end tag </{name}> (expected </{want}>)")),
+            None => Err(format!("unmatched end tag </{name}>")),
+        }
+    }
+
+    fn finish(self) -> std::result::Result<Document, String> {
+        match self.doc {
+            None => Err("expected a root element".into()),
+            Some(_) if !self.open.is_empty() => {
+                Err("unexpected end of input inside element".into())
+            }
+            Some(doc) => Ok(doc),
+        }
+    }
 }
 
 struct XmlParser<'a> {
     input: &'a [u8],
     pos: usize,
+    /// Absolute offset of `input[0]` in the overall stream (0 for slice
+    /// parsing; the discarded-prefix length for the chunked reader).
+    base: usize,
 }
 
 impl XmlParser<'_> {
     fn err(&self, message: &str) -> Error {
-        Error::XmlParse { offset: self.pos, message: message.to_owned() }
+        Error::XmlParse { offset: self.base + self.pos, message: message.to_owned() }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -156,14 +382,25 @@ impl XmlParser<'_> {
         }
     }
 
+    /// Parse `</name>` with the cursor at `<`. Returns the name.
+    fn parse_end_tag(&mut self) -> Result<String> {
+        self.pos += 2; // "</"
+        let name = self.parse_name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.err("expected '>' closing end tag"));
+        }
+        self.pos += 1;
+        Ok(name)
+    }
+
     /// Parse `<name attr="v" ...>` or `<name .../>`. Returns
     /// `(name, extra types, attributes, self_closing)`.
     #[allow(clippy::type_complexity)]
     fn parse_start_tag(
         &mut self,
         types: &mut TypeInterner,
-    ) -> Result<(String, Vec<tpq_base::TypeId>, Vec<(tpq_base::TypeId, tpq_base::Value)>, bool)>
-    {
+    ) -> Result<(String, Vec<TypeId>, Vec<(TypeId, Value)>, bool)> {
         if self.peek() != Some(b'<') {
             return Err(self.err("expected '<'"));
         }
@@ -172,9 +409,11 @@ impl XmlParser<'_> {
         self.skip_ws();
         // Attributes. The reserved name `also="T1,T2"` adds extra node
         // types; every other attribute becomes a typed value
-        // (integer-looking text parses as an integer).
+        // (integer-looking text parses as an integer, but any value written
+        // with a character reference stays a string — that's how the writer
+        // round-trips `Value::Str("5")`).
         let mut extra = Vec::new();
-        let mut attrs: Vec<(tpq_base::TypeId, tpq_base::Value)> = Vec::new();
+        let mut attrs: Vec<(TypeId, Value)> = Vec::new();
         while self.peek().is_some_and(|b| b.is_ascii_alphabetic() || b == b'_') {
             let attr_name = self.parse_name()?;
             self.skip_ws();
@@ -187,23 +426,19 @@ impl XmlParser<'_> {
                 return Err(self.err("expected '\"' opening attribute value"));
             }
             self.pos += 1;
-            let start = self.pos;
-            while self.peek().is_some() && self.peek() != Some(b'"') {
-                self.pos += 1;
-            }
-            if self.peek() != Some(b'"') {
-                return Err(self.err("unterminated attribute value"));
-            }
-            let value = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-            self.pos += 1;
+            let (value, had_ref) = self.parse_attr_value()?;
             if attr_name == "also" {
                 for part in value.split([',', ' ']).filter(|s| !s.is_empty()) {
                     extra.push(types.intern(part));
                 }
             } else {
-                let v = match value.parse::<i64>() {
-                    Ok(i) => tpq_base::Value::Int(i),
-                    Err(_) => tpq_base::Value::Str(value),
+                let v = if had_ref {
+                    Value::Str(value)
+                } else {
+                    match value.parse::<i64>() {
+                        Ok(i) => Value::Int(i),
+                        Err(_) => Value::Str(value),
+                    }
                 };
                 attrs.push((types.intern(&attr_name), v));
             }
@@ -220,9 +455,76 @@ impl XmlParser<'_> {
         self.pos += 1;
         Ok((name, extra, attrs, false))
     }
+
+    /// Parse an attribute value with the cursor just past the opening `"`.
+    /// Decodes character/entity references; returns the decoded text and
+    /// whether any reference occurred (which forces `Value::Str`).
+    fn parse_attr_value(&mut self) -> Result<(String, bool)> {
+        let mut value = String::new();
+        let mut had_ref = false;
+        let mut seg = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b'"') => {
+                    value.push_str(&String::from_utf8_lossy(&self.input[seg..self.pos]));
+                    self.pos += 1;
+                    return Ok((value, had_ref));
+                }
+                Some(b'&') => {
+                    value.push_str(&String::from_utf8_lossy(&self.input[seg..self.pos]));
+                    had_ref = true;
+                    value.push(self.parse_reference()?);
+                    seg = self.pos;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Parse `&amp;`-style entity or `&#NN;`/`&#xHH;` character references
+    /// with the cursor at `&`.
+    fn parse_reference(&mut self) -> Result<char> {
+        let amp = self.pos;
+        // Entity names are short; bound the scan so an unescaped lone '&'
+        // fails fast with a usable offset.
+        let mut end = amp + 1;
+        while end < self.input.len() && self.input[end] != b';' && end - amp <= 12 {
+            end += 1;
+        }
+        if end >= self.input.len() || self.input[end] != b';' {
+            return Err(self.err("'&' must start an entity reference (use &amp; for a literal)"));
+        }
+        let body = &self.input[amp + 1..end];
+        let c = match body {
+            b"amp" => '&',
+            b"lt" => '<',
+            b"gt" => '>',
+            b"quot" => '"',
+            b"apos" => '\'',
+            [b'#', digits @ ..] => {
+                let cp = match digits {
+                    [b'x' | b'X', hex @ ..] => {
+                        std::str::from_utf8(hex).ok().and_then(|s| u32::from_str_radix(s, 16).ok())
+                    }
+                    _ => std::str::from_utf8(digits).ok().and_then(|s| s.parse::<u32>().ok()),
+                };
+                match cp.and_then(char::from_u32) {
+                    Some(c) => c,
+                    None => return Err(self.err("invalid character reference")),
+                }
+            }
+            _ => return Err(self.err("unknown entity reference")),
+        };
+        self.pos = end + 1;
+        Ok(c)
+    }
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
     haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
@@ -230,7 +532,20 @@ fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
 /// line). Round-trips through [`parse_xml`]. Iterative: safe on deep
 /// documents.
 pub fn write_xml(doc: &Document, types: &TypeInterner) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
+    write_xml_to(doc, types, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("the writer emits UTF-8")
+}
+
+/// Serialize a document to any [`std::io::Write`] sink — the streaming
+/// counterpart of [`write_xml`], for documents whose markup should go
+/// straight to disk. Attribute values are escaped so the output reparses to
+/// an equal document (see the module docs for the `Value::Str("5")` rule).
+pub fn write_xml_to<W: std::io::Write>(
+    doc: &Document,
+    types: &TypeInterner,
+    w: &mut W,
+) -> std::io::Result<()> {
     enum Step {
         Open(DataNodeId, usize),
         Close(DataNodeId, usize),
@@ -239,7 +554,7 @@ pub fn write_xml(doc: &Document, types: &TypeInterner) -> String {
     while let Some(step) = stack.pop() {
         match step {
             Step::Open(id, indent) => {
-                write_open(doc, types, id, indent, &mut out);
+                write_open(doc, types, id, indent, w)?;
                 if !doc.node(id).children.is_empty() {
                     stack.push(Step::Close(id, indent));
                     for &c in doc.node(id).children.iter().rev() {
@@ -248,59 +563,91 @@ pub fn write_xml(doc: &Document, types: &TypeInterner) -> String {
                 }
             }
             Step::Close(id, indent) => {
-                let pad = "  ".repeat(indent);
-                out.push_str(&pad);
-                out.push_str("</");
-                out.push_str(types.name(doc.node(id).primary));
-                out.push_str(">\n");
+                write_indent(w, indent)?;
+                w.write_all(b"</")?;
+                w.write_all(types.name(doc.node(id).primary).as_bytes())?;
+                w.write_all(b">\n")?;
             }
         }
     }
-    out
+    Ok(())
 }
 
-fn write_open(
+fn write_indent<W: std::io::Write>(w: &mut W, indent: usize) -> std::io::Result<()> {
+    for _ in 0..indent {
+        w.write_all(b"  ")?;
+    }
+    Ok(())
+}
+
+/// Write `s` with the XML special characters escaped, so the value survives
+/// [`XmlParser::parse_attr_value`] unchanged.
+fn write_escaped<W: std::io::Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    let mut rest = s;
+    while let Some(i) = rest.find(['&', '<', '>', '"']) {
+        w.write_all(&rest.as_bytes()[..i])?;
+        w.write_all(match rest.as_bytes()[i] {
+            b'&' => b"&amp;".as_slice(),
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            _ => b"&quot;",
+        })?;
+        rest = &rest[i + 1..];
+    }
+    w.write_all(rest.as_bytes())
+}
+
+fn write_open<W: std::io::Write>(
     doc: &Document,
     types: &TypeInterner,
     id: DataNodeId,
     indent: usize,
-    out: &mut String,
-) {
+    w: &mut W,
+) -> std::io::Result<()> {
     let node = doc.node(id);
-    let pad = "  ".repeat(indent);
     let name = types.name(node.primary);
-    out.push_str(&pad);
-    out.push('<');
-    out.push_str(name);
+    write_indent(w, indent)?;
+    w.write_all(b"<")?;
+    w.write_all(name.as_bytes())?;
     if node.types.len() > 1 {
         let extras: Vec<&str> =
             node.types.iter().filter(|&t| t != node.primary).map(|t| types.name(t)).collect();
-        out.push_str(" also=\"");
-        out.push_str(&extras.join(","));
-        out.push('"');
+        w.write_all(b" also=\"")?;
+        write_escaped(w, &extras.join(","))?;
+        w.write_all(b"\"")?;
     }
     for (a, v) in &node.attrs {
-        out.push(' ');
-        out.push_str(types.name(*a));
-        out.push_str("=\"");
+        w.write_all(b" ")?;
+        w.write_all(types.name(*a).as_bytes())?;
+        w.write_all(b"=\"")?;
         match v {
-            tpq_base::Value::Int(i) => {
-                let _ = std::fmt::Write::write_fmt(out, format_args!("{i}"));
+            Value::Int(i) => write!(w, "{i}")?,
+            Value::Str(s) => {
+                if s.parse::<i64>().is_ok() {
+                    // Int-looking string: emit the first character as a
+                    // character reference so the reparse stays `Value::Str`.
+                    let mut cs = s.chars();
+                    let first = cs.next().expect("an int-parsing string is non-empty");
+                    write!(w, "&#{};", first as u32)?;
+                    write_escaped(w, cs.as_str())?;
+                } else {
+                    write_escaped(w, s)?;
+                }
             }
-            tpq_base::Value::Str(s) => out.push_str(s),
         }
-        out.push('"');
+        w.write_all(b"\"")?;
     }
     if node.children.is_empty() {
-        out.push_str("/>\n");
+        w.write_all(b"/>\n")
     } else {
-        out.push_str(">\n");
+        w.write_all(b">\n")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpq_base::SmallRng;
 
     fn parse(s: &str) -> (Document, TypeInterner) {
         let mut tys = TypeInterner::new();
@@ -383,7 +730,6 @@ mod tests {
 
     #[test]
     fn attributes_parse_as_typed_values() {
-        use tpq_base::Value;
         let (d, tys) = parse(r#"<Book price="95" lang="en" isbn="978-3"/>"#);
         let n = d.node(d.root());
         assert_eq!(n.attr(tys.lookup("price").unwrap()), Some(&Value::Int(95)));
@@ -408,6 +754,139 @@ mod tests {
         let xml = write_xml(&d, &tys);
         let d2 = parse_xml(&xml, &mut tys).unwrap();
         assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn entity_references_decode_in_attribute_values() {
+        let (d, tys) = parse(r#"<a v="&amp;&lt;&gt;&quot;&apos;" w="x &amp; y"/>"#);
+        let n = d.node(d.root());
+        assert_eq!(n.attr(tys.lookup("v").unwrap()), Some(&Value::Str("&<>\"'".into())));
+        assert_eq!(n.attr(tys.lookup("w").unwrap()), Some(&Value::Str("x & y".into())));
+    }
+
+    #[test]
+    fn character_references_decode() {
+        let (d, tys) = parse(r#"<a v="&#65;&#x42;&#x2603;"/>"#);
+        assert_eq!(
+            d.node(d.root()).attr(tys.lookup("v").unwrap()),
+            Some(&Value::Str("AB☃".into()))
+        );
+    }
+
+    #[test]
+    fn referenced_digits_stay_strings() {
+        // The writer's disambiguation: &#53;5 is the string "55", not Int(55).
+        let (d, tys) = parse(r#"<a v="&#53;5"/>"#);
+        assert_eq!(d.node(d.root()).attr(tys.lookup("v").unwrap()), Some(&Value::Str("55".into())));
+    }
+
+    #[test]
+    fn bad_references_are_errors() {
+        for case in [
+            r#"<a v="x & y"/>"#,    // bare ampersand
+            r#"<a v="&bogus;"/>"#,  // unknown entity
+            r#"<a v="&#xD800;"/>"#, // surrogate code point
+            r#"<a v="&#;"/>"#,      // empty reference
+            r#"<a v="&amp"/>"#,     // unterminated
+        ] {
+            let mut tys = TypeInterner::new();
+            assert!(parse_xml(case, &mut tys).is_err(), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn special_characters_in_attributes_round_trip() {
+        let mut d = Document::new(TypeId(0));
+        let mut tys = TypeInterner::new();
+        tys.intern("root");
+        let attr = tys.intern("v");
+        let cases = [
+            "he said \"hi\"",
+            "a < b && c > d",
+            "&amp; already escaped",
+            "5",
+            "-17",
+            "+3",
+            "007",
+            "",
+            "line\nbreak",
+            "snow ☃ man",
+        ];
+        for (i, s) in cases.iter().enumerate() {
+            let c = d.add_child(d.root(), TypeId(0));
+            d.set_attr(c, attr, Value::Str((*s).to_owned()));
+            d.set_attr(c, tys.intern(&format!("n{i}")), Value::Int(i as i64 - 3));
+        }
+        let xml = write_xml(&d, &tys);
+        let d2 = parse_xml(&xml, &mut tys).unwrap();
+        assert_eq!(d, d2, "xml was:\n{xml}");
+    }
+
+    #[test]
+    fn int_looking_strings_stay_strings() {
+        let mut d = Document::new(TypeId(0));
+        let mut tys = TypeInterner::new();
+        tys.intern("root");
+        let a = tys.intern("a");
+        let b = tys.intern("b");
+        d.set_attr(d.root(), a, Value::Str("5".into()));
+        d.set_attr(d.root(), b, Value::Int(5));
+        let xml = write_xml(&d, &tys);
+        let d2 = parse_xml(&xml, &mut tys).unwrap();
+        assert_eq!(d2.node(d2.root()).attr(a), Some(&Value::Str("5".into())));
+        assert_eq!(d2.node(d2.root()).attr(b), Some(&Value::Int(5)));
+    }
+
+    /// Seeded property test: random documents with adversarial attribute
+    /// values and multi-typing survive write → parse unchanged.
+    #[test]
+    fn write_parse_round_trip_property() {
+        let alphabet = ['a', '&', '<', '>', '"', '\'', '5', '-', ' ', ';', '#', 'é'];
+        for seed in 0..40u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut tys = TypeInterner::new();
+            let ntypes = 4u32;
+            for i in 0..ntypes {
+                tys.intern(&format!("t{i}"));
+            }
+            let attr_names: Vec<TypeId> = (0..3).map(|i| tys.intern(&format!("attr{i}"))).collect();
+            let mut d = Document::new(TypeId(rng.gen_range(0..ntypes)));
+            // Build depth-first along a stack of open nodes so arena order
+            // is pre-order — `parse_xml` rebuilds in pre-order, and
+            // `Document` equality is arena-order-sensitive.
+            let mut open = vec![d.root()];
+            for _ in 0..rng.gen_range(1..30usize) {
+                for _ in 0..rng.gen_range(0..open.len()) {
+                    if open.len() > 1 {
+                        open.pop();
+                    }
+                }
+                let parent = *open.last().unwrap();
+                let id = d.add_child(parent, TypeId(rng.gen_range(0..ntypes)));
+                open.push(id);
+                if rng.gen_bool(0.3) {
+                    d.add_type(id, TypeId(rng.gen_range(0..ntypes)));
+                }
+                for &name in &attr_names {
+                    if !rng.gen_bool(0.4) {
+                        continue;
+                    }
+                    let v = if rng.gen_bool(0.5) {
+                        Value::Int(rng.next_u64() as i64)
+                    } else {
+                        let len = rng.gen_range(0..8usize);
+                        let s: String = (0..len).map(|_| *rng.choose(&alphabet).unwrap()).collect();
+                        Value::Str(s)
+                    };
+                    d.set_attr(id, name, v);
+                    break; // one attr per name rule: move on
+                }
+            }
+            let xml = write_xml(&d, &tys);
+            let d2 = parse_xml(&xml, &mut tys)
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{xml}"));
+            assert_eq!(d, d2, "seed {seed}: round trip changed the document\n{xml}");
+        }
     }
 
     #[test]
@@ -464,5 +943,116 @@ mod tests {
         let err = parse_xml("<a/>", &mut tys).unwrap_err();
         assert_eq!(err, Error::Injected { point: "parse.xml".into() });
         assert!(parse_xml("<a/>", &mut tys).is_ok(), "one-shot");
+    }
+
+    // ---- streaming reader ----
+
+    /// A reader that hands out at most `step` bytes per `read` call, to
+    /// exercise refills landing mid-tag, mid-comment and mid-reference.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl std::io::Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn reader_agrees_with_slice_parser() {
+        let cases = [
+            "<Book/>",
+            "<a> hello <!-- note --> <b><c/></b> tail <b/> </a>",
+            r#"<Employee also="Person,Manager" age="41"><Badge/></Employee>"#,
+            r#"<a v="&amp;&lt;5 &gt; 4&quot;" w="a > b"/>"#,
+            "<a/> trailing text ",
+            "<a/><!-- post-root comment -->",
+        ];
+        for case in cases {
+            let mut tys1 = TypeInterner::new();
+            let want = parse_xml(case, &mut tys1).expect(case);
+            let mut tys2 = TypeInterner::new();
+            let got = parse_xml_reader(case.as_bytes(), &mut tys2).expect(case);
+            assert_eq!(want, got, "{case:?}");
+        }
+    }
+
+    #[test]
+    fn reader_rejects_what_the_slice_parser_rejects() {
+        let cases = [
+            "</a>",
+            "<a></a></a>",
+            "<a></b>",
+            "<a></a",
+            "<a><</a>",
+            "",
+            "<!-- only a comment -->",
+            "<a/><b/>",
+            r#"<a x="y/>"#,
+            r#"<a v="&bogus;"/>"#,
+        ];
+        for case in cases {
+            let mut tys = TypeInterner::new();
+            let err = parse_xml_reader(case.as_bytes(), &mut tys)
+                .expect_err(&format!("{case:?} must fail"));
+            match err {
+                Error::XmlParse { offset, .. } => assert!(offset <= case.len(), "{case:?}"),
+                other => panic!("{case:?}: expected XmlParse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reader_survives_tiny_chunks() {
+        let xml = r#"<Org note="a &amp; b"><!-- split --- comment --><Dept also="Unit"><Employee n="-3"/></Dept> text <Dept/></Org>"#;
+        let mut tys = TypeInterner::new();
+        let want = parse_xml(xml, &mut tys).unwrap();
+        for step in 1..9 {
+            let mut tys2 = TypeInterner::new();
+            let r = Dribble { data: xml.as_bytes(), pos: 0, step };
+            let got = parse_xml_reader(r, &mut tys2).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            assert_eq!(want, got, "step {step}");
+        }
+    }
+
+    #[test]
+    fn reader_handles_inputs_larger_than_one_chunk() {
+        // Enough siblings that the window slides several times.
+        let n = 20_000;
+        let mut xml = String::with_capacity(n * 16);
+        xml.push_str("<root>");
+        for i in 0..n {
+            xml.push_str(&format!("<item k=\"{}\"/>", i % 97));
+        }
+        xml.push_str("</root>");
+        assert!(xml.len() > 2 * READ_CHUNK);
+        let mut tys = TypeInterner::new();
+        let doc = parse_xml_reader(xml.as_bytes(), &mut tys).unwrap();
+        assert_eq!(doc.len(), n + 1);
+        let mut tys2 = TypeInterner::new();
+        assert_eq!(doc, parse_xml(&xml, &mut tys2).unwrap());
+    }
+
+    #[test]
+    fn reader_failpoint_injects_an_error() {
+        let _fp = failpoint::arm_for_thread("parse.xml", failpoint::Action::Err, 1);
+        let mut tys = TypeInterner::new();
+        let err = parse_xml_reader("<a/>".as_bytes(), &mut tys).unwrap_err();
+        assert_eq!(err, Error::Injected { point: "parse.xml".into() });
+    }
+
+    #[test]
+    fn write_xml_to_matches_write_xml() {
+        let (d, tys) =
+            parse(r#"<Org><Dept count="2"><Employee also="Person"/><Employee/></Dept></Org>"#);
+        let mut bytes = Vec::new();
+        write_xml_to(&d, &tys, &mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), write_xml(&d, &tys));
     }
 }

@@ -8,13 +8,16 @@
 //! The pattern root may land anywhere in the tree. The answer set is the
 //! set of data nodes bound to the output (`*`) node across all embeddings.
 //!
-//! Two evaluators are provided:
+//! Three evaluators are provided:
 //!
 //! * [`embed`] — the production evaluator: bottom-up candidate pruning
 //!   over a [`DocIndex`](tpq_data::DocIndex) (O(1) structural checks),
 //!   then a top-down feasibility pass; polynomial and exact;
+//! * [`twig`] — a holistic twig join: one document-order merge of per-type
+//!   streams with path stacks, O(depth × pattern) sweep memory instead of
+//!   per-node candidate vectors; returns the same answers as [`embed`];
 //! * [`naive`] — exponential backtracking enumeration of embeddings, used
-//!   to cross-validate the production evaluator in tests.
+//!   to cross-validate the other evaluators in tests.
 //!
 //! Matching cost grows with pattern size — which is the whole motivation
 //! for minimization; the ablation benches quantify it.
@@ -23,12 +26,14 @@
 
 pub mod embed;
 pub mod naive;
+pub mod twig;
 
 pub use embed::{answer_set, answer_set_forest, count_embeddings, matches_anywhere, Matcher};
 pub use naive::{
     answer_set_naive, answer_set_naive_guarded, count_embeddings_naive,
     count_embeddings_naive_guarded,
 };
+pub use twig::{answer_set_twig, answer_set_twig_guarded, answer_set_twig_indexed};
 
 /// Do two patterns produce the same answer set on `doc`? (Empirical
 /// equivalence on one database; used by property tests against the

@@ -1,0 +1,622 @@
+//! Holistic twig-join evaluation over the pre/post interval index.
+//!
+//! TwigStack-style matching (see "A Survey of XML Tree Patterns" in
+//! PAPERS.md): every alive pattern node gets a *stream* — the pre-order
+//! type-index list from [`DocIndex`], lazily filtered by type set and value
+//! conditions — and the streams are merged into one document-order sweep.
+//! The sweep maintains a single *spine* of frames (one frame per live
+//! (pattern node, data node) pair whose data node is an ancestor-or-self of
+//! the sweep position) plus, per pattern node, a stack of spine positions.
+//! Because frames pop in post-order, a frame knows by pop time whether
+//! every pattern child found a correctly-related match below it; satisfied
+//! frames propagate one bit into their parent's frames.
+//!
+//! Memory stays O(document depth × pattern size) during the sweep — no
+//! per-pattern-node candidate vectors. Only the nodes on the root→output
+//! path record their satisfied matches, and a final top-down pass filters
+//! those path lists to the answer set, which is exactly
+//! [`embed::Matcher::answers`](crate::embed::Matcher::answers) (same
+//! contents, same pre-order).
+//!
+//! Two soundness notes, mirrored by `debug_assert`s below:
+//!
+//! * **Push pruning.** A stream hit `(v, u)` is discarded unless `v`'s
+//!   pattern parent currently holds a frame in the required relation to
+//!   `u` (its parent for a c-edge, any proper ancestor for a d-edge). By
+//!   induction over pattern ancestors this keeps every data node that
+//!   participates in a full embedding, so the recorded path lists sit
+//!   between the true feasible sets and the unpruned candidate sets — the
+//!   final path filter then yields exactly the feasible output set.
+//! * **Propagation early-stop.** Satisfied-child bits are set on parent
+//!   frames from the deepest up, stopping at the first frame that already
+//!   has the bit: set-regions of a stack are always closed toward the
+//!   stack bottom, so everything below the stop point is already marked.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tpq_base::{failpoint, FxHashSet, Guard, Result};
+use tpq_data::{DataNodeId, DocIndex, Document};
+use tpq_pattern::{condition, EdgeKind, NodeId, TreePattern};
+
+/// One-shot: the answer set of `pattern` on `doc` via the twig join.
+/// Pre-order sorted and duplicate-free, byte-identical to
+/// [`crate::answer_set`].
+pub fn answer_set_twig(pattern: &TreePattern, doc: &Document) -> Vec<DataNodeId> {
+    answer_set_twig_guarded(pattern, doc, &Guard::unlimited())
+        .expect("unlimited guard cannot trip and no failpoint is armed")
+}
+
+/// [`answer_set_twig`] under a [`Guard`]: one step is spent per stream
+/// element examined, per merge event, and per satisfied-bit propagation,
+/// so budgets and deadlines trip mid-sweep on large documents. Passes the
+/// `match.build` failpoint once on entry.
+pub fn answer_set_twig_guarded(
+    pattern: &TreePattern,
+    doc: &Document,
+    guard: &Guard,
+) -> Result<Vec<DataNodeId>> {
+    failpoint::hit("match.build")?;
+    let index = {
+        let _s = tpq_obs::span!("twig.index");
+        DocIndex::build(doc)
+    };
+    answer_set_twig_indexed(pattern, doc, &index, guard)
+}
+
+/// The twig join over a caller-provided [`DocIndex`] — the entry point for
+/// matching many patterns against one indexed document without rebuilding
+/// the index per query.
+pub fn answer_set_twig_indexed(
+    pattern: &TreePattern,
+    doc: &Document,
+    index: &DocIndex,
+    guard: &Guard,
+) -> Result<Vec<DataNodeId>> {
+    let _span = tpq_obs::span!("twig.match");
+    let shape = PatternShape::new(pattern);
+    let mut sweep = Sweep::new(pattern, doc, index, &shape);
+    sweep.run(guard)?;
+    sweep.answers(guard)
+}
+
+/// Immutable per-pattern tables the sweep indexes by arena position.
+struct PatternShape {
+    /// Alive children per node (arena-indexed; dead slots empty).
+    alive_children: Vec<Vec<NodeId>>,
+    /// Position of each node within its parent's alive-children list.
+    slot: Vec<u32>,
+    /// The root→output chain.
+    path: Vec<NodeId>,
+    /// Arena-indexed position on `path`, if any.
+    path_pos: Vec<Option<usize>>,
+}
+
+impl PatternShape {
+    fn new(pattern: &TreePattern) -> Self {
+        let arena = pattern.arena_len();
+        let mut alive_children: Vec<Vec<NodeId>> = vec![Vec::new(); arena];
+        let mut slot = vec![0u32; arena];
+        for v in pattern.alive_ids() {
+            let kids: Vec<NodeId> =
+                pattern.node(v).children.iter().copied().filter(|&c| pattern.is_alive(c)).collect();
+            for (i, &c) in kids.iter().enumerate() {
+                slot[c.index()] = i as u32;
+            }
+            alive_children[v.index()] = kids;
+        }
+        let mut path = vec![pattern.output()];
+        while let Some(p) = pattern.node(*path.last().expect("non-empty")).parent {
+            path.push(p);
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], pattern.root(), "output chain must reach the root");
+        let mut path_pos: Vec<Option<usize>> = vec![None; arena];
+        for (i, &v) in path.iter().enumerate() {
+            path_pos[v.index()] = Some(i);
+        }
+        PatternShape { alive_children, slot, path, path_pos }
+    }
+}
+
+/// Which-children-matched bits of one frame. Patterns wider than 64
+/// children spill to the heap; everything else stays inline.
+enum Mask {
+    Small(u64),
+    Large(Box<[u64]>),
+}
+
+impl Mask {
+    fn new(children: usize) -> Self {
+        if children <= 64 {
+            Mask::Small(0)
+        } else {
+            Mask::Large(vec![0u64; children.div_ceil(64)].into_boxed_slice())
+        }
+    }
+
+    /// Set bit `i`; returns whether it was newly set.
+    fn set(&mut self, i: u32) -> bool {
+        match self {
+            Mask::Small(bits) => {
+                let m = 1u64 << i;
+                let newly = *bits & m == 0;
+                *bits |= m;
+                newly
+            }
+            Mask::Large(words) => {
+                let (w, m) = ((i / 64) as usize, 1u64 << (i % 64));
+                let newly = words[w] & m == 0;
+                words[w] |= m;
+                newly
+            }
+        }
+    }
+}
+
+/// A live (pattern node, data node) pair on the spine.
+struct Frame {
+    /// Arena index of the pattern node.
+    v: u32,
+    u: DataNodeId,
+    /// Alive children whose subtree match is still missing.
+    need: u32,
+    seen: Mask,
+}
+
+/// One pattern node's candidate stream: the pre-order index list of its
+/// rarest type, filtered lazily by full type set and value conditions.
+struct Stream<'a> {
+    v: NodeId,
+    list: &'a [DataNodeId],
+    pos: usize,
+}
+
+impl Stream<'_> {
+    fn advance(
+        &mut self,
+        pattern: &TreePattern,
+        doc: &Document,
+        guard: &Guard,
+    ) -> Result<Option<DataNodeId>> {
+        let node = pattern.node(self.v);
+        while self.pos < self.list.len() {
+            let u = self.list[self.pos];
+            self.pos += 1;
+            guard.spend(1)?;
+            if doc.node(u).types.is_superset(&node.types)
+                && condition::satisfied_by(&node.conditions, &doc.node(u).attrs)
+            {
+                return Ok(Some(u));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct Sweep<'a> {
+    pattern: &'a TreePattern,
+    doc: &'a Document,
+    index: &'a DocIndex,
+    shape: &'a PatternShape,
+    streams: Vec<Stream<'a>>,
+    /// Push-ordered live frames; always a nesting chain (each frame's data
+    /// node is an ancestor-or-self of every data node above it).
+    spine: Vec<Frame>,
+    /// Per pattern node (arena-indexed): spine positions of its frames,
+    /// bottom = highest ancestor.
+    stacks: Vec<Vec<u32>>,
+    /// Satisfied matches of the root→output path nodes, in pop order.
+    path_cand: Vec<Vec<DataNodeId>>,
+}
+
+impl<'a> Sweep<'a> {
+    fn new(
+        pattern: &'a TreePattern,
+        doc: &'a Document,
+        index: &'a DocIndex,
+        shape: &'a PatternShape,
+    ) -> Self {
+        let streams: Vec<Stream<'a>> = pattern
+            .alive_ids()
+            .map(|v| {
+                let seed = pattern
+                    .node(v)
+                    .types
+                    .iter()
+                    .min_by_key(|t| index.nodes_of_type(*t).len())
+                    .expect("non-empty type set");
+                Stream { v, list: index.nodes_of_type(seed), pos: 0 }
+            })
+            .collect();
+        Sweep {
+            pattern,
+            doc,
+            index,
+            shape,
+            streams,
+            spine: Vec::new(),
+            stacks: vec![Vec::new(); pattern.arena_len()],
+            path_cand: vec![Vec::new(); shape.path.len()],
+        }
+    }
+
+    /// Merge the streams in document order, maintaining the spine.
+    fn run(&mut self, guard: &Guard) -> Result<()> {
+        let _span = tpq_obs::span!("twig.sweep");
+        // Min-heap of (pre rank, stream index, data node).
+        let mut heap: BinaryHeap<Reverse<(u32, u32, DataNodeId)>> = BinaryHeap::new();
+        for si in 0..self.streams.len() {
+            if let Some(u) = self.streams[si].advance(self.pattern, self.doc, guard)? {
+                heap.push(Reverse((self.index.pre(u), si as u32, u)));
+            }
+        }
+        while let Some(Reverse((_, si, u))) = heap.pop() {
+            guard.spend(1)?;
+            let v = self.streams[si as usize].v;
+            // Retire frames that are not ancestors-or-self of the sweep
+            // position; their subtrees are complete.
+            while let Some(top) = self.spine.last() {
+                if top.u == u || self.index.is_proper_ancestor(top.u, u) {
+                    break;
+                }
+                self.pop_top(guard)?;
+            }
+            if self.connects_upward(v, u) {
+                let children = self.shape.alive_children[v.index()].len();
+                if children == 0 {
+                    // Leaf fast path: the frame would be born satisfied, so
+                    // complete it now instead of touching the spine. The
+                    // parent frames it targets are identical either way —
+                    // anything pushed later has a larger pre rank and
+                    // cannot be an ancestor.
+                    self.complete(v.index() as u32, u, guard)?;
+                } else {
+                    self.stacks[v.index()].push(self.spine.len() as u32);
+                    self.spine.push(Frame {
+                        v: v.index() as u32,
+                        u,
+                        need: children as u32,
+                        seen: Mask::new(children),
+                    });
+                }
+            }
+            if let Some(nu) = self.streams[si as usize].advance(self.pattern, self.doc, guard)? {
+                heap.push(Reverse((self.index.pre(nu), si, nu)));
+            }
+        }
+        while !self.spine.is_empty() {
+            self.pop_top(guard)?;
+        }
+        Ok(())
+    }
+
+    /// Can a frame for `(v, u)` still take part in a full embedding? True
+    /// iff `v` is the pattern root or its parent's stack holds a frame in
+    /// the required relation to `u`.
+    fn connects_upward(&self, v: NodeId, u: DataNodeId) -> bool {
+        let Some(parent_v) = self.pattern.node(v).parent else {
+            return true;
+        };
+        let stack = &self.stacks[parent_v.index()];
+        match self.pattern.node(v).edge {
+            EdgeKind::Child => {
+                let Some(pu) = self.doc.node(u).parent else {
+                    return false;
+                };
+                // All stacked frames are ancestors-or-self of `u`, so the
+                // deepest non-self frame is the only one that can be the
+                // parent.
+                for &fi in stack.iter().rev() {
+                    let f = &self.spine[fi as usize];
+                    if f.u == u {
+                        continue;
+                    }
+                    return f.u == pu;
+                }
+                false
+            }
+            EdgeKind::Descendant => {
+                // A proper ancestor exists iff the bottom frame is not `u`
+                // itself (a self frame can only sit alone at the top).
+                stack.first().is_some_and(|&fi| self.spine[fi as usize].u != u)
+            }
+        }
+    }
+
+    fn pop_top(&mut self, guard: &Guard) -> Result<()> {
+        let frame = self.spine.pop().expect("pop_top called on a non-empty spine");
+        let popped = self.stacks[frame.v as usize].pop();
+        debug_assert_eq!(popped, Some(self.spine.len() as u32), "stack/spine desync");
+        if frame.need == 0 {
+            self.complete(frame.v, frame.u, guard)?;
+        }
+        Ok(())
+    }
+
+    /// `(v, u)`'s subtree fully matched: record it if `v` is on the output
+    /// path, and mark the satisfied-child bit on `v`'s parent frames.
+    fn complete(&mut self, v: u32, u: DataNodeId, guard: &Guard) -> Result<()> {
+        if let Some(pos) = self.shape.path_pos[v as usize] {
+            self.path_cand[pos].push(u);
+        }
+        let vid = NodeId(v);
+        let Some(parent_v) = self.pattern.node(vid).parent else {
+            return Ok(());
+        };
+        let slot = self.shape.slot[vid.index()];
+        let stack = &self.stacks[parent_v.index()];
+        match self.pattern.node(vid).edge {
+            EdgeKind::Child => {
+                let Some(pu) = self.doc.node(u).parent else {
+                    return Ok(());
+                };
+                for &fi in stack.iter().rev() {
+                    let f = &mut self.spine[fi as usize];
+                    if f.u == u {
+                        continue;
+                    }
+                    if f.u == pu && f.seen.set(slot) {
+                        f.need -= 1;
+                    }
+                    break;
+                }
+            }
+            EdgeKind::Descendant => {
+                for &fi in stack.iter().rev() {
+                    let f = &mut self.spine[fi as usize];
+                    if f.u == u {
+                        continue;
+                    }
+                    debug_assert!(self.index.is_proper_ancestor(f.u, u));
+                    if !f.seen.set(slot) {
+                        break; // everything below is already marked
+                    }
+                    guard.spend(1)?;
+                    f.need -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Filter the recorded path lists top-down into the answer set.
+    fn answers(mut self, guard: &Guard) -> Result<Vec<DataNodeId>> {
+        let _span = tpq_obs::span!("twig.paths");
+        let index = self.index;
+        let mut feasible = std::mem::take(&mut self.path_cand[0]);
+        feasible.sort_unstable_by_key(|&u| index.pre(u));
+        for i in 1..self.shape.path.len() {
+            let v = self.shape.path[i];
+            let edge = self.pattern.node(v).edge;
+            let mut cands = std::mem::take(&mut self.path_cand[i]);
+            cands.sort_unstable_by_key(|&u| index.pre(u));
+            guard.spend(cands.len() as u64 + 1)?;
+            feasible = match edge {
+                EdgeKind::Child => {
+                    let set: FxHashSet<DataNodeId> = feasible.into_iter().collect();
+                    cands
+                        .into_iter()
+                        .filter(|&u| self.doc.node(u).parent.is_some_and(|p| set.contains(&p)))
+                        .collect()
+                }
+                EdgeKind::Descendant => {
+                    // Among feasible parents with pre < pre(u), an ancestor
+                    // exists iff the max post in that prefix is > post(u).
+                    let pres: Vec<u32> = feasible.iter().map(|&p| index.pre(p)).collect();
+                    let mut prefix_max_post = vec![0u32; feasible.len() + 1];
+                    for (j, &p) in feasible.iter().enumerate() {
+                        prefix_max_post[j + 1] =
+                            prefix_max_post[j].max(index.post(p).saturating_add(1));
+                    }
+                    cands
+                        .into_iter()
+                        .filter(|&u| {
+                            let upto = pres.partition_point(|&p| p < index.pre(u));
+                            // prefix_max_post stores max(post)+1 (0 = empty).
+                            prefix_max_post[upto] > index.post(u) + 1
+                        })
+                        .collect()
+                }
+            };
+        }
+        if tpq_obs::enabled() {
+            tpq_obs::incr("twig.answers", feasible.len() as u64);
+        }
+        Ok(feasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{answer_set, answer_set_naive};
+    use tpq_base::{Error, TypeInterner};
+    use tpq_data::parse_xml;
+    use tpq_pattern::parse_pattern;
+
+    fn setup(q: &str, xml: &str) -> (TreePattern, Document, TypeInterner) {
+        let mut tys = TypeInterner::new();
+        let p = parse_pattern(q, &mut tys).unwrap();
+        let d = parse_xml(xml, &mut tys).unwrap();
+        (p, d, tys)
+    }
+
+    /// The twig answers must be byte-identical to the embed matcher's.
+    fn check(q: &str, xml: &str) -> Vec<DataNodeId> {
+        let (p, d, _) = setup(q, xml);
+        let twig = answer_set_twig(&p, &d);
+        assert_eq!(twig, answer_set(&p, &d), "{q} on {xml}: disagrees with embed");
+        let mut sorted = twig.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, answer_set_naive(&p, &d), "{q} on {xml}: disagrees with naive");
+        twig
+    }
+
+    #[test]
+    fn single_node_pattern_matches_every_node_of_type() {
+        assert_eq!(check("b*", "<a><b/><c><b/></c></a>").len(), 2);
+    }
+
+    #[test]
+    fn c_edge_requires_direct_child() {
+        assert!(check("a/b*", "<a><x><b/></x></a>").is_empty());
+        assert_eq!(check("a//b*", "<a><x><b/></x></a>").len(), 1);
+    }
+
+    #[test]
+    fn answers_respect_ancestor_constraints() {
+        let answers = check("a//b*", "<r><a><b/></a><b/></r>");
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn multi_branch_pattern() {
+        let answers = check(
+            "Dept*[//Manager][//DBProject]",
+            "<Org>\
+               <Dept><Manager/><DBProject/></Dept>\
+               <Dept><Manager/></Dept>\
+               <Dept><DBProject/></Dept>\
+             </Org>",
+        );
+        assert_eq!(answers.len(), 1, "only the first Dept has both");
+    }
+
+    #[test]
+    fn output_below_branching_nodes() {
+        // The output sits under a branch sibling; the path filter must
+        // respect satisfaction of the off-path branch.
+        assert_eq!(
+            check(
+                "Dept[//Manager]//Project*",
+                "<Org>\
+                   <Dept><Manager/><Project/></Dept>\
+                   <Dept><Project/></Dept>\
+                 </Org>",
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn self_overlap_chains() {
+        // a//a and deeper chains: the same data node serves several
+        // pattern nodes at different stack depths.
+        assert!(check("a//a*", "<a/>").is_empty());
+        assert_eq!(check("a//a*", "<a><a/></a>").len(), 1);
+        assert_eq!(check("a//a*", "<a><a><a/></a></a>").len(), 2);
+        assert_eq!(check("a//a//a*", "<a><a><a><a/></a></a></a>").len(), 2);
+        assert_eq!(check("a/a*", "<a><a><a/></a></a>").len(), 2);
+        assert_eq!(check("a*//a", "<a><b><a/></b></a>").len(), 1);
+    }
+
+    #[test]
+    fn deep_output_chain() {
+        assert_eq!(check("a//b//c*", "<a><x><b><y><c/></y></b></x><c/></a>").len(), 1);
+        assert_eq!(check("a/b/c*", "<a><b><c/></b><c/></a>").len(), 1);
+    }
+
+    #[test]
+    fn pattern_root_floats_anywhere() {
+        assert_eq!(check("b*/c", "<a><x><b><c/></b></x></a>").len(), 1);
+    }
+
+    #[test]
+    fn multi_typed_pattern_node_needs_all_types() {
+        let mut tys = TypeInterner::new();
+        let mut p = parse_pattern("Org*/Employee", &mut tys).unwrap();
+        let person = tys.intern("Person");
+        let emp_node = p.node(p.root()).children[0];
+        p.node_mut(emp_node).types.insert(person);
+        let d = parse_xml(r#"<Org><Employee/><Employee also="Person"/></Org>"#, &mut tys).unwrap();
+        assert_eq!(answer_set_twig(&p, &d), answer_set(&p, &d));
+        assert_eq!(answer_set_twig(&p, &d).len(), 1);
+    }
+
+    #[test]
+    fn value_conditions_filter_streams() {
+        let mut tys = TypeInterner::new();
+        let p = parse_pattern(r#"Book*{price<50}"#, &mut tys).unwrap();
+        let d = parse_xml(r#"<Shop><Book price="95"/><Book price="12"/><Book/></Shop>"#, &mut tys)
+            .unwrap();
+        assert_eq!(answer_set_twig(&p, &d), answer_set(&p, &d));
+        assert_eq!(answer_set_twig(&p, &d).len(), 1);
+    }
+
+    #[test]
+    fn no_match_empty_answers() {
+        assert!(check("z*", "<a><b/></a>").is_empty());
+        assert!(check("a/z*", "<a><b/></a>").is_empty());
+    }
+
+    #[test]
+    fn wide_documents_with_interleaved_siblings() {
+        // Sibling subtrees force constant frame retirement mid-stream.
+        let xml = "<r>\
+            <a><b/><c/></a><a><c/></a><b/><a><b><c/></b></a>\
+            <x><a><b/></a></x><c/>\
+        </r>";
+        check("a*[//b]", xml);
+        check("a*[/b][/c]", xml);
+        check("r[//c]//a//b*", xml);
+        check("a//c*", xml);
+    }
+
+    #[test]
+    fn guard_budget_trips_to_err_not_wrong_answers() {
+        let (p, d, _) = setup("a//b*", "<a><b/><b/><b/><b/></a>");
+        let guard = Guard::with_budget(3);
+        match answer_set_twig_guarded(&p, &d, &guard) {
+            Err(Error::Budget { .. }) => {}
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_guard_passes_through() {
+        let (p, d, _) = setup("a//b*", "<a><b/></a>");
+        let answers = answer_set_twig_guarded(&p, &d, &Guard::unlimited()).unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn indexed_entry_point_reuses_the_index() {
+        let (p, d, mut tys) = setup("a//b*", "<a><b/><c><b/></c></a>");
+        let index = DocIndex::build(&d);
+        let p2 = parse_pattern("c/b*", &mut tys).unwrap();
+        let g = Guard::unlimited();
+        assert_eq!(answer_set_twig_indexed(&p, &d, &index, &g).unwrap().len(), 2);
+        assert_eq!(answer_set_twig_indexed(&p2, &d, &index, &g).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn match_build_failpoint_injects() {
+        let _fp = failpoint::arm_for_thread("match.build", failpoint::Action::Err, 1);
+        let (p, d, _) = setup("a*", "<a/>");
+        let err = answer_set_twig_guarded(&p, &d, &Guard::unlimited()).unwrap_err();
+        assert_eq!(err, Error::Injected { point: "match.build".into() });
+    }
+
+    #[test]
+    fn wide_pattern_spills_to_large_mask() {
+        // More than 64 children on one pattern node exercises Mask::Large.
+        let mut tys = TypeInterner::new();
+        let n = 70;
+        let mut q = String::from("r*");
+        for i in 0..n {
+            q.push_str(&format!("[//t{i}]"));
+        }
+        let p = parse_pattern(&q, &mut tys).unwrap();
+        let mut xml = String::from("<r>");
+        for i in 0..n {
+            xml.push_str(&format!("<t{i}/>"));
+        }
+        xml.push_str("</r><!-- -->");
+        let xml = format!("<top>{xml}</top>");
+        let d = parse_xml(&xml, &mut tys).unwrap();
+        assert_eq!(answer_set_twig(&p, &d), answer_set(&p, &d));
+        assert_eq!(answer_set_twig(&p, &d).len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Engine-agreement battery: the twig join, the embed matcher, and the
+//! naive backtracking enumerator must agree on the answer set of every
+//! random (pattern, document) pair — including multi-typed nodes, value
+//! conditions, and `a//a`-style self-overlapping patterns.
+//!
+//! Twig and embed must agree *byte-identically* (both return pre-order);
+//! naive returns arena order, so it is compared as a sorted set.
+
+use tpq_base::{Cmp, Error, Guard, SmallRng, TypeId, Value};
+use tpq_data::{generate_document, DocIndex, Document, DocumentSpec};
+use tpq_match::{
+    answer_set, answer_set_naive_guarded, answer_set_twig, answer_set_twig_guarded,
+    answer_set_twig_indexed, Matcher,
+};
+use tpq_pattern::{Condition, TreePattern};
+use tpq_workload::{random_pattern, PatternSpec};
+
+/// A uniform probability in `[0, 1)` (the in-tree rng has no float ranges).
+fn prob(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0..1000u32) as f64 / 1000.0
+}
+
+/// Sprinkle value conditions over a random pattern and matching attribute
+/// values over the document, so the condition-filtering paths of all three
+/// engines are exercised (the generators alone emit neither).
+fn decorate(pattern: &mut TreePattern, doc: &mut Document, num_types: usize, rng: &mut SmallRng) {
+    let attr = TypeId(num_types as u32); // one id past the type universe
+    let ids: Vec<_> = pattern.alive_ids().collect();
+    for v in ids {
+        if rng.gen_bool(0.3) {
+            let cond = if rng.gen_bool(0.7) {
+                let op =
+                    *rng.choose(&[Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge, Cmp::Eq, Cmp::Ne]).unwrap();
+                Condition::new(attr, op, Value::Int(rng.gen_range(0..6u32) as i64))
+            } else {
+                Condition::new(attr, Cmp::Eq, Value::Str("x".into()))
+            };
+            pattern.node_mut(v).conditions.push(cond);
+        }
+    }
+    for u in doc.ids().collect::<Vec<_>>() {
+        if rng.gen_bool(0.5) {
+            let value = if rng.gen_bool(0.8) {
+                Value::Int(rng.gen_range(0..6u32) as i64)
+            } else {
+                Value::Str(if rng.gen_bool(0.5) { "x" } else { "y" }.into())
+            };
+            doc.set_attr(u, attr, value);
+        }
+    }
+}
+
+/// Assert all three engines agree on one pair; returns the answer count.
+/// The naive enumerator walks every embedding, which explodes on dense
+/// self-overlapping pairs — it runs under a budget and is skipped (not
+/// failed) when that trips; twig vs embed always runs to completion.
+fn agree(pattern: &TreePattern, doc: &Document, ctx: &str) -> usize {
+    let twig = answer_set_twig(pattern, doc);
+    let embed = answer_set(pattern, doc);
+    assert_eq!(twig, embed, "{ctx}: twig vs embed (order-sensitive)");
+    match answer_set_naive_guarded(pattern, doc, &Guard::with_budget(2_000_000)) {
+        Ok(naive) => {
+            let mut sorted = twig.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, naive, "{ctx}: twig vs naive (as sets)");
+        }
+        Err(Error::Budget { .. }) => {} // embedding count blew up; skip oracle
+        Err(e) => panic!("{ctx}: naive failed unexpectedly: {e:?}"),
+    }
+    twig.len()
+}
+
+#[test]
+fn engines_agree_on_random_pairs() {
+    let mut nonempty = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        // Few types ⇒ frequent self-overlap (`a//a`, `a/a//a`…) and dense
+        // match sets; more types ⇒ sparse streams and early pruning.
+        let num_types = rng.gen_range(1..5usize);
+        let pspec = PatternSpec {
+            nodes: rng.gen_range(1..9),
+            num_types,
+            d_edge_prob: prob(&mut rng),
+            max_fanout: rng.gen_range(1..4),
+            seed,
+        };
+        let dspec = DocumentSpec {
+            nodes: rng.gen_range(1..250),
+            num_types,
+            max_fanout: rng.gen_range(1..6),
+            extra_type_prob: prob(&mut rng) * 0.4,
+            seed: seed.wrapping_mul(31) + 7,
+        };
+        let mut pattern = random_pattern(&pspec);
+        let mut doc = generate_document(&dspec);
+        if seed % 2 == 0 {
+            decorate(&mut pattern, &mut doc, num_types, &mut rng);
+        }
+        let ctx = format!("seed {seed} ({pspec:?}, {dspec:?})");
+        nonempty += usize::from(agree(&pattern, &doc, &ctx) > 0);
+    }
+    // The battery must actually exercise the match paths, not vacuously
+    // compare empty answer sets.
+    assert!(nonempty >= 30, "only {nonempty}/120 pairs had answers — generators drifted?");
+}
+
+#[test]
+fn guarded_engines_trip_to_err_not_wrong_answers() {
+    for seed in 0..20u64 {
+        let pattern =
+            random_pattern(&PatternSpec { nodes: 6, num_types: 3, seed, ..PatternSpec::default() });
+        let doc = generate_document(&DocumentSpec {
+            nodes: 120,
+            num_types: 3,
+            seed: seed + 999,
+            ..DocumentSpec::default()
+        });
+        let full = answer_set_twig(&pattern, &doc);
+        // A budget far below the work either trips or — only if the true
+        // workload was tiny — returns the exact full answer.
+        for budget in [1u64, 5, 25] {
+            match answer_set_twig_guarded(&pattern, &doc, &Guard::with_budget(budget)) {
+                Err(Error::Budget { .. }) => {}
+                Ok(ans) => {
+                    assert_eq!(ans, full, "seed {seed} budget {budget}: partial answers leaked")
+                }
+                Err(e) => panic!("seed {seed} budget {budget}: unexpected error {e:?}"),
+            }
+            match answer_set_naive_guarded(&pattern, &doc, &Guard::with_budget(budget)) {
+                Err(Error::Budget { .. }) => {}
+                Ok(ans) => {
+                    let mut sorted = full.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(
+                        ans, sorted,
+                        "seed {seed} budget {budget}: naive partial answers leaked"
+                    );
+                }
+                Err(e) => panic!("seed {seed} budget {budget}: unexpected error {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_twig_agrees_with_matcher_across_queries_on_one_doc() {
+    // The index-reuse entry point (what `tpq match` and the bench panels
+    // use) must match a fresh Matcher per query.
+    let doc = generate_document(&DocumentSpec {
+        nodes: 300,
+        num_types: 4,
+        seed: 42,
+        ..DocumentSpec::default()
+    });
+    let index = DocIndex::build(&doc);
+    let guard = Guard::unlimited();
+    for seed in 0..40u64 {
+        let pattern =
+            random_pattern(&PatternSpec { nodes: 5, num_types: 4, seed, ..PatternSpec::default() });
+        let twig = answer_set_twig_indexed(&pattern, &doc, &index, &guard).unwrap();
+        let embed = Matcher::new(&pattern, &doc).answers().to_vec();
+        assert_eq!(twig, embed, "seed {seed}");
+    }
+}

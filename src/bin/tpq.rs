@@ -8,7 +8,8 @@
 //! tpq --trace minimize 'Dept*[//DBProject]//Manager//DBProject'
 //! tpq --metrics-json out.json minimize 'a*[/b][/b/c]'
 //! tpq explain  'Articles[/Article//Paragraph]/Article*//Section//Paragraph' --ic 'Section ->> Paragraph'
-//! tpq match    --query 'Dept*//Manager' --doc org.xml
+//! tpq match    'Dept*//Manager' org.xml
+//! tpq match    --query 'Dept*//Manager' --doc org.xml --engine embed
 //! tpq check    --q1 'a*[/b]' --q2 'a*' --ic 'a -> b'
 //! tpq closure  --constraints ics.txt
 //! tpq repair   --doc org.xml --constraints ics.txt
@@ -436,13 +437,40 @@ fn cmd_match(args: &[String]) -> Result2<()> {
     let opts = Opts::parse(args, &["count"])?;
     let mut types = TypeInterner::new();
     let query = parse_query(&opts, &mut types)?;
+    // The document: `--doc <file>`, or the positional after the query
+    // (`tpq match '<query>' doc.xml`). Streamed from disk, so documents
+    // need not fit in one contiguous String.
+    let inline_query = opts.get("query").is_none() && opts.get("xpath").is_none();
+    let doc_path = match opts.get("doc") {
+        Some(p) => p,
+        None => opts
+            .positionals
+            .get(if inline_query { 1 } else { 0 })
+            .map(String::as_str)
+            .ok_or("--doc is required (or pass the document file after the query)")?,
+    };
+    let file = std::fs::File::open(doc_path).map_err(|e| format!("cannot read {doc_path}: {e}"))?;
     let doc =
-        parse_xml(&read_file(opts.require("doc")?)?, &mut types).map_err(|e| e.to_string())?;
+        parse_xml_reader(std::io::BufReader::new(file), &mut types).map_err(|e| e.to_string())?;
+    let engine = opts.get("engine").unwrap_or("twig");
     if opts.flag("count") {
-        println!("{}", count_embeddings(&query, &doc));
+        let n = match engine {
+            "naive" => count_embeddings_naive(&query, &doc),
+            "twig" | "embed" => count_embeddings(&query, &doc),
+            other => return Err(format!("unknown engine '{other}' (twig|embed|naive)")),
+        };
+        println!("{n}");
         return Ok(());
     }
-    let answers = answer_set(&query, &doc);
+    let mut answers = match engine {
+        "twig" => answer_set_twig(&query, &doc),
+        "embed" => answer_set(&query, &doc),
+        "naive" => answer_set_naive(&query, &doc),
+        other => return Err(format!("unknown engine '{other}' (twig|embed|naive)")),
+    };
+    // Engines return different orders (pre-order vs arena); print in
+    // arena order so output is engine-independent and diff-able.
+    answers.sort_unstable();
     println!("{} answer(s)", answers.len());
     for a in answers {
         // Print the path from the root to the answer node.

@@ -49,8 +49,11 @@ pub mod prelude {
         acim, cdm, cim, contains, contains_under, equivalent, equivalent_under, minimize,
         MinimizeOutcome, MinimizeStats,
     };
-    pub use tpq_data::{parse_xml, Document, Forest};
-    pub use tpq_match::{answer_set, count_embeddings, matches_anywhere};
+    pub use tpq_data::{parse_xml, parse_xml_reader, Document, Forest};
+    pub use tpq_match::{
+        answer_set, answer_set_naive, answer_set_twig, count_embeddings, count_embeddings_naive,
+        matches_anywhere,
+    };
     pub use tpq_pattern::print::{to_dsl, to_tree_string};
     pub use tpq_pattern::{
         canonical_form, entails, isomorphic, parse_pattern, parse_xpath, Condition, EdgeKind,

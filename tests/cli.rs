@@ -81,6 +81,25 @@ fn match_reports_answers_with_paths() {
 }
 
 #[test]
+fn match_takes_positional_doc_and_engines_agree() {
+    let doc =
+        temp_file("engines.xml", "<Root><Dept><Manager/><Dept><Manager/></Dept></Dept></Root>");
+    let path = doc.to_str().unwrap();
+    let mut outputs = Vec::new();
+    for engine in ["twig", "embed", "naive"] {
+        let out = tpq(&["match", "Dept*//Manager", path, "--engine", engine]);
+        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        outputs.push(stdout(&out));
+    }
+    assert!(outputs[0].contains("2 answer(s)"), "{}", outputs[0]);
+    assert_eq!(outputs[0], outputs[1], "twig vs embed output");
+    assert_eq!(outputs[0], outputs[2], "twig vs naive output");
+    let out = tpq(&["match", "Dept*//Manager", path, "--engine", "bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown engine"), "{}", stderr(&out));
+}
+
+#[test]
 fn match_count_mode() {
     let doc = temp_file("shelf.xml", r#"<Shelf><Book price="5"/><Book price="50"/></Shelf>"#);
     let out = tpq(&[
