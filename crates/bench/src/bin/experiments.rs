@@ -31,7 +31,7 @@ use tpq_bench::Panel;
 /// One panel group's runner, dispatched by name.
 type PanelRunner = Box<dyn Fn(&ExpConfig) -> Vec<Panel>>;
 
-const PANEL_NAMES: [&str; 14] = [
+const PANEL_NAMES: [&str; 15] = [
     "fig7a",
     "fig7b",
     "fig8a",
@@ -46,6 +46,7 @@ const PANEL_NAMES: [&str; 14] = [
     "serve-latency",
     "match-throughput",
     "minimize-then-match",
+    "serve-degradation",
 ];
 
 fn main() -> ExitCode {
@@ -135,6 +136,9 @@ fn main() -> ExitCode {
             "match-throughput" => Box::new(|c| vec![tpq_bench::match_panel::match_throughput(c)]),
             "minimize-then-match" => {
                 Box::new(|c| vec![tpq_bench::match_panel::minimize_then_match(c)])
+            }
+            "serve-degradation" => {
+                Box::new(|c| vec![tpq_bench::degradation_panel::serve_degradation(c)])
             }
             other => {
                 eprintln!("unknown panel '{other}' (try --help)");

@@ -722,6 +722,7 @@ pub fn all_panels(cfg: &ExpConfig) -> Vec<Panel> {
     v.push(crate::serve_panel::serve_latency(cfg));
     v.push(crate::match_panel::match_throughput(cfg));
     v.push(crate::match_panel::minimize_then_match(cfg));
+    v.push(crate::degradation_panel::serve_degradation(cfg));
     v
 }
 
@@ -772,6 +773,7 @@ mod tests {
 
     #[test]
     fn cache_panel_converges_to_full_hit_rates() {
+        let _guard = crate::global_cache_test_lock();
         let p = cache(&ExpConfig::quick());
         assert_eq!(p.unit, UNIT_PERCENT);
         assert_eq!(p.series.len(), 3);

@@ -10,10 +10,23 @@
 //! directories and flags regressions (see [`compare`]).
 
 pub mod compare;
+pub mod degradation_panel;
 pub mod experiments;
 pub mod match_panel;
 pub mod serve_panel;
 pub mod trajectory;
+
+/// Serialize the tests that read or clear the process-wide minimization
+/// caches (the cache panel's hit-rate deltas and the degradation panel's
+/// cold/restored restarts would otherwise perturb each other under the
+/// parallel test runner).
+#[cfg(test)]
+pub(crate) fn global_cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 use std::time::Instant;
 use tpq_base::Json;

@@ -218,6 +218,38 @@ impl BatchMinimizer {
         BatchMinimizer { closed: ics.closure(), strategy, cache: RwLock::new(FxHashMap::default()) }
     }
 
+    /// Rebuild an engine from an **already-closed** constraint set,
+    /// skipping the quadratic closure — the deserialization half of
+    /// warm-restart snapshots. `closed` must be its own closure (snapshot
+    /// files are checksummed, so a faithful restore guarantees this); an
+    /// unclosed set would silently weaken every minimization the engine
+    /// performs.
+    pub fn from_parts(closed: ConstraintSet, strategy: Strategy) -> Self {
+        debug_assert!(closed.is_closed(), "from_parts requires a closed constraint set");
+        BatchMinimizer { closed, strategy, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Snapshot the canonical-pattern memo as `(key, minimized)` pairs,
+    /// sorted by key for deterministic serialization.
+    pub fn export_memo(&self) -> Vec<(CanonicalKey, TreePattern)> {
+        let cache = self.cache.read().expect("batch cache poisoned");
+        let mut entries: Vec<(CanonicalKey, TreePattern)> =
+            cache.iter().map(|(k, p)| (k.clone(), p.clone())).collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        entries
+    }
+
+    /// Seed the memo with previously exported entries. Keys must have been
+    /// produced under the same [`TypeId`](tpq_base::TypeId) ↔ name
+    /// assignment as the patterns this engine will serve (the snapshot
+    /// layer verifies this before calling); existing entries win ties.
+    pub fn import_memo(&self, entries: impl IntoIterator<Item = (CanonicalKey, TreePattern)>) {
+        let mut cache = self.cache.write().expect("batch cache poisoned");
+        for (key, pattern) in entries {
+            cache.entry(key).or_insert(pattern);
+        }
+    }
+
     /// The closed constraint set the engine minimizes under.
     pub fn constraints(&self) -> &ConstraintSet {
         &self.closed
@@ -460,9 +492,7 @@ type EngineCache = Vec<((ConstraintSet, Strategy), Arc<BatchMinimizer>)>;
 /// assert_eq!(first.pattern.size(), 2); // /Ingredient is implied by the IC
 /// ```
 pub fn shared_engine(ics: &ConstraintSet, strategy: Strategy) -> Arc<BatchMinimizer> {
-    static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    let mut entries = cache.lock().expect("engine cache poisoned");
+    let mut entries = engine_cache().lock().expect("engine cache poisoned");
     if let Some(pos) = entries.iter().position(|((set, strat), _)| *strat == strategy && set == ics)
     {
         let hit = entries.remove(pos);
@@ -476,6 +506,51 @@ pub fn shared_engine(ics: &ConstraintSet, strategy: Strategy) -> Arc<BatchMinimi
     entries.insert(0, ((ics.clone(), strategy), Arc::clone(&engine)));
     entries.truncate(ENGINE_CACHE_CAPACITY);
     engine
+}
+
+/// The process-wide engine LRU behind [`shared_engine`].
+fn engine_cache() -> &'static Mutex<EngineCache> {
+    static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot the process-wide [`shared_engine`] LRU as
+/// `(original_set, strategy, engine)` triples in LRU order (most recently
+/// used first). The serialization half of warm-restart snapshots.
+pub fn export_engines() -> Vec<(ConstraintSet, Strategy, Arc<BatchMinimizer>)> {
+    let entries = engine_cache().lock().expect("engine cache poisoned");
+    entries
+        .iter()
+        .map(|((ics, strategy), engine)| (ics.clone(), *strategy, Arc::clone(engine)))
+        .collect()
+}
+
+/// Seed the process-wide [`shared_engine`] LRU with a rebuilt engine,
+/// keyed by the **original** (unclosed) constraint set — the same key a
+/// later `shared_engine(&ics, strategy)` probe will present. Replaces any
+/// existing entry with the same key; inserted at the LRU front, and the
+/// capacity bound still applies.
+pub fn seed_engine(ics: ConstraintSet, strategy: Strategy, engine: Arc<BatchMinimizer>) {
+    let mut entries = engine_cache().lock().expect("engine cache poisoned");
+    entries.retain(|((set, strat), _)| !(*strat == strategy && *set == ics));
+    entries.insert(0, ((ics, strategy), engine));
+    entries.truncate(ENGINE_CACHE_CAPACITY);
+}
+
+/// Empty the process-wide engine LRU (existing [`Arc`] holders keep their
+/// engines; only the cache forgets them).
+pub fn clear_engine_cache() {
+    engine_cache().lock().expect("engine cache poisoned").clear();
+}
+
+/// Empty **both** process-wide caches — the [`shared_engine`] LRU and the
+/// closure LRU of [`crate::pipeline`]. This is what a true cold start
+/// looks like; the warm-restart benchmarks and tests call it between
+/// server lifetimes so that in-process "restarts" measure the snapshot,
+/// not leftover process state.
+pub fn clear_shared_caches() {
+    clear_engine_cache();
+    crate::pipeline::clear_closure_cache();
 }
 
 #[cfg(test)]

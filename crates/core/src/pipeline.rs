@@ -102,11 +102,41 @@ const CLOSURE_CACHE_CAPACITY: usize = 8;
 /// Cache entries: the original set paired with its shared closure.
 type ClosureCache = Vec<(ConstraintSet, Arc<ConstraintSet>)>;
 
+/// The process-wide closure cache behind [`cached_closure`].
+fn closure_cache() -> &'static Mutex<ClosureCache> {
+    static CACHE: OnceLock<Mutex<ClosureCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot the process-wide closure cache as `(original, closed)` pairs
+/// in LRU order (most recently used first). Serialization half of the
+/// serve layer's warm-restart snapshots.
+pub fn export_closures() -> Vec<(ConstraintSet, ConstraintSet)> {
+    let entries = closure_cache().lock().expect("closure cache poisoned");
+    entries.iter().map(|(original, closed)| (original.clone(), (**closed).clone())).collect()
+}
+
+/// Seed the process-wide closure cache with a previously exported
+/// `(original, closed)` pair. `closed` **must** be the closure of
+/// `original` (snapshots are checksummed, so a faithful restore
+/// guarantees this); a wrong pairing would serve wrong closures.
+/// Inserted at the LRU front; the capacity bound still applies.
+pub fn import_closure(original: ConstraintSet, closed: ConstraintSet) {
+    let mut entries = closure_cache().lock().expect("closure cache poisoned");
+    entries.retain(|(o, _)| *o != original);
+    entries.insert(0, (original, Arc::new(closed)));
+    entries.truncate(CLOSURE_CACHE_CAPACITY);
+}
+
+/// Empty the process-wide closure cache (test isolation and the cold-start
+/// halves of warm-restart benchmarks).
+pub fn clear_closure_cache() {
+    closure_cache().lock().expect("closure cache poisoned").clear();
+}
+
 /// The closure of `ics`, from the cache when this set was seen recently.
 fn cached_closure(ics: &ConstraintSet) -> Arc<ConstraintSet> {
-    static CACHE: OnceLock<Mutex<ClosureCache>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    let mut entries = cache.lock().expect("closure cache poisoned");
+    let mut entries = closure_cache().lock().expect("closure cache poisoned");
     if let Some(pos) = entries.iter().position(|(original, _)| original == ics) {
         let hit = entries.remove(pos);
         let closed = Arc::clone(&hit.1);

@@ -91,6 +91,21 @@ impl CanonicalKey {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Rebuild a key from a canonical encoding captured earlier with
+    /// [`CanonicalKey::as_str`] — the deserialization half of cache
+    /// snapshots.
+    ///
+    /// The string is **not** re-validated: the caller must guarantee it
+    /// came from [`canonical_form`] under the *same* [`TypeId`] ↔ name
+    /// assignment (same interner, or one restored to an identical state).
+    /// A key rebuilt under a different assignment can collide with a
+    /// different pattern's key and serve wrong cached answers.
+    ///
+    /// [`TypeId`]: tpq_base::TypeId
+    pub fn from_canonical_string(encoding: String) -> CanonicalKey {
+        CanonicalKey(encoding)
+    }
 }
 
 impl TreePattern {

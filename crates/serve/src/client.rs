@@ -1,0 +1,334 @@
+//! A retrying NDJSON client for `tpq serve` — the other half of the
+//! server's load-shedding contract.
+//!
+//! The server refuses work in exactly two retryable shapes: a typed
+//! `overloaded` error (admission-queue shed, connection-gate refusal,
+//! drain flush) optionally carrying a `retry_after_ms` hint, and an
+//! `injected` error from an armed failpoint. [`Client`] retries **only
+//! those** (plus transport failures, by reconnecting): `invalid`,
+//! `budget`, `bad-request` and friends are deterministic verdicts about
+//! the request itself, and retrying them would just re-lose.
+//!
+//! Backoff is exponential with **equal jitter** from a seeded
+//! [`SmallRng`], so a retry schedule is reproducible run-to-run — the
+//! chaos battery depends on that. When the server sent a
+//! `retry_after_ms` hint, the hint wins over the computed backoff.
+//!
+//! Deadlines propagate: [`RetryPolicy::deadline_ms`] bounds the *whole*
+//! attempt sequence, and each attempt's request carries the remaining
+//! budget as its per-request `deadline_ms`, so a server-side guard never
+//! outlives the client that asked.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tpq_base::{Json, SmallRng};
+
+use crate::proto;
+
+/// How [`Client`] retries refused or failed requests.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt (0 = try once).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per retry.
+    pub backoff_ms: u64,
+    /// Ceiling on any single computed backoff (hints are capped too).
+    pub max_backoff_ms: u64,
+    /// Budget for the whole attempt sequence, propagated to the server
+    /// as each attempt's per-request `deadline_ms`. `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the jitter stream — same seed, same retry schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 4,
+            backoff_ms: 25,
+            max_backoff_ms: 1_000,
+            deadline_ms: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A successful minimization, plus how hard the client had to work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The minimized query, rendered in the DSL.
+    pub minimized: String,
+    /// Whether the server answered from its canonical-pattern memo.
+    pub cache_hit: bool,
+    /// Server-side microseconds spent minimizing.
+    pub micros: u64,
+    /// Trace id hex, when the server attached one.
+    pub trace: Option<String>,
+    /// Attempts consumed, including the successful one (1 = no retries).
+    pub attempts: u32,
+}
+
+/// A request that failed past the retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientError {
+    /// The server's error kind (`overloaded`, `invalid`, …), or the
+    /// client-side kinds `transport` (connection failed past retries)
+    /// and `deadline` (the policy deadline ran out between attempts).
+    pub kind: String,
+    /// Human-readable detail from the last attempt.
+    pub message: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} attempt(s): {}", self.kind, self.attempts, self.message)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The delay before retry number `attempt` (0-based): the server's
+/// `retry_after_ms` hint when present, else exponential backoff with
+/// equal jitter — half the doubled base deterministic, half drawn from
+/// `rng`. Both halves respect [`RetryPolicy::max_backoff_ms`].
+pub fn backoff_delay_ms(
+    policy: &RetryPolicy,
+    attempt: u32,
+    hint_ms: Option<u64>,
+    rng: &mut SmallRng,
+) -> u64 {
+    if let Some(hint) = hint_ms {
+        return hint.min(policy.max_backoff_ms);
+    }
+    let base = policy.backoff_ms.saturating_mul(1u64 << attempt.min(16)).min(policy.max_backoff_ms);
+    let half = base / 2;
+    if half == 0 {
+        return base;
+    }
+    half + rng.gen_range(0..half + 1)
+}
+
+/// A lazily connecting NDJSON client with the retry discipline above.
+///
+/// One [`Client`] holds at most one connection and reuses it across
+/// queries; a transport error drops it and the next attempt reconnects.
+/// Not `Sync` — use one client per thread (the chaos battery does).
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for the server at `addr` (e.g. `127.0.0.1:7171`).
+    /// Connects on first use, not here.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Client {
+        let rng = SmallRng::seed_from_u64(policy.seed);
+        Client { addr: addr.into(), policy, rng, conn: None }
+    }
+
+    /// Minimize one request, retrying per the policy. `request` is the
+    /// protocol's request object (`{"query": …, "constraints": …, …}`);
+    /// when the policy has a deadline, each attempt's copy carries the
+    /// *remaining* budget as its `deadline_ms`, overriding any caller
+    /// value.
+    pub fn query(&mut self, request: &Json) -> Result<QueryOutcome, ClientError> {
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let line = match self.remaining_ms(started, attempts) {
+                Err(e) => return Err(e),
+                Ok(Some(remaining)) => {
+                    let mut members: Vec<(&str, Json)> = Vec::new();
+                    if let Json::Object(pairs) = request {
+                        for (k, v) in pairs {
+                            if k != "deadline_ms" {
+                                members.push((k.as_str(), v.clone()));
+                            }
+                        }
+                    }
+                    members.push(("deadline_ms", Json::Int(remaining as i64)));
+                    Json::object(members).to_string_compact()
+                }
+                Ok(None) => request.to_string_compact(),
+            };
+
+            let (kind, message, hint) = match self.round_trip(&line) {
+                Ok(response) => {
+                    if let Some(minimized) = response.get("minimized").and_then(Json::as_str) {
+                        let stats = response.get("stats");
+                        // micros is rendered as a JSON float; as_f64
+                        // accepts both number variants.
+                        let micros = stats
+                            .and_then(|s| s.get("micros"))
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0);
+                        return Ok(QueryOutcome {
+                            minimized: minimized.to_owned(),
+                            cache_hit: stats
+                                .and_then(|s| s.get("cache_hit"))
+                                .and_then(Json::as_bool)
+                                .unwrap_or(false),
+                            micros: micros.max(0.0) as u64,
+                            trace: response.get("trace").and_then(Json::as_str).map(str::to_owned),
+                            attempts,
+                        });
+                    }
+                    let error = response.get("error");
+                    let field = |name: &str| {
+                        error.and_then(|e| e.get(name)).and_then(Json::as_str).map(str::to_owned)
+                    };
+                    let kind = field("kind").unwrap_or_else(|| "transport".to_owned());
+                    let message =
+                        field("message").unwrap_or_else(|| "malformed server response".to_owned());
+                    let hint = error
+                        .and_then(|e| e.get("retry_after_ms"))
+                        .and_then(Json::as_i64)
+                        .map(|ms| ms.max(0) as u64);
+                    if !proto::ProtoError::is_retryable_kind(&kind) {
+                        return Err(ClientError { kind, message, attempts });
+                    }
+                    (kind, message, hint)
+                }
+                // Transport errors (refused accept, reset, EOF) always
+                // reconnect-and-retry: the connection gate closes
+                // without a response line, and that refusal is exactly
+                // the overload signal retries exist for.
+                Err(e) => ("transport".to_owned(), e.to_string(), None),
+            };
+
+            if attempts > self.policy.retries {
+                return Err(ClientError { kind, message, attempts });
+            }
+            let mut delay = backoff_delay_ms(&self.policy, attempts - 1, hint, &mut self.rng);
+            if let Some(total) = self.policy.deadline_ms {
+                let left = total.saturating_sub(started.elapsed().as_millis() as u64);
+                if left == 0 {
+                    return Err(ClientError {
+                        kind: "deadline".to_owned(),
+                        message: format!("deadline exhausted; last error: {kind}: {message}"),
+                        attempts,
+                    });
+                }
+                delay = delay.min(left);
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+    }
+
+    /// Remaining deadline budget before this attempt, or a `deadline`
+    /// error when it is already gone.
+    fn remaining_ms(&self, started: Instant, attempts: u32) -> Result<Option<u64>, ClientError> {
+        match self.policy.deadline_ms {
+            None => Ok(None),
+            Some(total) => {
+                let left = total.saturating_sub(started.elapsed().as_millis() as u64);
+                if left == 0 {
+                    Err(ClientError {
+                        kind: "deadline".to_owned(),
+                        message: format!("deadline of {total}ms exhausted"),
+                        attempts,
+                    })
+                } else {
+                    Ok(Some(left))
+                }
+            }
+        }
+    }
+
+    /// Send one line, read one line. Any failure drops the connection so
+    /// the next attempt dials fresh.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<Json> {
+        let result = (|| {
+            if self.conn.is_none() {
+                let stream = TcpStream::connect(&self.addr)?;
+                stream.set_nodelay(true)?;
+                self.conn = Some(BufReader::new(stream));
+            }
+            let reader = self.conn.as_mut().expect("connection just ensured");
+            reader.get_mut().write_all(line.as_bytes())?;
+            reader.get_mut().write_all(b"\n")?;
+            let mut response = String::new();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Json::parse(response.trim_end())
+                .map_err(|e| std::io::Error::other(format!("unparseable response: {e}")))
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy { retries: 3, backoff_ms: 40, max_backoff_ms: 200, deadline_ms: None, seed: 7 }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = policy();
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        // Equal jitter: delay for attempt n lies in [base/2, base] with
+        // base = min(40 << n, 200).
+        for (attempt, base) in [(0u32, 40u64), (1, 80), (2, 160), (3, 200), (10, 200)] {
+            let d = backoff_delay_ms(&p, attempt, None, &mut rng);
+            assert!(
+                d >= base / 2 && d <= base,
+                "attempt {attempt}: {d} outside [{}..{base}]",
+                base / 2
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = policy();
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..5).map(|a| backoff_delay_ms(&p, a, None, &mut rng)).collect()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8), "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn server_hint_overrides_computed_backoff_but_not_the_cap() {
+        let p = policy();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(backoff_delay_ms(&p, 0, Some(75), &mut rng), 75);
+        assert_eq!(backoff_delay_ms(&p, 0, Some(10_000), &mut rng), p.max_backoff_ms);
+    }
+
+    #[test]
+    fn zero_base_backoff_never_panics() {
+        let p = RetryPolicy { backoff_ms: 0, ..policy() };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(backoff_delay_ms(&p, 0, None, &mut rng), 0);
+        assert_eq!(backoff_delay_ms(&p, 9, None, &mut rng), 0);
+    }
+
+    #[test]
+    fn exhausted_deadline_is_a_client_side_error() {
+        // Port 1 refuses immediately, so with an already-zero deadline the
+        // client must fail fast with kind "deadline", never hanging.
+        let mut client =
+            Client::new("127.0.0.1:1", RetryPolicy { deadline_ms: Some(0), ..policy() });
+        let req = Json::object(vec![("query", Json::Str("A*".into()))]);
+        let err = client.query(&req).unwrap_err();
+        assert_eq!(err.kind, "deadline");
+    }
+}

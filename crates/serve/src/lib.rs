@@ -22,7 +22,18 @@
 //! * oversized or malformed lines are answered with `bad-request`;
 //! * shutdown (SIGTERM / ctrl-c / the `SHUTDOWN` verb /
 //!   [`ServeHandle::shutdown`]) stops accepting, drains in-flight
-//!   requests, and joins the pool.
+//!   requests — flushing every already-buffered line with a typed
+//!   `overloaded` error rather than dropping it — and joins the pool;
+//! * a bounded admission queue sheds excess *requests* (typed
+//!   `overloaded` errors carrying a `retry_after_ms` hint) before they
+//!   consume pool slots, distinct from the accept-time connection gate;
+//! * the cache layers can be snapshotted on drain and restored at the
+//!   next boot ([`snapshot`]), so a restarted server answers its hot
+//!   queries from the memo immediately instead of re-minimizing;
+//! * [`client`] implements the matching retry discipline: exponential
+//!   backoff with deterministic jitter, honoring the server's
+//!   `retry_after_ms` hints, retrying only `overloaded` / `injected`
+//!   failures under a propagated deadline.
 //!
 //! # Example
 //!
@@ -56,9 +67,13 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod proto;
 pub mod server;
 pub mod signal;
+pub mod snapshot;
 
+pub use client::{Client, ClientError, QueryOutcome, RetryPolicy};
 pub use proto::{ProtoError, Request, Syntax, DEFAULT_MAX_LINE_BYTES};
-pub use server::{global_types, ServeConfig, ServeHandle, ServeSummary, Server};
+pub use server::{global_types, RestoreStatus, ServeConfig, ServeHandle, ServeSummary, Server};
+pub use snapshot::{restore_snapshot, write_snapshot, RestoreError, SnapshotStats};

@@ -45,8 +45,25 @@
 //! `invalid` (structurally invalid input), `budget` (deadline, step
 //! budget or cancellation tripped), `panic` (the worker minimizing this
 //! request panicked; other requests are unaffected), `injected` (an
-//! armed failpoint fired), or `overloaded` (connection refused at
-//! `--max-conns`; sent once, then the connection closes).
+//! armed failpoint fired), or `overloaded`.
+//!
+//! `overloaded` is sent in three situations: a connection refused at
+//! `--max-conns` (sent once, then the connection closes), a request
+//! **shed** by admission control because the in-server request queue is
+//! at its `--queue-depth` high-water mark (the connection stays open),
+//! or a request still buffered when the server drains. Shed responses
+//! carry an extra `retry_after_ms` hint inside the error object:
+//!
+//! ```json
+//! {"error": {"kind": "overloaded", "message": "…", "retry_after_ms": 50}}
+//! ```
+//!
+//! Only `overloaded` and `injected` are **retryable** (see
+//! [`ProtoError::is_retryable`]): the request was never minimized, so
+//! resending it is safe and may succeed. `bad-request`, `parse`,
+//! `invalid` and `budget` are deterministic verdicts about the request
+//! itself, and `panic` is evidence the request crashes a worker —
+//! retrying any of them wastes server capacity.
 
 use std::time::Duration;
 use tpq_base::{Error, Json};
@@ -150,17 +167,46 @@ pub struct ProtoError {
     pub kind: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Backoff hint for shed requests: how long a well-behaved client
+    /// should wait before retrying. Only set on `overloaded` errors from
+    /// admission control; rendered as `retry_after_ms` in the error
+    /// object when present.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
     /// A `bad-request` error (malformed JSON, wrong types, protocol abuse).
     pub fn bad_request(message: impl Into<String>) -> ProtoError {
-        ProtoError { kind: "bad-request", message: message.into() }
+        ProtoError { kind: "bad-request", message: message.into(), retry_after_ms: None }
     }
 
     /// An `overloaded` error (connection or request refused by a limit).
     pub fn overloaded(message: impl Into<String>) -> ProtoError {
-        ProtoError { kind: "overloaded", message: message.into() }
+        ProtoError { kind: "overloaded", message: message.into(), retry_after_ms: None }
+    }
+
+    /// An `overloaded` error carrying a `retry_after_ms` backoff hint —
+    /// what admission control sends for a shed request.
+    pub fn overloaded_retry_after(message: impl Into<String>, retry_after_ms: u64) -> ProtoError {
+        ProtoError {
+            kind: "overloaded",
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// Whether a client may safely resend the request after seeing this
+    /// error kind. True exactly for `overloaded` (the server refused the
+    /// request before doing any work) and `injected` (a deterministic
+    /// test fault); see the module docs for why the other kinds must not
+    /// be retried.
+    pub fn is_retryable_kind(kind: &str) -> bool {
+        matches!(kind, "overloaded" | "injected")
+    }
+
+    /// [`ProtoError::is_retryable_kind`] for this error.
+    pub fn is_retryable(&self) -> bool {
+        Self::is_retryable_kind(self.kind)
     }
 
     /// Classify a workspace [`Error`] into a protocol error.
@@ -177,18 +223,19 @@ impl ProtoError {
             Error::Injected { .. } => "injected",
             Error::WorkerPanic { .. } => "panic",
         };
-        ProtoError { kind, message: e.to_string() }
+        ProtoError { kind, message: e.to_string(), retry_after_ms: None }
     }
 
     /// The single-line JSON rendering of this error.
     pub fn to_json(&self) -> Json {
-        Json::object(vec![(
-            "error",
-            Json::object(vec![
-                ("kind", Json::Str(self.kind.to_owned())),
-                ("message", Json::Str(self.message.clone())),
-            ]),
-        )])
+        let mut inner = vec![
+            ("kind", Json::Str(self.kind.to_owned())),
+            ("message", Json::Str(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            inner.push(("retry_after_ms", Json::Int(ms as i64)));
+        }
+        Json::object(vec![("error", Json::object(inner))])
     }
 }
 
@@ -288,6 +335,26 @@ mod tests {
     fn error_response_shape_is_stable() {
         let text = ProtoError::bad_request("nope").to_json().to_string_compact();
         assert_eq!(text, r#"{"error":{"kind":"bad-request","message":"nope"}}"#);
+    }
+
+    #[test]
+    fn shed_errors_carry_the_retry_hint() {
+        let text = ProtoError::overloaded_retry_after("full", 75).to_json().to_string_compact();
+        assert_eq!(text, r#"{"error":{"kind":"overloaded","message":"full","retry_after_ms":75}}"#);
+        // The hint is strictly opt-in: plain errors keep the two-field shape.
+        assert!(!ProtoError::overloaded("full").to_json().to_string_compact().contains("retry"));
+    }
+
+    #[test]
+    fn only_overloaded_and_injected_are_retryable() {
+        for kind in ["overloaded", "injected"] {
+            assert!(ProtoError::is_retryable_kind(kind), "{kind}");
+        }
+        for kind in ["bad-request", "parse", "invalid", "budget", "panic", "made-up"] {
+            assert!(!ProtoError::is_retryable_kind(kind), "{kind}");
+        }
+        assert!(ProtoError::overloaded_retry_after("q", 1).is_retryable());
+        assert!(!ProtoError::bad_request("x").is_retryable());
     }
 
     #[test]

@@ -17,13 +17,15 @@
 //! [`ServeConfig::drain_ms`]) before joining the worker pool.
 
 use crate::proto::{success_response, ProtoError, Request, Syntax, DEFAULT_MAX_LINE_BYTES};
+use crate::snapshot::SnapshotStats;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use tpq_base::pool::TaskPool;
-use tpq_base::{Guard, Json, TypeInterner};
+use tpq_base::{failpoint, Guard, Json, TypeInterner};
 use tpq_constraints::parse_constraints;
 use tpq_core::{shared_engine, Strategy};
 use tpq_pattern::print::to_dsl;
@@ -69,6 +71,21 @@ pub struct ServeConfig {
     /// Where the slow-query log goes: a file path (appended, created if
     /// missing) or `None` for stderr.
     pub slow_log: Option<std::path::PathBuf>,
+    /// Admission-queue bound: requests in flight (executing *or* waiting
+    /// on a pool worker) beyond this are shed with a typed `overloaded`
+    /// error carrying a `retry_after_ms` hint — before they are parsed,
+    /// so a shed request costs almost nothing. Distinct from
+    /// [`max_conns`](ServeConfig::max_conns), which gates *connections*
+    /// at accept time.
+    pub queue_depth: usize,
+    /// Write a warm-restart cache snapshot here after the drain completes
+    /// (atomically: tmp sibling + rename). `None` disables.
+    pub snapshot: Option<PathBuf>,
+    /// Restore a snapshot from here at bind time. A missing file is a
+    /// normal cold start; a corrupt, truncated, wrong-version or
+    /// interner-incompatible file is *rejected* (logged, counted) and the
+    /// server starts cold — it never crashes or restores partially.
+    pub restore: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -85,12 +102,15 @@ impl Default for ServeConfig {
             handle_signals: false,
             slow_ms: None,
             slow_log: None,
+            queue_depth: 256,
+            snapshot: None,
+            restore: None,
         }
     }
 }
 
 /// What one server lifetime did; returned by [`Server::run`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeSummary {
     /// Connections accepted.
     pub accepted: u64,
@@ -100,6 +120,31 @@ pub struct ServeSummary {
     pub requests_ok: u64,
     /// Requests answered with an error response.
     pub requests_failed: u64,
+    /// Requests shed with a typed `overloaded` / `injected` error
+    /// (admission queue, armed failpoint, or drain flush); a subset of
+    /// [`requests_failed`](ServeSummary::requests_failed).
+    pub requests_shed: u64,
+    /// Where the drain-time snapshot landed, when one was configured and
+    /// the write succeeded.
+    pub snapshot_written: Option<PathBuf>,
+}
+
+/// What the `--restore` attempt at bind time did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreStatus {
+    /// `"cold"` (no snapshot configured, or the file does not exist yet),
+    /// `"restored"`, or `"rejected"`.
+    pub outcome: &'static str,
+    /// What the restored snapshot contained (zeroed unless restored).
+    pub stats: SnapshotStats,
+    /// Why the snapshot was rejected, when it was.
+    pub reason: Option<String>,
+}
+
+impl Default for RestoreStatus {
+    fn default() -> RestoreStatus {
+        RestoreStatus { outcome: "cold", stats: SnapshotStats::default(), reason: None }
+    }
 }
 
 /// Shared mutable server state: counters, the worker pool, config.
@@ -112,17 +157,32 @@ struct ServerState {
     refused: AtomicU64,
     requests_ok: AtomicU64,
     requests_failed: AtomicU64,
+    /// Requests shed at the admission queue (`queue_depth` exceeded).
+    shed_queue_full: AtomicU64,
+    /// Requests shed by the armed `serve.shed` failpoint.
+    shed_injected: AtomicU64,
+    /// Buffered requests answered with a typed error during drain.
+    shed_drain: AtomicU64,
     pool: TaskPool,
     config: ServeConfig,
     started: Instant,
     /// Open slow-query log file (`None` = log to stderr).
     slow_log: Option<Mutex<std::fs::File>>,
+    /// What `--restore` did at bind time (immutable afterwards).
+    restore: RestoreStatus,
 }
 
 impl ServerState {
     fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
             || (self.config.handle_signals && crate::signal::triggered())
+    }
+
+    /// Total requests shed across all three reasons.
+    fn requests_shed(&self) -> u64 {
+        self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_injected.load(Ordering::Relaxed)
+            + self.shed_drain.load(Ordering::Relaxed)
     }
 }
 
@@ -146,6 +206,11 @@ impl ServeHandle {
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
         self.state.active.load(Ordering::Acquire)
+    }
+
+    /// What the `--restore` attempt at bind time did.
+    pub fn restore_status(&self) -> &RestoreStatus {
+        &self.state.restore
     }
 }
 
@@ -192,6 +257,7 @@ impl Server {
             }
             None => None,
         };
+        let restore = restore_at_bind(config.restore.as_deref());
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -202,10 +268,14 @@ impl Server {
                 refused: AtomicU64::new(0),
                 requests_ok: AtomicU64::new(0),
                 requests_failed: AtomicU64::new(0),
+                shed_queue_full: AtomicU64::new(0),
+                shed_injected: AtomicU64::new(0),
+                shed_drain: AtomicU64::new(0),
                 pool: TaskPool::new(jobs),
                 config,
                 started: Instant::now(),
                 slow_log,
+                restore,
             }),
         })
     }
@@ -249,17 +319,38 @@ impl Server {
             }
         }
         // Refuse new connections from here on; drain the in-flight ones.
+        // Handlers notice the shutdown flag, answer the line they are on,
+        // flush any further buffered lines with typed drain errors, and
+        // close — so every request a client finished sending gets *some*
+        // response before the socket goes away.
         drop(self.listener);
         let drain_deadline = Instant::now() + Duration::from_millis(self.state.config.drain_ms);
         while self.state.active.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         self.state.pool.shutdown();
+        // With the pool joined the cache layers are quiescent: snapshot
+        // them for the next boot's --restore.
+        let snapshot_written = match &self.state.config.snapshot {
+            Some(path) => match crate::snapshot::write_snapshot(path, &lock_types()) {
+                Ok(stats) => {
+                    tpq_obs::incr("snapshot.write.patterns", stats.patterns as u64);
+                    Some(path.clone())
+                }
+                Err(e) => {
+                    eprintln!("tpq-serve: snapshot write to {} failed: {e}", path.display());
+                    None
+                }
+            },
+            None => None,
+        };
         Ok(ServeSummary {
             accepted: self.state.accepted.load(Ordering::Relaxed),
             refused: self.state.refused.load(Ordering::Relaxed),
             requests_ok: self.state.requests_ok.load(Ordering::Relaxed),
             requests_failed: self.state.requests_failed.load(Ordering::Relaxed),
+            requests_shed: self.state.requests_shed(),
+            snapshot_written,
         })
     }
 }
@@ -271,6 +362,30 @@ struct ActiveGuard<'a>(&'a ServerState);
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
         self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Attempt the bind-time snapshot restore. A missing file is a normal
+/// cold start (first boot of a `--restore`d deployment); anything else
+/// that fails validation is *rejected* — logged to stderr, counted, and
+/// the server starts cold.
+fn restore_at_bind(path: Option<&std::path::Path>) -> RestoreStatus {
+    let Some(path) = path else {
+        return RestoreStatus::default();
+    };
+    if !path.exists() {
+        return RestoreStatus::default();
+    }
+    match crate::snapshot::restore_snapshot(path, &mut lock_types()) {
+        Ok(stats) => RestoreStatus { outcome: "restored", stats, reason: None },
+        Err(e) => {
+            eprintln!("tpq-serve: restore from {} failed: {e}; starting cold", path.display());
+            RestoreStatus {
+                outcome: "rejected",
+                stats: SnapshotStats::default(),
+                reason: Some(e.reason),
+            }
+        }
     }
 }
 
@@ -333,11 +448,16 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
                 Flow::Shutdown(json) => {
                     let _ = writeln!(stream, "{json}");
                     state.shutdown.store(true, Ordering::Release);
+                    flush_buffered_on_drain(state, &mut stream, &mut buffer);
                     break 'conn;
                 }
             }
             if state.shutdown_requested() {
-                break 'conn; // drained: answered the in-flight line, refuse the rest
+                // Drained: the in-flight line was answered above; every
+                // further buffered line gets a typed drain error instead
+                // of vanishing with the socket.
+                flush_buffered_on_drain(state, &mut stream, &mut buffer);
+                break 'conn;
             }
         }
         // Refuse to buffer a line past the cap — framing is gone, close.
@@ -364,6 +484,34 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
         }
     }
     tpq_obs::record_duration("serve.conn", t_conn.elapsed());
+}
+
+/// Satellite of the drain contract: a connection closing because the
+/// server is draining answers every *complete* line still sitting in its
+/// read buffer with a typed `overloaded` error (reason `drain`) instead
+/// of silently dropping it. A trailing partial line was never a request
+/// the client finished sending, so it closes unanswered.
+fn flush_buffered_on_drain(state: &ServerState, stream: &mut TcpStream, buffer: &mut Vec<u8>) {
+    while let Some(newline) = buffer.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buffer.drain(..=newline).collect();
+        let is_request = match std::str::from_utf8(&line[..line.len() - 1]) {
+            Ok(text) => !text.trim().is_empty(),
+            Err(_) => true, // garbage still deserves a response line
+        };
+        if !is_request {
+            continue;
+        }
+        state.shed_drain.fetch_add(1, Ordering::Relaxed);
+        state.requests_failed.fetch_add(1, Ordering::Relaxed);
+        tpq_obs::incr("serve.shed.drain", 1);
+        tpq_obs::incr("serve.request.error", 1);
+        let e = ProtoError::overloaded(
+            "server is draining; request was not processed — retry against the restarted server",
+        );
+        if writeln!(stream, "{}", e.to_json()).is_err() {
+            return;
+        }
+    }
 }
 
 /// Route one trimmed request line.
@@ -397,9 +545,27 @@ fn dispatch(state: &ServerState, line: &str) -> Flow {
 /// in Prometheus text exposition format, terminated by a `# EOF` line so
 /// clients of the line-framed protocol know where the exposition ends.
 fn metrics_text(state: &ServerState) -> String {
+    let inflight = state.inflight.load(Ordering::Acquire);
+    // Queue depth = requests waiting for (not holding) a pool worker.
+    let queued = inflight.saturating_sub(state.pool.size());
+    let snapshot_age_seconds = match state.restore.outcome {
+        "restored" => {
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64);
+            now_ms.saturating_sub(state.restore.stats.created_unix_ms) as f64 / 1e3
+        }
+        _ => 0.0,
+    };
     let gauges = [
-        ("serve.inflight", state.inflight.load(Ordering::Acquire) as f64),
+        ("serve.inflight", inflight as f64),
         ("serve.uptime_seconds", state.started.elapsed().as_secs_f64()),
+        ("serve.queue.depth", queued as f64),
+        ("serve.queue.limit", state.config.queue_depth as f64),
+        ("serve.snapshot.restored", f64::from(u8::from(state.restore.outcome == "restored"))),
+        ("serve.snapshot.rejected", f64::from(u8::from(state.restore.outcome == "rejected"))),
+        ("serve.snapshot.bytes", state.restore.stats.bytes as f64),
+        ("serve.snapshot.age_seconds", snapshot_age_seconds),
     ];
     let mut text = tpq_obs::prometheus(&gauges);
     text.push_str("# EOF\n");
@@ -424,6 +590,27 @@ fn stats_json(state: &ServerState) -> Json {
                 ("ok", Json::Int(state.requests_ok.load(Ordering::Relaxed) as i64)),
                 ("error", Json::Int(state.requests_failed.load(Ordering::Relaxed) as i64)),
                 ("inflight", Json::Int(state.inflight.load(Ordering::Acquire) as i64)),
+            ]),
+        ),
+        (
+            "shed",
+            Json::object(vec![
+                ("queue_full", Json::Int(state.shed_queue_full.load(Ordering::Relaxed) as i64)),
+                ("injected", Json::Int(state.shed_injected.load(Ordering::Relaxed) as i64)),
+                ("drain", Json::Int(state.shed_drain.load(Ordering::Relaxed) as i64)),
+                ("total", Json::Int(state.requests_shed() as i64)),
+                ("queue_limit", Json::Int(state.config.queue_depth as i64)),
+            ]),
+        ),
+        (
+            "snapshot",
+            Json::object(vec![
+                ("restore", Json::Str(state.restore.outcome.to_owned())),
+                ("restored_engines", Json::Int(state.restore.stats.engines as i64)),
+                ("restored_patterns", Json::Int(state.restore.stats.patterns as i64)),
+                ("restored_closures", Json::Int(state.restore.stats.closures as i64)),
+                ("bytes", Json::Int(state.restore.stats.bytes as i64)),
+                ("created_unix_ms", Json::Int(state.restore.stats.created_unix_ms as i64)),
             ]),
         ),
         (
@@ -472,8 +659,17 @@ impl Drop for InflightGuard<'_> {
 /// gauge, and feeds the slow-query log.
 fn handle_request(state: &ServerState, line: &str) -> Json {
     let t0 = Instant::now();
-    state.inflight.fetch_add(1, Ordering::AcqRel);
+    let n_prev = state.inflight.fetch_add(1, Ordering::AcqRel);
     let _inflight = InflightGuard(state);
+    // Admission control, before the request is even parsed: shedding has
+    // to be cheaper than serving, or it does not protect anything. The
+    // fetch_add-then-compare makes the queue_depth bound exact under
+    // concurrency (each admitted request observed a distinct n_prev).
+    if let Some(shed) = admission_check(state, n_prev) {
+        state.requests_failed.fetch_add(1, Ordering::Relaxed);
+        tpq_obs::incr("serve.request.error", 1);
+        return shed.to_json();
+    }
     let trace = tpq_obs::fresh_trace_id();
     let _scope = tpq_obs::trace_scope(trace);
     let mut phases = Phases::default();
@@ -494,6 +690,36 @@ fn handle_request(state: &ServerState, line: &str) -> Json {
         }
     };
     with_trace(json, trace)
+}
+
+/// The admission decision for a request that observed `n_prev` requests
+/// already in flight. `None` admits; `Some` is the typed shed error:
+/// `overloaded` + `retry_after_ms` when the queue bound is exceeded, or
+/// the armed `serve.shed` failpoint's `injected` error (the chaos
+/// battery's way of forcing sheds without real overload).
+fn admission_check(state: &ServerState, n_prev: usize) -> Option<ProtoError> {
+    if let Err(e) = failpoint::hit("serve.shed") {
+        state.shed_injected.fetch_add(1, Ordering::Relaxed);
+        tpq_obs::incr("serve.shed.injected", 1);
+        return Some(ProtoError::from_error(&e));
+    }
+    if n_prev >= state.config.queue_depth {
+        state.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        tpq_obs::incr("serve.shed.queue_full", 1);
+        // Back off proportionally to how far past the bound we are,
+        // capped: deep overload should not translate into minutes-long
+        // client sleeps.
+        let excess = (n_prev - state.config.queue_depth) as u64;
+        let retry_after_ms = 25u64.saturating_mul(excess + 1).min(1_000);
+        return Some(ProtoError::overloaded_retry_after(
+            format!(
+                "admission queue full ({} requests in flight, bound {})",
+                n_prev, state.config.queue_depth
+            ),
+            retry_after_ms,
+        ));
+    }
+    None
 }
 
 /// Append the request's trace id to a response object (success and error

@@ -329,6 +329,19 @@ fn stats_verb_reports_server_and_observability_state() {
     );
     assert!(json.get("obs").is_some(), "STATS must embed the obs registry");
     assert!(response.contains("serve.request"), "obs registry lists serve counters");
+    // Overload and warm-restart observability: shed totals by reason, the
+    // queue bound, and the restore outcome are always present.
+    let shed = json.get("shed").expect("shed block");
+    for reason in ["queue_full", "injected", "drain", "total"] {
+        assert!(shed.get(reason).and_then(tpq_base::Json::as_i64).is_some(), "shed.{reason}");
+    }
+    assert!(shed.get("queue_limit").and_then(tpq_base::Json::as_i64).unwrap() >= 1);
+    let snapshot = json.get("snapshot").expect("snapshot block");
+    assert_eq!(
+        snapshot.get("restore").and_then(tpq_base::Json::as_str),
+        Some("cold"),
+        "no --restore configured means a cold start"
+    );
     drop(conn);
     handle.shutdown();
     thread.join().unwrap();
@@ -429,6 +442,19 @@ fn metrics_verb_returns_wellformed_prometheus_exposition() {
     assert!(declared.iter().any(|n| n == "tpq_serve_inflight"));
     assert!(declared.iter().any(|n| n == "tpq_serve_uptime_seconds"));
     assert!(declared.iter().any(|n| n == "tpq_serve_request_ok_total"));
+    // The overload / warm-restart gauges are part of the contract, and
+    // none of them may collide with an existing metric name (the dedup
+    // assertion above covers the whole exposition).
+    for gauge in [
+        "tpq_serve_queue_depth",
+        "tpq_serve_queue_limit",
+        "tpq_serve_snapshot_restored",
+        "tpq_serve_snapshot_rejected",
+        "tpq_serve_snapshot_bytes",
+        "tpq_serve_snapshot_age_seconds",
+    ] {
+        assert!(declared.iter().any(|n| n == gauge), "missing gauge {gauge}: {declared:?}");
+    }
     // Line framing resumes after # EOF: the connection is still usable.
     assert_eq!(round_trip(&mut conn, "PING"), r#"{"ok":true}"#);
     drop(conn);

@@ -77,7 +77,7 @@ fn main() -> ExitCode {
         tpq::obs::set_enabled(true);
     }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|explain|match|check|closure|repair|serve> [options]");
+        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|explain|match|check|closure|repair|serve|query> [options]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -88,8 +88,9 @@ fn main() -> ExitCode {
         "closure" => cmd_closure(rest),
         "repair" => cmd_repair(rest),
         "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "--help" | "-h" | "help" => {
-            println!("subcommands: minimize, explain, match, check, closure, repair, serve");
+            println!("subcommands: minimize, explain, match, check, closure, repair, serve, query");
             println!("global flags: --trace, --metrics-json <path>");
             Ok(())
         }
@@ -583,8 +584,35 @@ fn cmd_serve(args: &[String]) -> Result2<()> {
         }
         config.slow_log = Some(path.into());
     }
+    if let Some(n) = opts.get("queue-depth") {
+        config.queue_depth = match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--queue-depth needs a positive integer, got '{n}'")),
+        };
+    }
+    if let Some(path) = opts.get("snapshot") {
+        config.snapshot = Some(path.into());
+    }
+    if let Some(path) = opts.get("restore") {
+        config.restore = Some(path.into());
+    }
     let server = tpq::serve::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let restore = server.handle().restore_status().clone();
+    match restore.outcome {
+        "restored" => println!(
+            "restored snapshot: {} engines, {} patterns, {} closures ({} bytes)",
+            restore.stats.engines,
+            restore.stats.patterns,
+            restore.stats.closures,
+            restore.stats.bytes
+        ),
+        "rejected" => println!(
+            "snapshot rejected ({}), starting cold",
+            restore.reason.as_deref().unwrap_or("unknown reason")
+        ),
+        _ => {}
+    }
     // Announce the bound address on a flushed line so wrappers (tests, CI
     // smoke scripts) can pick up the port chosen for `--addr host:0`.
     println!("listening on {addr}");
@@ -592,10 +620,107 @@ fn cmd_serve(args: &[String]) -> Result2<()> {
     let _ = std::io::stdout().flush();
     let summary = server.run().map_err(|e| format!("serve failed: {e}"))?;
     eprintln!(
-        "serve: {} connections ({} refused), {} requests ok, {} failed",
-        summary.accepted, summary.refused, summary.requests_ok, summary.requests_failed
+        "serve: {} connections ({} refused), {} requests ok, {} failed, {} shed",
+        summary.accepted,
+        summary.refused,
+        summary.requests_ok,
+        summary.requests_failed,
+        summary.requests_shed
     );
+    if let Some(path) = &summary.snapshot_written {
+        eprintln!("serve: snapshot written to {}", path.display());
+    }
     Ok(())
+}
+
+/// `tpq query`: minimize one query against a running `tpq serve`, with
+/// the client-side retry discipline (retries only `overloaded` /
+/// `injected` refusals and transport failures, honoring the server's
+/// `retry_after_ms` hints, under an optional end-to-end deadline).
+fn cmd_query(args: &[String]) -> Result2<()> {
+    use tpq::base::Json;
+    let opts = Opts::parse(args, &["stats"])?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7878").to_owned();
+    let mut policy = tpq::serve::RetryPolicy::default();
+    if let Some(n) = opts.get("retries") {
+        policy.retries = n
+            .parse::<u32>()
+            .map_err(|_| format!("--retries needs a non-negative integer, got '{n}'"))?;
+    }
+    if let Some(ms) = opts.get("backoff-ms") {
+        policy.backoff_ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("--backoff-ms needs a non-negative integer, got '{ms}'"))?;
+    }
+    if let Some(ms) = opts.get("deadline-ms") {
+        policy.deadline_ms = Some(
+            ms.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms needs a non-negative integer, got '{ms}'"))?,
+        );
+    }
+    if let Some(seed) = opts.get("seed") {
+        policy.seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("--seed needs a non-negative integer, got '{seed}'"))?;
+    }
+
+    // Build the protocol request object from the same flags `tpq
+    // minimize` takes; the query may be --query, --xpath, or positional.
+    let mut members: Vec<(&str, Json)> = Vec::new();
+    if let Some(x) = opts.get("xpath") {
+        members.push(("query", Json::Str(x.to_owned())));
+        members.push(("syntax", Json::Str("xpath".to_owned())));
+    } else {
+        let q = match opts.get("query") {
+            Some(q) => q,
+            None => opts
+                .positionals
+                .first()
+                .map(String::as_str)
+                .ok_or("--query is required (or pass the query as a bare argument)")?,
+        };
+        members.push(("query", Json::Str(q.to_owned())));
+    }
+    let ics: Vec<String> = opts.get_all("ic").iter().map(|s| s.to_string()).collect();
+    let mut constraints = ics.join("\n");
+    if let Some(path) = opts.get("constraints") {
+        if !constraints.is_empty() {
+            constraints.push('\n');
+        }
+        constraints.push_str(&read_file(path)?);
+    }
+    if !constraints.is_empty() {
+        members.push(("constraints", Json::Str(constraints)));
+    }
+    if let Some(strategy) = opts.get("strategy") {
+        strategy.parse::<Strategy>()?; // validate locally for a better error
+        members.push(("strategy", Json::Str(strategy.to_owned())));
+    }
+    if let Some(steps) = opts.get("budget") {
+        let steps = steps
+            .parse::<i64>()
+            .map_err(|_| format!("--budget needs a non-negative integer, got '{steps}'"))?;
+        members.push(("budget", Json::Int(steps)));
+    }
+    let request = Json::object(members);
+
+    let mut client = tpq::serve::Client::new(addr, policy);
+    match client.query(&request) {
+        Ok(outcome) => {
+            println!("{}", outcome.minimized);
+            if opts.flag("stats") {
+                eprintln!(
+                    "query: {} attempt(s), cache {}, {}us server-side{}",
+                    outcome.attempts,
+                    if outcome.cache_hit { "hit" } else { "miss" },
+                    outcome.micros,
+                    outcome.trace.as_deref().map(|t| format!(", trace {t}")).unwrap_or_default()
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 fn cmd_repair(args: &[String]) -> Result2<()> {
