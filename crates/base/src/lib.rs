@@ -19,10 +19,14 @@
 //! * [`Guard`] — deadlines, step budgets and cooperative cancellation
 //!   for the expensive algorithms (see `docs/ROBUSTNESS.md`);
 //! * [`failpoint`] — deterministic fault injection (`TPQ_FAILPOINT`);
+//! * [`fd`] (Linux) — raw `epoll`/`eventfd` FFI and safe wrappers, the
+//!   substrate of the `tpq-serve` event-loop reactor;
 //! * [`Error`] / [`Result`] — the workspace-wide error type.
 
 pub mod error;
 pub mod failpoint;
+#[cfg(target_os = "linux")]
+pub mod fd;
 pub mod guard;
 pub mod hash;
 pub mod interner;

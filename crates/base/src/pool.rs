@@ -426,6 +426,35 @@ impl TaskPool {
         })
     }
 
+    /// Submit `f` to the pool and return immediately, without waiting
+    /// for a worker to pick it up — the fire-and-forget counterpart of
+    /// [`run`](TaskPool::run), for callers (the `tpq-serve` reactor) that
+    /// collect results through their own completion channel.
+    ///
+    /// The worker runs `f` behind a panic shield so a panicking job can
+    /// never kill its thread, but — unlike `run` — the payload has
+    /// nowhere to go and is dropped, and the `pool.task` failpoint is
+    /// *not* hit here: a caller that wants per-job fault injection and
+    /// error reporting does both inside `f`, where it can route the
+    /// outcome to its own channel. Fails fast once the queue is closed.
+    pub fn spawn<F>(&self, f: F) -> Result<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let executed = Arc::clone(&self.executed);
+        let job: Job = Box::new(move || {
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(f));
+            executed.fetch_add(1, Ordering::Relaxed);
+        });
+        let sender = self.sender.lock().expect("task pool sender poisoned");
+        match sender.as_ref() {
+            Some(sender) => sender.send(job).map_err(|_| Error::WorkerPanic {
+                message: "task pool workers are gone".to_owned(),
+            }),
+            None => Err(Error::WorkerPanic { message: "task pool is shut down".to_owned() }),
+        }
+    }
+
     /// Close the queue and join every worker. Jobs already queued are
     /// executed before the workers exit (mpsc delivers buffered messages
     /// after the sender drops); jobs submitted afterwards fail fast.
@@ -632,6 +661,33 @@ mod tests {
         }
         // The worker survives its job's panic.
         assert_eq!(pool.run(|| Ok(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn spawned_jobs_run_without_blocking_the_caller() {
+        let pool = TaskPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u64 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i * i).unwrap()).unwrap();
+        }
+        let mut results: Vec<u64> =
+            (0..10).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, (0..10u64).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.executed(), 10);
+    }
+
+    #[test]
+    fn spawned_panic_is_contained_and_the_worker_survives() {
+        let pool = TaskPool::new(1);
+        pool.spawn(|| panic!("spawned boom")).unwrap();
+        // The single worker survived: a follow-up job still executes.
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(5u32).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 5);
+        pool.shutdown();
+        assert!(pool.spawn(|| {}).is_err(), "spawn fails fast after shutdown");
     }
 
     #[test]

@@ -31,7 +31,7 @@ use tpq_bench::Panel;
 /// One panel group's runner, dispatched by name.
 type PanelRunner = Box<dyn Fn(&ExpConfig) -> Vec<Panel>>;
 
-const PANEL_NAMES: [&str; 15] = [
+const PANEL_NAMES: [&str; 16] = [
     "fig7a",
     "fig7b",
     "fig8a",
@@ -44,6 +44,7 @@ const PANEL_NAMES: [&str; 15] = [
     "batch-speedup",
     "cache",
     "serve-latency",
+    "serve-concurrency",
     "match-throughput",
     "minimize-then-match",
     "serve-degradation",
@@ -133,6 +134,9 @@ fn main() -> ExitCode {
             "batch-speedup" => Box::new(|c| vec![experiments::batch_with_speedup(c).1]),
             "cache" => Box::new(|c| vec![experiments::cache(c)]),
             "serve-latency" => Box::new(|c| vec![tpq_bench::serve_panel::serve_latency(c)]),
+            "serve-concurrency" => {
+                Box::new(|c| vec![tpq_bench::concurrency_panel::serve_concurrency(c)])
+            }
             "match-throughput" => Box::new(|c| vec![tpq_bench::match_panel::match_throughput(c)]),
             "minimize-then-match" => {
                 Box::new(|c| vec![tpq_bench::match_panel::minimize_then_match(c)])

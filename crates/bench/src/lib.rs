@@ -10,6 +10,7 @@
 //! directories and flags regressions (see [`compare`]).
 
 pub mod compare;
+pub mod concurrency_panel;
 pub mod degradation_panel;
 pub mod experiments;
 pub mod match_panel;

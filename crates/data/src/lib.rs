@@ -14,6 +14,8 @@
 //! * a random document generator ([`generate`]) used by the experiment
 //!   harness and the property tests.
 
+#![warn(missing_docs)]
+
 pub mod document;
 pub mod generate;
 pub mod index;

@@ -8,7 +8,9 @@
 //!   totals and self time.
 //! * **Counters** — named atomic `u64`s ([`counter`] / [`incr`]).
 //! * **Histograms** — every span feeds a log-scale latency histogram;
-//!   reports surface p50/p95/p99.
+//!   reports surface p50/p95/p99. Free-standing *value* distributions
+//!   ([`record_value`]) cover dimensionless quantities (batch sizes,
+//!   epoll ready-event counts) with the same machinery.
 //! * **Events** — discrete decision records ([`event`]) in a bounded
 //!   non-blocking ring, drained with [`drain_events`]; each carries the
 //!   emitting thread's trace id ([`trace_scope`] / [`current_trace`]),
@@ -98,6 +100,20 @@ pub fn record_duration(name: &'static str, elapsed: Duration) {
     let registry = Registry::global();
     if registry.enabled.load(Ordering::Relaxed) && registry.span_allowed(name) {
         registry.record_span(name, None, elapsed, elapsed);
+    }
+}
+
+/// Record one sample of a *dimensionless* value distribution — batch
+/// sizes, queue lengths, epoll ready-event counts — under `name`.
+/// Distinct from the span/duration histograms: the same log-scale
+/// [`Histogram`] backs both, but value histograms are reported raw
+/// (`values` in the JSON report, suffix-free in the Prometheus
+/// exposition) instead of being scaled to seconds.
+#[inline]
+pub fn record_value(name: &'static str, value: u64) {
+    let registry = Registry::global();
+    if registry.enabled.load(Ordering::Relaxed) {
+        registry.value_histogram(name).record(value);
     }
 }
 

@@ -8,6 +8,9 @@
 //! * per-span latency histograms are exported in seconds as
 //!   `tpq_<name>_seconds` with cumulative `_bucket{le="…"}` lines, `_sum`
 //!   and `_count` (`# TYPE … histogram`);
+//! * value distributions ([`crate::record_value`]) export as suffix-free
+//!   histograms with *raw* bucket bounds — they are dimensionless, so no
+//!   seconds scaling applies;
 //! * caller-supplied gauges (`serve.inflight`, `serve.uptime_seconds`)
 //!   are emitted as-is with `# TYPE … gauge`.
 //!
@@ -86,6 +89,27 @@ pub(crate) fn render(snapshot: &Snapshot, gauges: &[(&str, f64)]) -> String {
         let _ = writeln!(out, "{name}_seconds_count {}", h.count());
     }
 
+    // Value distributions are dimensionless, so bucket bounds stay raw
+    // (no seconds scaling) and the metric name carries no unit suffix.
+    let mut values: Vec<_> = snapshot.values.iter().collect();
+    values.sort_by_key(|(n, _)| *n);
+    for (name, h) in values {
+        if h.count() == 0 {
+            continue;
+        }
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let le = fmt_f64(bound as f64);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum() as f64));
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+
     out
 }
 
@@ -112,6 +136,7 @@ mod tests {
             spans: vec![],
             edges: vec![],
             histograms: vec![("serve.request", Arc::clone(&h)), ("empty", Default::default())],
+            values: vec![("serve.epoll.ready", Arc::clone(&h)), ("idle", Default::default())],
             events_dropped: 7,
         };
         let text = render(&snapshot, &[("serve.inflight", 2.0), ("serve.uptime_seconds", 1.5)]);
@@ -138,6 +163,11 @@ mod tests {
         assert!(text.contains("tpq_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("tpq_serve_request_seconds_count 2"));
         assert!(!text.contains("tpq_empty"), "empty histograms are omitted");
+        // Value histograms export suffix-free with raw bucket bounds.
+        assert!(text.contains("# TYPE tpq_serve_epoll_ready histogram"));
+        assert!(text.contains("tpq_serve_epoll_ready_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tpq_serve_epoll_ready_count 2"));
+        assert!(!text.contains("tpq_idle"), "empty value histograms are omitted");
 
         // Bucket counts are cumulative and end at the total.
         let buckets: Vec<u64> = text

@@ -61,6 +61,10 @@ pub(crate) struct Registry {
     filter: Mutex<Vec<String>>,
     counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
     histograms: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+    /// Distributions of dimensionless values (batch sizes, ready-event
+    /// counts), as opposed to `histograms`, which hold span latencies
+    /// in nanoseconds.
+    values: Mutex<HashMap<&'static str, Arc<Histogram>>>,
     spans: Mutex<HashMap<&'static str, SpanStat>>,
     edges: Mutex<HashMap<(Option<&'static str>, &'static str), EdgeStat>>,
     events: EventRing,
@@ -80,6 +84,7 @@ impl Registry {
                 filter: Mutex::new(parse_filter(trace.as_deref())),
                 counters: Mutex::new(HashMap::new()),
                 histograms: Mutex::new(HashMap::new()),
+                values: Mutex::new(HashMap::new()),
                 spans: Mutex::new(HashMap::new()),
                 edges: Mutex::new(HashMap::new()),
                 events: EventRing::new(DEFAULT_CAPACITY),
@@ -95,6 +100,11 @@ impl Registry {
 
     pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("histogram map poisoned");
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    pub(crate) fn value_histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.values.lock().expect("value map poisoned");
         Arc::clone(map.entry(name).or_default())
     }
 
@@ -159,6 +169,9 @@ impl Registry {
         for h in self.histograms.lock().expect("histogram map poisoned").values() {
             h.clear();
         }
+        for h in self.values.lock().expect("value map poisoned").values() {
+            h.clear();
+        }
         self.spans.lock().expect("span map poisoned").clear();
         self.edges.lock().expect("edge map poisoned").clear();
         self.events.clear();
@@ -186,6 +199,13 @@ impl Registry {
             .iter()
             .map(|(&name, &stat)| (name, stat))
             .collect();
+        let values = self
+            .values
+            .lock()
+            .expect("value map poisoned")
+            .iter()
+            .map(|(&name, h)| (name, Arc::clone(h)))
+            .collect();
         let edges = self
             .edges
             .lock()
@@ -193,7 +213,14 @@ impl Registry {
             .iter()
             .map(|(&key, &stat)| (key, stat))
             .collect();
-        Snapshot { counters, spans, edges, histograms, events_dropped: self.events.dropped() }
+        Snapshot {
+            counters,
+            spans,
+            edges,
+            histograms,
+            values,
+            events_dropped: self.events.dropped(),
+        }
     }
 }
 
@@ -208,6 +235,9 @@ pub struct Snapshot {
     pub edges: Vec<((Option<&'static str>, &'static str), EdgeStat)>,
     /// Latency histograms by span name.
     pub histograms: Vec<(&'static str, Arc<Histogram>)>,
+    /// Dimensionless value distributions by name (see
+    /// [`crate::record_value`]): batch sizes, ready-event counts.
+    pub values: Vec<(&'static str, Arc<Histogram>)>,
     /// Events lost to write-time ring contention since the last reset.
     /// Surfaced so silent event loss is visible in every sink.
     pub events_dropped: u64,

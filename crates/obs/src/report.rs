@@ -54,6 +54,22 @@ impl Report {
         self.snapshot.histograms.iter().find(|(n, h)| *n == name && h.count() > 0).map(|(_, h)| h)
     }
 
+    /// The value at quantile `q` of the named *value* distribution (see
+    /// [`crate::record_value`]); `None` when it has no samples.
+    pub fn value_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        self.value_histogram(name).map(|h| h.quantile(q))
+    }
+
+    /// Number of samples in the named value distribution.
+    pub fn value_count(&self, name: &str) -> Option<u64> {
+        self.value_histogram(name).map(|h| h.count())
+    }
+
+    /// The named value distribution, if it holds at least one sample.
+    fn value_histogram(&self, name: &str) -> Option<&Arc<crate::Histogram>> {
+        self.snapshot.values.iter().find(|(n, h)| *n == name && h.count() > 0).map(|(_, h)| h)
+    }
+
     /// Stats of the nesting edge `parent → child` (`None` parent = root).
     pub fn edge(&self, parent: Option<&str>, child: &str) -> Option<EdgeStat> {
         self.snapshot
@@ -166,6 +182,28 @@ impl Report {
                 );
             }
         }
+
+        let mut values: Vec<_> =
+            self.snapshot.values.iter().filter(|(_, h)| h.count() > 0).collect();
+        values.sort_by_key(|(n, _)| *n);
+        if !values.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<42} {:>10} {:>10} {:>10} {:>8}",
+                "value", "p50", "p95", "p99", "count"
+            );
+            for (name, h) in values {
+                let _ = writeln!(
+                    out,
+                    "{:<42} {:>10} {:>10} {:>10} {:>8}",
+                    name,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.count(),
+                );
+            }
+        }
         out
     }
 
@@ -221,10 +259,27 @@ impl Report {
             })
             .collect();
 
+        let mut values: Vec<_> =
+            self.snapshot.values.iter().filter(|(_, h)| h.count() > 0).collect();
+        values.sort_by_key(|(n, _)| *n);
+        let values = values
+            .into_iter()
+            .map(|(name, h)| {
+                Json::object(vec![
+                    ("name", Json::Str((*name).to_string())),
+                    ("count", Json::Int(h.count() as i64)),
+                    ("p50", Json::Int(h.quantile(0.50) as i64)),
+                    ("p95", Json::Int(h.quantile(0.95) as i64)),
+                    ("p99", Json::Int(h.quantile(0.99) as i64)),
+                ])
+            })
+            .collect();
+
         Json::object(vec![
             ("spans", Json::Array(spans)),
             ("edges", Json::Array(edges)),
             ("counters", Json::Array(counters)),
+            ("values", Json::Array(values)),
             // Counters (and spans) are never windowed: values accumulate
             // from process start until an explicit `reset()`.
             ("counters_note", Json::Str("cumulative since process start".to_owned())),
@@ -264,6 +319,7 @@ mod tests {
             spans: vec![(name, SpanStat { count: 1, total_ns: 5, self_ns: 5 })],
             edges: vec![((None, name), EdgeStat { count: 1, total_ns: 5 })],
             histograms: vec![],
+            values: vec![],
             events_dropped: 0,
         };
         let text = Report::new(snapshot).to_json().to_string_compact();
@@ -286,6 +342,7 @@ mod tests {
             spans: vec![],
             edges: vec![],
             histograms: vec![],
+            values: vec![],
             events_dropped: 0,
         };
         let report = Report::new(snapshot);
@@ -305,10 +362,14 @@ mod tests {
             spans: vec![],
             edges: vec![],
             histograms: vec![("serve.request", Arc::clone(&h)), ("idle", Default::default())],
+            values: vec![("serve.epoll.ready", Arc::clone(&h))],
             events_dropped: 3,
         };
         let report = Report::new(snapshot);
         assert_eq!(report.events_dropped(), 3);
+        assert_eq!(report.value_count("serve.epoll.ready"), Some(4));
+        assert!(report.value_quantile("serve.epoll.ready", 0.5).is_some());
+        assert_eq!(report.value_quantile("nope", 0.5), None);
         assert_eq!(report.to_json().get("events_dropped").and_then(Json::as_i64), Some(3));
         assert_eq!(report.histogram_count("serve.request"), Some(4));
         let p50 = report.histogram_quantile("serve.request", 0.5).unwrap();

@@ -15,6 +15,8 @@
 //!   the paper's uniqueness theorems (4.1 and 5.1);
 //! * structural validation ([`TreePattern::validate`]).
 
+#![warn(missing_docs)]
+
 pub mod condition;
 pub mod iso;
 pub mod node;

@@ -1,10 +1,14 @@
 //! `tpq-serve` — a long-running tree-pattern-query minimization service.
 //!
 //! This crate turns the one-shot minimization pipeline of [`tpq_core`]
-//! into a resident server: a threaded TCP listener speaking a
-//! newline-delimited JSON protocol (one request line in, one response
-//! line out; see [`proto`]), multiplexing every connection onto a shared
-//! [`TaskPool`](tpq_base::TaskPool) of minimization workers.
+//! into a resident server: a TCP listener speaking a newline-delimited
+//! JSON protocol (one request line in, one response line out; see
+//! [`proto`]), multiplexing every connection onto a shared
+//! [`TaskPool`](tpq_base::TaskPool) of minimization workers. On Linux
+//! the socket side is a single-threaded epoll reactor ([`reactor`]) —
+//! edge-triggered nonblocking I/O, request pipelining, bounded write
+//! queues with backpressure — with a thread-per-connection engine behind
+//! the `--threaded` flag (and as the only engine off Linux).
 //!
 //! Because minimal tree pattern queries are unique up to isomorphism
 //! (Theorem 5.1 of *Minimization of Tree Pattern Queries*), answers are
@@ -69,6 +73,8 @@
 
 pub mod client;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod signal;
 pub mod snapshot;

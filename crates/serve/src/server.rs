@@ -1,9 +1,14 @@
-//! The threaded TCP server: accept loop, connection handlers, shutdown.
+//! The TCP server: socket lifecycle, request dispatch, shutdown.
 //!
-//! One thread per connection handles framing and socket I/O; the actual
-//! minimization work is funneled through a fixed-size
-//! [`tpq_base::pool::TaskPool`], so `--jobs` bounds CPU
-//! concurrency independently of `--max-conns` (socket concurrency).
+//! Two I/O engines share everything in this module. The default (Linux)
+//! engine is the epoll reactor in [`crate::reactor`]: one thread
+//! multiplexes every socket and CPU-bound minimization fans out to the
+//! [`tpq_base::pool::TaskPool`], whose completions re-enter the reactor
+//! through an eventfd. The `--threaded` fallback in
+//! `Server::run_threaded` dedicates one thread per connection instead.
+//! Either way `--jobs` bounds CPU concurrency independently of
+//! `--max-conns` (socket concurrency), and the protocol semantics —
+//! verbs, admission control, tracing, drain — live here, engine-neutral.
 //! Engines come from [`tpq_core::shared_engine`], so every connection
 //! shares one constraint closure and one canonical-pattern memo cache
 //! per constraint set, and all queries are interned through one
@@ -86,6 +91,10 @@ pub struct ServeConfig {
     /// interner-incompatible file is *rejected* (logged, counted) and the
     /// server starts cold — it never crashes or restores partially.
     pub restore: Option<PathBuf>,
+    /// Use the legacy thread-per-connection engine instead of the epoll
+    /// reactor (the `--threaded` CLI flag). Ignored off Linux, where the
+    /// threaded engine is the only one available.
+    pub threaded: bool,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +114,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             snapshot: None,
             restore: None,
+            threaded: false,
         }
     }
 }
@@ -148,24 +158,26 @@ impl Default for RestoreStatus {
 }
 
 /// Shared mutable server state: counters, the worker pool, config.
-struct ServerState {
-    shutdown: AtomicBool,
-    active: AtomicUsize,
+/// Crate-visible so the epoll reactor drives the same counters and
+/// request path as the threaded engine.
+pub(crate) struct ServerState {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
     /// Requests currently being processed (the `serve.inflight` gauge).
-    inflight: AtomicUsize,
-    accepted: AtomicU64,
-    refused: AtomicU64,
-    requests_ok: AtomicU64,
-    requests_failed: AtomicU64,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) requests_ok: AtomicU64,
+    pub(crate) requests_failed: AtomicU64,
     /// Requests shed at the admission queue (`queue_depth` exceeded).
-    shed_queue_full: AtomicU64,
+    pub(crate) shed_queue_full: AtomicU64,
     /// Requests shed by the armed `serve.shed` failpoint.
-    shed_injected: AtomicU64,
+    pub(crate) shed_injected: AtomicU64,
     /// Buffered requests answered with a typed error during drain.
-    shed_drain: AtomicU64,
-    pool: TaskPool,
-    config: ServeConfig,
-    started: Instant,
+    pub(crate) shed_drain: AtomicU64,
+    pub(crate) pool: TaskPool,
+    pub(crate) config: ServeConfig,
+    pub(crate) started: Instant,
     /// Open slow-query log file (`None` = log to stderr).
     slow_log: Option<Mutex<std::fs::File>>,
     /// What `--restore` did at bind time (immutable afterwards).
@@ -173,13 +185,13 @@ struct ServerState {
 }
 
 impl ServerState {
-    fn shutdown_requested(&self) -> bool {
+    pub(crate) fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
             || (self.config.handle_signals && crate::signal::triggered())
     }
 
     /// Total requests shed across all three reasons.
-    fn requests_shed(&self) -> u64 {
+    pub(crate) fn requests_shed(&self) -> u64 {
         self.shed_queue_full.load(Ordering::Relaxed)
             + self.shed_injected.load(Ordering::Relaxed)
             + self.shed_drain.load(Ordering::Relaxed)
@@ -292,10 +304,23 @@ impl Server {
 
     /// Serve until shutdown is requested, then drain and return totals.
     ///
-    /// Connections are handled on dedicated threads; minimization work
-    /// runs on the shared worker pool. Returns after in-flight
-    /// connections finish (bounded by [`ServeConfig::drain_ms`]).
+    /// On Linux this runs the epoll reactor ([`crate::reactor`]) unless
+    /// [`ServeConfig::threaded`] asks for the legacy engine; elsewhere the
+    /// threaded engine is the only one. Minimization work runs on the
+    /// shared worker pool either way. Returns after in-flight connections
+    /// finish (bounded by [`ServeConfig::drain_ms`]).
     pub fn run(self) -> std::io::Result<ServeSummary> {
+        #[cfg(target_os = "linux")]
+        if !self.state.config.threaded {
+            return crate::reactor::run(self.listener, self.state);
+        }
+        self.run_threaded()
+    }
+
+    /// The thread-per-connection engine: one dedicated handler thread per
+    /// accepted socket, blocking reads with a short timeout to notice
+    /// shutdown.
+    fn run_threaded(self) -> std::io::Result<ServeSummary> {
         self.listener.set_nonblocking(true)?;
         while !self.state.shutdown_requested() {
             match self.listener.accept() {
@@ -328,30 +353,37 @@ impl Server {
         while self.state.active.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        self.state.pool.shutdown();
-        // With the pool joined the cache layers are quiescent: snapshot
-        // them for the next boot's --restore.
-        let snapshot_written = match &self.state.config.snapshot {
-            Some(path) => match crate::snapshot::write_snapshot(path, &lock_types()) {
-                Ok(stats) => {
-                    tpq_obs::incr("snapshot.write.patterns", stats.patterns as u64);
-                    Some(path.clone())
-                }
-                Err(e) => {
-                    eprintln!("tpq-serve: snapshot write to {} failed: {e}", path.display());
-                    None
-                }
-            },
-            None => None,
-        };
-        Ok(ServeSummary {
-            accepted: self.state.accepted.load(Ordering::Relaxed),
-            refused: self.state.refused.load(Ordering::Relaxed),
-            requests_ok: self.state.requests_ok.load(Ordering::Relaxed),
-            requests_failed: self.state.requests_failed.load(Ordering::Relaxed),
-            requests_shed: self.state.requests_shed(),
-            snapshot_written,
-        })
+        Ok(finalize(&self.state))
+    }
+}
+
+/// Join the worker pool, write the drain-time snapshot if one is
+/// configured, and summarize the server lifetime. Shared epilogue of both
+/// engines — by the time it runs no socket I/O remains.
+pub(crate) fn finalize(state: &ServerState) -> ServeSummary {
+    state.pool.shutdown();
+    // With the pool joined the cache layers are quiescent: snapshot
+    // them for the next boot's --restore.
+    let snapshot_written = match &state.config.snapshot {
+        Some(path) => match crate::snapshot::write_snapshot(path, &lock_types()) {
+            Ok(stats) => {
+                tpq_obs::incr("snapshot.write.patterns", stats.patterns as u64);
+                Some(path.clone())
+            }
+            Err(e) => {
+                eprintln!("tpq-serve: snapshot write to {} failed: {e}", path.display());
+                None
+            }
+        },
+        None => None,
+    };
+    ServeSummary {
+        accepted: state.accepted.load(Ordering::Relaxed),
+        refused: state.refused.load(Ordering::Relaxed),
+        requests_ok: state.requests_ok.load(Ordering::Relaxed),
+        requests_failed: state.requests_failed.load(Ordering::Relaxed),
+        requests_shed: state.requests_shed(),
+        snapshot_written,
     }
 }
 
@@ -389,8 +421,9 @@ fn restore_at_bind(path: Option<&std::path::Path>) -> RestoreStatus {
     }
 }
 
-/// Tell an over-limit client why it is being dropped.
-fn refuse_connection(state: &ServerState, mut stream: TcpStream) {
+/// Tell an over-limit client why it is being dropped. The stream must
+/// still be in blocking mode (freshly accepted sockets are).
+pub(crate) fn refuse_connection(state: &ServerState, mut stream: TcpStream) {
     state.refused.fetch_add(1, Ordering::Relaxed);
     tpq_obs::incr("serve.conn.refused", 1);
     let error = ProtoError::overloaded(format!(
@@ -402,7 +435,7 @@ fn refuse_connection(state: &ServerState, mut stream: TcpStream) {
 }
 
 /// What the dispatcher wants done with the connection after a line.
-enum Flow {
+pub(crate) enum Flow {
     /// Send this response and keep reading.
     Respond(Json),
     /// Send this pre-rendered multi-line text verbatim (the `METRICS`
@@ -501,43 +534,62 @@ fn flush_buffered_on_drain(state: &ServerState, stream: &mut TcpStream, buffer: 
         if !is_request {
             continue;
         }
-        state.shed_drain.fetch_add(1, Ordering::Relaxed);
-        state.requests_failed.fetch_add(1, Ordering::Relaxed);
-        tpq_obs::incr("serve.shed.drain", 1);
-        tpq_obs::incr("serve.request.error", 1);
-        let e = ProtoError::overloaded(
-            "server is draining; request was not processed — retry against the restarted server",
-        );
+        let e = drain_shed_error(state);
         if writeln!(stream, "{}", e.to_json()).is_err() {
             return;
         }
     }
 }
 
-/// Route one trimmed request line.
+/// Count one buffered request shed by the drain and build its typed
+/// error. Both engines answer such requests with this instead of letting
+/// them vanish with the socket.
+pub(crate) fn drain_shed_error(state: &ServerState) -> ProtoError {
+    state.shed_drain.fetch_add(1, Ordering::Relaxed);
+    state.requests_failed.fetch_add(1, Ordering::Relaxed);
+    tpq_obs::incr("serve.shed.drain", 1);
+    tpq_obs::incr("serve.request.error", 1);
+    ProtoError::overloaded(
+        "server is draining; request was not processed — retry against the restarted server",
+    )
+}
+
+/// Route one trimmed request line (threaded engine): verbs answer
+/// synchronously, JSON requests run to completion on this thread.
 fn dispatch(state: &ServerState, line: &str) -> Flow {
+    match dispatch_verb(state, line) {
+        Some(flow) => flow,
+        None => Flow::Respond(handle_request(state, line)),
+    }
+}
+
+/// The engine-neutral half of dispatch: answer protocol verbs (and the
+/// cheap rejections) synchronously, or return `None` for a JSON
+/// minimization request, which each engine executes its own way — the
+/// threaded engine inline, the reactor on a pool worker.
+pub(crate) fn dispatch_verb(state: &ServerState, line: &str) -> Option<Flow> {
     if line.is_empty() {
-        return Flow::Skip;
+        return Some(Flow::Skip);
     }
     match line {
-        "PING" => Flow::Respond(Json::object(vec![("ok", Json::Bool(true))])),
-        "STATS" => Flow::Respond(stats_json(state)),
-        "METRICS" => Flow::Raw(metrics_text(state)),
+        "PING" => Some(Flow::Respond(Json::object(vec![("ok", Json::Bool(true))]))),
+        "STATS" => Some(Flow::Respond(stats_json(state))),
+        "METRICS" => Some(Flow::Raw(metrics_text(state))),
         "SHUTDOWN" => {
             tpq_obs::incr("serve.shutdown", 1);
-            Flow::Shutdown(Json::object(vec![
+            Some(Flow::Shutdown(Json::object(vec![
                 ("ok", Json::Bool(true)),
                 ("draining", Json::Bool(true)),
-            ]))
+            ])))
         }
-        _ if !line.starts_with('{') => Flow::Respond(
+        _ if !line.starts_with('{') => Some(Flow::Respond(
             ProtoError::bad_request(format!(
                 "unknown verb '{}' (expected PING, STATS, METRICS, SHUTDOWN or a JSON object)",
                 line.chars().take(32).collect::<String>()
             ))
             .to_json(),
-        ),
-        _ => Flow::Respond(handle_request(state, line)),
+        )),
+        _ => None,
     }
 }
 
@@ -559,6 +611,7 @@ fn metrics_text(state: &ServerState) -> String {
     };
     let gauges = [
         ("serve.inflight", inflight as f64),
+        ("serve.connections.active", state.active.load(Ordering::Acquire) as f64),
         ("serve.uptime_seconds", state.started.elapsed().as_secs_f64()),
         ("serve.queue.depth", queued as f64),
         ("serve.queue.limit", state.config.queue_depth as f64),
@@ -654,9 +707,8 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-/// Answer one minimization request line. Mints the request's trace id
-/// (echoed back as the `trace` response field), tracks the in-flight
-/// gauge, and feeds the slow-query log.
+/// Answer one minimization request line on the calling thread (threaded
+/// engine): admission control, then the full [`process_request`] path.
 fn handle_request(state: &ServerState, line: &str) -> Json {
     let t0 = Instant::now();
     let n_prev = state.inflight.fetch_add(1, Ordering::AcqRel);
@@ -670,10 +722,26 @@ fn handle_request(state: &ServerState, line: &str) -> Json {
         tpq_obs::incr("serve.request.error", 1);
         return shed.to_json();
     }
+    process_request(state, line, t0, false)
+}
+
+/// Execute one *admitted* minimization request: mint its trace id
+/// (echoed back as the `trace` response field), minimize, bump the
+/// outcome counters, feed the slow-query log. `run_inline` says whether
+/// the caller already sits on a pool worker (the reactor) — then the
+/// minimization runs right here behind the same `pool.task` failpoint
+/// and panic shield a [`TaskPool::run`] round-trip would apply — or
+/// should block on [`TaskPool::run`] (the threaded engine).
+pub(crate) fn process_request(
+    state: &ServerState,
+    line: &str,
+    t0: Instant,
+    run_inline: bool,
+) -> Json {
     let trace = tpq_obs::fresh_trace_id();
     let _scope = tpq_obs::trace_scope(trace);
     let mut phases = Phases::default();
-    let result = minimize_request(state, line, t0, &mut phases);
+    let result = minimize_request(state, line, t0, &mut phases, run_inline);
     let elapsed = t0.elapsed();
     tpq_obs::record_duration("serve.request", elapsed);
     maybe_log_slow(state, line, trace, elapsed, &phases);
@@ -697,7 +765,7 @@ fn handle_request(state: &ServerState, line: &str) -> Json {
 /// `overloaded` + `retry_after_ms` when the queue bound is exceeded, or
 /// the armed `serve.shed` failpoint's `injected` error (the chaos
 /// battery's way of forcing sheds without real overload).
-fn admission_check(state: &ServerState, n_prev: usize) -> Option<ProtoError> {
+pub(crate) fn admission_check(state: &ServerState, n_prev: usize) -> Option<ProtoError> {
     if let Err(e) = failpoint::hit("serve.shed") {
         state.shed_injected.fetch_add(1, Ordering::Relaxed);
         tpq_obs::incr("serve.shed.injected", 1);
@@ -770,13 +838,17 @@ fn maybe_log_slow(state: &ServerState, line: &str, trace: u64, elapsed: Duration
     }
 }
 
-/// Parse, guard and minimize one request on the worker pool, recording
-/// the per-phase breakdown into `phases`.
+/// Parse, guard and minimize one request, recording the per-phase
+/// breakdown into `phases`. The minimization itself runs on the worker
+/// pool (`run_inline = false`) or on the calling thread behind the same
+/// failpoint-and-shield contract (`run_inline = true`; see
+/// [`run_shielded`]).
 fn minimize_request(
     state: &ServerState,
     line: &str,
     t0: Instant,
     phases: &mut Phases,
+    run_inline: bool,
 ) -> Result<Json, ProtoError> {
     let t_parse = Instant::now();
     let req = Request::parse(line)?;
@@ -812,12 +884,11 @@ fn minimize_request(
     // whichever pool worker executes the minimization.
     let trace = tpq_obs::current_trace();
     let t_min = Instant::now();
-    let out = state
-        .pool
-        .run(move || {
-            let _scope = tpq_obs::trace_scope(trace);
-            engine.minimize_cached_guarded(&query, &guard)
-        })
+    let work = move || {
+        let _scope = tpq_obs::trace_scope(trace);
+        engine.minimize_cached_guarded(&query, &guard)
+    };
+    let out = if run_inline { run_shielded(work) } else { state.pool.run(work) }
         .map_err(|e| ProtoError::from_error(&e))?;
     phases.minimize = t_min.elapsed();
     let t_render = Instant::now();
@@ -831,6 +902,30 @@ fn minimize_request(
         &out.stats,
         t0.elapsed(),
     ))
+}
+
+/// Run `f` on the calling thread under exactly the contract a
+/// [`TaskPool`] worker would apply: the `pool.task` failpoint fires
+/// first, inside a `catch_unwind` shield, so an injected or genuine
+/// panic becomes an [`Error::WorkerPanic`] instead of unwinding the
+/// caller. The reactor executes minimizations through this after
+/// [`TaskPool::spawn`] has already moved them onto a worker (a nested
+/// `pool.run` would deadlock a single-worker pool).
+///
+/// [`Error::WorkerPanic`]: tpq_base::Error::WorkerPanic
+fn run_shielded<R, F>(f: F) -> tpq_base::Result<R>
+where
+    F: FnOnce() -> tpq_base::Result<R>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        failpoint::hit("pool.task")?;
+        f()
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            Err(tpq_base::Error::WorkerPanic { message: tpq_base::pool::panic_message(payload) })
+        }
+    }
 }
 
 #[cfg(test)]

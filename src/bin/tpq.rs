@@ -48,10 +48,13 @@
 //! `tpq serve` runs the minimization service from `tpq-serve`: it prints
 //! `listening on <addr>` once bound, answers newline-delimited JSON
 //! requests until SIGTERM / ctrl-c / a `SHUTDOWN` verb, then drains
-//! in-flight work and prints a summary. `--deadline-ms` / `--budget` act
-//! as per-request ceilings rather than whole-process limits. `--slow-ms
-//! <n>` logs requests at or above `n` milliseconds (trace id plus
-//! per-phase breakdown) to stderr, or to `--slow-log <path>` when given.
+//! in-flight work and prints a summary. On Linux the socket side is an
+//! epoll event-loop reactor; `--threaded` selects the legacy
+//! thread-per-connection engine instead (see `docs/SERVING.md`).
+//! `--deadline-ms` / `--budget` act as per-request ceilings rather than
+//! whole-process limits. `--slow-ms <n>` logs requests at or above `n`
+//! milliseconds (trace id plus per-phase breakdown) to stderr, or to
+//! `--slow-log <path>` when given.
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
@@ -527,10 +530,13 @@ fn cmd_closure(args: &[String]) -> Result2<()> {
 /// `tpq serve`: run the long-running minimization service until a
 /// shutdown signal (SIGTERM / ctrl-c) or a `SHUTDOWN` protocol verb.
 fn cmd_serve(args: &[String]) -> Result2<()> {
-    let opts = Opts::parse(args, &[])?;
+    let opts = Opts::parse(args, &["threaded"])?;
     opts.no_positionals()?;
     let mut config =
         tpq::serve::ServeConfig { handle_signals: true, ..tpq::serve::ServeConfig::default() };
+    // --threaded: opt out of the epoll reactor (Linux default) and run
+    // the legacy thread-per-connection engine instead.
+    config.threaded = opts.flag("threaded");
     if let Some(addr) = opts.get("addr") {
         config.addr = addr.to_owned();
     }
