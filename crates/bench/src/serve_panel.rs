@@ -11,6 +11,16 @@
 //! the server's own `serve.request` histogram) keeps concurrency levels
 //! independent: the server histogram is cumulative across the whole
 //! process, which would smear level 1's latencies into level 4's.
+//!
+//! The server runs with its defaults, which means the flight recorder
+//! and the rolling RED window are **on** — every measured request pays
+//! the full per-request observability cost (phase timestamps, window
+//! bucket update, ring push). That is deliberate: the CI compare gate
+//! on this panel therefore regresses the recorder's overhead together
+//! with the request path, and a recorder change that slows requests
+//! down fails the same ±threshold check as any other serve regression.
+//! The panel asserts the recorder actually saw every request so the
+//! gate can't silently measure a recorder-less server.
 
 use crate::{experiments::ExpConfig, Panel, Point, Series};
 use std::io::{BufRead, BufReader, Write};
@@ -103,6 +113,30 @@ pub fn serve_latency(cfg: &ExpConfig) -> Panel {
         p50.push(Point::flat(level, hist.quantile(0.50) as f64));
         p95.push(Point::flat(level, hist.quantile(0.95) as f64));
         p99.push(Point::flat(level, hist.quantile(0.99) as f64));
+    }
+
+    // Confirm the observability plane was live for the whole run: the
+    // flight recorder must have recorded exactly one record per measured
+    // request (verbs and warmup PINGs are never recorded), otherwise the
+    // quantiles above measured a server the production path never runs.
+    {
+        let stream = TcpStream::connect(addr).expect("connect stats probe");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        let mut writer = stream;
+        writer.write_all(b"STATS\n").expect("send stats probe");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read stats");
+        let stats = Json::parse(&response).expect("stats is JSON");
+        let recorded = stats
+            .get("flight")
+            .and_then(|f| f.get("recorded"))
+            .and_then(Json::as_i64)
+            .expect("flight block in STATS");
+        assert_eq!(
+            recorded as u64,
+            (lines.len() * LEVELS.len()) as u64,
+            "flight recorder must cover every measured request"
+        );
     }
 
     handle.shutdown();

@@ -123,6 +123,22 @@ impl Histogram {
             .collect()
     }
 
+    /// Add every sample of `other` into `self`, bucket-wise. Exact: both
+    /// histograms share the one fixed bucket layout, so merging loses no
+    /// precision beyond what recording already lost. This is how the
+    /// rolling window ([`crate::RollingWindow`]) turns 60 per-second
+    /// histograms into one windowed quantile source.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Reset to empty.
     pub fn clear(&self) {
         for c in &self.counts {

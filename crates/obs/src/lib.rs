@@ -16,6 +16,12 @@
 //!   emitting thread's trace id ([`trace_scope`] / [`current_trace`]),
 //!   which `tpq serve` mints per request and `tpq explain` uses to
 //!   reconstruct why each node was pruned.
+//! * **Flight records** — a fixed-capacity ring of completed-request
+//!   records ([`FlightRecorder`]) with per-phase timings, drained over
+//!   `tpq serve`'s `TIMELINE` verb and dumped as a postmortem black box.
+//! * **Rolling windows** — a 60-slot per-second wheel ([`RollingWindow`])
+//!   turning request outcomes into RED rates and windowed p50/p95/p99,
+//!   for the STATS `window` block and the `tpq_*_1m` METRICS gauges.
 //!
 //! The whole layer is **disabled by default**: every entry point starts
 //! with one relaxed atomic load and bails, so instrumented hot paths cost
@@ -37,23 +43,29 @@
 //! request/connection latency histograms under `serve.request` and
 //! `serve.conn`).
 
+#![warn(missing_docs)]
+
 mod event;
+mod flight;
 mod histogram;
 mod prom;
 mod registry;
 mod report;
 mod ring;
 mod span;
+mod window;
 
 pub use event::{
     current_trace, events_to_json_lines, fresh_trace_id, trace_hex, trace_scope, Event, FieldValue,
     TraceScope,
 };
+pub use flight::{flight_to_json_lines, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::Histogram;
 pub use prom::prometheus_name;
 pub use registry::{Counter, EdgeStat, SpanStat};
 pub use report::Report;
 pub use span::{span, SpanGuard};
+pub use window::{RollingWindow, WindowStats, WINDOW_SECONDS};
 
 use registry::Registry;
 use std::sync::atomic::Ordering;

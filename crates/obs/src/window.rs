@@ -1,0 +1,281 @@
+//! Rolling per-second windows: RED rates and windowed latency quantiles.
+//!
+//! The cumulative counters everywhere else in this crate answer "since
+//! boot"; a [`RollingWindow`] answers "in the last minute". It is a
+//! 60-slot bucket wheel — one slot per wall-clock second, indexed by
+//! `second % 60` — where each slot holds an ok count, per-kind error
+//! counts, a shed count, and a latency [`Histogram`]. Recording locks
+//! exactly one slot for a few dozen nanoseconds; a slot whose second has
+//! rolled over is reset in place before the new sample lands, so stale
+//! data ages out without any background sweeper.
+//!
+//! [`RollingWindow::snapshot`] merges every slot still inside the window
+//! into one [`WindowStats`]: RED rates (requests, errors by kind, sheds,
+//! per second) and p50/p95/p99 over the merged histogram
+//! ([`Histogram::merge_from`]). `tpq serve` surfaces the snapshot in the
+//! STATS `window` block and as `tpq_*_1m` gauges in METRICS.
+//!
+//! Every entry point has a deterministic `*_at` twin taking an explicit
+//! second index — tests (and replay tooling) drive the wheel without
+//! sleeping through real time; the clocked variants just pass seconds
+//! elapsed since construction.
+
+use crate::histogram::Histogram;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Window length in seconds (and the number of wheel slots).
+pub const WINDOW_SECONDS: u64 = 60;
+
+/// Marks a slot that has never held a sample.
+const EMPTY: u64 = u64::MAX;
+
+/// One second's worth of request outcomes.
+struct Slot {
+    /// Absolute second (since the wheel's epoch) this slot holds.
+    second: u64,
+    ok: u64,
+    shed: u64,
+    /// Error counts by protocol kind, unsorted, tiny.
+    errors: Vec<(&'static str, u64)>,
+    latency: Histogram,
+}
+
+impl Slot {
+    fn reset_to(&mut self, second: u64) {
+        self.second = second;
+        self.ok = 0;
+        self.shed = 0;
+        self.errors.clear();
+        self.latency.clear();
+    }
+}
+
+/// A 60-slot per-second bucket wheel of request outcomes.
+pub struct RollingWindow {
+    slots: Vec<Mutex<Slot>>,
+    epoch: Instant,
+}
+
+impl Default for RollingWindow {
+    fn default() -> RollingWindow {
+        RollingWindow::new()
+    }
+}
+
+impl RollingWindow {
+    /// A fresh, empty wheel; its epoch (second 0) is now.
+    pub fn new() -> RollingWindow {
+        RollingWindow {
+            slots: (0..WINDOW_SECONDS)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        second: EMPTY,
+                        ok: 0,
+                        shed: 0,
+                        errors: Vec::new(),
+                        latency: Histogram::default(),
+                    })
+                })
+                .collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the wheel's epoch (the current second index).
+    pub fn now_second(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Record one successful request with its total latency.
+    pub fn record_ok(&self, latency_ns: u64) {
+        self.record_ok_at(self.now_second(), latency_ns);
+    }
+
+    /// Deterministic twin of [`record_ok`](RollingWindow::record_ok):
+    /// record into the slot for an explicit `second`.
+    pub fn record_ok_at(&self, second: u64, latency_ns: u64) {
+        let mut slot = self.slot(second);
+        slot.ok += 1;
+        slot.latency.record(latency_ns);
+    }
+
+    /// Record one failed request: its protocol error `kind`, whether it
+    /// was a shed (admission queue / injected / drain), and its latency.
+    pub fn record_error(&self, kind: &'static str, shed: bool, latency_ns: u64) {
+        self.record_error_at(self.now_second(), kind, shed, latency_ns);
+    }
+
+    /// Deterministic twin of [`record_error`](RollingWindow::record_error).
+    pub fn record_error_at(&self, second: u64, kind: &'static str, shed: bool, latency_ns: u64) {
+        let mut slot = self.slot(second);
+        match slot.errors.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => slot.errors.push((kind, 1)),
+        }
+        if shed {
+            slot.shed += 1;
+        }
+        slot.latency.record(latency_ns);
+    }
+
+    /// Lock the wheel slot for `second`, resetting it in place when its
+    /// previous occupant has aged out.
+    fn slot(&self, second: u64) -> std::sync::MutexGuard<'_, Slot> {
+        let idx = (second % WINDOW_SECONDS) as usize;
+        let mut slot = self.slots[idx].lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slot.second != second {
+            slot.reset_to(second);
+        }
+        slot
+    }
+
+    /// Merge everything inside the window ending at the current second.
+    pub fn snapshot(&self) -> WindowStats {
+        self.snapshot_at(self.now_second())
+    }
+
+    /// Deterministic twin of [`snapshot`](RollingWindow::snapshot): merge
+    /// the window of [`WINDOW_SECONDS`] seconds ending at `now_second`
+    /// inclusive. Slots older than the window — or newer, if a test
+    /// recorded "in the future" — are excluded.
+    pub fn snapshot_at(&self, now_second: u64) -> WindowStats {
+        let merged = Histogram::default();
+        let mut stats = WindowStats {
+            seconds: (now_second + 1).min(WINDOW_SECONDS),
+            ok: 0,
+            shed: 0,
+            errors: Vec::new(),
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+        };
+        for cell in &self.slots {
+            let slot = cell.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            if slot.second == EMPTY
+                || slot.second > now_second
+                || now_second - slot.second >= WINDOW_SECONDS
+            {
+                continue;
+            }
+            stats.ok += slot.ok;
+            stats.shed += slot.shed;
+            for &(kind, n) in &slot.errors {
+                match stats.errors.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, total)) => *total += n,
+                    None => stats.errors.push((kind, n)),
+                }
+            }
+            merged.merge_from(&slot.latency);
+        }
+        stats.errors.sort_by_key(|&(kind, _)| kind);
+        stats.p50_ns = merged.quantile(0.50);
+        stats.p95_ns = merged.quantile(0.95);
+        stats.p99_ns = merged.quantile(0.99);
+        stats
+    }
+}
+
+/// One merged view of the last [`WINDOW_SECONDS`] (or fewer, early in the
+/// process lifetime): RED counts and windowed latency quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Seconds the window covers — the rate denominator. Grows from 1 at
+    /// boot up to [`WINDOW_SECONDS`], so early rates are not diluted by
+    /// time that has not happened yet.
+    pub seconds: u64,
+    /// Successful requests in the window.
+    pub ok: u64,
+    /// Failed requests by protocol error kind, sorted by kind.
+    pub errors: Vec<(&'static str, u64)>,
+    /// Shed requests (a subset of the errors).
+    pub shed: u64,
+    /// Windowed median latency (ns; 0 when the window is empty).
+    pub p50_ns: u64,
+    /// Windowed 95th-percentile latency (ns).
+    pub p95_ns: u64,
+    /// Windowed 99th-percentile latency (ns).
+    pub p99_ns: u64,
+}
+
+impl WindowStats {
+    /// Failed requests in the window, all kinds.
+    pub fn error_total(&self) -> u64 {
+        self.errors.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// All requests in the window (ok + errors).
+    pub fn requests(&self) -> u64 {
+        self.ok + self.error_total()
+    }
+
+    /// Requests per second over the window.
+    pub fn request_rate(&self) -> f64 {
+        self.requests() as f64 / self.seconds.max(1) as f64
+    }
+
+    /// Errors per second over the window.
+    pub fn error_rate(&self) -> f64 {
+        self.error_total() as f64 / self.seconds.max(1) as f64
+    }
+
+    /// Sheds per second over the window.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.seconds.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_reset_when_their_second_rolls_over() {
+        let w = RollingWindow::new();
+        // Latency values below 8 ns sit in exact histogram buckets, so
+        // the quantile assertions are exact rather than ~12.5%-rounded.
+        w.record_ok_at(3, 5);
+        // Same wheel slot (3 + 60), one window later: the old sample must
+        // not leak into the new second.
+        w.record_ok_at(3 + WINDOW_SECONDS, 7);
+        let s = w.snapshot_at(3 + WINDOW_SECONDS);
+        assert_eq!(s.ok, 1);
+        assert_eq!(s.p50_ns, 7);
+    }
+
+    #[test]
+    fn rates_use_covered_seconds_not_the_full_window() {
+        let w = RollingWindow::new();
+        w.record_ok_at(0, 10);
+        w.record_ok_at(1, 10);
+        let s = w.snapshot_at(1);
+        assert_eq!(s.seconds, 2);
+        assert_eq!(s.requests(), 2);
+        assert!((s.request_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_aggregate_by_kind_and_track_sheds() {
+        let w = RollingWindow::new();
+        w.record_ok_at(5, 50);
+        w.record_error_at(5, "overloaded", true, 1);
+        w.record_error_at(6, "overloaded", true, 1);
+        w.record_error_at(6, "parse", false, 30);
+        let s = w.snapshot_at(6);
+        assert_eq!(s.ok, 1);
+        assert_eq!(s.errors, vec![("overloaded", 2), ("parse", 1)]);
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.error_total(), 3);
+        assert_eq!(s.requests(), 4);
+    }
+
+    #[test]
+    fn clocked_entry_points_feed_the_current_second() {
+        let w = RollingWindow::new();
+        w.record_ok(1_000);
+        w.record_error("budget", false, 2_000);
+        let s = w.snapshot();
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.errors, vec![("budget", 1)]);
+    }
+}

@@ -78,8 +78,10 @@ pub mod reactor;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
+pub mod top;
 
 pub use client::{Client, ClientError, QueryOutcome, RetryPolicy};
 pub use proto::{ProtoError, Request, Syntax, DEFAULT_MAX_LINE_BYTES};
 pub use server::{global_types, RestoreStatus, ServeConfig, ServeHandle, ServeSummary, Server};
 pub use snapshot::{restore_snapshot, write_snapshot, RestoreError, SnapshotStats};
+pub use top::TopConfig;

@@ -1,14 +1,20 @@
 //! The wire protocol: newline-delimited JSON requests and responses.
 //!
 //! One request per line, one response line per request, in order. A
-//! request is either a JSON object or one of four bare verbs:
+//! request is either a JSON object or one of five bare verbs:
 //!
 //! * `PING` — liveness probe, answered with `{"ok":true}`;
 //! * `STATS` — server + observability snapshot as one JSON object
-//!   (counters are cumulative since process start);
+//!   (counters are cumulative since process start; the `window` block is
+//!   the rolling last-minute view);
 //! * `METRICS` — the same snapshot in Prometheus text exposition format.
-//!   The one multi-line response in the protocol: it ends with a `# EOF`
-//!   line, after which normal line framing resumes;
+//!   A multi-line response: it ends with a `# EOF` line, after which
+//!   normal line framing resumes;
+//! * `TIMELINE [n]` — the newest `n` (default 50) completed-request
+//!   flight records, one JSON object per line, oldest first, terminated
+//!   by `# EOF` exactly like `METRICS`. Each record carries the request's
+//!   trace id, strategy, outcome, byte sizes, and per-phase nanosecond
+//!   timings (see `docs/OBSERVABILITY.md` for the schema);
 //! * `SHUTDOWN` — acknowledge, then drain the server gracefully.
 //!
 //! A minimization request:

@@ -52,8 +52,8 @@
 
 use crate::proto::ProtoError;
 use crate::server::{
-    admission_check, dispatch_verb, drain_shed_error, finalize, process_request, refuse_connection,
-    Flow, ServeSummary, ServerState,
+    admission_check, dispatch_verb, drain_shed_error, finalize, maybe_dump_flight, process_request,
+    record_flight, refuse_connection, FlightDraft, Flow, ServeSummary, ServerState,
 };
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
@@ -93,6 +93,10 @@ struct Completion {
     /// Position in the connection's response order.
     seq: u64,
     bytes: Vec<u8>,
+    /// Flight-record draft finalized at delivery time, when the response
+    /// size and the connection's backpressure state are both known.
+    /// `None` for responses that were already recorded at submit time.
+    draft: Option<FlightDraft>,
 }
 
 /// The worker-facing half of the reactor: a locked completion queue and
@@ -245,6 +249,9 @@ pub(crate) fn run(listener: TcpListener, state: Arc<ServerState>) -> std::io::Re
     };
     let mut events = vec![EpollEvent::default(); EVENTS_PER_WAIT];
     while !reactor.state.shutdown_requested() {
+        if reactor.state.config.handle_signals && crate::signal::take_usr1() {
+            maybe_dump_flight(&reactor.state, "SIGUSR1");
+        }
         let n = reactor.epoll.wait(&mut events, POLL_MS)?;
         tpq_obs::incr("serve.epoll.wakeups", 1);
         if n > 0 {
@@ -317,12 +324,20 @@ impl Reactor {
         );
         for completion in completions {
             if self.gens.get(completion.slot).copied() != Some(completion.gen) {
-                continue; // connection closed; slot possibly reused
+                // Connection closed; slot possibly reused. The request
+                // still ran, so it still belongs in the flight recorder.
+                if let Some(draft) = completion.draft {
+                    record_flight(&self.state, draft, completion.bytes.len() as u64, false);
+                }
+                continue;
             }
             let Some(conn) = self.slots[completion.slot].as_mut() else {
                 continue;
             };
             conn.outstanding -= 1;
+            if let Some(draft) = completion.draft {
+                record_flight(&self.state, draft, completion.bytes.len() as u64, conn.paused);
+            }
             conn.enqueue(completion.seq, completion.bytes);
             self.pump(completion.slot);
         }
@@ -470,21 +485,29 @@ impl Reactor {
                         state.inflight.fetch_sub(1, Ordering::AcqRel);
                         state.requests_failed.fetch_add(1, Ordering::Relaxed);
                         tpq_obs::incr("serve.request.error", 1);
+                        let bytes = response_line(&shed.to_json());
+                        record_flight(
+                            &state,
+                            FlightDraft::shed(text.len(), &shed, t0),
+                            bytes.len() as u64,
+                            false,
+                        );
                         let seq = conn.take_seq();
-                        conn.enqueue(seq, response_line(&shed.to_json()));
+                        conn.enqueue(seq, bytes);
                     } else {
                         let seq = conn.take_seq();
                         let worker_state = Arc::clone(&state);
                         let worker_shared = Arc::clone(&shared);
                         let line = text.to_owned();
                         let spawned = state.pool.spawn(move || {
-                            let json = process_request(&worker_state, &line, t0, true);
+                            let (json, draft) = process_request(&worker_state, &line, t0, true);
                             worker_state.inflight.fetch_sub(1, Ordering::AcqRel);
                             worker_shared.push(Completion {
                                 slot,
                                 gen,
                                 seq,
                                 bytes: response_line(&json),
+                                draft: Some(draft),
                             });
                         });
                         match spawned {
@@ -494,8 +517,15 @@ impl Reactor {
                                 state.inflight.fetch_sub(1, Ordering::AcqRel);
                                 state.requests_failed.fetch_add(1, Ordering::Relaxed);
                                 tpq_obs::incr("serve.request.error", 1);
-                                let json = ProtoError::from_error(&e).to_json();
-                                conn.enqueue(seq, response_line(&json));
+                                let proto = ProtoError::from_error(&e);
+                                let bytes = response_line(&proto.to_json());
+                                record_flight(
+                                    &state,
+                                    FlightDraft::shed(text.len(), &proto, t0),
+                                    bytes.len() as u64,
+                                    false,
+                                );
+                                conn.enqueue(seq, bytes);
                             }
                         }
                     }
@@ -608,7 +638,7 @@ fn flush_buffered_as_drain(state: &ServerState, conn: &mut Conn) {
         if !is_request {
             continue;
         }
-        let e = drain_shed_error(state);
+        let e = drain_shed_error(state, line.len() - 1);
         let seq = conn.take_seq();
         conn.enqueue(seq, response_line(&e.to_json()));
     }

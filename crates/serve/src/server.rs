@@ -95,6 +95,11 @@ pub struct ServeConfig {
     /// reactor (the `--threaded` CLI flag). Ignored off Linux, where the
     /// threaded engine is the only one available.
     pub threaded: bool,
+    /// Where the flight recorder dumps its black box (atomically: tmp
+    /// sibling + rename) when a worker panics or SIGUSR1 arrives. `None`
+    /// disables dumping; the in-memory ring and the `TIMELINE` verb stay
+    /// on regardless.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +120,7 @@ impl Default for ServeConfig {
             snapshot: None,
             restore: None,
             threaded: false,
+            flight_dump: None,
         }
     }
 }
@@ -182,6 +188,12 @@ pub(crate) struct ServerState {
     slow_log: Option<Mutex<std::fs::File>>,
     /// What `--restore` did at bind time (immutable afterwards).
     restore: RestoreStatus,
+    /// The always-on flight recorder both engines feed; drained by the
+    /// `TIMELINE` verb, dumped on worker panic or SIGUSR1.
+    pub(crate) flight: tpq_obs::FlightRecorder,
+    /// The rolling 60-second window behind the STATS `window` block and
+    /// the `tpq_*_1m` METRICS gauges.
+    pub(crate) window: tpq_obs::RollingWindow,
 }
 
 impl ServerState {
@@ -223,6 +235,20 @@ impl ServeHandle {
     /// What the `--restore` attempt at bind time did.
     pub fn restore_status(&self) -> &RestoreStatus {
         &self.state.restore
+    }
+
+    /// Dump the flight recorder to the configured `--flight-dump` path
+    /// right now, returning the number of records written. Errors when no
+    /// dump path was configured. This is the programmatic twin of sending
+    /// the process SIGUSR1.
+    pub fn dump_flight(&self) -> std::io::Result<usize> {
+        match &self.state.config.flight_dump {
+            Some(path) => self.state.flight.dump(path),
+            None => Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "no --flight-dump path configured",
+            )),
+        }
     }
 }
 
@@ -288,6 +314,8 @@ impl Server {
                 started: Instant::now(),
                 slow_log,
                 restore,
+                flight: tpq_obs::FlightRecorder::default(),
+                window: tpq_obs::RollingWindow::new(),
             }),
         })
     }
@@ -323,6 +351,9 @@ impl Server {
     fn run_threaded(self) -> std::io::Result<ServeSummary> {
         self.listener.set_nonblocking(true)?;
         while !self.state.shutdown_requested() {
+            if self.state.config.handle_signals && crate::signal::take_usr1() {
+                maybe_dump_flight(&self.state, "SIGUSR1");
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let state = Arc::clone(&self.state);
@@ -534,24 +565,32 @@ fn flush_buffered_on_drain(state: &ServerState, stream: &mut TcpStream, buffer: 
         if !is_request {
             continue;
         }
-        let e = drain_shed_error(state);
+        let e = drain_shed_error(state, line.len() - 1);
         if writeln!(stream, "{}", e.to_json()).is_err() {
             return;
         }
     }
 }
 
-/// Count one buffered request shed by the drain and build its typed
-/// error. Both engines answer such requests with this instead of letting
-/// them vanish with the socket.
-pub(crate) fn drain_shed_error(state: &ServerState) -> ProtoError {
+/// Count one buffered request shed by the drain (flight record
+/// included; `line_len` is the shed line's size sans newline) and build
+/// its typed error. Both engines answer such requests with this instead
+/// of letting them vanish with the socket.
+pub(crate) fn drain_shed_error(state: &ServerState, line_len: usize) -> ProtoError {
     state.shed_drain.fetch_add(1, Ordering::Relaxed);
     state.requests_failed.fetch_add(1, Ordering::Relaxed);
     tpq_obs::incr("serve.shed.drain", 1);
     tpq_obs::incr("serve.request.error", 1);
-    ProtoError::overloaded(
+    let e = ProtoError::overloaded(
         "server is draining; request was not processed — retry against the restarted server",
-    )
+    );
+    record_flight(
+        state,
+        FlightDraft::shed(line_len, &e, Instant::now()),
+        rendered_len(&e.to_json()),
+        false,
+    );
+    e
 }
 
 /// Route one trimmed request line (threaded engine): verbs answer
@@ -582,15 +621,47 @@ pub(crate) fn dispatch_verb(state: &ServerState, line: &str) -> Option<Flow> {
                 ("draining", Json::Bool(true)),
             ])))
         }
+        _ if line == "TIMELINE" || line.starts_with("TIMELINE ") => {
+            Some(timeline_flow(state, line["TIMELINE".len()..].trim()))
+        }
         _ if !line.starts_with('{') => Some(Flow::Respond(
             ProtoError::bad_request(format!(
-                "unknown verb '{}' (expected PING, STATS, METRICS, SHUTDOWN or a JSON object)",
+                "unknown verb '{}' (expected PING, STATS, METRICS, TIMELINE, SHUTDOWN or a JSON object)",
                 line.chars().take(32).collect::<String>()
             ))
             .to_json(),
         )),
         _ => None,
     }
+}
+
+/// How many flight records a bare `TIMELINE` (no count) returns.
+const DEFAULT_TIMELINE_RECORDS: usize = 50;
+
+/// The `TIMELINE [n]` verb: the newest `n` flight records (default
+/// [`DEFAULT_TIMELINE_RECORDS`], oldest first) as JSON lines, terminated
+/// by `# EOF` exactly like `METRICS`. Reads are non-destructive — the
+/// ring keeps its contents for the crash dump — so pollers deduplicate
+/// by the records' `seq` field.
+fn timeline_flow(state: &ServerState, arg: &str) -> Flow {
+    let n = if arg.is_empty() {
+        DEFAULT_TIMELINE_RECORDS
+    } else {
+        match arg.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Flow::Respond(
+                    ProtoError::bad_request(format!(
+                        "TIMELINE count must be a positive integer, got '{arg}'"
+                    ))
+                    .to_json(),
+                )
+            }
+        }
+    };
+    let mut text = tpq_obs::flight_to_json_lines(&state.flight.recent(n));
+    text.push_str("# EOF\n");
+    Flow::Raw(text)
 }
 
 /// The `METRICS` verb: the whole tpq-obs registry plus the server gauges
@@ -609,6 +680,7 @@ fn metrics_text(state: &ServerState) -> String {
         }
         _ => 0.0,
     };
+    let window = state.window.snapshot();
     let gauges = [
         ("serve.inflight", inflight as f64),
         ("serve.connections.active", state.active.load(Ordering::Acquire) as f64),
@@ -619,6 +691,16 @@ fn metrics_text(state: &ServerState) -> String {
         ("serve.snapshot.rejected", f64::from(u8::from(state.restore.outcome == "rejected"))),
         ("serve.snapshot.bytes", state.restore.stats.bytes as f64),
         ("serve.snapshot.age_seconds", snapshot_age_seconds),
+        // The rolling 60-second window: RED rates and latency quantiles.
+        ("serve.request.rate_1m", window.request_rate()),
+        ("serve.error.rate_1m", window.error_rate()),
+        ("serve.shed.rate_1m", window.shed_rate()),
+        ("serve.request.p50_seconds_1m", window.p50_ns as f64 / 1e9),
+        ("serve.request.p95_seconds_1m", window.p95_ns as f64 / 1e9),
+        ("serve.request.p99_seconds_1m", window.p99_ns as f64 / 1e9),
+        // Flight-recorder health.
+        ("serve.flight.recorded", state.flight.recorded() as f64),
+        ("serve.flight.dropped", state.flight.dropped() as f64),
     ];
     let mut text = tpq_obs::prometheus(&gauges);
     text.push_str("# EOF\n");
@@ -673,10 +755,40 @@ fn stats_json(state: &ServerState) -> Json {
                 ("executed", Json::Int(state.pool.executed() as i64)),
             ]),
         ),
+        ("window", window_json(&state.window.snapshot())),
+        (
+            "flight",
+            Json::object(vec![
+                ("recorded", Json::Int(state.flight.recorded() as i64)),
+                ("dropped", Json::Int(state.flight.dropped() as i64)),
+                ("capacity", Json::Int(state.flight.capacity() as i64)),
+            ]),
+        ),
         // Event-ring losses, surfaced top-level (and inside the obs
         // report) so clients notice silent event loss without digging.
         ("events_dropped", Json::Int(tpq_obs::events_dropped() as i64)),
         ("obs", tpq_obs::report().to_json()),
+    ])
+}
+
+/// The STATS `window` block: the rolling 60-second RED view. `seconds`
+/// is the covered span (grows to 60 after the first minute); quantiles
+/// are in microseconds, matching the response `stats.micros` field.
+fn window_json(w: &tpq_obs::WindowStats) -> Json {
+    let errors: Vec<(&str, Json)> =
+        w.errors.iter().map(|&(kind, n)| (kind, Json::Int(n as i64))).collect();
+    Json::object(vec![
+        ("seconds", Json::Int(w.seconds as i64)),
+        ("requests", Json::Int(w.requests() as i64)),
+        ("ok", Json::Int(w.ok as i64)),
+        ("errors", Json::object(errors)),
+        ("shed", Json::Int(w.shed as i64)),
+        ("request_rate", Json::Float(w.request_rate())),
+        ("error_rate", Json::Float(w.error_rate())),
+        ("shed_rate", Json::Float(w.shed_rate())),
+        ("p50_us", Json::Float(w.p50_ns as f64 / 1e3)),
+        ("p95_us", Json::Float(w.p95_ns as f64 / 1e3)),
+        ("p99_us", Json::Float(w.p99_ns as f64 / 1e3)),
     ])
 }
 
@@ -695,6 +807,129 @@ struct Phases {
     parse: Duration,
     minimize: Duration,
     render: Duration,
+}
+
+/// The protocol spelling of a strategy, for flight records.
+fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::CdmThenAcim => "full",
+        Strategy::CimOnly => "cim",
+        Strategy::AcimOnly => "acim",
+        Strategy::CdmOnly => "cdm",
+    }
+}
+
+/// Milliseconds since the Unix epoch, for flight-record timestamps.
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// A [`tpq_obs::FlightRecord`] in the making: everything the request
+/// path knows before the response is rendered onto the wire. The engine
+/// finishing the delivery fills in `bytes_out` and the backpressure flag
+/// via [`record_flight`] — the reactor only knows those at completion
+/// delivery, after the pool worker is long gone.
+#[derive(Debug, Clone)]
+pub(crate) struct FlightDraft {
+    trace: u64,
+    strategy: &'static str,
+    queue_ns: u64,
+    parse_ns: u64,
+    minimize_ns: u64,
+    render_ns: u64,
+    total_ns: u64,
+    bytes_in: u64,
+    outcome: &'static str,
+    cache_hit: bool,
+    shed: bool,
+}
+
+impl FlightDraft {
+    /// A draft for a request shed before it was parsed (admission queue,
+    /// injected fault, or drain flush): no trace, no phases, just the
+    /// arrival size, the shed outcome and the (tiny) time spent.
+    pub(crate) fn shed(line_len: usize, error: &ProtoError, t0: Instant) -> FlightDraft {
+        FlightDraft {
+            trace: 0,
+            strategy: "-",
+            queue_ns: 0,
+            parse_ns: 0,
+            minimize_ns: 0,
+            render_ns: 0,
+            total_ns: t0.elapsed().as_nanos() as u64,
+            bytes_in: line_len as u64 + 1,
+            outcome: error.kind,
+            cache_hit: false,
+            shed: true,
+        }
+    }
+}
+
+/// Finalize one request's flight record: feed the rolling window, push
+/// the record into the ring, and — when the request crashed its worker —
+/// dump the black box while the evidence is still in it. Called by both
+/// engines at the point where response size and backpressure state are
+/// known (write time for the threaded engine, completion delivery for
+/// the reactor).
+pub(crate) fn record_flight(
+    state: &ServerState,
+    draft: FlightDraft,
+    bytes_out: u64,
+    backpressure: bool,
+) {
+    if draft.outcome == "ok" {
+        state.window.record_ok(draft.total_ns);
+    } else {
+        state.window.record_error(draft.outcome, draft.shed, draft.total_ns);
+    }
+    let crashed = draft.outcome == "panic";
+    state.flight.record(tpq_obs::FlightRecord {
+        seq: 0, // assigned by the ring
+        t_unix_ms: now_unix_ms(),
+        trace: draft.trace,
+        verb: "minimize",
+        strategy: draft.strategy,
+        queue_ns: draft.queue_ns,
+        parse_ns: draft.parse_ns,
+        minimize_ns: draft.minimize_ns,
+        render_ns: draft.render_ns,
+        total_ns: draft.total_ns,
+        bytes_in: draft.bytes_in,
+        bytes_out,
+        outcome: draft.outcome,
+        cache_hit: draft.cache_hit,
+        shed: draft.shed,
+        backpressure,
+    });
+    if crashed {
+        maybe_dump_flight(state, "worker panic");
+    }
+}
+
+/// Dump the flight ring to the configured `--flight-dump` path (no-op
+/// without one). `reason` is for the stderr note only.
+pub(crate) fn maybe_dump_flight(state: &ServerState, reason: &str) {
+    let Some(path) = &state.config.flight_dump else {
+        return;
+    };
+    match state.flight.dump(path) {
+        Ok(n) => {
+            eprintln!(
+                "tpq-serve: flight recorder dumped {n} records to {} ({reason})",
+                path.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("tpq-serve: flight dump to {} failed: {e} ({reason})", path.display());
+        }
+    }
+}
+
+/// The framed size of a response: its compact rendering plus the newline.
+fn rendered_len(json: &Json) -> u64 {
+    json.to_string_compact().len() as u64 + 1
 }
 
 /// Decrements the in-flight request gauge when the request finishes,
@@ -720,31 +955,58 @@ fn handle_request(state: &ServerState, line: &str) -> Json {
     if let Some(shed) = admission_check(state, n_prev) {
         state.requests_failed.fetch_add(1, Ordering::Relaxed);
         tpq_obs::incr("serve.request.error", 1);
-        return shed.to_json();
+        let json = shed.to_json();
+        record_flight(state, FlightDraft::shed(line.len(), &shed, t0), rendered_len(&json), false);
+        return json;
     }
-    process_request(state, line, t0, false)
+    let (json, draft) = process_request(state, line, t0, false);
+    // The threaded engine writes from this thread, so delivery size is
+    // known right here and backpressure does not exist (writes block).
+    record_flight(state, draft, rendered_len(&json), false);
+    json
 }
 
 /// Execute one *admitted* minimization request: mint its trace id
 /// (echoed back as the `trace` response field), minimize, bump the
-/// outcome counters, feed the slow-query log. `run_inline` says whether
-/// the caller already sits on a pool worker (the reactor) — then the
-/// minimization runs right here behind the same `pool.task` failpoint
-/// and panic shield a [`TaskPool::run`] round-trip would apply — or
-/// should block on [`TaskPool::run`] (the threaded engine).
+/// outcome counters, feed the slow-query log, and assemble the request's
+/// [`FlightDraft`] (the caller records it once delivery size and
+/// backpressure are known). `run_inline` says whether the caller already
+/// sits on a pool worker (the reactor) — then the minimization runs
+/// right here behind the same `pool.task` failpoint and panic shield a
+/// [`TaskPool::run`] round-trip would apply — or should block on
+/// [`TaskPool::run`] (the threaded engine). `t0` is the request's
+/// arrival time; time between `t0` and this call is queue time.
 pub(crate) fn process_request(
     state: &ServerState,
     line: &str,
     t0: Instant,
     run_inline: bool,
-) -> Json {
+) -> (Json, FlightDraft) {
+    let queue_ns = t0.elapsed().as_nanos() as u64;
     let trace = tpq_obs::fresh_trace_id();
     let _scope = tpq_obs::trace_scope(trace);
     let mut phases = Phases::default();
-    let result = minimize_request(state, line, t0, &mut phases, run_inline);
+    let mut draft = FlightDraft {
+        trace,
+        strategy: "-",
+        queue_ns,
+        parse_ns: 0,
+        minimize_ns: 0,
+        render_ns: 0,
+        total_ns: 0,
+        bytes_in: line.len() as u64 + 1,
+        outcome: "ok",
+        cache_hit: false,
+        shed: false,
+    };
+    let result = minimize_request(state, line, t0, &mut phases, run_inline, &mut draft);
     let elapsed = t0.elapsed();
     tpq_obs::record_duration("serve.request", elapsed);
     maybe_log_slow(state, line, trace, elapsed, &phases);
+    draft.parse_ns = phases.parse.as_nanos() as u64;
+    draft.minimize_ns = phases.minimize.as_nanos() as u64;
+    draft.render_ns = phases.render.as_nanos() as u64;
+    draft.total_ns = elapsed.as_nanos() as u64;
     let json = match result {
         Ok(json) => {
             state.requests_ok.fetch_add(1, Ordering::Relaxed);
@@ -754,10 +1016,11 @@ pub(crate) fn process_request(
         Err(e) => {
             state.requests_failed.fetch_add(1, Ordering::Relaxed);
             tpq_obs::incr("serve.request.error", 1);
+            draft.outcome = e.kind;
             e.to_json()
         }
     };
-    with_trace(json, trace)
+    (with_trace(json, trace), draft)
 }
 
 /// The admission decision for a request that observed `n_prev` requests
@@ -849,6 +1112,7 @@ fn minimize_request(
     t0: Instant,
     phases: &mut Phases,
     run_inline: bool,
+    draft: &mut FlightDraft,
 ) -> Result<Json, ProtoError> {
     let t_parse = Instant::now();
     let req = Request::parse(line)?;
@@ -868,6 +1132,7 @@ fn minimize_request(
     };
     phases.parse = t_parse.elapsed();
     let strategy = req.strategy.unwrap_or(state.config.strategy);
+    draft.strategy = strategy_name(strategy);
     let guard = {
         let mut builder = Guard::builder();
         if let Some(ms) = effective_limit(req.deadline_ms, state.config.deadline_ms) {
@@ -891,6 +1156,7 @@ fn minimize_request(
     let out = if run_inline { run_shielded(work) } else { state.pool.run(work) }
         .map_err(|e| ProtoError::from_error(&e))?;
     phases.minimize = t_min.elapsed();
+    draft.cache_hit = out.cache_hit;
     let t_render = Instant::now();
     let minimized = to_dsl(&out.pattern, &lock_types());
     phases.render = t_render.elapsed();

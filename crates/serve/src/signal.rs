@@ -1,33 +1,51 @@
-//! Graceful-shutdown signals (SIGINT / SIGTERM) without a libc crate.
+//! Operator signals (SIGINT / SIGTERM / SIGUSR1) without a libc crate.
 //!
 //! `std` already links the platform C library, so on Unix we declare the
-//! two symbols we need ourselves. The handler only performs an atomic
-//! store (the short list of async-signal-safe operations), and the serve
-//! accept loop polls the flag. On non-Unix platforms installation is a
-//! no-op and shutdown is driven by [`ServeHandle::shutdown`] or the
-//! `SHUTDOWN` protocol verb.
+//! symbols we need ourselves. Handlers only perform an atomic store (the
+//! short list of async-signal-safe operations), and the serve loops poll
+//! the flags: SIGINT/SIGTERM request graceful shutdown, SIGUSR1 requests
+//! a flight-recorder dump ([`take_usr1`]). On non-Unix platforms
+//! installation is a no-op and shutdown is driven by
+//! [`ServeHandle::shutdown`] or the `SHUTDOWN` protocol verb.
 //!
 //! [`ServeHandle::shutdown`]: crate::ServeHandle::shutdown
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+static USR1_PENDING: AtomicBool = AtomicBool::new(false);
 
 /// Has a shutdown signal been delivered since [`install`] was called?
 pub fn triggered() -> bool {
     TRIGGERED.load(Ordering::Acquire)
 }
 
+/// Consume a pending SIGUSR1 delivery, if any. SIGUSR1 is the operator's
+/// "dump the flight recorder now" knob: the serve loops poll this and
+/// write the black box to the configured `--flight-dump` path. Clearing
+/// on read means one signal produces one dump.
+pub fn take_usr1() -> bool {
+    USR1_PENDING.swap(false, Ordering::AcqRel)
+}
+
 #[cfg(unix)]
 mod imp {
-    use super::TRIGGERED;
+    use super::{TRIGGERED, USR1_PENDING};
     use std::sync::atomic::Ordering;
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SIGUSR1: i32 = 30;
 
     extern "C" fn on_signal(_signum: i32) {
         TRIGGERED.store(true, Ordering::Release);
+    }
+
+    extern "C" fn on_usr1(_signum: i32) {
+        USR1_PENDING.store(true, Ordering::Release);
     }
 
     extern "C" {
@@ -38,6 +56,7 @@ mod imp {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGUSR1, on_usr1);
         }
     }
 }
@@ -61,5 +80,14 @@ mod tests {
         install();
         install();
         let _ = triggered(); // flag is readable after installation
+    }
+
+    #[test]
+    fn take_usr1_consumes_the_pending_flag() {
+        // Simulate a delivery by storing directly (raising a real signal
+        // would race with other tests in this process).
+        USR1_PENDING.store(true, Ordering::Release);
+        assert!(take_usr1());
+        assert!(!take_usr1(), "one delivery yields exactly one dump");
     }
 }

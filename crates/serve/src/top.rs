@@ -1,0 +1,301 @@
+//! `tpq top` — a live terminal dashboard over a running `tpq serve`.
+//!
+//! Plain TCP and plain ANSI: the dashboard polls the server's own
+//! protocol (`STATS` for the totals and the rolling window, `TIMELINE`
+//! for recent per-request flight records) at a fixed interval and
+//! redraws one frame — RED rates, windowed latency quantiles, inflight
+//! and connection gauges, cache-hit rate over the sampled records,
+//! shed / backpressure counts, and the slowest recent requests with
+//! their per-phase breakdown. No terminal library, no raw mode: live
+//! mode clears the screen with the two classic escape sequences and a
+//! ctrl-c ends it like any foreground process.
+//!
+//! `--once` renders a single frame with no escape codes and exits —
+//! every line has a stable `key:` prefix, so scripts and CI smoke jobs
+//! can assert on the frame (`timeline: N records sampled`, `window:`,
+//! …) without scraping a moving TUI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use tpq_base::Json;
+
+/// Tunables for [`run`]. `Default` polls loopback once a second.
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Redraw interval in milliseconds (live mode).
+    pub interval_ms: u64,
+    /// Render one plain frame (no escape codes) and exit.
+    pub once: bool,
+    /// How many flight records to sample per frame (`TIMELINE n`).
+    pub timeline: usize,
+}
+
+impl Default for TopConfig {
+    fn default() -> TopConfig {
+        TopConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            interval_ms: 1_000,
+            once: false,
+            timeline: 50,
+        }
+    }
+}
+
+/// One polled snapshot: the parsed `STATS` object and the sampled
+/// `TIMELINE` flight records (oldest first, as the server sends them).
+struct Sample {
+    stats: Json,
+    timeline: Vec<Json>,
+}
+
+/// Poll `STATS` + `TIMELINE` over one short-lived connection.
+fn poll(config: &TopConfig) -> std::io::Result<Sample> {
+    let stream = TcpStream::connect(&config.addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true).ok();
+    let mut conn = BufReader::new(stream);
+    writeln!(conn.get_mut(), "STATS")?;
+    let mut line = String::new();
+    conn.read_line(&mut line)?;
+    let stats = Json::parse(line.trim_end())
+        .map_err(|e| std::io::Error::other(format!("bad STATS response: {e}")))?;
+    writeln!(conn.get_mut(), "TIMELINE {}", config.timeline.max(1))?;
+    let mut timeline = Vec::new();
+    loop {
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("connection closed mid-TIMELINE"));
+        }
+        let line = line.trim_end();
+        if line == "# EOF" {
+            break;
+        }
+        if let Ok(record) = Json::parse(line) {
+            timeline.push(record);
+        }
+    }
+    Ok(Sample { stats, timeline })
+}
+
+fn int_at(json: &Json, path: &[&str]) -> i64 {
+    let mut node = json;
+    for field in path {
+        match node.get(field) {
+            Some(next) => node = next,
+            None => return 0,
+        }
+    }
+    node.as_i64().unwrap_or(0)
+}
+
+fn float_at(json: &Json, path: &[&str]) -> f64 {
+    let mut node = json;
+    for field in path {
+        match node.get(field) {
+            Some(next) => node = next,
+            None => return 0.0,
+        }
+    }
+    node.as_f64().unwrap_or(0.0)
+}
+
+/// Nanoseconds as a human-scaled duration (`412us`, `3.1ms`, `2.4s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.0}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Render one dashboard frame from a polled sample. Pure — all the
+/// formatting (and nothing else) lives here, so tests and `--once`
+/// exercise the exact frame the live loop draws.
+fn render_frame(addr: &str, stats: &Json, timeline: &[Json]) -> String {
+    let mut out = String::new();
+    let uptime_s = int_at(stats, &["uptime_ms"]) as f64 / 1e3;
+    out.push_str(&format!("tpq top — {addr} — up {uptime_s:.0}s\n"));
+
+    let seconds = int_at(stats, &["window", "seconds"]);
+    out.push_str(&format!(
+        "window: {:.1} req/s  {:.2} err/s  {:.2} shed/s  (last {seconds}s)\n",
+        float_at(stats, &["window", "request_rate"]),
+        float_at(stats, &["window", "error_rate"]),
+        float_at(stats, &["window", "shed_rate"]),
+    ));
+    out.push_str(&format!(
+        "latency: p50 {}  p95 {}  p99 {}\n",
+        fmt_ns(float_at(stats, &["window", "p50_us"]) * 1e3),
+        fmt_ns(float_at(stats, &["window", "p95_us"]) * 1e3),
+        fmt_ns(float_at(stats, &["window", "p99_us"]) * 1e3),
+    ));
+    if let Some(Json::Object(kinds)) = stats.get("window").and_then(|w| w.get("errors")) {
+        if !kinds.is_empty() {
+            let list: Vec<String> =
+                kinds.iter().map(|(k, n)| format!("{k}={}", n.as_i64().unwrap_or(0))).collect();
+            out.push_str(&format!("errors: {}\n", list.join("  ")));
+        }
+    }
+
+    out.push_str(&format!(
+        "inflight: {}  connections: {} active / {} accepted / {} refused  queue limit: {}\n",
+        int_at(stats, &["requests", "inflight"]),
+        int_at(stats, &["connections", "active"]),
+        int_at(stats, &["connections", "accepted"]),
+        int_at(stats, &["connections", "refused"]),
+        int_at(stats, &["shed", "queue_limit"]),
+    ));
+
+    out.push_str(&format!(
+        "requests: {} ok  {} failed  {} shed ({} queue-full, {} injected, {} drain)\n",
+        int_at(stats, &["requests", "ok"]),
+        int_at(stats, &["requests", "error"]),
+        int_at(stats, &["shed", "total"]),
+        int_at(stats, &["shed", "queue_full"]),
+        int_at(stats, &["shed", "injected"]),
+        int_at(stats, &["shed", "drain"]),
+    ));
+
+    let sampled = timeline.len();
+    let hits = timeline
+        .iter()
+        .filter(|r| r.get("cache_hit").and_then(Json::as_bool) == Some(true))
+        .count();
+    let stalls = timeline
+        .iter()
+        .filter(|r| r.get("backpressure").and_then(Json::as_bool) == Some(true))
+        .count();
+    let hit_pct = if sampled == 0 { 0.0 } else { hits as f64 * 100.0 / sampled as f64 };
+    out.push_str(&format!(
+        "cache: {hits}/{sampled} sampled hits ({hit_pct:.0}%)  backpressure: {stalls} sampled\n"
+    ));
+    out.push_str(&format!(
+        "flight: {} recorded  {} dropped  capacity {}\n",
+        int_at(stats, &["flight", "recorded"]),
+        int_at(stats, &["flight", "dropped"]),
+        int_at(stats, &["flight", "capacity"]),
+    ));
+    out.push_str(&format!("timeline: {sampled} records sampled\n"));
+
+    // Slowest sampled requests, with the per-phase story for each.
+    let mut slowest: Vec<&Json> = timeline.iter().collect();
+    slowest.sort_by_key(|r| std::cmp::Reverse(int_at(r, &["total_ns"])));
+    for record in slowest.into_iter().take(5) {
+        let trace = record
+            .get("trace")
+            .and_then(Json::as_str)
+            .map_or_else(|| "-".repeat(16), str::to_owned);
+        out.push_str(&format!(
+            "  slow: trace={trace} strategy={} outcome={} total={} queue={} parse={} minimize={} render={} bytes={}/{}\n",
+            record.get("strategy").and_then(Json::as_str).unwrap_or("-"),
+            record.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+            fmt_ns(int_at(record, &["total_ns"]) as f64),
+            fmt_ns(int_at(record, &["phases_ns", "queue"]) as f64),
+            fmt_ns(int_at(record, &["phases_ns", "parse"]) as f64),
+            fmt_ns(int_at(record, &["phases_ns", "minimize"]) as f64),
+            fmt_ns(int_at(record, &["phases_ns", "render"]) as f64),
+            int_at(record, &["bytes_in"]),
+            int_at(record, &["bytes_out"]),
+        ));
+    }
+    out
+}
+
+/// Run the dashboard against `config.addr`, writing frames to `out`.
+///
+/// With [`TopConfig::once`] set this polls once, writes one plain frame,
+/// and returns. Otherwise it loops — clear screen, draw, sleep — until
+/// the server goes away (the connection error is returned so the exit
+/// says why) or the process is interrupted.
+pub fn run(config: &TopConfig, out: &mut dyn Write) -> std::io::Result<()> {
+    loop {
+        let sample = poll(config)?;
+        let frame = render_frame(&config.addr, &sample.stats, &sample.timeline);
+        if config.once {
+            out.write_all(frame.as_bytes())?;
+            out.flush()?;
+            return Ok(());
+        }
+        // Clear + home, then the frame; one write keeps flicker down.
+        let mut painted = String::with_capacity(frame.len() + 8);
+        painted.push_str("\x1b[2J\x1b[H");
+        painted.push_str(&frame);
+        painted.push_str(&format!("\n(poll every {}ms, ctrl-c to quit)\n", config.interval_ms));
+        out.write_all(painted.as_bytes())?;
+        out.flush()?;
+        std::thread::sleep(Duration::from_millis(config.interval_ms.max(50)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats() -> Json {
+        Json::parse(
+            r#"{"uptime_ms": 12000,
+                "connections": {"active": 2, "accepted": 9, "refused": 1},
+                "requests": {"ok": 90, "error": 3, "inflight": 1},
+                "shed": {"queue_full": 2, "injected": 0, "drain": 0, "total": 2, "queue_limit": 256},
+                "window": {"seconds": 12, "requests": 93, "ok": 90,
+                           "errors": {"parse": 2, "overloaded": 1}, "shed": 1,
+                           "request_rate": 7.75, "error_rate": 0.25, "shed_rate": 0.08,
+                           "p50_us": 420.0, "p95_us": 1300.0, "p99_us": 2500.0},
+                "flight": {"recorded": 93, "dropped": 0, "capacity": 1024}}"#,
+        )
+        .unwrap()
+    }
+
+    fn fake_record(total_ns: i64, cache_hit: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"seq": 1, "trace": "00000000000000ff", "strategy": "full",
+                 "outcome": "ok", "total_ns": {total_ns},
+                 "phases_ns": {{"queue": 100, "parse": 2000, "minimize": 5000, "render": 300}},
+                 "bytes_in": 48, "bytes_out": 120,
+                 "cache_hit": {cache_hit}, "shed": false, "backpressure": false}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn frame_has_stable_machine_checkable_lines() {
+        let timeline = vec![fake_record(8_000, false), fake_record(60_000, true)];
+        let frame = render_frame("127.0.0.1:9", &fake_stats(), &timeline);
+        assert!(frame.starts_with("tpq top — 127.0.0.1:9 — up 12s\n"), "{frame}");
+        assert!(
+            frame.contains("window: 7.8 req/s  0.25 err/s  0.08 shed/s  (last 12s)"),
+            "{frame}"
+        );
+        assert!(frame.contains("latency: p50 420us  p95 1.3ms  p99 2.5ms"), "{frame}");
+        assert!(frame.contains("errors: parse=2  overloaded=1"), "{frame}");
+        assert!(frame.contains("requests: 90 ok  3 failed  2 shed"), "{frame}");
+        assert!(frame.contains("cache: 1/2 sampled hits (50%)"), "{frame}");
+        assert!(frame.contains("flight: 93 recorded  0 dropped  capacity 1024"), "{frame}");
+        assert!(frame.contains("timeline: 2 records sampled"), "{frame}");
+        assert!(!frame.contains('\x1b'), "a plain frame carries no escape codes");
+    }
+
+    #[test]
+    fn slowest_requests_lead_the_slow_list() {
+        let timeline = vec![fake_record(1_000, false), fake_record(9_000_000, false)];
+        let frame = render_frame("x", &fake_stats(), &timeline);
+        let first_slow = frame.lines().find(|l| l.starts_with("  slow:")).expect("slow lines");
+        assert!(first_slow.contains("total=9.0ms"), "{first_slow}");
+        assert!(first_slow.contains("minimize=5us"), "{first_slow}");
+    }
+
+    #[test]
+    fn empty_sample_renders_without_dividing_by_zero() {
+        let frame = render_frame("x", &fake_stats(), &[]);
+        assert!(frame.contains("cache: 0/0 sampled hits (0%)"), "{frame}");
+        assert!(frame.contains("timeline: 0 records sampled"), "{frame}");
+        assert!(!frame.lines().any(|l| l.starts_with("  slow:")), "{frame}");
+    }
+}

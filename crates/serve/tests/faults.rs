@@ -31,9 +31,16 @@ fn error_kind_of(response: &str) -> String {
 /// served normally, and the server must still drain cleanly.
 #[test]
 fn injected_worker_faults_poison_one_request_only() {
-    let server =
-        Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), jobs: 2, ..ServeConfig::default() })
-            .expect("bind");
+    let dir = std::env::temp_dir().join(format!("tpq-serve-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("flight.jsonl");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 2,
+        flight_dump: Some(dump.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
     let addr = server.local_addr().unwrap();
     let handle = server.handle();
     let thread = std::thread::spawn(move || server.run().expect("run"));
@@ -52,6 +59,13 @@ fn injected_worker_faults_poison_one_request_only() {
     assert_eq!(error_kind_of(&poisoned), "panic", "{poisoned}");
     assert!(poisoned.contains("injected panic"), "{poisoned}");
 
+    // The panic triggered an automatic flight-recorder dump, and the
+    // crashing request is the last record in the black box.
+    let dumped = std::fs::read_to_string(&dump).expect("panic triggered a flight dump");
+    let last = dumped.lines().last().expect("dump has records");
+    let record = tpq_base::Json::parse(last).expect("record JSON");
+    assert_eq!(record.get("outcome").and_then(tpq_base::Json::as_str), Some("panic"), "{last}");
+
     // The same connection keeps working, as does a fresh one.
     let after = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
     assert!(after.contains("\"minimized\""), "{after}");
@@ -68,10 +82,22 @@ fn injected_worker_faults_poison_one_request_only() {
     let recovered = round_trip(&mut conn, r#"{"query": "Fault*[/FA][/FB]"}"#);
     assert!(recovered.contains("\"minimized\""), "{recovered}");
 
+    // Case 3: a dump torn mid-write (crash modeled by the flight.dump
+    // failpoint) must fail without clobbering the panic-time black box.
+    let before = std::fs::read_to_string(&dump).unwrap();
+    let _fp = failpoint::arm("flight.dump", Action::Err, 1);
+    handle.dump_flight().expect_err("armed failpoint fails the dump");
+    assert_eq!(std::fs::read_to_string(&dump).unwrap(), before, "old dump survives");
+    assert!(!dump.with_file_name("flight.jsonl.tmp").exists(), "torn tmp removed");
+    // Disarmed, the dump goes through and now includes the later records.
+    let written = handle.dump_flight().expect("dump after disarm");
+    assert!(written >= 6, "all requests so far are in the ring: {written}");
+
     drop(conn);
     drop(conn2);
     handle.shutdown();
     let summary = thread.join().unwrap();
     assert_eq!(summary.requests_ok, 4);
     assert_eq!(summary.requests_failed, 2);
+    let _ = std::fs::remove_dir_all(&dir);
 }

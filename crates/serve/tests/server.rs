@@ -419,14 +419,27 @@ fn metrics_verb_returns_wellformed_prometheus_exposition() {
     let lines = scrape_metrics(&mut conn);
     assert!(!lines.is_empty());
     let mut declared = Vec::new();
-    for line in &lines {
+    for (i, line) in lines.iter().enumerate() {
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split_whitespace();
             let name = parts.next().expect("metric name").to_owned();
             let kind = parts.next().expect("metric kind");
             assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+            // Every metric ships a description: the line right above a
+            // # TYPE must be a # HELP for the same metric.
+            let help = i.checked_sub(1).and_then(|prev| lines.get(prev));
+            let expected = format!("# HELP {name} ");
+            match help {
+                Some(help) if help.starts_with(&expected) => {
+                    assert!(help.len() > expected.len(), "empty HELP for {name}")
+                }
+                other => panic!("missing # HELP above {line}: found {other:?}"),
+            }
             declared.push(name);
             continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue; // validated alongside its # TYPE line above
         }
         assert!(!line.starts_with('#'), "unexpected comment: {line}");
         // Sample lines: `name[{labels}] value`, names under the tpq_ prefix.

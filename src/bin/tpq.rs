@@ -14,7 +14,9 @@
 //! tpq closure  --constraints ics.txt
 //! tpq repair   --doc org.xml --constraints ics.txt
 //! tpq serve    --addr 127.0.0.1:7878 --jobs 4 --max-conns 64 --deadline-ms 1000
-//! tpq serve    --addr 127.0.0.1:7878 --slow-ms 50 --slow-log slow.jsonl
+//! tpq serve    --addr 127.0.0.1:7878 --slow-ms 50 --slow-log slow.jsonl --flight-dump flight.jsonl
+//! tpq top      --addr 127.0.0.1:7878 --interval-ms 1000
+//! tpq top      --addr 127.0.0.1:7878 --once
 //! ```
 //!
 //! Patterns are given in the DSL by default; `--xpath` switches the query
@@ -54,7 +56,14 @@
 //! `--deadline-ms` / `--budget` act as per-request ceilings rather than
 //! whole-process limits. `--slow-ms <n>` logs requests at or above `n`
 //! milliseconds (trace id plus per-phase breakdown) to stderr, or to
-//! `--slow-log <path>` when given.
+//! `--slow-log <path>` when given. `--flight-dump <path>` names the file
+//! the always-on flight recorder dumps its recent-request black box to
+//! when a worker panics or the process receives SIGUSR1.
+//!
+//! `tpq top` is the matching live dashboard: it polls a running server's
+//! `STATS` and `TIMELINE` verbs and redraws RED rates, windowed latency
+//! quantiles, and the slowest recent requests; `--once` prints a single
+//! plain frame for scripts (see `docs/SERVING.md`).
 
 use std::process::ExitCode;
 use tpq::constraints::Schema;
@@ -80,7 +89,7 @@ fn main() -> ExitCode {
         tpq::obs::set_enabled(true);
     }
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|explain|match|check|closure|repair|serve|query> [options]");
+        eprintln!("usage: tpq [--trace] [--metrics-json <path>] <minimize|explain|match|check|closure|repair|serve|query|top> [options]");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -92,8 +101,11 @@ fn main() -> ExitCode {
         "repair" => cmd_repair(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "top" => cmd_top(rest),
         "--help" | "-h" | "help" => {
-            println!("subcommands: minimize, explain, match, check, closure, repair, serve, query");
+            println!(
+                "subcommands: minimize, explain, match, check, closure, repair, serve, query, top"
+            );
             println!("global flags: --trace, --metrics-json <path>");
             Ok(())
         }
@@ -602,6 +614,9 @@ fn cmd_serve(args: &[String]) -> Result2<()> {
     if let Some(path) = opts.get("restore") {
         config.restore = Some(path.into());
     }
+    if let Some(path) = opts.get("flight-dump") {
+        config.flight_dump = Some(path.into());
+    }
     let server = tpq::serve::Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let restore = server.handle().restore_status().clone();
@@ -637,6 +652,35 @@ fn cmd_serve(args: &[String]) -> Result2<()> {
         eprintln!("serve: snapshot written to {}", path.display());
     }
     Ok(())
+}
+
+/// `tpq top`: a live terminal dashboard over a running `tpq serve`,
+/// polling `STATS` and `TIMELINE` at `--interval-ms`. `--once` renders a
+/// single plain frame (stable `key:` line prefixes, no escape codes) for
+/// scripts and CI smoke checks.
+fn cmd_top(args: &[String]) -> Result2<()> {
+    let opts = Opts::parse(args, &["once"])?;
+    opts.no_positionals()?;
+    let mut config = tpq::serve::TopConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(ms) = opts.get("interval-ms") {
+        config.interval_ms = match ms.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--interval-ms needs a positive integer, got '{ms}'")),
+        };
+    }
+    if let Some(n) = opts.get("timeline") {
+        config.timeline = match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--timeline needs a positive integer, got '{n}'")),
+        };
+    }
+    config.once = opts.flag("once");
+    let mut stdout = std::io::stdout();
+    tpq::serve::top::run(&config, &mut stdout)
+        .map_err(|e| format!("cannot watch {}: {e}", config.addr))
 }
 
 /// `tpq query`: minimize one query against a running `tpq serve`, with
